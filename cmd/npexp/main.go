@@ -1,0 +1,125 @@
+// Command npexp regenerates the paper's evaluation figures.
+//
+// Usage:
+//
+//	npexp -fig 9            # carrier sense (Fig. 9a/9b)
+//	npexp -fig 11           # nulling/alignment residuals (Fig. 11a/11b)
+//	npexp -fig 12           # trio throughput CDFs (Fig. 12a–d)
+//	npexp -fig 13           # downlink gains vs 802.11n and beamforming
+//	npexp -fig overhead     # §3.5 handshake overhead
+//	npexp -fig all          # everything
+//
+// -placements / -epochs / -trials / -seed scale the experiments; the
+// defaults reproduce the paper's shapes in a couple of minutes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nplus/internal/core"
+)
+
+func main() {
+	fig := flag.String("fig", "all", "figure to regenerate: 9, 11, 12, 13, overhead, all")
+	placements := flag.Int("placements", 0, "random placements (0 = default per figure)")
+	epochs := flag.Int("epochs", 0, "contention rounds per placement (0 = default)")
+	trials := flag.Int("trials", 0, "trials for Fig 9 / overhead (0 = default)")
+	seed := flag.Int64("seed", 0, "base seed (0 = default)")
+	flag.Parse()
+
+	run := func(name string, f func() (fmt.Stringer, error)) {
+		fmt.Printf("==== %s ====\n", name)
+		res, err := f()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npexp: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(res)
+	}
+
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+
+	if want("9") {
+		run("Figure 9: multi-dimensional carrier sense", func() (fmt.Stringer, error) {
+			cfg := core.DefaultFig9Config()
+			if *trials > 0 {
+				cfg.Trials = *trials
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			r, err := core.RunFig9(cfg)
+			return render{r}, err
+		})
+	}
+	if want("11") {
+		run("Figure 11: nulling and alignment residuals", func() (fmt.Stringer, error) {
+			cfg := core.DefaultFig11Config()
+			if *placements > 0 {
+				cfg.Placements = *placements
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			r, err := core.RunFig11(cfg)
+			return render{r}, err
+		})
+	}
+	if want("12") {
+		run("Figure 12: trio throughput, n+ vs 802.11n", func() (fmt.Stringer, error) {
+			cfg := core.DefaultFig12Config()
+			if *placements > 0 {
+				cfg.Placements = *placements
+			}
+			if *epochs > 0 {
+				cfg.Epochs = *epochs
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			r, err := core.RunFig12(cfg)
+			return render{r}, err
+		})
+	}
+	if want("13") {
+		run("Figure 13: downlink gains vs 802.11n and beamforming", func() (fmt.Stringer, error) {
+			cfg := core.DefaultFig13Config()
+			if *placements > 0 {
+				cfg.Placements = *placements
+			}
+			if *epochs > 0 {
+				cfg.Epochs = *epochs
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			r, err := core.RunFig13(cfg)
+			return render{r}, err
+		})
+	}
+	if want("overhead") {
+		run("Section 3.5: light-weight handshake overhead", func() (fmt.Stringer, error) {
+			cfg := core.DefaultOverheadConfig()
+			if *trials > 0 {
+				cfg.Trials = *trials
+			}
+			if *seed != 0 {
+				cfg.Seed = *seed
+			}
+			r, err := core.RunOverhead(cfg)
+			return render{r}, err
+		})
+	}
+}
+
+// render adapts the Render() convention to fmt.Stringer.
+type render struct{ r interface{ Render() string } }
+
+func (x render) String() string {
+	if x.r == nil {
+		return ""
+	}
+	return x.r.Render()
+}

@@ -1,0 +1,99 @@
+// Command npsim runs one n+ scenario — the heterogeneous trio of
+// Fig. 3 or the downlink of Fig. 4 — under a chosen MAC and prints
+// per-flow throughput. With -trace it runs the full event-driven
+// CSMA/CA protocol and prints the medium-access trace (the Fig. 5
+// behavior); otherwise it uses the faster epoch-based evaluation.
+//
+// Usage:
+//
+//	npsim -scenario trio -mode nplus -seed 4
+//	npsim -scenario downlink -mode beamforming
+//	npsim -scenario trio -trace -duration 0.05
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nplus/internal/core"
+	"nplus/internal/mac"
+	"nplus/internal/stats"
+)
+
+func main() {
+	scenario := flag.String("scenario", "trio", "trio (Fig. 3) or downlink (Fig. 4)")
+	modeName := flag.String("mode", "nplus", "nplus, 80211n, or beamforming")
+	seed := flag.Int64("seed", 4, "placement seed")
+	epochs := flag.Int("epochs", 200, "contention rounds (epoch mode)")
+	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
+	duration := flag.Float64("duration", 0.1, "virtual seconds (trace mode)")
+	flag.Parse()
+
+	var nodes []core.Node
+	var links []core.Link
+	switch *scenario {
+	case "trio":
+		nodes, links = core.TrioNodes()
+	case "downlink":
+		nodes, links = core.DownlinkNodes()
+	default:
+		fmt.Fprintf(os.Stderr, "npsim: unknown scenario %q\n", *scenario)
+		os.Exit(2)
+	}
+	var mode mac.Mode
+	switch *modeName {
+	case "nplus":
+		mode = mac.ModeNPlus
+	case "80211n":
+		mode = mac.Mode80211n
+	case "beamforming":
+		mode = mac.ModeBeamforming
+	default:
+		fmt.Fprintf(os.Stderr, "npsim: unknown mode %q\n", *modeName)
+		os.Exit(2)
+	}
+
+	net, err := core.NewNetwork(*seed, nodes, links, core.DefaultOptions())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("scenario %s, mode %v, seed %d\n", *scenario, mode, *seed)
+	for _, f := range net.Flows {
+		fmt.Printf("  flow %d: node %d (%d ant) → node %d (%d ant), link SNR %.1f dB\n",
+			f.ID, f.Tx, f.TxAntennas, f.Rx, f.RxAntennas, net.Deployment.LinkSNRDB(f.Tx, f.Rx))
+	}
+
+	if *trace {
+		tput, tr, err := net.RunProtocol(mode, *duration)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "npsim:", err)
+			os.Exit(1)
+		}
+		fmt.Println("\nMAC trace:")
+		fmt.Print(tr.String())
+		fmt.Println("\nthroughput (event-driven protocol):")
+		for _, f := range net.Flows {
+			fmt.Printf("  flow %d: %.2f Mb/s\n", f.ID, tput[f.ID])
+		}
+		return
+	}
+
+	res, err := net.RunEpochs(mode, *epochs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "npsim:", err)
+		os.Exit(1)
+	}
+	t := &stats.Table{Header: []string{"flow", "Mb/s", "wins", "joins", "loss", "SNR loss dB"}}
+	for _, id := range res.SortedFlowIDs() {
+		s := res.PerFlow[id]
+		t.AddRow(fmt.Sprint(id), stats.F(s.ThroughputMbps(res.Elapsed)),
+			fmt.Sprint(s.Wins), fmt.Sprint(s.Joins),
+			fmt.Sprintf("%.1f%%", 100*s.LossRate()),
+			stats.F(res.SNRLossDB[id]))
+	}
+	fmt.Println()
+	fmt.Print(t.String())
+	fmt.Printf("\ntotal: %.2f Mb/s over %.2f s of medium time\n", res.TotalThroughputMbps(), res.Elapsed)
+}

@@ -1,0 +1,88 @@
+// Carriersense: multi-dimensional carrier sense at signal level
+// (§3.2, Figs. 6 and 9). A 3-antenna node tracks an ongoing strong
+// transmission, projects its received samples onto the orthogonal
+// subspace, and then sees a weak second transmitter as clearly as if
+// the medium were idle — both in power and in preamble correlation.
+//
+// Run: go run ./examples/carriersense
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"nplus/internal/channel"
+	"nplus/internal/mimo"
+	"nplus/internal/ofdm"
+)
+
+func main() {
+	rng := rand.New(rand.NewSource(7))
+	params := ofdm.Default()
+
+	// tx1 is loud (25 dB), tx2 faint (3 dB) at the sensing node.
+	ch1 := channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(25))
+	ch2 := channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(3))
+
+	// The sensor learned tx1's channel from the preamble of its RTS.
+	cs := mimo.NewCarrierSense(3)
+	if err := cs.AddStream(ch1.FreqResponse(0, params.FFTSize).Col(0)); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("sensor: 3 antennas, %d DoF in use, %d free\n", cs.UsedDoF(), cs.FreeDoF())
+
+	mix := func(withTx2 bool, n int) [][]complex128 {
+		t1 := randSig(rng, n)
+		var t2 []complex128
+		if withTx2 {
+			t2 = params.STF()
+			t2 = append(t2, randSig(rng, n-len(t2))...)
+		} else {
+			t2 = make([]complex128, n)
+		}
+		r1, _ := ch1.Apply([][]complex128{t1})
+		r2, _ := ch2.Apply([][]complex128{t2})
+		out := make([][]complex128, 3)
+		for a := 0; a < 3; a++ {
+			out[a] = make([]complex128, n)
+			for i := 0; i < n; i++ {
+				out[a][i] = r1[a][i] + r2[a][i]
+			}
+			channel.AddNoise(rng, out[a], 1)
+		}
+		return out
+	}
+
+	n := 800
+	idle := mix(false, n)
+	busy := mix(true, n)
+
+	rawIdle, rawBusy := ofdm.PowerDB(idle[0]), ofdm.PowerDB(busy[0])
+	projIdlePw, _ := cs.ResidualPower(idle)
+	projBusyPw, _ := cs.ResidualPower(busy)
+	fmt.Println("\npower-based sensing (dB):")
+	fmt.Printf("  raw antenna 0:  tx2 off %6.2f   tx2 on %6.2f   jump %5.2f dB\n",
+		rawIdle, rawBusy, rawBusy-rawIdle)
+	fmt.Printf("  projected:      tx2 off %6.2f   tx2 on %6.2f   jump %5.2f dB\n",
+		channel.DB(projIdlePw), channel.DB(projBusyPw), channel.DB(projBusyPw/projIdlePw))
+
+	stf := params.STF()
+	corrRawIdle := ofdm.CrossCorrelate(idle[0], stf)
+	corrRawBusy := ofdm.CrossCorrelate(busy[0], stf)
+	corrProjIdle, _ := cs.Correlate(idle, stf)
+	corrProjBusy, _ := cs.Correlate(busy, stf)
+	fmt.Println("\npreamble cross-correlation:")
+	fmt.Printf("  raw antenna 0:  tx2 off %.3f   tx2 on %.3f\n", corrRawIdle, corrRawBusy)
+	fmt.Printf("  projected:      tx2 off %.3f   tx2 on %.3f\n", corrProjIdle, corrProjBusy)
+	fmt.Println("\nafter projection the faint joiner is unmistakable — the sensor")
+	fmt.Println("contends for the second degree of freedom as if the medium were idle.")
+}
+
+func randSig(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.7071
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.SetAt(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestNewDimensions(t *testing.T) {
+	m := New(3, 5)
+	if m.Rows() != 3 || m.Cols() != 5 {
+		t.Fatalf("got %d×%d, want 3×5", m.Rows(), m.Cols())
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 5; j++ {
+			if m.At(i, j) != 0 {
+				t.Fatalf("zero matrix has nonzero at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestFromSliceRoundTrip(t *testing.T) {
+	data := []complex128{1, 2i, 3, 4 + 4i, 5, 6}
+	m := FromSlice(2, 3, data)
+	if m.At(0, 1) != 2i || m.At(1, 0) != 4+4i {
+		t.Fatalf("row-major layout broken: %v", m)
+	}
+	// FromSlice must copy.
+	data[0] = 99
+	if m.At(0, 0) != 1 {
+		t.Fatal("FromSlice aliased caller's slice")
+	}
+}
+
+func TestFromRows(t *testing.T) {
+	m := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("FromRows layout broken: %v", m)
+	}
+}
+
+func TestFromRowsRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for ragged rows")
+		}
+	}()
+	FromRows([][]complex128{{1, 2}, {3}})
+}
+
+func TestIdentityMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 4)
+	if !Identity(4).Mul(a).EqualApprox(a, 1e-12) {
+		t.Fatal("I·A != A")
+	}
+	if !a.Mul(Identity(4)).EqualApprox(a, 1e-12) {
+		t.Fatal("A·I != A")
+	}
+}
+
+func TestMulAgainstHand(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	b := FromRows([][]complex128{{5, 6}, {7, 8}})
+	want := FromRows([][]complex128{{19, 22}, {43, 50}})
+	if !a.Mul(b).EqualApprox(want, 1e-12) {
+		t.Fatalf("Mul wrong: got %v want %v", a.Mul(b), want)
+	}
+}
+
+func TestMulComplex(t *testing.T) {
+	a := FromRows([][]complex128{{1i}})
+	b := FromRows([][]complex128{{1i}})
+	got := a.Mul(b).At(0, 0)
+	if cmplx.Abs(got-(-1)) > 1e-12 {
+		t.Fatalf("i·i = %v, want -1", got)
+	}
+}
+
+func TestConjTranspose(t *testing.T) {
+	a := FromRows([][]complex128{{1 + 2i, 3}, {4, 5 - 6i}, {7i, 8}})
+	h := a.ConjTranspose()
+	if h.Rows() != 2 || h.Cols() != 3 {
+		t.Fatalf("shape %d×%d", h.Rows(), h.Cols())
+	}
+	if h.At(0, 0) != 1-2i || h.At(1, 1) != 5+6i || h.At(0, 2) != -7i {
+		t.Fatalf("conj transpose wrong: %v", h)
+	}
+	// (Aᴴ)ᴴ = A
+	if !h.ConjTranspose().EqualApprox(a, 0) {
+		t.Fatal("(Aᴴ)ᴴ != A")
+	}
+}
+
+func TestMulVecMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 3, 4)
+	v := Vector{1, 2i, -1, 0.5}
+	got := a.MulVec(v)
+	want := a.Mul(v.AsColumn()).Col(0)
+	for i := range got {
+		if cmplx.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("MulVec[%d]=%v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestVStackHStack(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}})
+	b := FromRows([][]complex128{{3, 4}, {5, 6}})
+	v := VStack(a, b)
+	if v.Rows() != 3 || v.At(2, 1) != 6 {
+		t.Fatalf("VStack wrong: %v", v)
+	}
+	h := HStack(a.ConjTranspose(), b.ConjTranspose())
+	if h.Rows() != 2 || h.Cols() != 3 || h.At(1, 2) != 6 {
+		t.Fatalf("HStack wrong: %v", h)
+	}
+}
+
+func TestVStackSkipsEmpty(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}})
+	v := VStack(New(0, 0), a, New(0, 2))
+	if v.Rows() != 1 || v.Cols() != 2 {
+		t.Fatalf("VStack with empties: %d×%d", v.Rows(), v.Cols())
+	}
+}
+
+func TestSubmatrix(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	a := randMatrix(rng, 4, 5)
+	s := a.Submatrix(1, 3, 2, 5)
+	if s.Rows() != 2 || s.Cols() != 3 {
+		t.Fatalf("Submatrix shape %d×%d", s.Rows(), s.Cols())
+	}
+	if s.At(0, 0) != a.At(1, 2) || s.At(1, 2) != a.At(2, 4) {
+		t.Fatal("Submatrix content wrong")
+	}
+}
+
+func TestRowColSetters(t *testing.T) {
+	m := New(2, 3)
+	m.SetRow(1, Vector{1, 2, 3})
+	m.SetCol(0, Vector{7, 8})
+	if m.At(1, 0) != 8 || m.At(1, 2) != 3 || m.At(0, 0) != 7 {
+		t.Fatalf("setter mix-up: %v", m)
+	}
+	r := m.Row(1)
+	r[0] = 99 // must not alias
+	if m.At(1, 0) == 99 {
+		t.Fatal("Row aliased matrix storage")
+	}
+}
+
+func TestFrobeniusNorm(t *testing.T) {
+	a := FromRows([][]complex128{{3, 4i}})
+	if math.Abs(a.FrobeniusNorm()-5) > 1e-12 {
+		t.Fatalf("‖[3,4i]‖F = %g, want 5", a.FrobeniusNorm())
+	}
+}
+
+func TestAddSubScale(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}})
+	b := FromRows([][]complex128{{10, 20}})
+	if got := a.Add(b).At(0, 1); got != 22 {
+		t.Fatalf("Add: %v", got)
+	}
+	if got := b.Sub(a).At(0, 0); got != 9 {
+		t.Fatalf("Sub: %v", got)
+	}
+	if got := a.Scale(2i).At(0, 1); got != 4i {
+		t.Fatalf("Scale: %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	cases := []func(){
+		func() { New(2, 2).Add(New(2, 3)) },
+		func() { New(2, 2).Mul(New(3, 2)) },
+		func() { New(2, 2).MulVec(Vector{1}) },
+		func() { New(2, 2).At(2, 0) },
+		func() { VStack(New(1, 2), New(1, 3)) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d: expected panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestVectorOps(t *testing.T) {
+	v := Vector{1, 1i}
+	w := Vector{1i, 1}
+	// ⟨v,w⟩ = conj(1)·i + conj(i)·1 = i − i = 0
+	if d := v.Dot(w); cmplx.Abs(d) > 1e-12 {
+		t.Fatalf("Dot = %v, want 0", d)
+	}
+	if d := v.Dot(v); cmplx.Abs(d-2) > 1e-12 {
+		t.Fatalf("⟨v,v⟩ = %v, want 2", d)
+	}
+	if math.Abs(v.Norm()-math.Sqrt2) > 1e-12 {
+		t.Fatalf("Norm = %g", v.Norm())
+	}
+	n := v.Normalize()
+	if math.Abs(n.Norm()-1) > 1e-12 {
+		t.Fatalf("Normalize norm = %g", n.Norm())
+	}
+	if z := (Vector{0, 0}).Normalize(); z.Norm() != 0 {
+		t.Fatal("Normalize of zero vector should stay zero")
+	}
+}
+
+func TestColumnsToMatrixRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	a := randMatrix(rng, 5, 3)
+	b := ColumnsToMatrix(a.Columns())
+	if !a.EqualApprox(b, 0) {
+		t.Fatal("Columns/ColumnsToMatrix roundtrip failed")
+	}
+}
+
+func TestStringSmoke(t *testing.T) {
+	s := FromRows([][]complex128{{1 + 2i}}).String()
+	if s == "" {
+		t.Fatal("String() empty")
+	}
+}

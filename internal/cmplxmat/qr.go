@@ -1,0 +1,390 @@
+package cmplxmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// QR holds the full QR decomposition A = Q·R of an m×n matrix, where
+// Q is m×m unitary and R is m×n upper triangular. It is computed with
+// Householder reflections, which are numerically stable for the
+// ill-conditioned channel matrices that arise when links are nearly
+// aligned.
+type QR struct {
+	Q *Matrix // m×m unitary
+	R *Matrix // m×n upper triangular
+}
+
+// DecomposeQR computes the full Householder QR decomposition of a.
+func DecomposeQR(a *Matrix) *QR {
+	m, n := a.rows, a.cols
+	r := a.Clone()
+	q := Identity(m)
+
+	steps := n
+	if m-1 < steps {
+		steps = m - 1
+	}
+	for k := 0; k < steps; k++ {
+		// Build the Householder reflector that zeroes R[k+1:,k].
+		x := make(Vector, m-k)
+		for i := k; i < m; i++ {
+			x[i-k] = r.data[i*n+k]
+		}
+		alpha := x.Norm()
+		if alpha < DefaultTol {
+			continue
+		}
+		// Choose the sign that avoids cancellation: v = x + e^{iθ}·α·e₁
+		// where θ is the phase of x₀.
+		phase := complex(1, 0)
+		if cmplx.Abs(x[0]) > 0 {
+			phase = x[0] / complex(cmplx.Abs(x[0]), 0)
+		}
+		v := x.Clone()
+		v[0] += phase * complex(alpha, 0)
+		vn := v.Norm()
+		if vn < DefaultTol {
+			continue
+		}
+		for i := range v {
+			v[i] /= complex(vn, 0)
+		}
+		// Apply H = I − 2vvᴴ to R (rows k..m-1) and accumulate into Q.
+		applyHouseholderLeft(r, v, k)
+		applyHouseholderRight(q, v, k)
+	}
+	// Clean numerical dust below the diagonal.
+	for i := 0; i < m; i++ {
+		for j := 0; j < n && j < i; j++ {
+			r.data[i*n+j] = 0
+		}
+	}
+	return &QR{Q: q, R: r}
+}
+
+// applyHouseholderLeft applies H = I − 2vvᴴ to rows k..m-1 of a,
+// where v has length m−k.
+func applyHouseholderLeft(a *Matrix, v Vector, k int) {
+	m, n := a.rows, a.cols
+	for j := 0; j < n; j++ {
+		var s complex128
+		for i := k; i < m; i++ {
+			s += cmplx.Conj(v[i-k]) * a.data[i*n+j]
+		}
+		s *= 2
+		for i := k; i < m; i++ {
+			a.data[i*n+j] -= s * v[i-k]
+		}
+	}
+}
+
+// applyHouseholderRight applies H to columns k..m-1 of a (i.e. a·H),
+// used to accumulate Q = H₁·H₂·…  (H is Hermitian so a·Hᴴ = a·H).
+func applyHouseholderRight(a *Matrix, v Vector, k int) {
+	m := a.rows
+	n := a.cols
+	for i := 0; i < m; i++ {
+		var s complex128
+		for j := k; j < n; j++ {
+			s += a.data[i*n+j] * v[j-k]
+		}
+		s *= 2
+		for j := k; j < n; j++ {
+			a.data[i*n+j] -= s * cmplx.Conj(v[j-k])
+		}
+	}
+}
+
+// Rank returns the numerical rank of a: the number of diagonal entries
+// of R whose magnitude exceeds tol·max(m,n)·‖A‖. Pass tol <= 0 for
+// DefaultTol.
+func Rank(a *Matrix, tol float64) int {
+	if a.rows == 0 || a.cols == 0 {
+		return 0
+	}
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return 0
+	}
+	dim := a.rows
+	if a.cols > dim {
+		dim = a.cols
+	}
+	thresh := tol * float64(dim) * scale
+	rank := 0
+	n := min(a.rows, a.cols)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) > thresh {
+			rank++
+		}
+	}
+	return rank
+}
+
+// NullSpace returns an orthonormal basis for the (right) null space of
+// a, i.e. vectors v with a·v = 0, as the columns of the returned
+// matrix. For a K×M matrix of rank r the result is M×(M−r).
+//
+// This is the primitive behind Claim 3.5 / Eq. 7 of the paper: the
+// pre-coding vectors of a joining transmitter are exactly a basis of
+// the null space of the stacked nulling/alignment constraint matrix.
+//
+// Implementation: full QR of aᴴ (M×K). Columns of Q beyond the rank of
+// a span null(a), because a·q = (qᴴ·aᴴ)ᴴ and qᴴ·aᴴ picks rows of Rᴴ
+// that are zero past the rank.
+func NullSpace(a *Matrix, tol float64) *Matrix {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	mRows, mCols := a.rows, a.cols
+	if mCols == 0 {
+		return New(0, 0)
+	}
+	if mRows == 0 {
+		return Identity(mCols)
+	}
+	ah := a.ConjTranspose() // M×K
+	qr := DecomposeQR(ah)
+	scale := a.MaxAbs()
+	dim := mRows
+	if mCols > dim {
+		dim = mCols
+	}
+	thresh := tol * float64(dim) * scale
+	rank := 0
+	n := min(ah.rows, ah.cols)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) > thresh {
+			rank++
+		}
+	}
+	if rank >= mCols {
+		return New(mCols, 0)
+	}
+	return qr.Q.Submatrix(0, mCols, rank, mCols)
+}
+
+// OrthonormalBasis returns an orthonormal basis for the column space
+// of a as the columns of the returned matrix (m×rank).
+func OrthonormalBasis(a *Matrix, tol float64) *Matrix {
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	if a.rows == 0 || a.cols == 0 {
+		return New(a.rows, 0)
+	}
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	if scale == 0 {
+		return New(a.rows, 0)
+	}
+	dim := a.rows
+	if a.cols > dim {
+		dim = a.cols
+	}
+	thresh := tol * float64(dim) * scale
+	rank := 0
+	n := min(a.rows, a.cols)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) > thresh {
+			rank++
+		}
+	}
+	return qr.Q.Submatrix(0, a.rows, 0, rank)
+}
+
+// OrthogonalComplement returns an orthonormal basis for the orthogonal
+// complement of the column space of a: vectors w with wᴴ·a = 0. For an
+// N×k matrix of rank r the result is N×(N−r).
+//
+// In the paper's terms: if U is the unwanted signal space at a
+// receiver, OrthogonalComplement(U) is U⊥ (as columns; transpose-
+// conjugate it to get the projection rows of Eq. 6). Likewise, a node
+// carrier-sensing during K ongoing transmissions projects its received
+// signal onto OrthogonalComplement(H_ongoing).
+func OrthogonalComplement(a *Matrix, tol float64) *Matrix {
+	if a.rows == 0 {
+		return New(0, 0)
+	}
+	if a.cols == 0 {
+		return Identity(a.rows)
+	}
+	// null(aᴴ) = complement of col(a).
+	return NullSpace(a.ConjTranspose(), tol)
+}
+
+// ProjectorOnto returns the orthogonal projector P = B·Bᴴ where B is
+// an orthonormal basis of the column space of a. P·y is the component
+// of y inside col(a).
+func ProjectorOnto(a *Matrix, tol float64) *Matrix {
+	b := OrthonormalBasis(a, tol)
+	return b.Mul(b.ConjTranspose())
+}
+
+// ProjectorOntoComplement returns P⊥ = I − B·Bᴴ, the projector onto
+// the orthogonal complement of col(a). Applying it to a received
+// signal removes all energy of the ongoing transmissions — the heart
+// of multi-dimensional carrier sense (§3.2).
+func ProjectorOntoComplement(a *Matrix, tol float64) *Matrix {
+	p := ProjectorOnto(a, tol)
+	return Identity(a.rows).Sub(p)
+}
+
+// Solve solves the square linear system a·x = b via QR (a must be
+// n×n). It returns an error when a is singular to working precision.
+func Solve(a *Matrix, b Vector) (Vector, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("cmplxmat: Solve needs a square matrix, got %d×%d", a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("cmplxmat: Solve dimension mismatch: %d×%d vs b of length %d", a.rows, a.cols, len(b))
+	}
+	n := a.rows
+	if n == 0 {
+		return Vector{}, nil
+	}
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	thresh := DefaultTol * float64(n) * scale
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) <= thresh {
+			return nil, fmt.Errorf("cmplxmat: Solve: matrix is singular (|R[%d,%d]| = %g)", i, i, cmplx.Abs(qr.R.At(i, i)))
+		}
+	}
+	// x = R⁻¹ Qᴴ b by back substitution.
+	y := qr.Q.ConjTranspose().MulVec(b)
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.R.At(i, j) * x[j]
+		}
+		x[i] = s / qr.R.At(i, i)
+	}
+	return x, nil
+}
+
+// LeastSquares solves min‖a·x − b‖₂ for a full-column-rank m×n matrix
+// with m ≥ n (the zero-forcing decoder in MIMO terms). It returns an
+// error when a is column-rank-deficient.
+func LeastSquares(a *Matrix, b Vector) (Vector, error) {
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("cmplxmat: LeastSquares needs rows ≥ cols, got %d×%d", a.rows, a.cols)
+	}
+	if a.rows != len(b) {
+		return nil, fmt.Errorf("cmplxmat: LeastSquares dimension mismatch: %d×%d vs b of length %d", a.rows, a.cols, len(b))
+	}
+	n := a.cols
+	if n == 0 {
+		return Vector{}, nil
+	}
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	thresh := DefaultTol * float64(a.rows) * scale
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) <= thresh {
+			return nil, fmt.Errorf("cmplxmat: LeastSquares: rank-deficient column %d", i)
+		}
+	}
+	y := qr.Q.ConjTranspose().MulVec(b)
+	x := make(Vector, n)
+	for i := n - 1; i >= 0; i-- {
+		s := y[i]
+		for j := i + 1; j < n; j++ {
+			s -= qr.R.At(i, j) * x[j]
+		}
+		x[i] = s / qr.R.At(i, i)
+	}
+	return x, nil
+}
+
+// PseudoInverse returns the Moore–Penrose pseudo-inverse A⁺ = (AᴴA)⁻¹Aᴴ
+// for a full-column-rank matrix (the zero-forcing receive filter).
+func PseudoInverse(a *Matrix) (*Matrix, error) {
+	if a.cols == 0 {
+		return New(0, a.rows), nil
+	}
+	ah := a.ConjTranspose()
+	gram := ah.Mul(a)
+	inv, err := Inverse(gram)
+	if err != nil {
+		return nil, fmt.Errorf("cmplxmat: PseudoInverse: %w", err)
+	}
+	return inv.Mul(ah), nil
+}
+
+// Inverse returns a⁻¹ for a square nonsingular matrix.
+func Inverse(a *Matrix) (*Matrix, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("cmplxmat: Inverse needs a square matrix, got %d×%d", a.rows, a.cols)
+	}
+	n := a.rows
+	inv := New(n, n)
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	thresh := DefaultTol * float64(n) * scale
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) <= thresh {
+			return nil, fmt.Errorf("cmplxmat: Inverse: matrix is singular")
+		}
+	}
+	qh := qr.Q.ConjTranspose()
+	// Solve R·X = Qᴴ column by column.
+	for c := 0; c < n; c++ {
+		x := make(Vector, n)
+		for i := n - 1; i >= 0; i-- {
+			s := qh.At(i, c)
+			for j := i + 1; j < n; j++ {
+				s -= qr.R.At(i, j) * x[j]
+			}
+			x[i] = s / qr.R.At(i, i)
+		}
+		inv.SetCol(c, x)
+	}
+	return inv, nil
+}
+
+// ConditionNumber estimates the 2-norm condition number of a square
+// matrix as the ratio of the largest to smallest |R| diagonal of its
+// QR decomposition. This is a cheap proxy (exact for triangular
+// matrices) that is adequate for deciding whether a channel matrix is
+// well-enough conditioned to decode.
+func ConditionNumber(a *Matrix) float64 {
+	if a.rows == 0 || a.cols == 0 {
+		return 0
+	}
+	qr := DecomposeQR(a)
+	n := min(a.rows, a.cols)
+	dim := a.rows
+	if a.cols > dim {
+		dim = a.cols
+	}
+	thresh := DefaultTol * float64(dim) * a.MaxAbs()
+	lo, hi := math.Inf(1), 0.0
+	for i := 0; i < n; i++ {
+		d := cmplx.Abs(qr.R.At(i, i))
+		if d < lo {
+			lo = d
+		}
+		if d > hi {
+			hi = d
+		}
+	}
+	if lo <= thresh {
+		return math.Inf(1)
+	}
+	return hi / lo
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,393 @@
+package cmplxmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// isUnitary reports whether QᴴQ = I within tol.
+func isUnitary(q *Matrix, tol float64) bool {
+	return q.ConjTranspose().Mul(q).EqualApprox(Identity(q.Cols()), tol)
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	shapes := [][2]int{{1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 3}, {3, 5}, {6, 2}, {2, 6}, {8, 8}}
+	for _, s := range shapes {
+		a := randMatrix(rng, s[0], s[1])
+		qr := DecomposeQR(a)
+		if !isUnitary(qr.Q, 1e-10) {
+			t.Errorf("%dx%d: Q not unitary", s[0], s[1])
+		}
+		if !qr.Q.Mul(qr.R).EqualApprox(a, 1e-10) {
+			t.Errorf("%dx%d: QR != A", s[0], s[1])
+		}
+		// R upper triangular
+		for i := 0; i < qr.R.Rows(); i++ {
+			for j := 0; j < qr.R.Cols() && j < i; j++ {
+				if cmplx.Abs(qr.R.At(i, j)) > 1e-10 {
+					t.Errorf("%dx%d: R[%d,%d] = %v not zero", s[0], s[1], i, j, qr.R.At(i, j))
+				}
+			}
+		}
+	}
+}
+
+func TestQRZeroMatrix(t *testing.T) {
+	a := New(3, 3)
+	qr := DecomposeQR(a)
+	if !qr.Q.Mul(qr.R).EqualApprox(a, 1e-12) {
+		t.Fatal("QR of zero matrix failed")
+	}
+}
+
+func TestRank(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	full := randMatrix(rng, 4, 4)
+	if r := Rank(full, 0); r != 4 {
+		t.Fatalf("random 4×4 rank = %d, want 4", r)
+	}
+	// Rank-1 outer product.
+	u, v := randMatrix(rng, 5, 1), randMatrix(rng, 1, 5)
+	if r := Rank(u.Mul(v), 0); r != 1 {
+		t.Fatalf("outer product rank = %d, want 1", r)
+	}
+	// Duplicated row.
+	dup := FromRows([][]complex128{{1, 2, 3}, {2, 4, 6}, {0, 1, 0}})
+	if r := Rank(dup, 0); r != 2 {
+		t.Fatalf("dependent rows rank = %d, want 2", r)
+	}
+	if r := Rank(New(3, 3), 0); r != 0 {
+		t.Fatalf("zero matrix rank = %d, want 0", r)
+	}
+}
+
+func TestNullSpaceDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// K×M with K < M: null space dimension M−K for generic matrices.
+	for _, s := range [][2]int{{1, 2}, {1, 3}, {2, 3}, {3, 4}, {2, 4}} {
+		a := randMatrix(rng, s[0], s[1])
+		ns := NullSpace(a, 0)
+		wantDim := s[1] - s[0]
+		if ns.Cols() != wantDim {
+			t.Fatalf("%d×%d: null space dim = %d, want %d", s[0], s[1], ns.Cols(), wantDim)
+		}
+		// A·v = 0 for every basis vector and the basis is orthonormal.
+		prod := a.Mul(ns)
+		if prod.MaxAbs() > 1e-9 {
+			t.Fatalf("%d×%d: A·null != 0 (max %g)", s[0], s[1], prod.MaxAbs())
+		}
+		if !isUnitary(ns, 1e-10) {
+			t.Fatalf("%d×%d: null basis not orthonormal", s[0], s[1])
+		}
+	}
+}
+
+func TestNullSpaceFullRankSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randMatrix(rng, 3, 3)
+	if ns := NullSpace(a, 0); ns.Cols() != 0 {
+		t.Fatalf("full-rank square matrix has null dim %d", ns.Cols())
+	}
+}
+
+func TestNullSpaceEdgeCases(t *testing.T) {
+	if ns := NullSpace(New(0, 4), 0); ns.Cols() != 4 {
+		t.Fatalf("0×4 null dim = %d, want 4 (no constraints)", ns.Cols())
+	}
+	if ns := NullSpace(New(4, 0), 0); ns.Cols() != 0 {
+		t.Fatalf("4×0 null dim = %d, want 0", ns.Cols())
+	}
+}
+
+// TestNullingAloneConsumesAllAntennas reproduces the paper's §2
+// argument: a 3-antenna transmitter that nulls at 3 receive antennas
+// has only the zero vector available (null space is empty), so
+// nulling alone cannot support a third concurrent pair.
+func TestNullingAloneConsumesAllAntennas(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	h := randMatrix(rng, 3, 3) // 3 nulling constraints on 3 antennas
+	if ns := NullSpace(h, 0); ns.Cols() != 0 {
+		t.Fatalf("3 nulling constraints on 3 antennas left %d free dims, want 0 (Eq. 2)", ns.Cols())
+	}
+	// Whereas nulling at 1 antenna + aligning at a 2-antenna receiver is
+	// 2 constraints, leaving exactly one pre-coding vector (Eq. 4).
+	h2 := randMatrix(rng, 2, 3)
+	if ns := NullSpace(h2, 0); ns.Cols() != 1 {
+		t.Fatalf("2 constraints on 3 antennas left %d free dims, want 1", ns.Cols())
+	}
+}
+
+func TestOrthonormalBasis(t *testing.T) {
+	rng := rand.New(rand.NewSource(15))
+	a := randMatrix(rng, 5, 2)
+	b := OrthonormalBasis(a, 0)
+	if b.Cols() != 2 {
+		t.Fatalf("basis dim = %d, want 2", b.Cols())
+	}
+	if !isUnitary(b, 1e-10) {
+		t.Fatal("basis not orthonormal")
+	}
+	// col(B) ⊇ col(A): projecting A onto B changes nothing.
+	p := b.Mul(b.ConjTranspose())
+	if !p.Mul(a).EqualApprox(a, 1e-9) {
+		t.Fatal("basis does not span col(A)")
+	}
+}
+
+func TestOrthogonalComplement(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	a := randMatrix(rng, 4, 1)
+	c := OrthogonalComplement(a, 0)
+	if c.Cols() != 3 {
+		t.Fatalf("complement of a line in C⁴ has dim %d, want 3", c.Cols())
+	}
+	// cᴴ·a = 0
+	if prod := c.ConjTranspose().Mul(a); prod.MaxAbs() > 1e-9 {
+		t.Fatalf("complement not orthogonal: %g", prod.MaxAbs())
+	}
+	// Complement of nothing is everything.
+	if c := OrthogonalComplement(New(3, 0), 0); c.Cols() != 3 {
+		t.Fatalf("complement of empty = %d dims, want 3", c.Cols())
+	}
+}
+
+func TestProjectorProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	a := randMatrix(rng, 4, 2)
+	p := ProjectorOnto(a, 0)
+	pc := ProjectorOntoComplement(a, 0)
+	// Idempotent: P² = P.
+	if !p.Mul(p).EqualApprox(p, 1e-9) {
+		t.Fatal("P not idempotent")
+	}
+	if !pc.Mul(pc).EqualApprox(pc, 1e-9) {
+		t.Fatal("P⊥ not idempotent")
+	}
+	// Hermitian.
+	if !p.ConjTranspose().EqualApprox(p, 1e-9) {
+		t.Fatal("P not Hermitian")
+	}
+	// P + P⊥ = I.
+	if !p.Add(pc).EqualApprox(Identity(4), 1e-9) {
+		t.Fatal("P + P⊥ != I")
+	}
+	// P⊥·a = 0: the projector annihilates the occupied space. This is
+	// the carrier-sense guarantee of §3.2.
+	if got := pc.Mul(a).MaxAbs(); got > 1e-9 {
+		t.Fatalf("P⊥·A = %g, want 0", got)
+	}
+}
+
+func TestSolve(t *testing.T) {
+	rng := rand.New(rand.NewSource(18))
+	a := randMatrix(rng, 4, 4)
+	want := Vector{1, 2i, -3, 0.5 - 0.5i}
+	b := a.MulVec(want)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Vector{1, 2}); err == nil {
+		t.Fatal("expected singular-matrix error")
+	}
+}
+
+func TestSolveShapeErrors(t *testing.T) {
+	if _, err := Solve(New(2, 3), Vector{1, 2}); err == nil {
+		t.Fatal("expected non-square error")
+	}
+	if _, err := Solve(New(2, 2), Vector{1}); err == nil {
+		t.Fatal("expected dimension mismatch error")
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := randMatrix(rng, 6, 3)
+	want := Vector{1i, 2, -1}
+	b := a.MulVec(want)
+	got, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if cmplx.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("x[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestLeastSquaresResidualOrthogonal(t *testing.T) {
+	rng := rand.New(rand.NewSource(20))
+	a := randMatrix(rng, 6, 2)
+	b := randMatrix(rng, 6, 1).Col(0)
+	x, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual must be orthogonal to col(A): Aᴴ(b − Ax) = 0.
+	res := b.Sub(a.MulVec(x))
+	if g := a.ConjTranspose().MulVec(res); Vector(g).Norm() > 1e-9 {
+		t.Fatalf("residual not orthogonal: %g", Vector(g).Norm())
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randMatrix(rng, 5, 5)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Mul(inv).EqualApprox(Identity(5), 1e-8) {
+		t.Fatal("A·A⁻¹ != I")
+	}
+	if !inv.Mul(a).EqualApprox(Identity(5), 1e-8) {
+		t.Fatal("A⁻¹·A != I")
+	}
+}
+
+func TestPseudoInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	a := randMatrix(rng, 5, 2)
+	pinv, err := PseudoInverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A⁺·A = I (left inverse for full column rank).
+	if !pinv.Mul(a).EqualApprox(Identity(2), 1e-8) {
+		t.Fatal("A⁺A != I")
+	}
+}
+
+func TestConditionNumber(t *testing.T) {
+	if c := ConditionNumber(Identity(4)); math.Abs(c-1) > 1e-9 {
+		t.Fatalf("cond(I) = %g, want 1", c)
+	}
+	sing := FromRows([][]complex128{{1, 1}, {1, 1}})
+	if c := ConditionNumber(sing); !math.IsInf(c, 1) {
+		t.Fatalf("cond(singular) = %g, want +Inf", c)
+	}
+}
+
+// --- property-based tests -------------------------------------------------
+
+// genMatrix draws a bounded random matrix from the quick generator's
+// source so each property run explores a distinct instance.
+func genMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.SetAt(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func TestPropQRAlwaysReconstructs(t *testing.T) {
+	f := func(seed int64, rs, cs uint8) bool {
+		rows := int(rs%6) + 1
+		cols := int(cs%6) + 1
+		a := genMatrix(rand.New(rand.NewSource(seed)), rows, cols)
+		qr := DecomposeQR(a)
+		return qr.Q.Mul(qr.R).EqualApprox(a, 1e-9) && isUnitary(qr.Q, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropNullSpacePlusRank(t *testing.T) {
+	// rank(A) + dim null(A) = M for every matrix.
+	f := func(seed int64, rs, cs uint8) bool {
+		rows := int(rs%5) + 1
+		cols := int(cs%5) + 1
+		a := genMatrix(rand.New(rand.NewSource(seed)), rows, cols)
+		return Rank(a, 0)+NullSpace(a, 0).Cols() == cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropProjectorSplitsEnergy(t *testing.T) {
+	// ‖y‖² = ‖P·y‖² + ‖P⊥·y‖² (Pythagoras) for any y and any subspace.
+	f := func(seed int64, cs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4
+		cols := int(cs%3) + 1
+		a := genMatrix(rng, n, cols)
+		y := genMatrix(rng, n, 1).Col(0)
+		p := ProjectorOnto(a, 0)
+		pc := ProjectorOntoComplement(a, 0)
+		total := y.NormSq()
+		split := p.MulVec(y).NormSq() + pc.MulVec(y).NormSq()
+		return math.Abs(total-split) < 1e-8*(1+total)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropSolveInvertsMul(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 4, 4)
+		x := genMatrix(rng, 4, 1).Col(0)
+		b := a.MulVec(x)
+		got, err := Solve(a, b)
+		if err != nil {
+			return true // singular draw; property vacuous
+		}
+		return got.Sub(x).Norm() < 1e-7*(1+x.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropConjTransposeReversesMul(t *testing.T) {
+	// (AB)ᴴ = BᴴAᴴ
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := genMatrix(rng, 3, 4)
+		b := genMatrix(rng, 4, 2)
+		lhs := a.Mul(b).ConjTranspose()
+		rhs := b.ConjTranspose().Mul(a.ConjTranspose())
+		return lhs.EqualApprox(rhs, 1e-10)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkQR4x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 4, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		DecomposeQR(a)
+	}
+}
+
+func BenchmarkNullSpace3x4(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	a := randMatrix(rng, 3, 4)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		NullSpace(a, 0)
+	}
+}

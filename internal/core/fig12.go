@@ -1,0 +1,122 @@
+package core
+
+import (
+	"fmt"
+
+	"nplus/internal/mac"
+	"nplus/internal/stats"
+)
+
+// Fig12Config parameterizes the §6.3 throughput comparison: three
+// contending pairs with 1, 2, and 3 antennas, evaluated over random
+// placements under n+ and under today's 802.11n.
+type Fig12Config struct {
+	Placements int   // distinct random placements (CDF sample count)
+	Epochs     int   // contention rounds per placement
+	Seed       int64 // base seed; placement i uses Seed+i
+	// MinSNRDB drops placements with an unusable link, as a physical
+	// testbed implicitly does (default 5).
+	MinSNRDB float64
+	Options  Options
+}
+
+// DefaultFig12Config mirrors the paper's setup at laptop scale.
+func DefaultFig12Config() Fig12Config {
+	return Fig12Config{Placements: 40, Epochs: 120, Seed: 1, MinSNRDB: 5, Options: DefaultOptions()}
+}
+
+// Fig12Result holds the CDF series of Fig. 12(a)–(d) plus the summary
+// gains quoted in the text.
+type Fig12Result struct {
+	// Total/PerFlow CDFs of throughput (Mb/s) across placements.
+	TotalNPlus, TotalLegacy *stats.CDF
+	FlowNPlus, FlowLegacy   map[int]*stats.CDF
+	// Mean gains: total ≈ 2×, flow 2 ≈ 1.5×, flow 3 ≈ 3.5×, flow 1 ≈
+	// 0.97× in the paper.
+	MeanGainTotal float64
+	MeanGainFlow  map[int]float64
+	Placements    int
+}
+
+// RunFig12 regenerates Figure 12.
+func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
+	if cfg.Placements < 1 || cfg.Epochs < 1 {
+		return nil, fmt.Errorf("core: bad Fig12 config %+v", cfg)
+	}
+	nodes, links := TrioNodes()
+	var totalN, totalL []float64
+	flowN := map[int][]float64{1: nil, 2: nil, 3: nil}
+	flowL := map[int][]float64{1: nil, 2: nil, 3: nil}
+	gainTotal := []float64{}
+	gainFlow := map[int][]float64{1: nil, 2: nil, 3: nil}
+
+	seed := cfg.Seed
+	placed := 0
+	for placed < cfg.Placements {
+		seed++
+		net, err := NewNetwork(seed, nodes, links, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		if net.MinLinkSNRDB() < cfg.MinSNRDB {
+			continue
+		}
+		resN, err := net.RunEpochs(mac.ModeNPlus, cfg.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resL, err := net.RunEpochs(mac.Mode80211n, cfg.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		tn, tl := resN.TotalThroughputMbps(), resL.TotalThroughputMbps()
+		if tl <= 0 {
+			continue
+		}
+		placed++
+		totalN = append(totalN, tn)
+		totalL = append(totalL, tl)
+		gainTotal = append(gainTotal, tn/tl)
+		for id := 1; id <= 3; id++ {
+			fn, fl := resN.FlowThroughputMbps(id), resL.FlowThroughputMbps(id)
+			flowN[id] = append(flowN[id], fn)
+			flowL[id] = append(flowL[id], fl)
+			if fl > 0 {
+				gainFlow[id] = append(gainFlow[id], fn/fl)
+			}
+		}
+	}
+
+	out := &Fig12Result{
+		TotalNPlus:   stats.NewCDF(totalN),
+		TotalLegacy:  stats.NewCDF(totalL),
+		FlowNPlus:    map[int]*stats.CDF{},
+		FlowLegacy:   map[int]*stats.CDF{},
+		MeanGainFlow: map[int]float64{},
+		Placements:   placed,
+	}
+	for id := 1; id <= 3; id++ {
+		out.FlowNPlus[id] = stats.NewCDF(flowN[id])
+		out.FlowLegacy[id] = stats.NewCDF(flowL[id])
+		out.MeanGainFlow[id] = stats.Mean(gainFlow[id])
+	}
+	out.MeanGainTotal = stats.Mean(gainTotal)
+	return out, nil
+}
+
+// Render prints the figure's series as a table (one row per CDF
+// decile), matching the curves of Fig. 12.
+func (r *Fig12Result) Render() string {
+	t := &stats.Table{Header: []string{"CDF", "total n+", "total .11n", "f1 n+", "f1 .11n", "f2 n+", "f2 .11n", "f3 n+", "f3 .11n"}}
+	for q := 0.0; q <= 1.0001; q += 0.1 {
+		t.AddRow(stats.F(q),
+			stats.F(r.TotalNPlus.Quantile(q)), stats.F(r.TotalLegacy.Quantile(q)),
+			stats.F(r.FlowNPlus[1].Quantile(q)), stats.F(r.FlowLegacy[1].Quantile(q)),
+			stats.F(r.FlowNPlus[2].Quantile(q)), stats.F(r.FlowLegacy[2].Quantile(q)),
+			stats.F(r.FlowNPlus[3].Quantile(q)), stats.F(r.FlowLegacy[3].Quantile(q)))
+	}
+	s := t.String()
+	s += fmt.Sprintf("\nmean gains: total %.2fx, 1-antenna %.2fx, 2-antenna %.2fx, 3-antenna %.2fx (paper: ~2x, 0.97x, 1.5x, 3.5x)\n",
+		r.MeanGainTotal, r.MeanGainFlow[1], r.MeanGainFlow[2], r.MeanGainFlow[3])
+	return s
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+
+	"nplus/internal/mac"
+	"nplus/internal/stats"
+)
+
+// Fig13Config parameterizes the §6.4 experiment: the Fig. 4 downlink
+// scenario (1-antenna client → 2-antenna AP1 uplink; 3-antenna AP2 →
+// two 2-antenna clients) compared against 802.11n and against
+// multi-user beamforming [7].
+type Fig13Config struct {
+	Placements int
+	Epochs     int
+	Seed       int64
+	MinSNRDB   float64
+	Options    Options
+}
+
+// DefaultFig13Config mirrors the paper's setup at laptop scale.
+func DefaultFig13Config() Fig13Config {
+	return Fig13Config{Placements: 40, Epochs: 120, Seed: 1000, MinSNRDB: 5, Options: DefaultOptions()}
+}
+
+// Fig13Result holds the gain CDFs of Fig. 13(a) and (b).
+type Fig13Result struct {
+	// GainVsLegacy / GainVsBeamforming: total network throughput gain
+	// of n+ per placement (paper: 2.4× and 1.8× on average).
+	GainVsLegacy, GainVsBeamforming *stats.CDF
+	// FlowGainVsLegacy / FlowGainVsBeamforming: per-flow gain CDFs
+	// (flow 1 = single-antenna uplink; paper: ≈0.97×; flows 2,3 ≈
+	// 3.5–3.6× vs 802.11n, 2.5–2.6× vs beamforming).
+	FlowGainVsLegacy, FlowGainVsBeamforming map[int]*stats.CDF
+	MeanGainVsLegacy, MeanGainVsBeamforming float64
+	Placements                              int
+}
+
+// RunFig13 regenerates Figure 13.
+func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
+	if cfg.Placements < 1 || cfg.Epochs < 1 {
+		return nil, fmt.Errorf("core: bad Fig13 config %+v", cfg)
+	}
+	nodes, links := DownlinkNodes()
+	var gainL, gainB []float64
+	flowGainL := map[int][]float64{1: nil, 2: nil, 3: nil}
+	flowGainB := map[int][]float64{1: nil, 2: nil, 3: nil}
+
+	seed := cfg.Seed
+	placed := 0
+	for placed < cfg.Placements {
+		seed++
+		net, err := NewNetwork(seed, nodes, links, cfg.Options)
+		if err != nil {
+			return nil, err
+		}
+		if net.MinLinkSNRDB() < cfg.MinSNRDB {
+			continue
+		}
+		resN, err := net.RunEpochs(mac.ModeNPlus, cfg.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resL, err := net.RunEpochs(mac.Mode80211n, cfg.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resB, err := net.RunEpochs(mac.ModeBeamforming, cfg.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		tn, tl, tb := resN.TotalThroughputMbps(), resL.TotalThroughputMbps(), resB.TotalThroughputMbps()
+		if tl <= 0 || tb <= 0 {
+			continue
+		}
+		placed++
+		gainL = append(gainL, tn/tl)
+		gainB = append(gainB, tn/tb)
+		for id := 1; id <= 3; id++ {
+			fn := resN.FlowThroughputMbps(id)
+			if fl := resL.FlowThroughputMbps(id); fl > 0 {
+				flowGainL[id] = append(flowGainL[id], fn/fl)
+			}
+			if fb := resB.FlowThroughputMbps(id); fb > 0 {
+				flowGainB[id] = append(flowGainB[id], fn/fb)
+			}
+		}
+	}
+
+	out := &Fig13Result{
+		GainVsLegacy:          stats.NewCDF(gainL),
+		GainVsBeamforming:     stats.NewCDF(gainB),
+		FlowGainVsLegacy:      map[int]*stats.CDF{},
+		FlowGainVsBeamforming: map[int]*stats.CDF{},
+		MeanGainVsLegacy:      stats.Mean(gainL),
+		MeanGainVsBeamforming: stats.Mean(gainB),
+		Placements:            placed,
+	}
+	for id := 1; id <= 3; id++ {
+		out.FlowGainVsLegacy[id] = stats.NewCDF(flowGainL[id])
+		out.FlowGainVsBeamforming[id] = stats.NewCDF(flowGainB[id])
+	}
+	return out, nil
+}
+
+// Render prints both panels as decile tables.
+func (r *Fig13Result) Render() string {
+	t := &stats.Table{Header: []string{"CDF", "total/.11n", "f1/.11n", "f2/.11n", "f3/.11n", "total/BF", "f1/BF", "f2/BF", "f3/BF"}}
+	for q := 0.0; q <= 1.0001; q += 0.1 {
+		t.AddRow(stats.F(q),
+			stats.F(r.GainVsLegacy.Quantile(q)),
+			stats.F(r.FlowGainVsLegacy[1].Quantile(q)),
+			stats.F(r.FlowGainVsLegacy[2].Quantile(q)),
+			stats.F(r.FlowGainVsLegacy[3].Quantile(q)),
+			stats.F(r.GainVsBeamforming.Quantile(q)),
+			stats.F(r.FlowGainVsBeamforming[1].Quantile(q)),
+			stats.F(r.FlowGainVsBeamforming[2].Quantile(q)),
+			stats.F(r.FlowGainVsBeamforming[3].Quantile(q)))
+	}
+	s := t.String()
+	s += fmt.Sprintf("\nmean total gain: %.2fx vs 802.11n (paper ~2.4x), %.2fx vs beamforming (paper ~1.8x)\n",
+		r.MeanGainVsLegacy, r.MeanGainVsBeamforming)
+	return s
+}

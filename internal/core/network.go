@@ -1,0 +1,207 @@
+// Package core is the public façade of the 802.11n+ library: it wires
+// the testbed environment, the MAC scenario, and the experiment
+// harness behind a small API. Applications describe nodes and links;
+// core deploys them on a synthetic floor plan, draws channels, and
+// runs either the epoch-based evaluation (the paper's methodology) or
+// the full event-driven protocol.
+//
+// The Run* functions in fig*.go regenerate every figure of the
+// paper's evaluation section; cmd/npexp and the repository-level
+// benchmarks call them.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nplus/internal/esnr"
+	"nplus/internal/mac"
+	"nplus/internal/sim"
+	"nplus/internal/testbed"
+)
+
+// Node describes one radio.
+type Node struct {
+	ID       mac.NodeID
+	Antennas int
+}
+
+// Link is a backlogged traffic flow between two nodes.
+type Link struct {
+	ID     int
+	Tx, Rx mac.NodeID
+}
+
+// Options tunes a Network. Zero values select calibrated defaults.
+type Options struct {
+	Testbed testbed.Config
+	// JoinThresholdDB is L of §4 (default 27).
+	JoinThresholdDB float64
+	// AlignmentSpaceError is the advertised-U⊥ estimation error
+	// (default 0.05; see mac.Scenario).
+	AlignmentSpaceError float64
+	// PERWidth is the delivery waterfall width in dB (default 1).
+	PERWidth float64
+}
+
+// DefaultOptions returns the calibrated defaults used throughout the
+// evaluation.
+func DefaultOptions() Options {
+	return Options{
+		Testbed:             testbed.DefaultConfig(),
+		JoinThresholdDB:     27,
+		AlignmentSpaceError: 0.05,
+		PERWidth:            1,
+	}
+}
+
+// Network is a deployed set of nodes with drawn channels, ready to
+// run MAC experiments.
+type Network struct {
+	Testbed    *testbed.Testbed
+	Deployment *testbed.Deployment
+	Flows      []mac.Flow
+	opts       Options
+	seed       int64
+}
+
+// NewNetwork creates a testbed from seed, places the nodes at random
+// distinct locations, draws every pairwise channel, and registers the
+// links as backlogged flows.
+func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network, error) {
+	if opts.JoinThresholdDB == 0 {
+		opts.JoinThresholdDB = 27
+	}
+	if opts.PERWidth == 0 {
+		opts.PERWidth = 1
+	}
+	if opts.Testbed.NumLocations == 0 {
+		opts.Testbed = testbed.DefaultConfig()
+	}
+	tb, err := testbed.New(seed, opts.Testbed)
+	if err != nil {
+		return nil, err
+	}
+	specs := make([]testbed.NodeSpec, len(nodes))
+	byID := make(map[mac.NodeID]Node, len(nodes))
+	for i, n := range nodes {
+		specs[i] = testbed.NodeSpec{ID: n.ID, Antennas: n.Antennas}
+		byID[n.ID] = n
+	}
+	dep, err := tb.Deploy(rand.New(rand.NewSource(seed+1)), specs)
+	if err != nil {
+		return nil, err
+	}
+	net := &Network{Testbed: tb, Deployment: dep, opts: opts, seed: seed}
+	for _, l := range links {
+		txn, ok := byID[l.Tx]
+		if !ok {
+			return nil, fmt.Errorf("core: link %d references unknown tx node %d", l.ID, l.Tx)
+		}
+		rxn, ok := byID[l.Rx]
+		if !ok {
+			return nil, fmt.Errorf("core: link %d references unknown rx node %d", l.ID, l.Rx)
+		}
+		net.Flows = append(net.Flows, mac.Flow{
+			ID:         l.ID,
+			Tx:         l.Tx,
+			Rx:         l.Rx,
+			TxAntennas: txn.Antennas,
+			RxAntennas: rxn.Antennas,
+			TxPower:    tb.TxPower(),
+		})
+	}
+	return net, nil
+}
+
+// Scenario builds the MAC scenario view of this network with a fresh
+// RNG derived from the network seed and the given salt.
+func (n *Network) Scenario(salt int64) (*mac.Scenario, error) {
+	sel, err := esnr.NewSelector(nil)
+	if err != nil {
+		return nil, err
+	}
+	return &mac.Scenario{
+		Provider:            n.Deployment,
+		Selector:            sel,
+		RNG:                 rand.New(rand.NewSource(n.seed*7919 + salt)),
+		NumBins:             n.Testbed.Params().NumDataCarriers(),
+		JoinThresholdDB:     n.opts.JoinThresholdDB,
+		PERWidth:            n.opts.PERWidth,
+		AlignmentSpaceError: n.opts.AlignmentSpaceError,
+	}, nil
+}
+
+// RunEpochs runs the epoch-based evaluation (the paper's §6.3
+// methodology) over this network. All modes use the same scenario
+// salt so mode comparisons are paired: the same placements see the
+// same contention outcomes.
+func (n *Network) RunEpochs(mode mac.Mode, epochs int) (*mac.EpochResult, error) {
+	sc, err := n.Scenario(13)
+	if err != nil {
+		return nil, err
+	}
+	cfg := mac.DefaultEpochConfig(mode)
+	cfg.Epochs = epochs
+	return mac.RunEpochs(sc, n.Flows, cfg)
+}
+
+// RunProtocol runs the full event-driven CSMA/CA protocol for the
+// given virtual duration and returns per-flow throughput in Mb/s and
+// the protocol trace.
+func (n *Network) RunProtocol(mode mac.Mode, duration float64) (map[int]float64, *sim.Trace, error) {
+	sc, err := n.Scenario(int64(mode) + 29)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := sim.NewEngine(n.seed + 31)
+	tr := &sim.Trace{}
+	eng.SetTrace(tr)
+	proto, err := mac.NewProtocol(eng, sc, n.Flows, mac.DefaultEpochConfig(mode))
+	if err != nil {
+		return nil, nil, err
+	}
+	return proto.Run(duration), tr, nil
+}
+
+// MinLinkSNRDB returns the weakest flow SNR in the deployment —
+// experiments skip placements with unusable links, as a physical
+// testbed implicitly does.
+func (n *Network) MinLinkSNRDB() float64 {
+	min := 1e18
+	for _, f := range n.Flows {
+		if s := n.Deployment.LinkSNRDB(f.Tx, f.Rx); s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// TrioNodes returns the §6.3 node set: three transmitter-receiver
+// pairs with 1, 2, and 3 antennas (Fig. 3). Node ids: tx 1,2,3 and
+// rx 11,12,13; flow ids 1,2,3.
+func TrioNodes() ([]Node, []Link) {
+	nodes := []Node{
+		{ID: 1, Antennas: 1}, {ID: 2, Antennas: 2}, {ID: 3, Antennas: 3},
+		{ID: 11, Antennas: 1}, {ID: 12, Antennas: 2}, {ID: 13, Antennas: 3},
+	}
+	links := []Link{
+		{ID: 1, Tx: 1, Rx: 11}, {ID: 2, Tx: 2, Rx: 12}, {ID: 3, Tx: 3, Rx: 13},
+	}
+	return nodes, links
+}
+
+// DownlinkNodes returns the §6.4 node set (Fig. 4): a 1-antenna
+// client c1 (id 1) transmitting to a 2-antenna AP1 (id 11), and a
+// 3-antenna AP2 (id 2) transmitting to two 2-antenna clients c2
+// (id 12) and c3 (id 13). Flow ids 1 (uplink), 2 and 3 (downlink).
+func DownlinkNodes() ([]Node, []Link) {
+	nodes := []Node{
+		{ID: 1, Antennas: 1}, {ID: 11, Antennas: 2},
+		{ID: 2, Antennas: 3}, {ID: 12, Antennas: 2}, {ID: 13, Antennas: 2},
+	}
+	links := []Link{
+		{ID: 1, Tx: 1, Rx: 11}, {ID: 2, Tx: 2, Rx: 12}, {ID: 3, Tx: 2, Rx: 13},
+	}
+	return nodes, links
+}

@@ -1,0 +1,215 @@
+package esnr
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nplus/internal/channel"
+	"nplus/internal/modulation"
+)
+
+func TestEffectiveSNRFlatChannel(t *testing.T) {
+	// On a flat channel the effective SNR equals the per-subcarrier
+	// SNR.
+	for _, snrDB := range []float64{3, 10, 17, 25} {
+		snr := channel.FromDB(snrDB)
+		sinrs := make([]float64, 48)
+		for i := range sinrs {
+			sinrs[i] = snr
+		}
+		for _, s := range []modulation.Scheme{modulation.BPSK, modulation.QPSK, modulation.QAM16} {
+			got := EffectiveSNRDB(sinrs, s)
+			if math.Abs(got-snrDB) > 0.1 {
+				t.Errorf("%v flat %g dB: ESNR %g", s, snrDB, got)
+			}
+		}
+	}
+}
+
+func TestEffectiveSNRPenalizesSelectivity(t *testing.T) {
+	// A channel with deep notches must have ESNR well below its mean
+	// SNR — the whole point of the metric.
+	flat := make([]float64, 48)
+	notched := make([]float64, 48)
+	for i := range flat {
+		flat[i] = channel.FromDB(20)
+		notched[i] = channel.FromDB(20)
+	}
+	// 8 deep notches; raise the others to keep the *mean linear SNR*
+	// identical.
+	lost := 0.0
+	for i := 0; i < 8; i++ {
+		notched[i*6] = channel.FromDB(0)
+		lost += channel.FromDB(20) - channel.FromDB(0)
+	}
+	boost := lost / 40
+	for i := range notched {
+		if notched[i] > channel.FromDB(0) {
+			notched[i] += boost
+		}
+	}
+	for _, s := range []modulation.Scheme{modulation.QPSK, modulation.QAM16} {
+		ef := EffectiveSNRDB(flat, s)
+		en := EffectiveSNRDB(notched, s)
+		if en >= ef-1 {
+			t.Errorf("%v: notched ESNR %g not well below flat %g", s, en, ef)
+		}
+	}
+}
+
+func TestEffectiveSNREdgeCases(t *testing.T) {
+	if got := EffectiveSNR(nil, modulation.BPSK); got != 0 {
+		t.Fatalf("empty SINRs ESNR = %g", got)
+	}
+	// All-zero SINR → BER 0.5 → ESNR 0.
+	if got := EffectiveSNR([]float64{0, 0}, modulation.BPSK); got != 0 {
+		t.Fatalf("zero SINRs ESNR = %g", got)
+	}
+	// Astronomical SINR caps at the search ceiling, no NaN.
+	got := EffectiveSNRDB([]float64{channel.FromDB(100)}, modulation.QAM64)
+	if math.IsNaN(got) || got < 50 {
+		t.Fatalf("huge SINR ESNR = %g", got)
+	}
+}
+
+func TestSelectorRateLadder(t *testing.T) {
+	sel, err := NewSelector(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sweep SNR from low to high: the selected rate must be
+	// monotonically non-decreasing and hit both ends of the table.
+	prevIdx := -1
+	sawLowest, sawHighest := false, false
+	for snrDB := 0.0; snrDB <= 30; snrDB += 0.5 {
+		rate, ok := sel.BestRateForSNR(snrDB)
+		if !ok {
+			continue
+		}
+		idx := rate.Index()
+		if idx < prevIdx {
+			t.Fatalf("rate ladder not monotone at %g dB", snrDB)
+		}
+		prevIdx = idx
+		if idx == 0 {
+			sawLowest = true
+		}
+		if idx == len(modulation.Rates)-1 {
+			sawHighest = true
+		}
+	}
+	if !sawLowest || !sawHighest {
+		t.Fatalf("ladder did not span table: lowest=%v highest=%v", sawLowest, sawHighest)
+	}
+	// Below the lowest threshold nothing is supported.
+	if _, ok := sel.BestRateForSNR(-5); ok {
+		t.Fatal("-5 dB should support no rate")
+	}
+}
+
+func TestSelectorKnownPoints(t *testing.T) {
+	sel, _ := NewSelector(nil)
+	cases := []struct {
+		snrDB float64
+		want  modulation.Rate
+	}{
+		{4, modulation.Rate{Scheme: modulation.BPSK, CodeRate: modulation.Rate1_2}},
+		{8, modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate1_2}},
+		{13.5, modulation.Rate{Scheme: modulation.QAM16, CodeRate: modulation.Rate1_2}},
+		{25, modulation.Rate{Scheme: modulation.QAM64, CodeRate: modulation.Rate3_4}},
+	}
+	for _, c := range cases {
+		got, ok := sel.BestRateForSNR(c.snrDB)
+		if !ok || got != c.want {
+			t.Errorf("%g dB → %v (ok=%v), want %v", c.snrDB, got, ok, c.want)
+		}
+	}
+}
+
+func TestNewSelectorValidation(t *testing.T) {
+	if _, err := NewSelector([]Threshold{}); err == nil {
+		t.Fatal("expected empty-table error")
+	}
+	bad := []Threshold{
+		{modulation.Rates[1], 10},
+		{modulation.Rates[0], 3},
+	}
+	if _, err := NewSelector(bad); err == nil {
+		t.Fatal("expected unsorted-table error")
+	}
+}
+
+func TestPacketSuccessProbability(t *testing.T) {
+	sel, _ := NewSelector(nil)
+	rate := modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate1_2}
+	mk := func(snrDB float64) []float64 {
+		s := make([]float64, 48)
+		for i := range s {
+			s[i] = channel.FromDB(snrDB)
+		}
+		return s
+	}
+	// Well above threshold: near-certain delivery. Well below: near
+	//-certain loss. Monotone in between.
+	pHigh := sel.PacketSuccessProbability(mk(15), rate, 1)
+	pAt := sel.PacketSuccessProbability(mk(7), rate, 1)
+	pLow := sel.PacketSuccessProbability(mk(0), rate, 1)
+	if pHigh < 0.99 {
+		t.Fatalf("P(15 dB) = %g", pHigh)
+	}
+	if pAt < 0.5 || pAt > 0.95 {
+		t.Fatalf("P(at threshold) = %g", pAt)
+	}
+	if pLow > 0.05 {
+		t.Fatalf("P(0 dB) = %g", pLow)
+	}
+	// Unknown rate → 0.
+	if p := sel.PacketSuccessProbability(mk(15), modulation.Rate{Scheme: modulation.BPSK, CodeRate: modulation.Rate2_3}, 1); p != 0 {
+		t.Fatalf("unknown rate P = %g", p)
+	}
+	// width <= 0 falls back to default, no panic.
+	if p := sel.PacketSuccessProbability(mk(15), rate, 0); p < 0.99 {
+		t.Fatalf("default width P = %g", p)
+	}
+}
+
+func TestPropESNRBelowMax(t *testing.T) {
+	// ESNR never exceeds the best subcarrier's SNR and never falls
+	// below the worst (in dB), for any SINR profile.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		sinrs := make([]float64, 48)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := range sinrs {
+			db := rng.Float64()*30 + 1
+			sinrs[i] = channel.FromDB(db)
+			if db < lo {
+				lo = db
+			}
+			if db > hi {
+				hi = db
+			}
+		}
+		for _, s := range []modulation.Scheme{modulation.BPSK, modulation.QPSK, modulation.QAM16, modulation.QAM64} {
+			e := EffectiveSNRDB(sinrs, s)
+			if e > hi+0.5 || e < lo-0.5 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThresholdsCopy(t *testing.T) {
+	sel, _ := NewSelector(nil)
+	th := sel.Thresholds()
+	th[0].MinDB = -100
+	if sel.Thresholds()[0].MinDB == -100 {
+		t.Fatal("Thresholds leaked internal slice")
+	}
+}

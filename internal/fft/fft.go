@@ -1,0 +1,134 @@
+// Package fft implements the radix-2 iterative Cooley–Tukey fast
+// Fourier transform over complex128 slices.
+//
+// The OFDM modem uses it for every transmitted and received symbol, so
+// the implementation avoids allocation on the hot path: Forward and
+// Inverse transform in place, and Plan caches the twiddle factors and
+// the bit-reversal permutation for a fixed size.
+//
+// Only power-of-two sizes are supported; 802.11's 64-point FFT (and the
+// scaled variants used for joiner synchronization, see §4 of the paper)
+// are all powers of two.
+package fft
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// Plan holds precomputed tables for transforms of a fixed size.
+type Plan struct {
+	n       int
+	rev     []int        // bit-reversal permutation
+	twiddle []complex128 // e^{-2πik/n} for k in [0, n/2)
+}
+
+// NewPlan creates a plan for transforms of length n. n must be a
+// power of two and at least 1.
+func NewPlan(n int) (*Plan, error) {
+	if n < 1 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("fft: size %d is not a positive power of two", n)
+	}
+	p := &Plan{n: n}
+	logN := bits.TrailingZeros(uint(n))
+	p.rev = make([]int, n)
+	for i := 0; i < n; i++ {
+		p.rev[i] = int(bits.Reverse(uint(i)) >> (bits.UintSize - logN))
+	}
+	p.twiddle = make([]complex128, n/2)
+	for k := range p.twiddle {
+		angle := -2 * math.Pi * float64(k) / float64(n)
+		p.twiddle[k] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	return p, nil
+}
+
+// Size returns the transform length of the plan.
+func (p *Plan) Size() int { return p.n }
+
+// Forward computes the in-place forward DFT:
+// X[k] = Σ x[t]·e^{-2πikt/n}.
+func (p *Plan) Forward(x []complex128) {
+	p.transform(x, false)
+}
+
+// Inverse computes the in-place inverse DFT with 1/n normalization:
+// x[t] = (1/n)·Σ X[k]·e^{+2πikt/n}.
+func (p *Plan) Inverse(x []complex128) {
+	p.transform(x, true)
+	scale := complex(1/float64(p.n), 0)
+	for i := range x {
+		x[i] *= scale
+	}
+}
+
+func (p *Plan) transform(x []complex128, inverse bool) {
+	if len(x) != p.n {
+		panic(fmt.Sprintf("fft: input length %d does not match plan size %d", len(x), p.n))
+	}
+	// Bit-reversal reorder.
+	for i, j := range p.rev {
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= p.n; size <<= 1 {
+		half := size >> 1
+		step := p.n / size
+		for start := 0; start < p.n; start += size {
+			for k := 0; k < half; k++ {
+				w := p.twiddle[k*step]
+				if inverse {
+					w = complex(real(w), -imag(w))
+				}
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+			}
+		}
+	}
+}
+
+// Forward is a convenience wrapper that allocates a plan, copies the
+// input, and returns the transform. Prefer Plan methods in loops.
+func Forward(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Forward(out)
+	return out, nil
+}
+
+// Inverse is the allocating counterpart of Plan.Inverse.
+func Inverse(x []complex128) ([]complex128, error) {
+	p, err := NewPlan(len(x))
+	if err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(x))
+	copy(out, x)
+	p.Inverse(out)
+	return out, nil
+}
+
+// NaiveDFT computes the forward DFT directly in O(n²). It exists to
+// validate the fast path in tests and works for any length.
+func NaiveDFT(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var s complex128
+		for t := 0; t < n; t++ {
+			angle := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			s += x[t] * complex(math.Cos(angle), math.Sin(angle))
+		}
+		out[k] = s
+	}
+	return out
+}

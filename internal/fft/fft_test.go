@@ -1,0 +1,202 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func randSignal(rng *rand.Rand, n int) []complex128 {
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func TestNewPlanRejectsBadSizes(t *testing.T) {
+	for _, n := range []int{0, -1, 3, 6, 12, 100} {
+		if _, err := NewPlan(n); err == nil {
+			t.Errorf("NewPlan(%d) should fail", n)
+		}
+	}
+	for _, n := range []int{1, 2, 4, 64, 1024} {
+		if _, err := NewPlan(n); err != nil {
+			t.Errorf("NewPlan(%d): %v", n, err)
+		}
+	}
+}
+
+func TestForwardMatchesNaiveDFT(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 128} {
+		x := randSignal(rng, n)
+		want := NaiveDFT(x)
+		got, err := Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(got, want, 1e-9*float64(n)) {
+			t.Fatalf("n=%d: FFT does not match naive DFT", n)
+		}
+	}
+}
+
+func TestInverseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range []int{1, 4, 64, 256} {
+		x := randSignal(rng, n)
+		f, err := Forward(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := Inverse(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(back, x, 1e-10*float64(n)) {
+			t.Fatalf("n=%d: inverse(forward(x)) != x", n)
+		}
+	}
+}
+
+func TestImpulseResponse(t *testing.T) {
+	// DFT of a unit impulse is all-ones.
+	x := make([]complex128, 8)
+	x[0] = 1
+	got, _ := Forward(x)
+	for k, v := range got {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Fatalf("X[%d] = %v, want 1", k, v)
+		}
+	}
+}
+
+func TestSingleToneBin(t *testing.T) {
+	// A complex exponential at bin 3 concentrates all energy in bin 3.
+	n := 64
+	x := make([]complex128, n)
+	for t := range x {
+		angle := 2 * math.Pi * 3 * float64(t) / float64(n)
+		x[t] = complex(math.Cos(angle), math.Sin(angle))
+	}
+	got, _ := Forward(x)
+	for k, v := range got {
+		want := complex(0, 0)
+		if k == 3 {
+			want = complex(float64(n), 0)
+		}
+		if cmplx.Abs(v-want) > 1e-9 {
+			t.Fatalf("X[%d] = %v, want %v", k, v, want)
+		}
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 64
+	x := randSignal(rng, n)
+	f, _ := Forward(x)
+	var et, ef float64
+	for i := 0; i < n; i++ {
+		et += real(x[i])*real(x[i]) + imag(x[i])*imag(x[i])
+		ef += real(f[i])*real(f[i]) + imag(f[i])*imag(f[i])
+	}
+	if math.Abs(et-ef/float64(n)) > 1e-8*et {
+		t.Fatalf("Parseval violated: time %g vs freq %g", et, ef/float64(n))
+	}
+}
+
+func TestPlanReuseInPlace(t *testing.T) {
+	p, err := NewPlan(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	x := randSignal(rng, 64)
+	orig := append([]complex128(nil), x...)
+	p.Forward(x)
+	p.Inverse(x)
+	if !approxEqual(x, orig, 1e-9) {
+		t.Fatal("plan reuse roundtrip failed")
+	}
+}
+
+func TestPlanSizeMismatchPanics(t *testing.T) {
+	p, _ := NewPlan(8)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on wrong-length input")
+		}
+	}()
+	p.Forward(make([]complex128, 4))
+}
+
+func TestPropLinearity(t *testing.T) {
+	// FFT(a·x + b·y) = a·FFT(x) + b·FFT(y)
+	p, _ := NewPlan(32)
+	f := func(seed int64, ar, ai, br, bi float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := complex(math.Mod(ar, 4), math.Mod(ai, 4))
+		b := complex(math.Mod(br, 4), math.Mod(bi, 4))
+		x := randSignal(rng, 32)
+		y := randSignal(rng, 32)
+		mix := make([]complex128, 32)
+		for i := range mix {
+			mix[i] = a*x[i] + b*y[i]
+		}
+		p.Forward(mix)
+		p.Forward(x)
+		p.Forward(y)
+		for i := range mix {
+			if cmplx.Abs(mix[i]-(a*x[i]+b*y[i])) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropRoundTripAnySize(t *testing.T) {
+	f := func(seed int64, logn uint8) bool {
+		n := 1 << (logn % 10)
+		p, err := NewPlan(n)
+		if err != nil {
+			return false
+		}
+		x := randSignal(rand.New(rand.NewSource(seed)), n)
+		orig := append([]complex128(nil), x...)
+		p.Forward(x)
+		p.Inverse(x)
+		return approxEqual(x, orig, 1e-8*float64(n))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkFFT64(b *testing.B) {
+	p, _ := NewPlan(64)
+	x := randSignal(rand.New(rand.NewSource(1)), 64)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Forward(x)
+	}
+}

@@ -1,0 +1,193 @@
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// This file implements fragmentation and aggregation (§3.1): a node
+// that joins ongoing transmissions must end at the same time as the
+// first contention winner, so it slices or concatenates queued
+// packets to fit the remaining air time. The format mirrors 802.11n
+// A-MPDU aggregation: a sequence of subframes, each with a length
+// prefix and its own CRC-32C, so one corrupted subframe does not
+// discard its neighbors.
+
+// Subframe is one unit inside an aggregate: a whole packet or a
+// fragment of one.
+type Subframe struct {
+	PacketID uint16 // identifies the original packet
+	Index    uint8  // fragment index within the packet
+	Last     bool   // true when this is the packet's final fragment
+	Payload  []byte
+}
+
+const subframeHeaderLen = 2 + 1 + 1 + 2 // id, index, flags, length
+
+// AggregateLimit is the maximum payload bytes one subframe may carry.
+const AggregateLimit = 0xffff
+
+// Fragment slices a payload into subframes of at most maxBytes
+// payload each, tagged with the given packet id.
+func Fragment(packetID uint16, payload []byte, maxBytes int) ([]Subframe, error) {
+	if maxBytes <= 0 {
+		return nil, errors.New("frame: non-positive fragment size")
+	}
+	if maxBytes > AggregateLimit {
+		maxBytes = AggregateLimit
+	}
+	if len(payload) == 0 {
+		return []Subframe{{PacketID: packetID, Index: 0, Last: true}}, nil
+	}
+	var out []Subframe
+	idx := 0
+	for off := 0; off < len(payload); off += maxBytes {
+		end := off + maxBytes
+		if end > len(payload) {
+			end = len(payload)
+		}
+		if idx > 255 {
+			return nil, errors.New("frame: payload needs more than 256 fragments")
+		}
+		out = append(out, Subframe{
+			PacketID: packetID,
+			Index:    uint8(idx),
+			Last:     end == len(payload),
+			Payload:  append([]byte(nil), payload[off:end]...),
+		})
+		idx++
+	}
+	return out, nil
+}
+
+// Reassemble concatenates a packet's fragments back into its payload.
+// Fragments must be complete and in order (the MAC retransmits
+// otherwise).
+func Reassemble(frags []Subframe) ([]byte, error) {
+	if len(frags) == 0 {
+		return nil, errors.New("frame: no fragments")
+	}
+	var out []byte
+	for i, f := range frags {
+		if int(f.Index) != i {
+			return nil, fmt.Errorf("frame: fragment %d has index %d", i, f.Index)
+		}
+		if f.PacketID != frags[0].PacketID {
+			return nil, fmt.Errorf("frame: fragment %d belongs to packet %d, not %d", i, f.PacketID, frags[0].PacketID)
+		}
+		if f.Last != (i == len(frags)-1) {
+			return nil, errors.New("frame: Last flag inconsistent with fragment order")
+		}
+		out = append(out, f.Payload...)
+	}
+	return out, nil
+}
+
+// Aggregate packs subframes into one body payload, each protected by
+// its own CRC-32C.
+func Aggregate(subs []Subframe) ([]byte, error) {
+	if len(subs) == 0 {
+		return nil, errors.New("frame: nothing to aggregate")
+	}
+	var out []byte
+	for i, s := range subs {
+		if len(s.Payload) > AggregateLimit {
+			return nil, fmt.Errorf("frame: subframe %d payload %d exceeds limit", i, len(s.Payload))
+		}
+		hdr := make([]byte, 0, subframeHeaderLen)
+		hdr = binary.BigEndian.AppendUint16(hdr, s.PacketID)
+		hdr = append(hdr, s.Index)
+		var flags byte
+		if s.Last {
+			flags = 1
+		}
+		hdr = append(hdr, flags)
+		hdr = binary.BigEndian.AppendUint16(hdr, uint16(len(s.Payload)))
+		unit := append(hdr, s.Payload...)
+		unit = appendCRC(unit)
+		out = append(out, unit...)
+	}
+	return out, nil
+}
+
+// DeaggregateResult reports one recovered subframe or a per-subframe
+// CRC failure (the position is kept so the MAC can selectively
+// retransmit).
+type DeaggregateResult struct {
+	Subframe Subframe
+	Valid    bool
+}
+
+// Deaggregate walks an aggregate and extracts every subframe,
+// flagging the ones whose CRC fails. It returns an error only for
+// structural corruption that prevents walking further.
+func Deaggregate(b []byte) ([]DeaggregateResult, error) {
+	var out []DeaggregateResult
+	pos := 0
+	for pos < len(b) {
+		if len(b)-pos < subframeHeaderLen+4 {
+			return out, fmt.Errorf("frame: trailing %d bytes too short for a subframe", len(b)-pos)
+		}
+		plen := int(binary.BigEndian.Uint16(b[pos+4 : pos+6]))
+		total := subframeHeaderLen + plen + 4
+		if len(b)-pos < total {
+			return out, fmt.Errorf("frame: subframe claims %d bytes, only %d remain", total, len(b)-pos)
+		}
+		unit := b[pos : pos+total]
+		pos += total
+		body, err := checkCRC(unit)
+		valid := err == nil
+		var s Subframe
+		if valid {
+			s.PacketID = binary.BigEndian.Uint16(body[0:2])
+			s.Index = body[2]
+			s.Last = body[3]&1 == 1
+			s.Payload = append([]byte(nil), body[6:]...)
+		}
+		out = append(out, DeaggregateResult{Subframe: s, Valid: valid})
+	}
+	return out, nil
+}
+
+// SplitToFit plans how much of a queue of packet payloads fits into
+// budgetBytes of air time, fragmenting the final packet if needed.
+// It returns the subframes to send and how many whole packets were
+// consumed (the fragmented packet is not counted as consumed; its
+// remainder stays queued). Overhead per subframe
+// (subframeHeaderLen+4) is accounted for.
+func SplitToFit(packets [][]byte, startID uint16, budgetBytes int) (subs []Subframe, wholePackets int, err error) {
+	remaining := budgetBytes
+	id := startID
+	for _, p := range packets {
+		overhead := subframeHeaderLen + 4
+		if remaining < overhead+1 {
+			break
+		}
+		if len(p)+overhead <= remaining {
+			frs, err := Fragment(id, p, AggregateLimit)
+			if err != nil {
+				return nil, 0, err
+			}
+			subs = append(subs, frs...)
+			remaining -= len(p) + overhead*len(frs)
+			wholePackets++
+			id++
+			continue
+		}
+		// Fragment the head of this packet to fill the rest.
+		take := remaining - overhead
+		if take > len(p) {
+			take = len(p)
+		}
+		frs, err := Fragment(id, p[:take], AggregateLimit)
+		if err != nil {
+			return nil, 0, err
+		}
+		// Not the last fragment of the original packet.
+		frs[len(frs)-1].Last = false
+		subs = append(subs, frs...)
+		break
+	}
+	return subs, wholePackets, nil
+}

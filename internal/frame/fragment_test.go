@@ -1,0 +1,245 @@
+package frame
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFragmentReassembleRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, size := range []int{0, 1, 99, 100, 101, 1500, 4096} {
+		payload := make([]byte, size)
+		rng.Read(payload)
+		frags, err := Fragment(7, payload, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Reassemble(frags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("size %d: roundtrip mismatch", size)
+		}
+		if !frags[len(frags)-1].Last {
+			t.Fatalf("size %d: final fragment not marked Last", size)
+		}
+	}
+}
+
+func TestFragmentValidation(t *testing.T) {
+	if _, err := Fragment(1, []byte{1}, 0); err == nil {
+		t.Fatal("expected error for zero fragment size")
+	}
+	// 300 fragments needed > 256 limit.
+	if _, err := Fragment(1, make([]byte, 300), 1); err == nil {
+		t.Fatal("expected too-many-fragments error")
+	}
+}
+
+func TestReassembleValidation(t *testing.T) {
+	if _, err := Reassemble(nil); err == nil {
+		t.Fatal("expected no-fragments error")
+	}
+	frags, _ := Fragment(1, make([]byte, 250), 100)
+	// Out of order.
+	swapped := []Subframe{frags[1], frags[0], frags[2]}
+	if _, err := Reassemble(swapped); err == nil {
+		t.Fatal("expected out-of-order error")
+	}
+	// Mixed packets.
+	other, _ := Fragment(2, make([]byte, 10), 100)
+	other[0].Index = 3
+	if _, err := Reassemble(append(frags[:3:3], other[0])); err == nil {
+		t.Fatal("expected mixed-packet error")
+	}
+	// Missing tail.
+	if _, err := Reassemble(frags[:2]); err == nil {
+		t.Fatal("expected missing-Last error")
+	}
+}
+
+func TestAggregateDeaggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	p1 := make([]byte, 700)
+	p2 := make([]byte, 300)
+	rng.Read(p1)
+	rng.Read(p2)
+	f1, _ := Fragment(1, p1, 1000)
+	f2, _ := Fragment(2, p2, 1000)
+	agg, err := Aggregate(append(f1, f2...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Deaggregate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 2 {
+		t.Fatalf("got %d subframes", len(res))
+	}
+	for _, r := range res {
+		if !r.Valid {
+			t.Fatal("clean aggregate reported invalid subframe")
+		}
+	}
+	if !bytes.Equal(res[0].Subframe.Payload, p1) || !bytes.Equal(res[1].Subframe.Payload, p2) {
+		t.Fatal("payload mismatch")
+	}
+	if res[0].Subframe.PacketID != 1 || res[1].Subframe.PacketID != 2 {
+		t.Fatal("packet ids mangled")
+	}
+}
+
+func TestDeaggregatePartialCorruption(t *testing.T) {
+	// Corrupting one subframe's payload must invalidate only that
+	// subframe — the per-subframe CRC property.
+	rng := rand.New(rand.NewSource(3))
+	p1 := make([]byte, 100)
+	p2 := make([]byte, 100)
+	rng.Read(p1)
+	rng.Read(p2)
+	f1, _ := Fragment(1, p1, 1000)
+	f2, _ := Fragment(2, p2, 1000)
+	agg, _ := Aggregate(append(f1, f2...))
+	agg[10] ^= 0xff // inside subframe 1's payload
+	res, err := Deaggregate(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res[0].Valid {
+		t.Fatal("corrupted subframe reported valid")
+	}
+	if !res[1].Valid || !bytes.Equal(res[1].Subframe.Payload, p2) {
+		t.Fatal("undamaged subframe lost")
+	}
+}
+
+func TestDeaggregateStructuralErrors(t *testing.T) {
+	if _, err := Deaggregate([]byte{1, 2, 3}); err == nil {
+		t.Fatal("expected short-subframe error")
+	}
+	// Length field claims more than what remains.
+	f, _ := Fragment(1, make([]byte, 10), 100)
+	agg, _ := Aggregate(f)
+	agg[5] = 0xff // inflate length
+	if _, err := Deaggregate(agg); err == nil {
+		t.Fatal("expected length-overflow error")
+	}
+}
+
+func TestAggregateValidation(t *testing.T) {
+	if _, err := Aggregate(nil); err == nil {
+		t.Fatal("expected nothing-to-aggregate error")
+	}
+	if _, err := Aggregate([]Subframe{{Payload: make([]byte, AggregateLimit+1)}}); err == nil {
+		t.Fatal("expected oversize error")
+	}
+}
+
+func TestSplitToFitWholePackets(t *testing.T) {
+	packets := [][]byte{make([]byte, 100), make([]byte, 100), make([]byte, 100)}
+	subs, whole, err := SplitToFit(packets, 10, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != 3 {
+		t.Fatalf("consumed %d whole packets, want 3", whole)
+	}
+	if len(subs) != 3 {
+		t.Fatalf("%d subframes", len(subs))
+	}
+	for i, s := range subs {
+		if s.PacketID != uint16(10+i) || !s.Last {
+			t.Fatalf("subframe %d mislabeled: %+v", i, s)
+		}
+	}
+}
+
+func TestSplitToFitFragmentsTail(t *testing.T) {
+	packets := [][]byte{make([]byte, 100), make([]byte, 100)}
+	// Budget fits packet 1 plus ~half of packet 2.
+	budget := 100 + 10 + 60
+	subs, whole, err := SplitToFit(packets, 0, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if whole != 1 {
+		t.Fatalf("consumed %d whole packets, want 1", whole)
+	}
+	last := subs[len(subs)-1]
+	if last.Last {
+		t.Fatal("tail fragment must not be marked Last")
+	}
+	if len(last.Payload) >= 100 || len(last.Payload) == 0 {
+		t.Fatalf("tail fragment size %d", len(last.Payload))
+	}
+	// Total encoded size respects the budget.
+	agg, _ := Aggregate(subs)
+	if len(agg) > budget+subframeHeaderLen+4 {
+		t.Fatalf("aggregate %dB exceeds budget %dB", len(agg), budget)
+	}
+}
+
+func TestSplitToFitTinyBudget(t *testing.T) {
+	subs, whole, err := SplitToFit([][]byte{make([]byte, 50)}, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(subs) != 0 || whole != 0 {
+		t.Fatal("tiny budget should produce nothing")
+	}
+}
+
+func TestPropFragmentRoundTrip(t *testing.T) {
+	f := func(seed int64, sizeSel uint16, maxSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		payload := make([]byte, int(sizeSel)%3000)
+		rng.Read(payload)
+		maxBytes := int(maxSel)%500 + 20
+		frags, err := Fragment(99, payload, maxBytes)
+		if err != nil {
+			return false
+		}
+		got, err := Reassemble(frags)
+		if err != nil {
+			return false
+		}
+		return bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropAggregateRoundTrip(t *testing.T) {
+	f := func(seed int64, nSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nSel)%5 + 1
+		var subs []Subframe
+		for i := 0; i < n; i++ {
+			p := make([]byte, rng.Intn(400))
+			rng.Read(p)
+			subs = append(subs, Subframe{PacketID: uint16(i), Index: 0, Last: true, Payload: p})
+		}
+		agg, err := Aggregate(subs)
+		if err != nil {
+			return false
+		}
+		res, err := Deaggregate(agg)
+		if err != nil || len(res) != n {
+			return false
+		}
+		for i, r := range res {
+			if !r.Valid || !bytes.Equal(r.Subframe.Payload, subs[i].Payload) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

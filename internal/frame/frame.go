@@ -1,0 +1,285 @@
+// Package frame defines the over-the-air frame formats of n+,
+// following the light-weight handshake design of §3.5: instead of
+// separate RTS/CTS control frames, the data and ACK *headers* are
+// split from their bodies and exchanged first. The data header plays
+// the role of the RTS (it carries the preamble, duration, antenna
+// count, and — uniquely to n+ — a list of receivers with per-receiver
+// stream counts); the ACK header plays the role of the CTS (it
+// carries the chosen bitrate and the receiver's alignment space U,
+// differentially encoded across OFDM subcarriers).
+//
+// The layout style follows gopacket: each frame is a typed layer with
+// explicit Encode/Decode and a CRC-32 trailer; decoding validates
+// lengths and checksums and returns typed errors.
+package frame
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+)
+
+// Addr is a 48-bit MAC address.
+type Addr [6]byte
+
+// String renders the address in colon-hex.
+func (a Addr) String() string {
+	return fmt.Sprintf("%02x:%02x:%02x:%02x:%02x:%02x", a[0], a[1], a[2], a[3], a[4], a[5])
+}
+
+// Broadcast is the all-ones address.
+var Broadcast = Addr{0xff, 0xff, 0xff, 0xff, 0xff, 0xff}
+
+// Type tags the four over-the-air frame kinds of Fig. 8(b).
+type Type uint8
+
+// Frame kinds.
+const (
+	TypeDataHeader Type = iota + 1 // light-weight RTS
+	TypeAckHeader                  // light-weight CTS
+	TypeDataBody
+	TypeAckBody
+)
+
+// String names the frame type.
+func (t Type) String() string {
+	switch t {
+	case TypeDataHeader:
+		return "data-header"
+	case TypeAckHeader:
+		return "ack-header"
+	case TypeDataBody:
+		return "data-body"
+	case TypeAckBody:
+		return "ack-body"
+	default:
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+}
+
+// Errors returned by decoders.
+var (
+	ErrTruncated = errors.New("frame: truncated")
+	ErrChecksum  = errors.New("frame: checksum mismatch")
+	ErrBadType   = errors.New("frame: wrong frame type")
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// appendCRC appends the CRC-32C of b to b.
+func appendCRC(b []byte) []byte {
+	return binary.BigEndian.AppendUint32(b, crc32.Checksum(b, castagnoli))
+}
+
+// checkCRC verifies and strips a trailing CRC-32C.
+func checkCRC(b []byte) ([]byte, error) {
+	if len(b) < 4 {
+		return nil, ErrTruncated
+	}
+	body, sum := b[:len(b)-4], binary.BigEndian.Uint32(b[len(b)-4:])
+	if crc32.Checksum(body, castagnoli) != sum {
+		return nil, ErrChecksum
+	}
+	return body, nil
+}
+
+// ReceiverInfo is one entry of a (possibly multi-receiver) data
+// header: §3.5 allows a single light-weight RTS to address several
+// receivers, each with its own stream count, for the Fig. 4 downlink
+// case.
+type ReceiverInfo struct {
+	Addr    Addr
+	Streams uint8 // streams destined to this receiver
+}
+
+// DataHeader is the light-weight RTS. Its preamble (transmitted ahead
+// of it at the PHY) is what other nodes use to measure channels; the
+// fields here tell them how long the transmission runs, how many
+// antennas/streams it uses, and who must reply with an ACK header.
+type DataHeader struct {
+	Src       Addr
+	Receivers []ReceiverInfo
+	Antennas  uint8  // transmit antennas in use
+	Duration  uint32 // remaining transmission time, microseconds
+	RateIndex uint8  // body bitrate (index into modulation.Rates)
+	Seq       uint16
+}
+
+// TotalStreams sums the per-receiver stream counts.
+func (h *DataHeader) TotalStreams() int {
+	n := 0
+	for _, r := range h.Receivers {
+		n += int(r.Streams)
+	}
+	return n
+}
+
+// Encode serializes the header with a CRC-32C trailer.
+func (h *DataHeader) Encode() ([]byte, error) {
+	if len(h.Receivers) == 0 {
+		return nil, errors.New("frame: data header needs at least one receiver")
+	}
+	if len(h.Receivers) > 255 {
+		return nil, errors.New("frame: too many receivers")
+	}
+	buf := make([]byte, 0, 16+7*len(h.Receivers)+4)
+	buf = append(buf, byte(TypeDataHeader))
+	buf = append(buf, h.Src[:]...)
+	buf = append(buf, h.Antennas)
+	buf = binary.BigEndian.AppendUint32(buf, h.Duration)
+	buf = append(buf, h.RateIndex)
+	buf = binary.BigEndian.AppendUint16(buf, h.Seq)
+	buf = append(buf, byte(len(h.Receivers)))
+	for _, r := range h.Receivers {
+		buf = append(buf, r.Addr[:]...)
+		buf = append(buf, r.Streams)
+	}
+	return appendCRC(buf), nil
+}
+
+// DecodeDataHeader parses and validates a data header.
+func DecodeDataHeader(b []byte) (*DataHeader, error) {
+	body, err := checkCRC(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 16 {
+		return nil, ErrTruncated
+	}
+	if Type(body[0]) != TypeDataHeader {
+		return nil, ErrBadType
+	}
+	h := &DataHeader{}
+	copy(h.Src[:], body[1:7])
+	h.Antennas = body[7]
+	h.Duration = binary.BigEndian.Uint32(body[8:12])
+	h.RateIndex = body[12]
+	h.Seq = binary.BigEndian.Uint16(body[13:15])
+	n := int(body[15])
+	rest := body[16:]
+	if len(rest) != 7*n {
+		return nil, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		var r ReceiverInfo
+		copy(r.Addr[:], rest[i*7:i*7+6])
+		r.Streams = rest[i*7+6]
+		h.Receivers = append(h.Receivers, r)
+	}
+	return h, nil
+}
+
+// AckHeader is the light-weight CTS: it feeds the chosen bitrate back
+// to the sender and broadcasts the receiver's alignment space so that
+// later contention winners can align into it (§3.5).
+type AckHeader struct {
+	Src       Addr
+	Dst       Addr
+	RateIndex uint8 // bitrate chosen via ESNR for the upcoming body
+	Seq       uint16
+	// Alignment is the receiver's U⊥ (decoding space) per OFDM
+	// subcarrier, differentially encoded; nil when the receiver has no
+	// spare dimensions to advertise.
+	Alignment *AlignmentSpace
+}
+
+// Encode serializes the header with a CRC-32C trailer.
+func (h *AckHeader) Encode() ([]byte, error) {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(TypeAckHeader))
+	buf = append(buf, h.Src[:]...)
+	buf = append(buf, h.Dst[:]...)
+	buf = append(buf, h.RateIndex)
+	buf = binary.BigEndian.AppendUint16(buf, h.Seq)
+	if h.Alignment != nil {
+		enc, err := h.Alignment.Encode()
+		if err != nil {
+			return nil, err
+		}
+		if len(enc) > 0xffff {
+			return nil, errors.New("frame: alignment space too large")
+		}
+		buf = binary.BigEndian.AppendUint16(buf, uint16(len(enc)))
+		buf = append(buf, enc...)
+	} else {
+		buf = binary.BigEndian.AppendUint16(buf, 0)
+	}
+	return appendCRC(buf), nil
+}
+
+// DecodeAckHeader parses and validates an ACK header.
+func DecodeAckHeader(b []byte) (*AckHeader, error) {
+	body, err := checkCRC(b)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 18 {
+		return nil, ErrTruncated
+	}
+	if Type(body[0]) != TypeAckHeader {
+		return nil, ErrBadType
+	}
+	h := &AckHeader{}
+	copy(h.Src[:], body[1:7])
+	copy(h.Dst[:], body[7:13])
+	h.RateIndex = body[13]
+	h.Seq = binary.BigEndian.Uint16(body[14:16])
+	alen := int(binary.BigEndian.Uint16(body[16:18]))
+	rest := body[18:]
+	if len(rest) != alen {
+		return nil, ErrTruncated
+	}
+	if alen > 0 {
+		a, err := DecodeAlignmentSpace(rest)
+		if err != nil {
+			return nil, err
+		}
+		h.Alignment = a
+	}
+	return h, nil
+}
+
+// Body is a data or ACK body: a raw payload protected by its own
+// CRC-32C, sent without any further header (the whole point of the
+// light-weight handshake — Fig. 8).
+type Body struct {
+	Kind    Type // TypeDataBody or TypeAckBody
+	Payload []byte
+}
+
+// Encode serializes the body with a CRC-32C trailer.
+func (b *Body) Encode() ([]byte, error) {
+	if b.Kind != TypeDataBody && b.Kind != TypeAckBody {
+		return nil, ErrBadType
+	}
+	buf := make([]byte, 0, 1+len(b.Payload)+4)
+	buf = append(buf, byte(b.Kind))
+	buf = append(buf, b.Payload...)
+	return appendCRC(buf), nil
+}
+
+// DecodeBody parses and validates a body frame.
+func DecodeBody(raw []byte) (*Body, error) {
+	body, err := checkCRC(raw)
+	if err != nil {
+		return nil, err
+	}
+	if len(body) < 1 {
+		return nil, ErrTruncated
+	}
+	k := Type(body[0])
+	if k != TypeDataBody && k != TypeAckBody {
+		return nil, ErrBadType
+	}
+	return &Body{Kind: k, Payload: append([]byte(nil), body[1:]...)}, nil
+}
+
+// PeekType returns the frame type byte of an encoded frame without
+// validating it — receivers use it to dispatch decoding.
+func PeekType(b []byte) (Type, error) {
+	if len(b) < 1 {
+		return 0, ErrTruncated
+	}
+	return Type(b[0]), nil
+}

@@ -1,0 +1,499 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/esnr"
+)
+
+// flatProvider is a deterministic in-package ChannelProvider with
+// flat (frequency-non-selective) channels, convenient for unit tests.
+type flatProvider struct {
+	nBins    int
+	chans    map[[2]NodeID]*cmplxmat.Matrix
+	estErr   float64 // relative rms estimation error
+	noisePwr float64
+}
+
+func newFlatProvider(nBins int) *flatProvider {
+	return &flatProvider{nBins: nBins, chans: make(map[[2]NodeID]*cmplxmat.Matrix), noisePwr: 1}
+}
+
+func (p *flatProvider) set(from, to NodeID, h *cmplxmat.Matrix) {
+	p.chans[[2]NodeID{from, to}] = h
+}
+
+func (p *flatProvider) setRandom(rng *rand.Rand, from, to NodeID, rxAnt, txAnt int, gainDB float64) {
+	h := cmplxmat.New(rxAnt, txAnt)
+	sigma := math.Sqrt(channel.FromDB(gainDB) / 2)
+	for i := 0; i < rxAnt; i++ {
+		for j := 0; j < txAnt; j++ {
+			h.SetAt(i, j, complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
+		}
+	}
+	p.set(from, to, h)
+}
+
+func (p *flatProvider) Channel(from, to NodeID) []*cmplxmat.Matrix {
+	h, ok := p.chans[[2]NodeID{from, to}]
+	if !ok {
+		panic("flatProvider: missing channel")
+	}
+	out := make([]*cmplxmat.Matrix, p.nBins)
+	for i := range out {
+		out[i] = h
+	}
+	return out
+}
+
+func (p *flatProvider) Estimate(from, to NodeID, rng *rand.Rand) []*cmplxmat.Matrix {
+	truth := p.Channel(from, to)
+	out := make([]*cmplxmat.Matrix, len(truth))
+	for i, h := range truth {
+		if p.estErr > 0 {
+			out[i] = channel.PerturbEstimate(rng, h, math.Inf(1), 1, p.estErr)
+		} else {
+			out[i] = h
+		}
+	}
+	return out
+}
+
+func (p *flatProvider) NoisePower() float64 { return p.noisePwr }
+
+// trioProvider builds the Fig. 3 scenario: three pairs with 1, 2, 3
+// antennas. Node ids: tx=1,2,3 rx=11,12,13.
+func trioProvider(rng *rand.Rand, snrDB float64, estErr float64) ([]Flow, *flatProvider) {
+	p := newFlatProvider(8)
+	p.estErr = estErr
+	ants := map[NodeID]int{1: 1, 2: 2, 3: 3, 11: 1, 12: 2, 13: 3}
+	ids := []NodeID{1, 2, 3, 11, 12, 13}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a == b {
+				continue
+			}
+			p.setRandom(rng, a, b, ants[b], ants[a], 0)
+		}
+	}
+	pw := channel.FromDB(snrDB)
+	flows := []Flow{
+		{ID: 1, Tx: 1, Rx: 11, TxAntennas: 1, RxAntennas: 1, TxPower: pw},
+		{ID: 2, Tx: 2, Rx: 12, TxAntennas: 2, RxAntennas: 2, TxPower: pw},
+		{ID: 3, Tx: 3, Rx: 13, TxAntennas: 3, RxAntennas: 3, TxPower: pw},
+	}
+	return flows, p
+}
+
+func newScenario(p ChannelProvider, seed int64) *Scenario {
+	sel, err := esnr.NewSelector(nil)
+	if err != nil {
+		panic(err)
+	}
+	return &Scenario{
+		Provider:        p,
+		Selector:        sel,
+		RNG:             rand.New(rand.NewSource(seed)),
+		NumBins:         8,
+		JoinThresholdDB: 27,
+		PERWidth:        1,
+	}
+}
+
+func TestPlanJoinFirstWinnerUsesAllAntennas(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	flows, p := trioProvider(rng, 20, 0)
+	sc := newScenario(p, 2)
+	for _, f := range flows {
+		a, err := sc.PlanJoin(f, nil)
+		if err != nil {
+			t.Fatalf("flow %d: %v", f.ID, err)
+		}
+		if a.Streams != f.TxAntennas {
+			t.Fatalf("flow %d: %d streams, want %d", f.ID, a.Streams, f.TxAntennas)
+		}
+		if !a.RateOK {
+			t.Fatalf("flow %d: no rate at 20 dB", f.ID)
+		}
+		if a.PowerScale != 1 {
+			t.Fatalf("flow %d: first winner scaled power", f.ID)
+		}
+	}
+}
+
+func TestPlanJoinRespectsDoF(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	flows, p := trioProvider(rng, 20, 0)
+	sc := newScenario(p, 3)
+	// tx3 wins first with 3 streams: nobody else can join (Fig. 5a).
+	a3, err := sc.PlanJoin(flows[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sc.PlanJoin(flows[0], []*Active{a3}); err == nil {
+		t.Fatal("single-antenna flow joined a full medium")
+	}
+	if _, err := sc.PlanJoin(flows[1], []*Active{a3}); err == nil {
+		t.Fatal("2-antenna flow joined a 3-stream medium")
+	}
+	// tx2 wins first with 2 streams: tx3 joins with 1 (Fig. 5b).
+	a2, err := sc.PlanJoin(flows[1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3, err := sc.PlanJoin(flows[2], []*Active{a2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Streams != 1 {
+		t.Fatalf("tx3 joined with %d streams, want 1", j3.Streams)
+	}
+	// tx1 wins first: tx3 joins with 2 (Fig. 5c).
+	a1, err := sc.PlanJoin(flows[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j3c, err := sc.PlanJoin(flows[2], []*Active{a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3c.Streams != 2 {
+		t.Fatalf("tx3 joined with %d streams, want 2", j3c.Streams)
+	}
+	// Chain tx1 → tx2 (1 stream) → tx3 (1 stream): Fig. 5d.
+	j2, err := sc.PlanJoin(flows[1], []*Active{a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.Streams != 1 {
+		t.Fatalf("tx2 joined with %d streams, want 1", j2.Streams)
+	}
+	j3d, err := sc.PlanJoin(flows[2], []*Active{a1, j2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3d.Streams != 1 {
+		t.Fatalf("tx3 joined with %d streams, want 1", j3d.Streams)
+	}
+}
+
+// TestJoinerDoesNotHurtIncumbent is the protocol's core safety
+// property at MAC level: with perfect estimates a joiner leaves the
+// incumbent's delivery SINR untouched; with realistic estimation
+// error the loss stays around the paper's ~1 dB.
+func TestJoinerDoesNotHurtIncumbent(t *testing.T) {
+	for _, estErr := range []float64{0, 0.045} {
+		rng := rand.New(rand.NewSource(4))
+		flows, p := trioProvider(rng, 22, estErr)
+		sc := newScenario(p, 5)
+		a1, err := sc.PlanJoin(flows[0], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		joinSINR := avgDB(a1.JoinSINRs[0])
+		j3, err := sc.PlanJoin(flows[2], []*Active{a1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc.NoteJoiner(a1, j3)
+		delivery, err := sc.DeliverySINRs(a1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		loss := joinSINR - avgDB(delivery[0])
+		if estErr == 0 {
+			if loss > 0.01 {
+				t.Fatalf("perfect CSI: incumbent lost %.2f dB", loss)
+			}
+		} else {
+			if loss > 4 {
+				t.Fatalf("estimation error 4.5%%: incumbent lost %.2f dB (way above paper's ~1 dB)", loss)
+			}
+			if loss <= 0 {
+				t.Fatalf("estimation error must cause some loss, got %.3f dB", loss)
+			}
+		}
+	}
+}
+
+func TestJoinAdmissionPowerControl(t *testing.T) {
+	// A joiner whose raw power at the incumbent receiver exceeds L
+	// must scale down (§4).
+	rng := rand.New(rand.NewSource(6))
+	p := newFlatProvider(4)
+	ants := map[NodeID]int{1: 1, 2: 2, 11: 1, 12: 2}
+	for _, a := range []NodeID{1, 2, 11, 12} {
+		for _, b := range []NodeID{1, 2, 11, 12} {
+			if a != b {
+				p.setRandom(rng, a, b, ants[b], ants[a], 0)
+			}
+		}
+	}
+	// Very strong joiner: 40 dB at the incumbent's receiver.
+	flows := []Flow{
+		{ID: 1, Tx: 1, Rx: 11, TxAntennas: 1, RxAntennas: 1, TxPower: channel.FromDB(20)},
+		{ID: 2, Tx: 2, Rx: 12, TxAntennas: 2, RxAntennas: 2, TxPower: channel.FromDB(40)},
+	}
+	sc := newScenario(p, 7)
+	sc.NumBins = 4
+	a1, err := sc.PlanJoin(flows[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := sc.PlanJoin(flows[1], []*Active{a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j2.PowerScale >= 1 {
+		t.Fatalf("power scale %g, want < 1 for a 40 dB joiner with L=27", j2.PowerScale)
+	}
+	// Effective power at the incumbent ≈ L.
+	eff := flows[1].TxPower * j2.PowerScale * meanGain(p.Channel(2, 11))
+	if db := channel.DB(eff); db > 27.5 {
+		t.Fatalf("scaled interference %g dB exceeds L", db)
+	}
+}
+
+func TestRunEpochsTrioThroughputShape(t *testing.T) {
+	// The headline result (§6.3): n+ roughly doubles trio throughput
+	// vs 802.11n; multi-antenna flows gain, the single-antenna flow
+	// loses only a little.
+	rng := rand.New(rand.NewSource(8))
+	flows, p := trioProvider(rng, 22, 0.045)
+	cfgN := DefaultEpochConfig(ModeNPlus)
+	cfgN.Epochs = 120
+	cfgL := DefaultEpochConfig(Mode80211n)
+	cfgL.Epochs = 120
+
+	scN := newScenario(p, 9)
+	nplus, err := RunEpochs(scN, flows, cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scL := newScenario(p, 9)
+	legacy, err := RunEpochs(scL, flows, cfgL)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	totN, totL := nplus.TotalThroughputMbps(), legacy.TotalThroughputMbps()
+	// With equal 22 dB links everywhere the gain is smaller than the
+	// paper's heterogeneous-testbed ~2× (single-antenna bottlenecks
+	// amplify it there, see Fig. 12 bench); still clearly above 1.
+	if totN < 1.25*totL {
+		t.Fatalf("n+ total %.2f Mb/s not well above 802.11n %.2f Mb/s", totN, totL)
+	}
+	// The 3-antenna flow must gain substantially.
+	if g := nplus.FlowThroughputMbps(3) / math.Max(legacy.FlowThroughputMbps(3), 1e-9); g < 1.5 {
+		t.Fatalf("3-antenna flow gain %.2f, want > 1.5", g)
+	}
+	// The single-antenna flow must not collapse (paper: −3%).
+	if g := nplus.FlowThroughputMbps(1) / math.Max(legacy.FlowThroughputMbps(1), 1e-9); g < 0.7 {
+		t.Fatalf("single-antenna flow retained only %.2f of its throughput", g)
+	}
+	// Joins must actually happen under n+ and never under 802.11n.
+	if nplus.PerFlow[3].Joins == 0 {
+		t.Fatal("no secondary contention wins under n+")
+	}
+	if legacy.PerFlow[3].Joins != 0 {
+		t.Fatal("802.11n mode recorded joins")
+	}
+}
+
+func TestRunEpochsDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	flows, p := trioProvider(rng, 20, 0.03)
+	cfg := DefaultEpochConfig(ModeNPlus)
+	cfg.Epochs = 30
+	r1, err := RunEpochs(newScenario(p, 11), flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunEpochs(newScenario(p, 11), flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.TotalThroughputMbps() != r2.TotalThroughputMbps() {
+		t.Fatal("same seed produced different results")
+	}
+	if r1.Elapsed != r2.Elapsed {
+		t.Fatal("elapsed time diverged")
+	}
+}
+
+func TestRunEpochsValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	flows, p := trioProvider(rng, 20, 0)
+	sc := newScenario(p, 13)
+	cfg := DefaultEpochConfig(ModeNPlus)
+	cfg.Epochs = 0
+	if _, err := RunEpochs(sc, flows, cfg); err == nil {
+		t.Fatal("expected epochs error")
+	}
+	cfg = DefaultEpochConfig(ModeNPlus)
+	cfg.Timing.Slot = -1
+	if _, err := RunEpochs(sc, flows, cfg); err == nil {
+		t.Fatal("expected timing error")
+	}
+}
+
+func TestModeString(t *testing.T) {
+	if ModeNPlus.String() != "802.11n+" || Mode80211n.String() != "802.11n" || ModeBeamforming.String() != "beamforming" {
+		t.Fatal("mode names wrong")
+	}
+	if Mode(9).String() == "" {
+		t.Fatal("unknown mode must render")
+	}
+}
+
+func TestFlowStatsHelpers(t *testing.T) {
+	s := &FlowStats{DeliveredBytes: 1e6, SentPackets: 10, LostPackets: 2}
+	if got := s.ThroughputMbps(1); math.Abs(got-8) > 1e-9 {
+		t.Fatalf("throughput %g", got)
+	}
+	if s.ThroughputMbps(0) != 0 {
+		t.Fatal("zero elapsed should give 0")
+	}
+	if got := s.LossRate(); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("loss rate %g", got)
+	}
+	if (&FlowStats{}).LossRate() != 0 {
+		t.Fatal("empty loss rate")
+	}
+}
+
+func TestTimingValidate(t *testing.T) {
+	good := DefaultTiming10MHz()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := good
+	bad.CWMin = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected CW error")
+	}
+	bad = good
+	bad.DIFS = bad.SIFS / 2
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected DIFS error")
+	}
+}
+
+func TestFlowValidate(t *testing.T) {
+	if err := (Flow{ID: 1, TxAntennas: 1, RxAntennas: 1, TxPower: 1}).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if err := (Flow{ID: 1, TxAntennas: 0, RxAntennas: 1, TxPower: 1}).Validate(); err == nil {
+		t.Fatal("expected antenna error")
+	}
+	if err := (Flow{ID: 1, TxAntennas: 1, RxAntennas: 1, TxPower: 0}).Validate(); err == nil {
+		t.Fatal("expected power error")
+	}
+}
+
+// TestFig4DownlinkGroup verifies the multi-receiver join: a 3-antenna
+// AP serves two 2-antenna clients while a 1-antenna client transmits
+// to a 2-antenna AP (Fig. 4), and both AP streams stay out of AP1's
+// decoding space.
+func TestFig4DownlinkGroup(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	p := newFlatProvider(8)
+	// Nodes: c1=1 (1 ant), AP1=11 (2 ant), AP2=2 (3 ant), c2=12, c3=13 (2 ant each).
+	ants := map[NodeID]int{1: 1, 11: 2, 2: 3, 12: 2, 13: 2}
+	ids := []NodeID{1, 11, 2, 12, 13}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a != b {
+				p.setRandom(rng, a, b, ants[b], ants[a], 0)
+			}
+		}
+	}
+	pw := channel.FromDB(22)
+	uplink := Flow{ID: 1, Tx: 1, Rx: 11, TxAntennas: 1, RxAntennas: 2, TxPower: pw}
+	down2 := Flow{ID: 2, Tx: 2, Rx: 12, TxAntennas: 3, RxAntennas: 2, TxPower: pw}
+	down3 := Flow{ID: 3, Tx: 2, Rx: 13, TxAntennas: 3, RxAntennas: 2, TxPower: pw}
+
+	sc := newScenario(p, 15)
+	a1, err := sc.PlanJoin(uplink, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	group, err := sc.PlanJoinGroup(JoinRequest{Dests: []Flow{down2, down3}}, []*Active{a1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(group) != 2 || group[0].Streams != 1 || group[1].Streams != 1 {
+		t.Fatalf("downlink allocation wrong: %d actives", len(group))
+	}
+	// AP1's delivery SINR with the joiners' leakage: perfect estimates
+	// here, so zero loss.
+	for _, g := range group {
+		sc.NoteJoiner(a1, g)
+	}
+	delivery, err := sc.DeliverySINRs(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := avgDB(a1.JoinSINRs[0]) - avgDB(delivery[0])
+	if loss > 0.01 {
+		t.Fatalf("AP1 lost %.3f dB with perfect CSI", loss)
+	}
+	// Both clients must sustain a rate.
+	for i, g := range group {
+		if !g.RateOK {
+			t.Fatalf("client %d has no usable rate", i)
+		}
+	}
+}
+
+// TestBeamformingBaselineEpoch runs the Fig. 13(b) comparison shape:
+// in beamforming mode the AP serves both clients when it wins, but
+// nobody ever joins the single-antenna client's transmissions.
+func TestBeamformingBaselineEpoch(t *testing.T) {
+	rng := rand.New(rand.NewSource(16))
+	p := newFlatProvider(8)
+	ants := map[NodeID]int{1: 1, 11: 2, 2: 3, 12: 2, 13: 2}
+	ids := []NodeID{1, 11, 2, 12, 13}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a != b {
+				p.setRandom(rng, a, b, ants[b], ants[a], 0)
+			}
+		}
+	}
+	pw := channel.FromDB(22)
+	flows := []Flow{
+		{ID: 1, Tx: 1, Rx: 11, TxAntennas: 1, RxAntennas: 2, TxPower: pw},
+		{ID: 2, Tx: 2, Rx: 12, TxAntennas: 3, RxAntennas: 2, TxPower: pw},
+		{ID: 3, Tx: 2, Rx: 13, TxAntennas: 3, RxAntennas: 2, TxPower: pw},
+	}
+	cfg := DefaultEpochConfig(ModeBeamforming)
+	cfg.Epochs = 60
+	res, err := RunEpochs(newScenario(p, 17), flows, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PerFlow[2].Joins != 0 || res.PerFlow[3].Joins != 0 {
+		t.Fatal("beamforming mode must never join")
+	}
+	if res.PerFlow[2].Wins == 0 {
+		t.Fatal("AP never won in beamforming mode")
+	}
+	if res.TotalThroughputMbps() <= 0 {
+		t.Fatal("no throughput in beamforming mode")
+	}
+	// n+ on the same scenario must beat beamforming (Fig. 13b).
+	cfgN := DefaultEpochConfig(ModeNPlus)
+	cfgN.Epochs = 60
+	resN, err := RunEpochs(newScenario(p, 17), flows, cfgN)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resN.TotalThroughputMbps() <= res.TotalThroughputMbps() {
+		t.Fatalf("n+ %.2f not above beamforming %.2f", resN.TotalThroughputMbps(), res.TotalThroughputMbps())
+	}
+}

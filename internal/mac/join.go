@@ -1,0 +1,706 @@
+package mac
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/esnr"
+	"nplus/internal/mimo"
+	"nplus/internal/modulation"
+)
+
+// Active describes one ongoing transmission: who is sending, with
+// which precoding vectors (power folded in), at which rate, and which
+// decoding space its receiver advertised for later joiners.
+type Active struct {
+	Flow    Flow
+	Streams int
+	// Vectors[stream][bin] is the power-scaled precoding vector in
+	// transmit-antenna space.
+	Vectors [][]cmplxmat.Vector
+	// UPerp[bin] is the receiver's advertised decoding space (N×n):
+	// later joiners must be invisible inside it (Claims 3.3/3.4).
+	UPerp []*cmplxmat.Matrix
+	// Rate is the bitrate chosen via ESNR at join time (§3.4).
+	Rate modulation.Rate
+	// RateOK is false when even the lowest rate was unsupported.
+	RateOK bool
+	// JoinSINRs[stream][bin]: post-projection SINR at the receiver at
+	// join time (before any later joiner).
+	JoinSINRs [][]float64
+	// decoders[bin] is the receiver's designed ZF decoder.
+	decoders []*mimo.Decoder
+	// laterLeakage[j][bin] accumulates the true effective channels of
+	// streams that joined AFTER this transmission began (unknown to
+	// its decoder).
+	laterLeakage [][]cmplxmat.Vector
+	// baseLeakage[bin] holds interference directions present at join
+	// time that the receiver could not (or need not) cancel: either
+	// below the measurement floor or beyond its spare dimensions.
+	baseLeakage [][]cmplxmat.Vector
+	// PowerScale records the §4 join-threshold power reduction (1 =
+	// no reduction).
+	PowerScale float64
+}
+
+// Scenario holds everything the join planner needs about the RF
+// world. One Scenario is shared by the event-driven Protocol and the
+// epoch-based Experiment.
+type Scenario struct {
+	Provider ChannelProvider
+	Selector *esnr.Selector
+	RNG      *rand.Rand
+	// NumBins is the number of data subcarriers (48 for the default
+	// numerology).
+	NumBins int
+	// JoinThresholdDB is L of §4: a joiner whose attenuated power at
+	// an ongoing receiver exceeds L dB must reduce its power, because
+	// practical nulling/alignment cancels at most ~L dB.
+	JoinThresholdDB float64
+	// PERWidth is the dB width of the delivery waterfall (see
+	// esnr.PacketSuccessProbability).
+	PERWidth float64
+	// AlignmentSpaceError is the relative rms error on the decoding
+	// space a receiver advertises in its CTS: the receiver estimates
+	// its unwanted subspace and quantizes U⊥ before broadcasting it.
+	// This extra estimation step is why alignment leaves a larger
+	// residual than nulling in practice (§6.2): when a receiver uses
+	// all its dimensions (n = N) the advertised space is full-rank and
+	// the error is immaterial, but a proper subspace (n < N) rotates
+	// the alignment target.
+	AlignmentSpaceError float64
+}
+
+// estimate fetches the reciprocity-derived channel estimate for
+// precoding.
+func (sc *Scenario) estimate(from, to NodeID) []*cmplxmat.Matrix {
+	return sc.Provider.Estimate(from, to, sc.RNG)
+}
+
+// meanGain returns the average per-bin channel power gain
+// ‖H‖²_F/(N·M) — the attenuation used for the §4 admission check.
+func meanGain(h []*cmplxmat.Matrix) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, m := range h {
+		f := m.FrobeniusNorm()
+		acc += f * f / float64(m.Rows()*m.Cols())
+	}
+	return acc / float64(len(h))
+}
+
+// totalConstraints counts the constraint rows the current actives
+// impose on a joiner (K of Claim 3.2).
+func totalConstraints(actives []*Active) int {
+	k := 0
+	for _, a := range actives {
+		k += a.Streams
+	}
+	return k
+}
+
+// EffectiveAt returns, per stream and per bin, the true effective
+// channel of transmission a as observed at node rx with rxAnt
+// antennas: √P·H_true·v.
+func (sc *Scenario) EffectiveAt(a *Active, rx NodeID, rxAnt int) [][]cmplxmat.Vector {
+	h := sc.Provider.Channel(a.Flow.Tx, rx)
+	out := make([][]cmplxmat.Vector, a.Streams)
+	for s := 0; s < a.Streams; s++ {
+		out[s] = make([]cmplxmat.Vector, sc.NumBins)
+		for b := 0; b < sc.NumBins; b++ {
+			out[s][b] = cmplxmat.Vector(h[b].MulVec(a.Vectors[s][b]))
+		}
+	}
+	return out
+}
+
+// JoinRequest describes one transmitter's attempt to start
+// transmitting: usually a single destination flow, or several flows
+// sharing the same transmitter for the multi-receiver case of Fig. 4
+// (a single light-weight RTS may carry multiple receivers, §3.5).
+type JoinRequest struct {
+	Dests []Flow // all must share Tx, TxAntennas, TxPower
+	// MaxTotalStreams caps the stream count across destinations
+	// (0 = no cap). Rate adaptation uses it: fewer streams concentrate
+	// transmit power and reduce zero-forcing noise amplification, so a
+	// link that cannot sustain M streams may sustain M−1.
+	MaxTotalStreams int
+}
+
+func (r JoinRequest) validate() error {
+	if len(r.Dests) == 0 {
+		return errors.New("mac: join request with no destinations")
+	}
+	first := r.Dests[0]
+	for _, f := range r.Dests {
+		if err := f.Validate(); err != nil {
+			return err
+		}
+		if f.Tx != first.Tx || f.TxAntennas != first.TxAntennas || f.TxPower != first.TxPower {
+			return fmt.Errorf("mac: join request mixes transmitters (%v vs %v)", f.Tx, first.Tx)
+		}
+	}
+	return nil
+}
+
+// PlanJoin computes a new single-destination transmission for flow in
+// the presence of the given actives (empty for a first winner). It
+// returns an error when the flow cannot join without harming the
+// incumbents.
+func (sc *Scenario) PlanJoin(flow Flow, actives []*Active) (*Active, error) {
+	as, err := sc.PlanJoinGroup(JoinRequest{Dests: []Flow{flow}}, actives)
+	if err != nil {
+		return nil, err
+	}
+	return as[0], nil
+}
+
+// PlanJoinGroup computes a (possibly multi-receiver) transmission.
+// One Active is returned per destination flow; together they describe
+// a single physical transmission whose streams are jointly precoded
+// per Claim 3.5: shared protection of every ongoing receiver plus
+// cross-receiver alignment among the transmitter's own receivers.
+//
+// Precoders are computed from channel *estimates* (reciprocity), but
+// SINRs and advertised spaces come from true channels (receivers
+// measure those directly from the precoded preamble) — which is
+// exactly why residual interference is nonzero in practice (§6.2).
+func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	tx := req.Dests[0]
+	k := totalConstraints(actives)
+	avail := mimo.MaxStreams(tx.TxAntennas, k)
+	if avail < 1 {
+		return nil, fmt.Errorf("mac: tx %d has %d antennas, %d DoF in use: %w", tx.Tx, tx.TxAntennas, k, ErrNoDoF)
+	}
+
+	// §4 admission: estimate attenuated power at every ongoing
+	// receiver; reduce power so residual after ~L dB of cancellation
+	// stays below the noise floor.
+	powerScale := 1.0
+	lLin := channel.FromDB(sc.JoinThresholdDB)
+	for _, a := range actives {
+		hEst := sc.estimate(tx.Tx, a.Flow.Rx)
+		pInt := tx.TxPower * meanGain(hEst)
+		if pInt > lLin {
+			if s := lLin / pInt; s < powerScale {
+				powerScale = s
+			}
+		}
+	}
+
+	// Cross-receiver alignment spaces for the transmitter's own
+	// receivers: the orthogonal complement of the interference each
+	// currently sees (its CTS advertises this; with no interference it
+	// degenerates to full nulling, UPerp = I).
+	crossUPerp := make([][]*cmplxmat.Matrix, len(req.Dests))
+	for d, f := range req.Dests {
+		crossUPerp[d] = sc.interferenceComplement(f.Rx, f.RxAntennas, actives)
+	}
+
+	// Stream allocation: round-robin one stream at a time, capped by
+	// each receiver's antennas; feasibility of cross constraints is
+	// verified by the precoder and the allocation shrinks on failure.
+	if req.MaxTotalStreams > 0 && avail > req.MaxTotalStreams {
+		avail = req.MaxTotalStreams
+	}
+	alloc := roundRobinAlloc(req.Dests, avail)
+
+	ownEst := make([][]*cmplxmat.Matrix, len(req.Dests))
+	for d, f := range req.Dests {
+		ownEst[d] = sc.estimate(tx.Tx, f.Rx)
+	}
+	ongoingEst := make([][]*cmplxmat.Matrix, len(actives))
+	for i, a := range actives {
+		ongoingEst[i] = sc.estimate(tx.Tx, a.Flow.Rx)
+	}
+
+	for {
+		total := 0
+		for _, s := range alloc {
+			total += s
+		}
+		if total == 0 {
+			return nil, fmt.Errorf("mac: tx %d: no feasible stream allocation: %w", tx.Tx, ErrNoDoF)
+		}
+		vectors, err := sc.precodeGroup(req, actives, ongoingEst, ownEst, crossUPerp, alloc, tx.TxPower*powerScale, total)
+		if err == nil {
+			return sc.buildActives(req, actives, vectors, alloc, powerScale)
+		}
+		// Shrink: drop one stream from the most-loaded destination and
+		// retry (cross-receiver constraints can make a count infeasible
+		// even when raw DoF suffice).
+		maxD := 0
+		for d := range alloc {
+			if alloc[d] > alloc[maxD] {
+				maxD = d
+			}
+		}
+		if alloc[maxD] == 0 {
+			return nil, err
+		}
+		alloc[maxD]--
+	}
+}
+
+// interferenceComplement returns, per bin, an orthonormal basis of
+// the orthogonal complement of the interference node rx currently
+// sees from the given actives (identity when no interference).
+func (sc *Scenario) interferenceComplement(rx NodeID, rxAnt int, actives []*Active) []*cmplxmat.Matrix {
+	out := make([]*cmplxmat.Matrix, sc.NumBins)
+	var interference [][]cmplxmat.Vector
+	for _, a := range actives {
+		interference = append(interference, sc.EffectiveAt(a, rx, rxAnt)...)
+	}
+	for b := 0; b < sc.NumBins; b++ {
+		// Floor-aware rank: imperfectly-aligned interference must not
+		// inflate the space (see partitionInterference).
+		basis, _ := partitionInterference(interference, b, sc.Provider.NoisePower(), rxAnt)
+		if len(basis) == 0 {
+			out[b] = cmplxmat.Identity(rxAnt)
+			continue
+		}
+		out[b] = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
+	}
+	return out
+}
+
+// precodeGroup solves Eq. 7 on every bin for the requested
+// allocation, returning per-dest per-stream per-bin scaled vectors.
+func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst, ownEst [][]*cmplxmat.Matrix, crossUPerp [][]*cmplxmat.Matrix, alloc []int, power float64, total int) ([][][]cmplxmat.Vector, error) {
+	tx := req.Dests[0]
+	scale := complex(math.Sqrt(power/float64(total)), 0)
+	vectors := make([][][]cmplxmat.Vector, len(req.Dests))
+	for d := range vectors {
+		vectors[d] = make([][]cmplxmat.Vector, alloc[d])
+		for s := range vectors[d] {
+			vectors[d][s] = make([]cmplxmat.Vector, sc.NumBins)
+		}
+	}
+	for b := 0; b < sc.NumBins; b++ {
+		ongoing := make([]mimo.OngoingReceiver, len(actives))
+		for i, a := range actives {
+			ongoing[i] = mimo.OngoingReceiver{H: ongoingEst[i][b], UPerp: a.UPerp[b]}
+		}
+		var own []mimo.OwnReceiver
+		var destOf []int
+		for d := range req.Dests {
+			if alloc[d] == 0 {
+				continue
+			}
+			u := crossUPerp[d][b]
+			if u.Rows() == u.Cols() { // identity → plain nulling
+				u = nil
+			}
+			own = append(own, mimo.OwnReceiver{H: ownEst[d][b], UPerp: u, Streams: alloc[d]})
+			destOf = append(destOf, d)
+		}
+		pre, err := mimo.ComputePrecoder(tx.TxAntennas, ongoing, own)
+		if err != nil {
+			return nil, fmt.Errorf("mac: tx %d bin %d: %w", tx.Tx, b, err)
+		}
+		idx := make([]int, len(own)) // next stream slot per own receiver
+		for i, v := range pre.Vectors {
+			d := destOf[pre.RxIndex[i]]
+			vectors[d][idx[pre.RxIndex[i]]][b] = v.Scale(scale)
+			idx[pre.RxIndex[i]]++
+		}
+	}
+	return vectors, nil
+}
+
+// buildActives wraps the computed vectors into one Active per
+// destination and finalizes each receiver's state; siblings see each
+// other as known interference.
+func (sc *Scenario) buildActives(req JoinRequest, actives []*Active, vectors [][][]cmplxmat.Vector, alloc []int, powerScale float64) ([]*Active, error) {
+	var group []*Active
+	for d, f := range req.Dests {
+		if alloc[d] == 0 {
+			continue
+		}
+		group = append(group, &Active{Flow: f, Streams: alloc[d], Vectors: vectors[d], PowerScale: powerScale})
+	}
+	for gi, a := range group {
+		known := make([]*Active, 0, len(actives)+len(group)-1)
+		known = append(known, actives...)
+		for gj, sib := range group {
+			if gj != gi {
+				known = append(known, sib)
+			}
+		}
+		if err := sc.finalizeAtReceiver(a, known); err != nil {
+			return nil, err
+		}
+	}
+	if len(group) == 0 {
+		return nil, ErrNoDoF
+	}
+	return group, nil
+}
+
+// finalizeAtReceiver computes, from true channels, the receiver-side
+// state of a new transmission: its ZF decoders, join-time SINRs,
+// chosen rate, and the advertised decoding space.
+func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active) error {
+	n := a.Flow.RxAntennas
+	wanted := sc.EffectiveAt(a, a.Flow.Rx, n) // [stream][bin]
+	// Interference this receiver currently sees (true effective
+	// channels of all ongoing streams).
+	var interference [][]cmplxmat.Vector // [stream][bin]
+	for _, other := range actives {
+		interference = append(interference, sc.EffectiveAt(other, a.Flow.Rx, n)...)
+	}
+
+	noise := sc.Provider.NoisePower()
+	a.decoders = make([]*mimo.Decoder, sc.NumBins)
+	a.UPerp = make([]*cmplxmat.Matrix, sc.NumBins)
+	a.baseLeakage = make([][]cmplxmat.Vector, sc.NumBins)
+	a.JoinSINRs = make([][]float64, a.Streams)
+	for s := range a.JoinSINRs {
+		a.JoinSINRs[s] = make([]float64, sc.NumBins)
+	}
+	for b := 0; b < sc.NumBins; b++ {
+		// Partition interference: directions the receiver can and
+		// should cancel go into the unwanted space; interference below
+		// the measurement floor (it cannot even estimate those) or
+		// beyond its spare dimensions stays as leakage. The unwanted
+		// space is spanned by the returned noise-floor-aware basis —
+		// re-deriving it from the raw vectors would rank-inflate on
+		// imperfectly aligned interference.
+		capacity := n - a.Streams
+		basis, leak := partitionInterference(interference, b, noise, capacity)
+		a.baseLeakage[b] = leak
+		var uPerpInterf *cmplxmat.Matrix
+		if len(basis) > 0 {
+			uPerpInterf = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
+		}
+		wantedBin := make([]cmplxmat.Vector, a.Streams)
+		for s := 0; s < a.Streams; s++ {
+			wantedBin[s] = wanted[s][b]
+		}
+		dec, err := mimo.NewDecoder(n, uPerpInterf, wantedBin)
+		if err != nil {
+			return fmt.Errorf("mac: flow %d bin %d: receiver cannot separate streams: %w", a.Flow.ID, b, err)
+		}
+		a.decoders[b] = dec
+		for s := 0; s < a.Streams; s++ {
+			sinr, err := dec.PostSINR(s, noise, leak)
+			if err != nil {
+				return err
+			}
+			a.JoinSINRs[s][b] = sinr
+		}
+		// Advertised decoding space: the directions actually used to
+		// decode — projections of the wanted channels onto the
+		// complement of the current interference, orthonormalized.
+		// Dimension = wanted stream count n_j, giving later joiners
+		// exactly n_j constraints (the Σn_j = K accounting of §3.3).
+		var dirs []cmplxmat.Vector
+		for s := 0; s < a.Streams; s++ {
+			v := wantedBin[s]
+			if uPerpInterf != nil {
+				proj := uPerpInterf.Mul(uPerpInterf.ConjTranspose()).MulVec(v)
+				v = cmplxmat.Vector(proj)
+			}
+			if e := sc.AlignmentSpaceError; e > 0 {
+				v = v.Clone()
+				sigma := e / math.Sqrt2
+				for i := range v {
+					mag := real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
+					s := math.Sqrt(mag) * sigma
+					v[i] += complex(sc.RNG.NormFloat64()*s, sc.RNG.NormFloat64()*s)
+				}
+			}
+			dirs = append(dirs, v)
+		}
+		a.UPerp[b] = cmplxmat.OrthonormalBasis(cmplxmat.ColumnsToMatrix(dirs), 0)
+	}
+
+	// Per-packet bitrate from the weakest stream's ESNR (§3.4): one
+	// rate covers all streams of the transmission.
+	a.Rate, a.RateOK = sc.selectRate(a.JoinSINRs)
+	return nil
+}
+
+// selectRate picks the fastest rate supported by every stream.
+func (sc *Scenario) selectRate(sinrs [][]float64) (modulation.Rate, bool) {
+	if len(sinrs) == 0 {
+		return modulation.Rates[0], false
+	}
+	best := modulation.Rates[len(modulation.Rates)-1]
+	ok := true
+	for _, streamSinrs := range sinrs {
+		r, rok := sc.Selector.SelectRate(streamSinrs)
+		if !rok {
+			ok = false
+		}
+		if r.Index() < best.Index() {
+			best = r
+		}
+	}
+	return best, ok
+}
+
+// NoteJoiner records a later joiner's true leakage at an incumbent's
+// receiver: the incumbent's decoder does not know these directions,
+// so they degrade its delivery SINR (the §6.2/§6.3 residual).
+func (sc *Scenario) NoteJoiner(incumbent, joiner *Active) {
+	eff := sc.EffectiveAt(joiner, incumbent.Flow.Rx, incumbent.Flow.RxAntennas)
+	incumbent.laterLeakage = append(incumbent.laterLeakage, eff...)
+}
+
+// partitionInterference splits per-bin interference into an
+// orthonormal basis of the subspace the receiver cancels (at most
+// `capacity` dimensions, strongest interferers first, ignoring
+// anything 30 dB below the noise floor) and residual leakage vectors.
+// Interference that lies within the already-cancelled subspace up to
+// the floor is free — that is exactly what alignment buys (§2); its
+// sub-floor residue is negligible by construction.
+func partitionInterference(interference [][]cmplxmat.Vector, bin int, noise float64, capacity int) (basis, leak []cmplxmat.Vector) {
+	floor := noise * 1e-3
+	type cand struct {
+		v  cmplxmat.Vector
+		pw float64
+	}
+	var cands []cand
+	for _, ivs := range interference {
+		v := ivs[bin]
+		pw := v.NormSq()
+		if pw < floor {
+			continue // unmeasurable and harmless
+		}
+		cands = append(cands, cand{v: v, pw: pw})
+	}
+	sort.SliceStable(cands, func(i, j int) bool { return cands[i].pw > cands[j].pw })
+	for _, c := range cands {
+		r := c.v.Clone()
+		for _, bv := range basis {
+			r = r.Sub(bv.Scale(bv.Dot(r)))
+		}
+		if r.NormSq() <= floor {
+			continue // inside the cancelled subspace: free
+		}
+		if len(basis) < capacity {
+			basis = append(basis, r.Normalize())
+		} else {
+			leak = append(leak, c.v)
+		}
+	}
+	return basis, leak
+}
+
+// DeliverySINRs returns the per-stream per-bin SINR at delivery time:
+// the join-time decoder confronted with its uncancelled base leakage
+// plus the leakage of every later joiner.
+func (sc *Scenario) DeliverySINRs(a *Active) ([][]float64, error) {
+	noise := sc.Provider.NoisePower()
+	out := make([][]float64, a.Streams)
+	for s := range out {
+		out[s] = make([]float64, sc.NumBins)
+		for b := 0; b < sc.NumBins; b++ {
+			leak := append([]cmplxmat.Vector(nil), a.baseLeakage[b]...)
+			for _, l := range a.laterLeakage {
+				leak = append(leak, l[b])
+			}
+			sinr, err := a.decoders[b].PostSINR(s, noise, leak)
+			if err != nil {
+				return nil, err
+			}
+			out[s][b] = sinr
+		}
+	}
+	return out, nil
+}
+
+// StreamSuccess samples whether stream s of a delivers its payload,
+// using the delivery-time SINRs against the rate chosen at join time.
+func (sc *Scenario) StreamSuccess(a *Active, deliverySINRs [][]float64, s int) bool {
+	if !a.RateOK {
+		return false
+	}
+	p := sc.Selector.PacketSuccessProbability(deliverySINRs[s], a.Rate, sc.PERWidth)
+	return sc.RNG.Float64() < p
+}
+
+// ErrNoDoF is returned when a flow cannot join because no degrees of
+// freedom remain.
+var ErrNoDoF = errors.New("mac: no degrees of freedom available")
+
+// roundRobinAlloc spreads up to `avail` streams across destinations,
+// one at a time, capped by each receiver's antenna count.
+func roundRobinAlloc(dests []Flow, avail int) []int {
+	alloc := make([]int, len(dests))
+	remaining := avail
+	progress := true
+	for remaining > 0 && progress {
+		progress = false
+		for d, f := range dests {
+			if remaining == 0 {
+				break
+			}
+			if alloc[d] < f.RxAntennas {
+				alloc[d]++
+				remaining--
+				progress = true
+			}
+		}
+	}
+	return alloc
+}
+
+// PlanBest performs rate adaptation over both the stream count and
+// the destination set: it tries the largest feasible stream count and
+// shrinks until every destination sustains a bitrate (real 802.11n
+// rate control adapts the stream count the same way — a 3×3 link in a
+// fade may support two streams but not three), and a multi-receiver
+// transmitter drops destinations whose links cannot sustain any rate
+// rather than starving the healthy ones.
+//
+// beamform selects the multi-user beamforming precoder of [7] (first
+// winners with multiple receivers, and the ModeBeamforming baseline);
+// otherwise the null-space precoder of Eq. 7 is used. mustTransmit
+// distinguishes a primary winner (which sends at the rate floor even
+// when no rate is supported — it owns the medium) from a joiner
+// (which simply stays out, keeping the incumbents safe).
+func (sc *Scenario) PlanBest(req JoinRequest, actives []*Active, beamform, mustTransmit bool) ([]*Active, error) {
+	maxCap := req.Dests[0].TxAntennas
+	if !beamform {
+		maxCap = mimo.MaxStreams(req.Dests[0].TxAntennas, totalConstraints(actives))
+	}
+	if maxCap < 1 {
+		return nil, ErrNoDoF
+	}
+	// Candidate destination subsets: the full set plus each receiver
+	// solo (dropping a receiver whose link is in a fade often unlocks
+	// higher aggregate rate than force-sharing streams with it).
+	subsets := [][]Flow{req.Dests}
+	if len(req.Dests) > 1 {
+		for _, f := range req.Dests {
+			subsets = append(subsets, []Flow{f})
+		}
+	}
+	var best []*Active
+	bestCover := -1
+	bestScore := -1.0
+	var fallback []*Active
+	var lastErr error
+	for _, dests := range subsets {
+		for cap := maxCap; cap >= 1; cap-- {
+			r := JoinRequest{Dests: dests, MaxTotalStreams: cap}
+			var group []*Active
+			var err error
+			if beamform {
+				group, err = sc.PlanBeamforming(r)
+			} else {
+				group, err = sc.PlanJoinGroup(r, actives)
+			}
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if fallback == nil {
+				fallback = group
+			}
+			score := 0.0
+			allOK := true
+			for _, a := range group {
+				if a.RateOK {
+					score += float64(a.Streams) * a.Rate.DataRateMbps(20)
+				} else {
+					allOK = false
+				}
+			}
+			if !allOK {
+				continue // partial plans lose air time to doomed streams
+			}
+			// Coverage dominates rate: the traffic demands every
+			// destination, so a plan serving all of them beats a faster
+			// plan that starves one (clients whose links are truly dead
+			// still fall out, because no covering plan is feasible).
+			if len(group) > bestCover || (len(group) == bestCover && score > bestScore) {
+				bestCover = len(group)
+				bestScore = score
+				best = group
+			}
+			// Keep scanning smaller caps: fewer streams concentrate
+			// power and can sustain a disproportionately higher rate.
+		}
+	}
+	if best != nil {
+		return best, nil
+	}
+	if fallback != nil {
+		if mustTransmit {
+			return fallback, nil // the medium is won: send at the floor
+		}
+		return nil, fmt.Errorf("mac: tx %d: no destination sustains a rate", req.Dests[0].Tx)
+	}
+	if lastErr == nil {
+		lastErr = ErrNoDoF
+	}
+	return nil, lastErr
+}
+
+// PlanBeamforming computes a multi-user beamforming transmission per
+// Aryafar et al. [7] — the §6.4 baseline. Beamforming has no notion
+// of joining: the request must be the only transmission on the medium
+// (the winner pre-codes all streams itself).
+func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
+	if err := req.validate(); err != nil {
+		return nil, err
+	}
+	tx := req.Dests[0]
+	// Stream allocation: round-robin up to each receiver's antennas,
+	// bounded by transmit antennas.
+	avail := tx.TxAntennas
+	if req.MaxTotalStreams > 0 && avail > req.MaxTotalStreams {
+		avail = req.MaxTotalStreams
+	}
+	alloc := roundRobinAlloc(req.Dests, avail)
+	total := 0
+	for _, s := range alloc {
+		total += s
+	}
+	if total == 0 {
+		return nil, ErrNoDoF
+	}
+	scale := complex(math.Sqrt(tx.TxPower/float64(total)), 0)
+
+	ownEst := make([][]*cmplxmat.Matrix, len(req.Dests))
+	for d, f := range req.Dests {
+		ownEst[d] = sc.estimate(tx.Tx, f.Rx)
+	}
+	vectors := make([][][]cmplxmat.Vector, len(req.Dests))
+	for d := range vectors {
+		vectors[d] = make([][]cmplxmat.Vector, alloc[d])
+		for s := range vectors[d] {
+			vectors[d][s] = make([]cmplxmat.Vector, sc.NumBins)
+		}
+	}
+	for b := 0; b < sc.NumBins; b++ {
+		chans := make([]*cmplxmat.Matrix, len(req.Dests))
+		for d := range req.Dests {
+			chans[d] = ownEst[d][b]
+		}
+		pre, err := mimo.BeamformingPrecoder(tx.TxAntennas, chans, alloc)
+		if err != nil {
+			return nil, fmt.Errorf("mac: beamforming bin %d: %w", b, err)
+		}
+		idx := make([]int, len(req.Dests))
+		for i, v := range pre.Vectors {
+			d := pre.RxIndex[i]
+			vectors[d][idx[d]][b] = v.Scale(scale)
+			idx[d]++
+		}
+	}
+	return sc.buildActives(req, nil, vectors, alloc, 1)
+}

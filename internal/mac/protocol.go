@@ -1,0 +1,277 @@
+package mac
+
+import (
+	"fmt"
+	"sort"
+
+	"nplus/internal/sim"
+)
+
+// Protocol is the event-driven n+ MAC: per-node CSMA/CA with DIFS,
+// slotted backoff with frozen counters, binary exponential backoff on
+// loss, and — uniquely to n+ — secondary contention for unused
+// degrees of freedom while the medium is occupied (§3.1). It runs on
+// the sim engine and produces the medium-access behavior of Fig. 5.
+//
+// Carrier sense here operates at protocol level: a station knows the
+// number of occupied degrees of freedom from the light-weight
+// handshakes it decodes (the signal-level projection machinery that
+// makes this possible is implemented and evaluated in package mimo /
+// Fig. 9). A station with more antennas than occupied DoF keeps
+// counting down its backoff; others freeze.
+type Protocol struct {
+	Eng      *sim.Engine
+	Sc       *Scenario
+	Cfg      EpochConfig
+	stations []*station
+	// medium state
+	actives    []*Active
+	activeOf   map[*station][]*Active
+	jointEnd   float64 // when the current joint transmission ends
+	endHandle  *sim.EventHandle
+	stats      map[int]*FlowStats
+	firstStart float64
+}
+
+type station struct {
+	id      int // index into Protocol.stations
+	tx      NodeID
+	flows   []Flow
+	backoff int // remaining slots
+	cw      int
+	pending *sim.EventHandle
+	// txActive true while this station transmits
+	txActive bool
+	retries  int
+}
+
+// NewProtocol builds the event-driven MAC over the given flows
+// (grouped by transmitter) with a fully backlogged traffic model.
+func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (*Protocol, error) {
+	if err := cfg.Timing.Validate(); err != nil {
+		return nil, err
+	}
+	groups, order := groupByTx(flows)
+	p := &Protocol{
+		Eng:      eng,
+		Sc:       sc,
+		Cfg:      cfg,
+		activeOf: make(map[*station][]*Active),
+		stats:    make(map[int]*FlowStats),
+	}
+	for i, tx := range order {
+		st := &station{id: i, tx: tx, flows: groups[tx], cw: cfg.Timing.CWMin}
+		p.stations = append(p.stations, st)
+		for _, f := range groups[tx] {
+			p.stats[f.ID] = &FlowStats{}
+		}
+	}
+	return p, nil
+}
+
+// Stats returns the per-flow statistics collected so far.
+func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
+
+// Start arms every station's first contention.
+func (p *Protocol) Start() {
+	for _, st := range p.stations {
+		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
+		p.armCountdown(st)
+	}
+}
+
+// usedDoF returns the number of occupied degrees of freedom.
+func (p *Protocol) usedDoF() int { return totalConstraints(p.actives) }
+
+// eligible reports whether a station may currently contend: medium
+// idle, or n+ secondary contention with spare antennas and enough
+// remaining air time to be useful.
+func (p *Protocol) eligible(st *station) bool {
+	if st.txActive {
+		return false
+	}
+	k := p.usedDoF()
+	if k == 0 {
+		return true
+	}
+	if p.Cfg.Mode != ModeNPlus {
+		return false
+	}
+	if st.flows[0].TxAntennas <= k {
+		return false
+	}
+	remaining := p.jointEnd - p.Eng.Now()
+	return remaining > p.Cfg.Timing.HandshakeOverhead()+p.Cfg.Timing.DIFS
+}
+
+// armCountdown schedules the end of a station's DIFS+backoff
+// countdown if it is eligible; ineligible stations stay frozen and
+// re-arm on the next medium transition.
+func (p *Protocol) armCountdown(st *station) {
+	if !p.eligible(st) {
+		return
+	}
+	t := p.Cfg.Timing
+	delay := t.DIFS + float64(st.backoff)*t.Slot
+	p.Eng.Cancel(st.pending)
+	st.pending = p.Eng.Schedule(delay, func() { p.win(st) })
+}
+
+// freeze cancels a station's countdown, crediting consumed slots
+// (frozen counters, as in 802.11).
+func (p *Protocol) freeze(st *station, contentionStart float64) {
+	if st.pending == nil || st.pending.Cancelled() {
+		return
+	}
+	p.Eng.Cancel(st.pending)
+	elapsed := p.Eng.Now() - contentionStart - p.Cfg.Timing.DIFS
+	if elapsed > 0 {
+		consumed := int(elapsed / p.Cfg.Timing.Slot)
+		st.backoff -= consumed
+		if st.backoff < 0 {
+			st.backoff = 0
+		}
+	}
+}
+
+// win fires when a station's backoff expires: it transmits (primary)
+// or joins (secondary).
+func (p *Protocol) win(st *station) {
+	req := JoinRequest{Dests: st.flows}
+	isPrimary := len(p.actives) == 0
+	beamform := isPrimary && (p.Cfg.Mode == ModeBeamforming || len(req.Dests) > 1)
+	group, err := p.Sc.PlanBest(req, p.actives, beamform, isPrimary)
+	if err != nil {
+		// Cannot transmit without harming incumbents: back off again and
+		// wait for the medium to clear.
+		p.Eng.Tracef("station %d (tx %d) blocked: %v", st.id, st.tx, err)
+		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
+		return
+	}
+	contentionStart := p.Eng.Now()
+	st.txActive = true
+	st.backoff = p.Sc.RNG.Intn(st.cw + 1) // fresh draw for next round
+	t := p.Cfg.Timing
+
+	if isPrimary {
+		p.firstStart = p.Eng.Now()
+		totalStreams := 0
+		rate := group[0].Rate
+		for _, a := range group {
+			totalStreams += a.Streams
+			if a.Rate.Index() < rate.Index() {
+				rate = a.Rate
+			}
+			p.stats[a.Flow.ID].Wins++
+		}
+		bps := rate.DataRateMbps(p.Cfg.BandwidthMHz) * 1e6
+		dataDur := float64(p.Cfg.PacketBytes*8) / (bps * float64(totalStreams))
+		p.jointEnd = p.Eng.Now() + t.HandshakeOverhead() + dataDur
+		p.endHandle = p.Eng.ScheduleAt(p.jointEnd, p.finish)
+		p.Eng.Tracef("station %d (tx %d) wins primary contention: %d stream(s) at %v", st.id, st.tx, totalStreams, rate)
+	} else {
+		for _, inc := range p.actives {
+			for _, a := range group {
+				p.Sc.NoteJoiner(inc, a)
+			}
+		}
+		n := 0
+		for _, a := range group {
+			p.stats[a.Flow.ID].Joins++
+			n += a.Streams
+		}
+		p.Eng.Tracef("station %d (tx %d) joins with %d stream(s), DoF now %d", st.id, st.tx, n, p.usedDoF()+n)
+	}
+	p.actives = append(p.actives, group...)
+	p.activeOf[st] = group
+
+	// Medium state changed: every other station re-evaluates.
+	for _, other := range p.stations {
+		if other != st {
+			p.freeze(other, contentionStart)
+			p.armCountdown(other)
+		}
+	}
+}
+
+// finish ends the joint transmission: concurrent ACKs, delivery
+// sampling, stats, and a fresh contention round.
+func (p *Protocol) finish() {
+	t := p.Cfg.Timing
+	start := p.firstStart
+	// Stable station order: map iteration would randomize RNG draws.
+	stations := make([]*station, 0, len(p.activeOf))
+	for st := range p.activeOf {
+		stations = append(stations, st)
+	}
+	sort.Slice(stations, func(i, j int) bool { return stations[i].id < stations[j].id })
+	for _, st := range stations {
+		group := p.activeOf[st]
+		for _, a := range group {
+			fs := p.stats[a.Flow.ID]
+			fs.StreamSum += int64(a.Streams)
+			delivery, err := p.Sc.DeliverySINRs(a)
+			if err != nil {
+				panic(fmt.Sprintf("mac: delivery SINR: %v", err))
+			}
+			// Air time this active actually had.
+			air := p.jointEnd - start - t.HandshakeOverhead()
+			bps := a.Rate.DataRateMbps(p.Cfg.BandwidthMHz) * 1e6
+			bytesPerStream := int64(air * bps / 8)
+			if max := int64(p.Cfg.PacketBytes); bytesPerStream > max {
+				bytesPerStream = max
+			}
+			ok := true
+			for s := 0; s < a.Streams; s++ {
+				if bytesPerStream <= 0 {
+					continue
+				}
+				fs.SentPackets++
+				if p.Sc.StreamSuccess(a, delivery, s) {
+					fs.DeliveredBytes += bytesPerStream
+				} else {
+					fs.LostPackets++
+					ok = false
+				}
+			}
+			if ok {
+				st.cw = t.CWMin
+				st.retries = 0
+			} else {
+				// Binary exponential backoff on loss.
+				st.cw = st.cw*2 + 1
+				if st.cw > t.CWMax {
+					st.cw = t.CWMax
+				}
+				st.retries++
+			}
+		}
+		st.txActive = false
+	}
+	p.Eng.Tracef("joint transmission ends; ACK phase")
+	p.actives = nil
+	p.activeOf = make(map[*station][]*Active)
+	p.jointEnd = 0
+
+	// ACK phase then a new contention round for everyone.
+	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
+		// Stable station order for determinism.
+		sts := append([]*station(nil), p.stations...)
+		sort.Slice(sts, func(i, j int) bool { return sts[i].id < sts[j].id })
+		for _, st := range sts {
+			p.armCountdown(st)
+		}
+	})
+}
+
+// Run executes the protocol for the given virtual duration and
+// returns per-flow throughput in Mb/s.
+func (p *Protocol) Run(duration float64) map[int]float64 {
+	p.Start()
+	p.Eng.Run(p.Eng.Now() + duration)
+	out := make(map[int]float64)
+	for id, st := range p.stats {
+		out[id] = st.ThroughputMbps(duration)
+	}
+	return out
+}

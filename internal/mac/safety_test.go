@@ -1,0 +1,160 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nplus/internal/channel"
+)
+
+// TestPropPerfectCSIJoinsAreHarmless is the protocol's fundamental
+// safety property exercised across random antenna configurations and
+// channel draws: with perfect channel knowledge, any chain of joins
+// leaves every incumbent's delivery SINR exactly at its join-time
+// value.
+func TestPropPerfectCSIJoinsAreHarmless(t *testing.T) {
+	f := func(seed int64, a2sel, a3sel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random antenna counts: pair1 1..2, pair2 2..3, pair3 3.
+		a1 := 1
+		a2 := int(a2sel)%2 + 2
+		a3 := 3
+		p := newFlatProvider(4)
+		ants := map[NodeID]int{1: a1, 2: a2, 3: a3, 11: a1, 12: a2, 13: a3}
+		ids := []NodeID{1, 2, 3, 11, 12, 13}
+		for _, x := range ids {
+			for _, y := range ids {
+				if x != y {
+					p.setRandom(rng, x, y, ants[y], ants[x], 0)
+				}
+			}
+		}
+		pw := channel.FromDB(20)
+		flows := []Flow{
+			{ID: 1, Tx: 1, Rx: 11, TxAntennas: a1, RxAntennas: a1, TxPower: pw},
+			{ID: 2, Tx: 2, Rx: 12, TxAntennas: a2, RxAntennas: a2, TxPower: pw},
+			{ID: 3, Tx: 3, Rx: 13, TxAntennas: a3, RxAntennas: a3, TxPower: pw},
+		}
+		sc := newScenario(p, seed+1)
+		sc.NumBins = 4
+
+		first, err := sc.PlanJoin(flows[0], nil)
+		if err != nil {
+			return true // degenerate draw
+		}
+		actives := []*Active{first}
+		for _, fl := range flows[1:] {
+			j, err := sc.PlanJoin(fl, actives)
+			if err != nil {
+				continue // no DoF left — legal outcome
+			}
+			for _, inc := range actives {
+				sc.NoteJoiner(inc, j)
+			}
+			actives = append(actives, j)
+		}
+		if len(actives) < 2 {
+			return true // nobody joined; nothing to check
+		}
+		for _, a := range actives {
+			delivery, err := sc.DeliverySINRs(a)
+			if err != nil {
+				return false
+			}
+			for s := range delivery {
+				for b := range delivery[s] {
+					join := a.JoinSINRs[s][b]
+					if delivery[s][b] < join*0.999 {
+						return false // a joiner hurt an incumbent
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropDoFConservation: across random join chains, the total
+// number of concurrent streams never exceeds the maximum antenna
+// count of any participating transmitter (the paper's headline DoF
+// bound).
+func TestPropDoFConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		flows, p := trioProvider(rng, 20, 0.02)
+		sc := newScenario(p, seed+5)
+		perm := rng.Perm(3)
+		var actives []*Active
+		for _, pi := range perm {
+			j, err := sc.PlanJoin(flows[pi], actives)
+			if err != nil {
+				continue
+			}
+			actives = append(actives, j)
+		}
+		total := totalConstraints(actives)
+		return total <= 3 // max antennas in the trio
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMissedHandshakeMeansNoJoin models §4 "Hidden Terminals and
+// Decoding Errors": a joiner that failed to decode an incumbent's
+// handshake has no UPerp/channel knowledge for it and must not
+// transmit concurrently. At the API level this manifests as PlanJoin
+// being callable only with the actives the node actually knows —
+// here we verify that planning *without* the incumbent produces a
+// precoder that genuinely harms it, confirming the protocol's rule
+// (decode-or-abstain) is load-bearing rather than redundant.
+func TestMissedHandshakeMeansNoJoin(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	flows, p := trioProvider(rng, 22, 0)
+	sc := newScenario(p, 78)
+	a1, err := sc.PlanJoin(flows[0], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// tx3 plans as if the medium were idle (missed tx1's handshake).
+	rogue, err := sc.PlanJoin(flows[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc.NoteJoiner(a1, rogue)
+	delivery, err := sc.DeliverySINRs(a1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loss := avgDB(a1.JoinSINRs[0]) - avgDB(delivery[0])
+	if loss < 3 {
+		t.Fatalf("an uninformed concurrent transmission lost the incumbent only %.2f dB — the decode-or-abstain rule would be unnecessary", loss)
+	}
+}
+
+// TestPowerScaleNeverAmplifies: §4 power control only ever reduces
+// power.
+func TestPowerScaleNeverAmplifies(t *testing.T) {
+	f := func(seed int64, snrSel uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		snr := float64(snrSel%40) + 5
+		flows, p := trioProvider(rng, snr, 0.02)
+		sc := newScenario(p, seed+9)
+		a1, err := sc.PlanJoin(flows[0], nil)
+		if err != nil {
+			return true
+		}
+		j, err := sc.PlanJoin(flows[2], []*Active{a1})
+		if err != nil {
+			return true
+		}
+		return j.PowerScale > 0 && j.PowerScale <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

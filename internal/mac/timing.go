@@ -1,0 +1,59 @@
+package mac
+
+import "fmt"
+
+// Timing holds the 802.11 MAC timing parameters. The defaults follow
+// the half-clocked 10 MHz numerology of the paper's USRP2 channel
+// (as in 802.11p): all intervals double relative to 20 MHz 802.11a.
+type Timing struct {
+	Slot float64 // backoff slot, seconds
+	SIFS float64 // short interframe space
+	DIFS float64 // distributed interframe space
+
+	CWMin int // minimum contention window (slots)
+	CWMax int // maximum contention window
+
+	// HeaderDuration is the air time of a light-weight data header
+	// (the paper's split RTS) including its PHY preamble.
+	HeaderDuration float64
+	// AckHeaderDuration is the air time of a light-weight ACK header
+	// including the differential alignment space (§3.5: 4 extra OFDM
+	// symbols ≈ 32 µs at 10 MHz, on top of the base header).
+	AckHeaderDuration float64
+	// AckBodyDuration is the air time of the ACK body.
+	AckBodyDuration float64
+}
+
+// DefaultTiming10MHz matches the testbed configuration: half-clocked
+// 802.11a timings and 8 µs OFDM symbols.
+func DefaultTiming10MHz() Timing {
+	const sym = 8e-6 // OFDM symbol at 10 MHz
+	return Timing{
+		Slot:              18e-6,
+		SIFS:              32e-6,
+		DIFS:              68e-6, // SIFS + 2·slot
+		CWMin:             15,
+		CWMax:             1023,
+		HeaderDuration:    5*sym + 16e-6, // preamble + header symbols
+		AckHeaderDuration: 9*sym + 16e-6, // + bitrate/alignment space (§3.5)
+		AckBodyDuration:   2 * sym,
+	}
+}
+
+// Validate checks consistency.
+func (t Timing) Validate() error {
+	if t.Slot <= 0 || t.SIFS <= 0 || t.DIFS < t.SIFS {
+		return fmt.Errorf("mac: inconsistent timing %+v", t)
+	}
+	if t.CWMin < 1 || t.CWMax < t.CWMin {
+		return fmt.Errorf("mac: bad contention window [%d, %d]", t.CWMin, t.CWMax)
+	}
+	return nil
+}
+
+// HandshakeOverhead returns the fixed per-exchange overhead of the
+// light-weight handshake (Fig. 8b): two extra SIFS gaps plus the
+// header transmissions themselves.
+func (t Timing) HandshakeOverhead() float64 {
+	return 2*t.SIFS + t.HeaderDuration + t.AckHeaderDuration
+}

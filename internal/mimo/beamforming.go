@@ -1,0 +1,80 @@
+package mimo
+
+import (
+	"fmt"
+
+	"nplus/internal/cmplxmat"
+)
+
+// BeamformingPrecoder implements the multi-user zero-forcing
+// beamforming baseline of Aryafar et al. [7] that §6.4 compares n+
+// against: a single M-antenna AP serves several clients
+// simultaneously — e.g. three streams, two to one client and one to
+// the other — by pre-coding all streams jointly with the
+// pseudo-inverse of the stacked per-stream channel rows, so that each
+// stream arrives only at its target receive antenna and nulls at the
+// receive antennas of every other stream.
+//
+// rxChannels[i] is the N_i×M channel to client i; streams[i] is the
+// number of streams destined to client i (each stream targets one of
+// the client's antennas, in row order). Σ streams[i] ≤ M and
+// streams[i] ≤ N_i are required.
+//
+// Unlike n+, beamforming requires all concurrent streams to originate
+// at this one transmitter: it cannot protect receivers of *other*
+// transmitters' ongoing transmissions. That architectural restriction
+// is exactly what n+ removes.
+func BeamformingPrecoder(m int, rxChannels []*cmplxmat.Matrix, streams []int) (*Precoder, error) {
+	if len(rxChannels) != len(streams) {
+		return nil, fmt.Errorf("mimo: %d channels for %d stream counts", len(rxChannels), len(streams))
+	}
+	total := 0
+	for i, s := range streams {
+		if s < 0 {
+			return nil, fmt.Errorf("mimo: negative stream count for client %d", i)
+		}
+		if s > 0 && rxChannels[i].Rows() < s {
+			return nil, fmt.Errorf("mimo: client %d has %d antennas for %d streams", i, rxChannels[i].Rows(), s)
+		}
+		total += s
+	}
+	if total == 0 {
+		return nil, fmt.Errorf("mimo: zero total streams")
+	}
+	if total > m {
+		return nil, fmt.Errorf("mimo: %d streams exceed %d transmit antennas", total, m)
+	}
+	// Stack the selected receive-antenna rows: stream order follows
+	// client order, antenna row order within a client.
+	rows := make([]*cmplxmat.Matrix, 0, total)
+	rxIdx := make([]int, 0, total)
+	for i, ch := range rxChannels {
+		if streams[i] == 0 {
+			continue
+		}
+		if ch.Cols() != m {
+			return nil, fmt.Errorf("mimo: client %d channel expects %d tx antennas, have %d", i, ch.Cols(), m)
+		}
+		rows = append(rows, ch.Submatrix(0, streams[i], 0, m))
+		for s := 0; s < streams[i]; s++ {
+			rxIdx = append(rxIdx, i)
+		}
+	}
+	hs := cmplxmat.VStack(rows...) // total×M
+	// V = Hsᴴ(Hs·Hsᴴ)⁻¹: column j arrives with unit gain at selected
+	// antenna j and zero at every other selected antenna.
+	pinv, err := cmplxmat.PseudoInverse(hs.ConjTranspose())
+	if err != nil {
+		return nil, fmt.Errorf("mimo: stacked channel is rank-deficient: %w", err)
+	}
+	v := pinv.ConjTranspose() // M×total
+	p := &Precoder{M: m, RxIndex: rxIdx}
+	for j := 0; j < total; j++ {
+		col := cmplxmat.Vector(v.Col(j)).Normalize()
+		if col.Norm() == 0 {
+			return nil, fmt.Errorf("mimo: degenerate beamforming vector for stream %d", j)
+		}
+		p.Vectors = append(p.Vectors, col)
+	}
+	return p, nil
+}

@@ -1,0 +1,170 @@
+package mimo
+
+import (
+	"fmt"
+
+	"nplus/internal/cmplxmat"
+	"nplus/internal/ofdm"
+)
+
+// CarrierSense implements multi-dimensional carrier sense (§3.2): a
+// node with N antennas tracks the channel directions of ongoing
+// transmissions and projects its received signal onto the subspace
+// orthogonal to them. In that subspace the ongoing transmissions
+// contribute nothing, so ordinary 802.11 carrier sense — power
+// thresholding and preamble cross-correlation — applies unchanged to
+// the *remaining* degrees of freedom.
+type CarrierSense struct {
+	n        int               // antennas at the sensing node
+	occupied []cmplxmat.Vector // channel vector of each ongoing stream
+	basis    *cmplxmat.Matrix  // orthonormal basis W of the free subspace (N×f)
+}
+
+// NewCarrierSense creates a sensor for a node with n receive
+// antennas and no ongoing transmissions: the free subspace is all of
+// ℂⁿ.
+func NewCarrierSense(n int) *CarrierSense {
+	if n < 1 {
+		panic(fmt.Sprintf("mimo: carrier sense with %d antennas", n))
+	}
+	return &CarrierSense{n: n, basis: cmplxmat.Identity(n)}
+}
+
+// AddStream registers the channel vector (as observed at this node's
+// antennas, e.g. from the preamble of the winner's RTS) of one more
+// ongoing stream and shrinks the free subspace accordingly.
+func (cs *CarrierSense) AddStream(h cmplxmat.Vector) error {
+	if len(h) != cs.n {
+		return fmt.Errorf("mimo: stream channel has %d entries for %d antennas", len(h), cs.n)
+	}
+	cs.occupied = append(cs.occupied, h.Clone())
+	cs.recompute()
+	return nil
+}
+
+// Reset clears all tracked streams (medium became idle).
+func (cs *CarrierSense) Reset() {
+	cs.occupied = nil
+	cs.basis = cmplxmat.Identity(cs.n)
+}
+
+func (cs *CarrierSense) recompute() {
+	span := cmplxmat.ColumnsToMatrix(cs.occupied)
+	cs.basis = cmplxmat.OrthogonalComplement(span, 0)
+}
+
+// UsedDoF returns the number of degrees of freedom occupied by the
+// tracked streams (the rank of their span).
+func (cs *CarrierSense) UsedDoF() int { return cs.n - cs.basis.Cols() }
+
+// FreeDoF returns the dimensionality of the subspace in which this
+// node can still sense and contend.
+func (cs *CarrierSense) FreeDoF() int { return cs.basis.Cols() }
+
+// Project maps one received N-vector (the simultaneous samples of all
+// antennas) into the free subspace, returning an f-dimensional
+// vector (f = FreeDoF). By construction the result contains no energy
+// from the tracked streams: ~y′ = Wᴴ~y.
+func (cs *CarrierSense) Project(y cmplxmat.Vector) (cmplxmat.Vector, error) {
+	if len(y) != cs.n {
+		return nil, fmt.Errorf("mimo: sample vector has %d entries for %d antennas", len(y), cs.n)
+	}
+	return cs.basis.ConjTranspose().MulVec(y), nil
+}
+
+// ProjectSamples applies Project across a block of per-antenna sample
+// streams: samples[a][t] is antenna a at time t. The result has
+// FreeDoF virtual antenna streams.
+func (cs *CarrierSense) ProjectSamples(samples [][]complex128) ([][]complex128, error) {
+	if len(samples) != cs.n {
+		return nil, fmt.Errorf("mimo: %d antenna streams for %d antennas", len(samples), cs.n)
+	}
+	if cs.n == 0 || len(samples[0]) == 0 {
+		return make([][]complex128, cs.FreeDoF()), nil
+	}
+	length := len(samples[0])
+	for _, s := range samples {
+		if len(s) != length {
+			return nil, fmt.Errorf("mimo: ragged antenna streams")
+		}
+	}
+	f := cs.FreeDoF()
+	out := make([][]complex128, f)
+	w := cs.basis.ConjTranspose() // f×N
+	for r := 0; r < f; r++ {
+		acc := make([]complex128, length)
+		for a := 0; a < cs.n; a++ {
+			c := w.At(r, a)
+			if c == 0 {
+				continue
+			}
+			src := samples[a]
+			for t := 0; t < length; t++ {
+				acc[t] += c * src[t]
+			}
+		}
+		out[r] = acc
+	}
+	return out, nil
+}
+
+// ResidualPower returns the mean per-sample power seen in the free
+// subspace — the power component of carrier sense after projection.
+// If only tracked streams are on the air it is (up to noise) zero;
+// any new transmission raises it (Fig. 9a).
+func (cs *CarrierSense) ResidualPower(samples [][]complex128) (float64, error) {
+	proj, err := cs.ProjectSamples(samples)
+	if err != nil {
+		return 0, err
+	}
+	if len(proj) == 0 {
+		return 0, nil
+	}
+	var total float64
+	for _, s := range proj {
+		total += ofdm.Power(s)
+	}
+	return total, nil
+}
+
+// Correlate cross-correlates a known reference (e.g. the STF) against
+// each projected virtual antenna stream and returns the best
+// normalized metric — the correlation component of carrier sense
+// after projection (Fig. 9b).
+func (cs *CarrierSense) Correlate(samples [][]complex128, ref []complex128) (float64, error) {
+	proj, err := cs.ProjectSamples(samples)
+	if err != nil {
+		return 0, err
+	}
+	best := 0.0
+	for _, s := range proj {
+		if m := ofdm.CrossCorrelate(s, ref); m > best {
+			best = m
+		}
+	}
+	return best, nil
+}
+
+// Busy applies the classical two-part carrier-sense decision in the
+// projected space: the medium (i.e. the next degree of freedom) is
+// busy when either the projected power exceeds powerThresh or the
+// projected correlation exceeds corrThresh.
+func (cs *CarrierSense) Busy(samples [][]complex128, ref []complex128, powerThresh, corrThresh float64) (bool, error) {
+	pw, err := cs.ResidualPower(samples)
+	if err != nil {
+		return false, err
+	}
+	if pw > powerThresh {
+		return true, nil
+	}
+	if len(ref) > 0 {
+		corr, err := cs.Correlate(samples, ref)
+		if err != nil {
+			return false, err
+		}
+		if corr > corrThresh {
+			return true, nil
+		}
+	}
+	return false, nil
+}

@@ -1,0 +1,324 @@
+package mimo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/ofdm"
+)
+
+func TestCarrierSenseDoFAccounting(t *testing.T) {
+	cs := NewCarrierSense(3)
+	if cs.FreeDoF() != 3 || cs.UsedDoF() != 0 {
+		t.Fatalf("fresh sensor: free %d used %d", cs.FreeDoF(), cs.UsedDoF())
+	}
+	rng := rand.New(rand.NewSource(1))
+	if err := cs.AddStream(randVec(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if cs.FreeDoF() != 2 || cs.UsedDoF() != 1 {
+		t.Fatalf("after 1 stream: free %d used %d", cs.FreeDoF(), cs.UsedDoF())
+	}
+	if err := cs.AddStream(randVec(rng, 3)); err != nil {
+		t.Fatal(err)
+	}
+	if cs.FreeDoF() != 1 {
+		t.Fatalf("after 2 streams: free %d", cs.FreeDoF())
+	}
+	cs.Reset()
+	if cs.FreeDoF() != 3 {
+		t.Fatal("reset did not restore DoF")
+	}
+	if err := cs.AddStream(randVec(rng, 2)); err == nil {
+		t.Fatal("expected dimension error")
+	}
+}
+
+func TestCarrierSenseAlignedStreamsShareDoF(t *testing.T) {
+	// Two ongoing streams that arrive along the same direction (i.e.
+	// aligned) occupy a single degree of freedom.
+	cs := NewCarrierSense(3)
+	rng := rand.New(rand.NewSource(2))
+	h := randVec(rng, 3)
+	_ = cs.AddStream(h)
+	_ = cs.AddStream(h.Scale(1.7i))
+	if cs.UsedDoF() != 1 {
+		t.Fatalf("aligned streams used %d DoF, want 1", cs.UsedDoF())
+	}
+}
+
+// TestCarrierSenseIgnoresOngoing is the §3.2 guarantee: after
+// projection, samples that consist purely of tracked transmissions
+// (plus nothing) have zero residual power, regardless of the ongoing
+// signal's strength.
+func TestCarrierSenseIgnoresOngoing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	cs := NewCarrierSense(3)
+	h := randVec(rng, 3)
+	if err := cs.AddStream(h); err != nil {
+		t.Fatal(err)
+	}
+	// Strong ongoing transmission: y[t] = h·p[t] with |p| huge.
+	length := 200
+	samples := make([][]complex128, 3)
+	for a := range samples {
+		samples[a] = make([]complex128, length)
+	}
+	for tt := 0; tt < length; tt++ {
+		p := complex(rng.NormFloat64(), rng.NormFloat64()) * 100
+		for a := 0; a < 3; a++ {
+			samples[a][tt] = h[a] * p
+		}
+	}
+	pw, err := cs.ResidualPower(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw := 0.0
+	for _, s := range samples {
+		raw += ofdm.Power(s)
+	}
+	if pw > raw*1e-18 {
+		t.Fatalf("residual power %g not negligible vs raw %g", pw, raw)
+	}
+}
+
+func TestCarrierSenseDetectsNewTransmission(t *testing.T) {
+	// With tx1 tracked, a new weak transmission from tx2 must appear
+	// clearly in the projected space even though it is buried in tx1's
+	// power in the raw samples (the Fig. 9a mechanism).
+	rng := rand.New(rand.NewSource(4))
+	cs := NewCarrierSense(3)
+	h1 := randVec(rng, 3)
+	h2 := randVec(rng, 3)
+	_ = cs.AddStream(h1)
+
+	length := 400
+	mk := func(withTx2 bool) [][]complex128 {
+		samples := make([][]complex128, 3)
+		for a := range samples {
+			samples[a] = make([]complex128, length)
+		}
+		for tt := 0; tt < length; tt++ {
+			p := complex(rng.NormFloat64(), rng.NormFloat64()) * 10 // strong tx1
+			q := complex(0, 0)
+			if withTx2 {
+				q = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.5 // weak tx2
+			}
+			for a := 0; a < 3; a++ {
+				samples[a][tt] = h1[a]*p + h2[a]*q
+				samples[a][tt] += complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05
+			}
+		}
+		return samples
+	}
+	pwIdle, _ := cs.ResidualPower(mk(false))
+	pwBusy, _ := cs.ResidualPower(mk(true))
+	if pwBusy < 10*pwIdle {
+		t.Fatalf("projected power jump too small: idle %g busy %g", pwIdle, pwBusy)
+	}
+	// Without projection the jump is tiny (tx2 buried under tx1).
+	rawIdle, rawBusy := 0.0, 0.0
+	for _, s := range mk(false) {
+		rawIdle += ofdm.Power(s)
+	}
+	for _, s := range mk(true) {
+		rawBusy += ofdm.Power(s)
+	}
+	if rawBusy > 1.5*rawIdle {
+		t.Fatalf("test setup wrong: tx2 should be buried (raw %g vs %g)", rawBusy, rawIdle)
+	}
+}
+
+func TestCarrierSenseCorrelationAfterProjection(t *testing.T) {
+	// The projected signal preserves a new transmitter's preamble
+	// shape: cross-correlation in the free subspace detects tx2's STF
+	// under tx1's strong transmission (the Fig. 9b mechanism).
+	rng := rand.New(rand.NewSource(5))
+	params := ofdm.Default()
+	stf := params.STF()
+	cs := NewCarrierSense(3)
+	h1 := randVec(rng, 3)
+	h2 := randVec(rng, 3)
+	_ = cs.AddStream(h1)
+
+	length := len(stf) + 100
+	samples := make([][]complex128, 3)
+	for a := range samples {
+		samples[a] = make([]complex128, length)
+	}
+	for tt := 0; tt < length; tt++ {
+		p := complex(rng.NormFloat64(), rng.NormFloat64()) * 8
+		var q complex128
+		if tt >= 50 && tt < 50+len(stf) {
+			q = stf[tt-50] * 1.0
+		}
+		for a := 0; a < 3; a++ {
+			samples[a][tt] = h1[a]*p + h2[a]*q + complex(rng.NormFloat64(), rng.NormFloat64())*0.1
+		}
+	}
+	withProj, err := cs.Correlate(samples, stf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Raw correlation on antenna 0 (no projection).
+	raw := ofdm.CrossCorrelate(samples[0], stf)
+	if withProj < raw {
+		t.Fatalf("projection must improve correlation: %g vs raw %g", withProj, raw)
+	}
+	if withProj < 0.5 {
+		t.Fatalf("projected correlation %g too low to detect", withProj)
+	}
+}
+
+func TestCarrierSenseBusyDecision(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	cs := NewCarrierSense(2)
+	h1 := randVec(rng, 2)
+	_ = cs.AddStream(h1)
+	length := 100
+	// Only tracked tx1 on air + tiny noise → idle.
+	samples := make([][]complex128, 2)
+	for a := range samples {
+		samples[a] = make([]complex128, length)
+	}
+	for tt := 0; tt < length; tt++ {
+		p := complex(rng.NormFloat64(), rng.NormFloat64()) * 5
+		for a := 0; a < 2; a++ {
+			samples[a][tt] = h1[a]*p + complex(rng.NormFloat64(), rng.NormFloat64())*0.01
+		}
+	}
+	busy, err := cs.Busy(samples, nil, 0.1, 0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if busy {
+		t.Fatal("sensor declared busy with only tracked streams on air")
+	}
+	// Add a new strong transmission → busy.
+	h2 := randVec(rng, 2)
+	for tt := 0; tt < length; tt++ {
+		q := complex(rng.NormFloat64(), rng.NormFloat64()) * 3
+		for a := 0; a < 2; a++ {
+			samples[a][tt] += h2[a] * q
+		}
+	}
+	busy, _ = cs.Busy(samples, nil, 0.1, 0.9)
+	if !busy {
+		t.Fatal("sensor missed a new transmission")
+	}
+}
+
+func TestProjectSamplesValidation(t *testing.T) {
+	cs := NewCarrierSense(2)
+	if _, err := cs.ProjectSamples([][]complex128{{1}}); err == nil {
+		t.Fatal("expected antenna-count error")
+	}
+	if _, err := cs.ProjectSamples([][]complex128{{1}, {1, 2}}); err == nil {
+		t.Fatal("expected ragged error")
+	}
+	if _, err := cs.Project(cmplxmat.Vector{1}); err == nil {
+		t.Fatal("expected vector-length error")
+	}
+}
+
+func TestCarrierSenseWithRealChannel(t *testing.T) {
+	// End-to-end with the channel package: a 3-antenna sensor tracks a
+	// transmission that arrives through a real multipath channel. On a
+	// flat channel the occupied space is 1-dim per stream; residual
+	// power after projection is noise-level.
+	rng := rand.New(rand.NewSource(7))
+	ch := channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, 1)
+	h := ch.FreqResponse(0, 64).Col(0)
+
+	cs := NewCarrierSense(3)
+	if err := cs.AddStream(h); err != nil {
+		t.Fatal(err)
+	}
+	length := 300
+	tx := make([]complex128, length)
+	for i := range tx {
+		tx[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 4
+	}
+	rx, err := ch.Apply([][]complex128{tx})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range rx {
+		channel.AddNoise(rng, rx[a], 0.01)
+	}
+	pw, err := cs.ResidualPower(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Residual ≈ noise in 2 of 3 dimensions ≈ 0.02.
+	if pw > 0.1 {
+		t.Fatalf("residual %g far above noise", pw)
+	}
+}
+
+func TestNewCarrierSensePanicsOnBadN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCarrierSense(0)
+}
+
+func TestProjectReducesDimension(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	cs := NewCarrierSense(3)
+	_ = cs.AddStream(randVec(rng, 3))
+	y := randVec(rng, 3)
+	proj, err := cs.Project(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proj) != 2 {
+		t.Fatalf("projected dimension %d, want 2", len(proj))
+	}
+	// Projection is norm-non-increasing.
+	if proj.Norm() > y.Norm()+1e-12 {
+		t.Fatal("projection increased norm")
+	}
+}
+
+func TestResidualPowerEmptyFreeSpace(t *testing.T) {
+	// All DoF used: residual power is identically zero (nothing left
+	// to sense — the node stops contending).
+	rng := rand.New(rand.NewSource(9))
+	cs := NewCarrierSense(2)
+	_ = cs.AddStream(randVec(rng, 2))
+	_ = cs.AddStream(randVec(rng, 2))
+	if cs.FreeDoF() != 0 {
+		t.Fatalf("free DoF %d", cs.FreeDoF())
+	}
+	samples := [][]complex128{make([]complex128, 10), make([]complex128, 10)}
+	for i := 0; i < 10; i++ {
+		samples[0][i] = complex(rng.NormFloat64(), 0)
+		samples[1][i] = complex(rng.NormFloat64(), 0)
+	}
+	pw, err := cs.ResidualPower(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pw != 0 {
+		t.Fatalf("residual %g with no free dimensions", pw)
+	}
+}
+
+func TestProjectedPowerMath(t *testing.T) {
+	// For orthogonal tracked and probe directions, projection keeps
+	// the probe's full power.
+	cs := NewCarrierSense(2)
+	_ = cs.AddStream(cmplxmat.Vector{1, 0})
+	probe := cmplxmat.Vector{0, 3}
+	proj, _ := cs.Project(probe)
+	if math.Abs(proj.Norm()-3) > 1e-12 {
+		t.Fatalf("orthogonal probe norm %g, want 3", proj.Norm())
+	}
+}

@@ -1,0 +1,294 @@
+package mimo
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nplus/internal/cmplxmat"
+)
+
+func TestDecoderFullSpaceZF(t *testing.T) {
+	// Plain 2×2 MIMO: decode two streams with no unwanted space.
+	rng := rand.New(rand.NewSource(1))
+	h := randMat(rng, 2, 2)
+	dec, err := NewDecoder(2, nil, []cmplxmat.Vector{h.Col(0), h.Col(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := cmplxmat.Vector{complex(1, -1), complex(-0.5, 2)}
+	y := h.MulVec(x)
+	got, err := dec.Decode(y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range x {
+		if cmplx.Abs(got[i]-x[i]) > 1e-9 {
+			t.Fatalf("stream %d: got %v want %v", i, got[i], x[i])
+		}
+	}
+}
+
+// TestDecoderProjectsOutInterference verifies Eq. 1's decode: rx2
+// (2 antennas) decodes its wanted stream q in the presence of tx1's
+// interference p by projecting orthogonal to p's direction.
+func TestDecoderProjectsOutInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	hp := randVec(rng, 2) // interferer direction
+	hq := randVec(rng, 2) // wanted direction
+	_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{hp})
+	dec, err := NewDecoder(2, uPerp, []cmplxmat.Vector{hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// y = hp·p + hq·q for arbitrary p, q: decode must return exactly q.
+	for trial := 0; trial < 20; trial++ {
+		p := complex(rng.NormFloat64(), rng.NormFloat64()) * 10
+		q := complex(rng.NormFloat64(), rng.NormFloat64())
+		y := hp.Scale(p).Add(hq.Scale(q))
+		got, err := dec.Decode(y)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cmplx.Abs(got[0]-q) > 1e-9 {
+			t.Fatalf("trial %d: got %v want %v (interference leaked)", trial, got[0], q)
+		}
+	}
+}
+
+// TestDecoderAlignedInterference reproduces the Fig. 3 decode at rx2:
+// two interferers (tx1 and tx3) are aligned along one direction; rx2
+// still decodes q exactly because the aligned bundle occupies a
+// single dimension.
+func TestDecoderAlignedInterference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	hp := randVec(rng, 2)
+	hr := hp.Scale(complex(0.6, 0.3)) // tx3 aligned with tx1 (h·L)
+	hq := randVec(rng, 2)
+	_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{hp, hr})
+	if uPerp.Cols() != 1 {
+		t.Fatalf("aligned bundle should leave 1 decode dim, got %d", uPerp.Cols())
+	}
+	dec, err := NewDecoder(2, uPerp, []cmplxmat.Vector{hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := complex(2, 1)
+	r := complex(-1, 0.5)
+	q := complex(0.3, -0.7)
+	y := hp.Scale(p).Add(hr.Scale(r)).Add(hq.Scale(q))
+	got, _ := dec.Decode(y)
+	if cmplx.Abs(got[0]-q) > 1e-9 {
+		t.Fatalf("got %v want %v", got[0], q)
+	}
+}
+
+func TestDecodeBlock(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	h := randMat(rng, 3, 2)
+	dec, err := NewDecoder(3, nil, []cmplxmat.Vector{h.Col(0), h.Col(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	length := 50
+	streams := [][]complex128{make([]complex128, length), make([]complex128, length)}
+	samples := [][]complex128{make([]complex128, length), make([]complex128, length), make([]complex128, length)}
+	for tt := 0; tt < length; tt++ {
+		x := cmplxmat.Vector{complex(rng.NormFloat64(), rng.NormFloat64()), complex(rng.NormFloat64(), rng.NormFloat64())}
+		streams[0][tt], streams[1][tt] = x[0], x[1]
+		y := h.MulVec(x)
+		for a := 0; a < 3; a++ {
+			samples[a][tt] = y[a]
+		}
+	}
+	got, err := dec.DecodeBlock(samples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range streams {
+		for tt := range streams[i] {
+			if cmplx.Abs(got[i][tt]-streams[i][tt]) > 1e-9 {
+				t.Fatalf("stream %d sample %d wrong", i, tt)
+			}
+		}
+	}
+}
+
+func TestDecoderValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randVec(rng, 2)
+	if _, err := NewDecoder(0, nil, []cmplxmat.Vector{h}); err == nil {
+		t.Fatal("expected bad-antenna error")
+	}
+	if _, err := NewDecoder(2, nil, nil); err == nil {
+		t.Fatal("expected no-streams error")
+	}
+	if _, err := NewDecoder(2, nil, []cmplxmat.Vector{{1}}); err == nil {
+		t.Fatal("expected length error")
+	}
+	// More wanted streams than decode dimensions.
+	_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{randVec(rng, 2)})
+	if _, err := NewDecoder(2, uPerp, []cmplxmat.Vector{randVec(rng, 2), randVec(rng, 2)}); err == nil {
+		t.Fatal("expected dimension-overflow error")
+	}
+	dec, err := NewDecoder(2, nil, []cmplxmat.Vector{h, randVec(rng, 2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := dec.Decode(cmplxmat.Vector{1}); err == nil {
+		t.Fatal("expected decode length error")
+	}
+	if _, err := dec.PostSINR(5, 1, nil); err == nil {
+		t.Fatal("expected stream index error")
+	}
+}
+
+func TestPostSINRMatchesAngle(t *testing.T) {
+	// Fig. 7: the post-projection SNR of a wanted stream q in the
+	// presence of interferer p is |q|²·sin²θ/σ², where θ is the angle
+	// between the two directions.
+	for _, thetaDeg := range []float64{15, 30, 60, 90} {
+		theta := thetaDeg * math.Pi / 180
+		hp := cmplxmat.Vector{1, 0}
+		hq := cmplxmat.Vector{complex(math.Cos(theta), 0), complex(math.Sin(theta), 0)}
+		_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{hp})
+		dec, err := NewDecoder(2, uPerp, []cmplxmat.Vector{hq})
+		if err != nil {
+			t.Fatal(err)
+		}
+		noise := 0.01
+		sinr, err := dec.PostSINR(0, noise, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := math.Sin(theta) * math.Sin(theta) / noise
+		if math.Abs(sinr-want)/want > 1e-9 {
+			t.Fatalf("θ=%g°: SINR %g, want %g", thetaDeg, sinr, want)
+		}
+	}
+}
+
+func TestPostSINRWithLeakage(t *testing.T) {
+	// Residual leakage from imperfect nulling must lower the SINR.
+	rng := rand.New(rand.NewSource(6))
+	hq := randVec(rng, 2)
+	dec, err := NewDecoder(2, nil, []cmplxmat.Vector{hq})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, _ := dec.PostSINR(0, 0.01, nil)
+	leaky, _ := dec.PostSINR(0, 0.01, []cmplxmat.Vector{randVec(rng, 2).Scale(0.1)})
+	if leaky >= clean {
+		t.Fatalf("leakage did not reduce SINR: %g vs %g", leaky, clean)
+	}
+	if _, err := dec.PostSINR(0, 0.01, []cmplxmat.Vector{{1}}); err == nil {
+		t.Fatal("expected leakage-length error")
+	}
+	if _, err := dec.PostSINR(0, 0, nil); err == nil {
+		t.Fatal("expected non-positive noise error")
+	}
+}
+
+func TestPropDecoderInvertsChannel(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(3) + 1
+		h := randMat(rng, n, n)
+		cols := make([]cmplxmat.Vector, n)
+		for j := 0; j < n; j++ {
+			cols[j] = h.Col(j)
+		}
+		dec, err := NewDecoder(n, nil, cols)
+		if err != nil {
+			return true // singular draw
+		}
+		x := randVec(rng, n)
+		got, err := dec.Decode(h.MulVec(x))
+		if err != nil {
+			return false
+		}
+		return got.Sub(x).Norm() < 1e-7*(1+x.Norm())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPrecoderDecoderEndToEnd wires the full Fig. 3 narrowband chain:
+// three transmitters precode per the protocol, all three receivers
+// decode their wanted symbols exactly (perfect CSI).
+func TestPrecoderDecoderEndToEnd(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	// Antennas: tx1/rx1: 1, tx2/rx2: 2, tx3/rx3: 3.
+	// Channels H[tx][rx] with rx antennas × tx antennas.
+	h11 := randMat(rng, 1, 1)
+	h12 := randMat(rng, 2, 1)
+	h13 := randMat(rng, 3, 1)
+	h21 := randMat(rng, 1, 2)
+	h22 := randMat(rng, 2, 2)
+	h23 := randMat(rng, 3, 2)
+	h31 := randMat(rng, 1, 3)
+	h32 := randMat(rng, 2, 3)
+	h33 := randMat(rng, 3, 3)
+
+	// tx1 transmits p directly (1 antenna).
+	// tx2 joins: nulls at rx1, sends q to rx2.
+	pre2, err := ComputePrecoder(2, []OngoingReceiver{{H: h21}}, []OwnReceiver{{H: h22, Streams: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v2 := pre2.Vectors[0]
+	// tx3 joins: nulls at rx1, aligns at rx2 (whose unwanted space is
+	// tx1's direction), sends r to rx3.
+	_, uPerpRx2 := UnwantedSpace(2, []cmplxmat.Vector{h12.Col(0)})
+	pre3, err := ComputePrecoder(3,
+		[]OngoingReceiver{{H: h31}, {H: h32, UPerp: uPerpRx2}},
+		[]OwnReceiver{{H: h33, Streams: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v3 := pre3.Vectors[0]
+
+	p := complex(1.2, -0.4)
+	q := complex(-0.8, 0.9)
+	r := complex(0.5, 0.5)
+
+	// rx1 (1 antenna): y = h11·p + h21·v2·q + h31·v3·r; the latter two
+	// are nulled, so rx1 decodes p by dividing by its channel.
+	y1 := h11.At(0, 0)*p + cmplxmat.Vector(h21.MulVec(v2))[0]*q + cmplxmat.Vector(h31.MulVec(v3))[0]*r
+	if got := y1 / h11.At(0, 0); cmplx.Abs(got-p) > 1e-9 {
+		t.Fatalf("rx1 decoded %v, want %v", got, p)
+	}
+
+	// rx2: unwanted = tx1's direction (tx3 aligned into it); wanted =
+	// tx2's effective channel.
+	effQ := cmplxmat.Vector(h22.MulVec(v2))
+	dec2, err := NewDecoder(2, uPerpRx2, []cmplxmat.Vector{effQ})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y2 := h12.Col(0).Scale(p).Add(effQ.Scale(q)).Add(cmplxmat.Vector(h32.MulVec(v3)).Scale(r))
+	got2, _ := dec2.Decode(y2)
+	if cmplx.Abs(got2[0]-q) > 1e-9 {
+		t.Fatalf("rx2 decoded %v, want %v", got2[0], q)
+	}
+
+	// rx3 (3 antennas): sees p, q, r along three directions; wants r.
+	// Its unwanted space is spanned by tx1's and tx2's effective
+	// channels.
+	hPAtRx3 := h13.Col(0)
+	hQAtRx3 := cmplxmat.Vector(h23.MulVec(v2))
+	_, uPerpRx3 := UnwantedSpace(3, []cmplxmat.Vector{hPAtRx3, hQAtRx3})
+	effR := cmplxmat.Vector(h33.MulVec(v3))
+	dec3, err := NewDecoder(3, uPerpRx3, []cmplxmat.Vector{effR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	y3 := hPAtRx3.Scale(p).Add(hQAtRx3.Scale(q)).Add(effR.Scale(r))
+	got3, _ := dec3.Decode(y3)
+	if cmplx.Abs(got3[0]-r) > 1e-9 {
+		t.Fatalf("rx3 decoded %v, want %v", got3[0], r)
+	}
+}

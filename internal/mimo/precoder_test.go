@@ -1,0 +1,523 @@
+package mimo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nplus/internal/cmplxmat"
+)
+
+func randMat(rng *rand.Rand, rows, cols int) *cmplxmat.Matrix {
+	m := cmplxmat.New(rows, cols)
+	for i := 0; i < rows; i++ {
+		for j := 0; j < cols; j++ {
+			m.SetAt(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	return m
+}
+
+func randVec(rng *rand.Rand, n int) cmplxmat.Vector {
+	v := make(cmplxmat.Vector, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestMaxStreams(t *testing.T) {
+	cases := []struct{ m, k, want int }{
+		{1, 0, 1}, {2, 1, 1}, {3, 1, 2}, {3, 2, 1}, {3, 3, 0}, {2, 5, 0}, {4, 0, 4},
+	}
+	for _, c := range cases {
+		if got := MaxStreams(c.m, c.k); got != c.want {
+			t.Errorf("MaxStreams(%d,%d) = %d, want %d", c.m, c.k, got, c.want)
+		}
+	}
+}
+
+// TestFig2Nulling reproduces the paper's first example (§2, Fig. 2): a
+// 2-antenna pair joins a single-antenna pair. The joiner nulls at rx1
+// and delivers one stream to rx2, which decodes it by projecting
+// orthogonal to tx1's interference.
+func TestFig2Nulling(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	// Channels: tx1 (1 ant), tx2 (2 ant); rx1 (1 ant), rx2 (2 ant).
+	h21 := randMat(rng, 1, 2) // tx2 → rx1 (to be nulled)
+	h22 := randMat(rng, 2, 2) // tx2 → rx2
+	h12 := randMat(rng, 2, 1) // tx1 → rx2 (interference at rx2)
+
+	pre, err := ComputePrecoder(2,
+		[]OngoingReceiver{{H: h21}}, // single-antenna rx1: nulling (UPerp nil)
+		[]OwnReceiver{{H: h22, Streams: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumStreams() != 1 {
+		t.Fatalf("streams = %d, want 1 (Claim 3.2: M−K = 2−1)", pre.NumStreams())
+	}
+	v := pre.Vectors[0]
+	// Null at rx1: h21·v = 0.
+	if got := cmplxmat.Vector(h21.MulVec(v)).Norm(); got > 1e-9 {
+		t.Fatalf("residual at rx1 = %g, want 0", got)
+	}
+	// rx2 can decode q by solving its two equations (Eq. 1): the 2×2
+	// system [h12 | h22·v] must be invertible.
+	eff := cmplxmat.HStack(h12, h22.MulVec(v).AsColumn())
+	if _, err := cmplxmat.Inverse(eff); err != nil {
+		t.Fatalf("rx2 cannot separate p and q: %v", err)
+	}
+	// Unit-norm precoding vector.
+	if math.Abs(v.Norm()-1) > 1e-9 {
+		t.Fatalf("precoding vector norm %g", v.Norm())
+	}
+}
+
+// TestFig3NullingPlusAlignment reproduces the paper's second example
+// (§2, Fig. 3): a 3-antenna tx3 joins ongoing 1-antenna and 2-antenna
+// transmissions. Nulling alone at all 3 receive antennas is
+// infeasible (Eq. 2 forces the zero vector); nulling at rx1 plus
+// aligning at rx2 with tx1's interference works (Eq. 4) and leaves
+// tx3 one stream.
+func TestFig3NullingPlusAlignment(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	// Effective channels at rx2 (2 antennas): from tx1 (its
+	// interference) and from tx2 (its wanted stream).
+	hTx1AtRx2 := randVec(rng, 2)
+	hTx2AtRx2 := randVec(rng, 2)
+	// tx3's channels.
+	h31 := randMat(rng, 1, 3) // tx3 → rx1
+	h32 := randMat(rng, 2, 3) // tx3 → rx2
+	h33 := randMat(rng, 3, 3) // tx3 → rx3
+
+	// Nulling alone at rx1+rx2 (3 constraint rows on 3 antennas) is
+	// infeasible.
+	_, err := ComputePrecoder(3,
+		[]OngoingReceiver{{H: h31}, {H: h32}},
+		[]OwnReceiver{{H: h33, Streams: 1}},
+	)
+	if err == nil {
+		t.Fatal("nulling at 3 antennas with 3 antennas should be infeasible (Eq. 2)")
+	}
+
+	// rx2's unwanted space is spanned by tx1's interference; joiners
+	// must align into it.
+	_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{hTx1AtRx2})
+	if uPerp.Cols() != 1 {
+		t.Fatalf("U⊥ at rx2 has %d dims, want 1", uPerp.Cols())
+	}
+	pre, err := ComputePrecoder(3,
+		[]OngoingReceiver{
+			{H: h31},               // null at single-antenna rx1
+			{H: h32, UPerp: uPerp}, // align at rx2
+		},
+		[]OwnReceiver{{H: h33, Streams: 1}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumStreams() != 1 {
+		t.Fatalf("streams = %d, want 1 (M−K = 3−2)", pre.NumStreams())
+	}
+	v := pre.Vectors[0]
+	// Nulled at rx1.
+	if got := cmplxmat.Vector(h31.MulVec(v)).Norm(); got > 1e-9 {
+		t.Fatalf("residual at rx1 = %g", got)
+	}
+	// Aligned at rx2: tx3's signal there must be parallel to tx1's
+	// interference (Eq. 4) — i.e. zero component in U⊥.
+	atRx2 := cmplxmat.Vector(h32.MulVec(v))
+	leak := uPerp.ConjTranspose().MulVec(atRx2)
+	if cmplxmat.Vector(leak).Norm() > 1e-9 {
+		t.Fatalf("leakage into rx2's decoding space = %g", cmplxmat.Vector(leak).Norm())
+	}
+	// And rx2 must still decode q: in the 1-dim decoding space, tx2's
+	// stream is visible.
+	vis := uPerp.ConjTranspose().MulVec(hTx2AtRx2)
+	if cmplxmat.Vector(vis).Norm() < 1e-9 {
+		t.Fatal("tx2's stream invisible at rx2 after projection")
+	}
+	// tx3 delivers to rx3: effective channel nonzero.
+	if cmplxmat.Vector(h33.MulVec(v)).Norm() < 1e-9 {
+		t.Fatal("tx3's stream invisible at rx3")
+	}
+}
+
+// TestFig4MultiReceiver reproduces §2's heterogeneous Tx/Rx example
+// (Fig. 4): a 3-antenna AP2 sends one stream to each of two 2-antenna
+// clients while a single-antenna client c1 transmits to a 2-antenna
+// AP1. AP2 must keep both its streams out of AP1's decoding space and
+// align each stream into the *other* client's unwanted space.
+func TestFig4MultiReceiver(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	// AP1 (2 antennas) receives p1 from c1; its unwanted space is
+	// everything orthogonal to... no: AP1 *wants* p1, so its wanted
+	// space is span(h_c1→AP1) and its unwanted space has 1 free dim.
+	hC1AtAP1 := randVec(rng, 2)
+	// Clients' channels from c1 (their pre-existing interference).
+	hC1AtC2 := randVec(rng, 2)
+	hC1AtC3 := randVec(rng, 2)
+	// AP2's channels (3 tx antennas).
+	hAP2toAP1 := randMat(rng, 2, 3)
+	hAP2toC2 := randMat(rng, 2, 3)
+	hAP2toC3 := randMat(rng, 2, 3)
+
+	// AP1 decodes p1 by projecting orthogonal to its unwanted space;
+	// its U⊥ is the direction of c1's channel (wanted direction spans
+	// the decode space; unwanted space = its orthogonal complement).
+	// AP2's streams must land in AP1's *unwanted* space, i.e. have no
+	// component along U⊥ = normalize(hC1AtAP1)... careful: AP1 wants
+	// the signal FROM c1. Decoding space U⊥ must contain the wanted
+	// channel direction. With 1 wanted stream and 2 antennas, AP1 can
+	// pick U⊥ = span(hC1AtAP1)'s... the natural choice: unwanted space
+	// U = complement of wanted channel, U⊥ = wanted direction.
+	uPerpAP1 := cmplxmat.OrthonormalBasis(hC1AtAP1.AsColumn(), 0)
+	// Each client's unwanted space contains c1's interference; the
+	// other client's stream must align there too.
+	_, uPerpC2 := UnwantedSpace(2, []cmplxmat.Vector{hC1AtC2})
+	_, uPerpC3 := UnwantedSpace(2, []cmplxmat.Vector{hC1AtC3})
+
+	pre, err := ComputePrecoder(3,
+		[]OngoingReceiver{{H: hAP2toAP1, UPerp: uPerpAP1}},
+		[]OwnReceiver{
+			{H: hAP2toC2, UPerp: uPerpC2, Streams: 1},
+			{H: hAP2toC3, UPerp: uPerpC3, Streams: 1},
+		},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumStreams() != 2 {
+		t.Fatalf("streams = %d, want 2", pre.NumStreams())
+	}
+	v2, v3 := pre.Vectors[0], pre.Vectors[1]
+	if pre.RxIndex[0] != 0 || pre.RxIndex[1] != 1 {
+		t.Fatalf("stream destinations %v", pre.RxIndex)
+	}
+	// Both streams invisible in AP1's decoding direction.
+	for i, v := range []cmplxmat.Vector{v2, v3} {
+		leak := uPerpAP1.ConjTranspose().MulVec(cmplxmat.Vector(hAP2toAP1.MulVec(v)))
+		if cmplxmat.Vector(leak).Norm() > 1e-9 {
+			t.Fatalf("stream %d leaks into AP1's decode space: %g", i, cmplxmat.Vector(leak).Norm())
+		}
+	}
+	// p3 aligned into c2's unwanted space, and visible at c3.
+	leakC2 := uPerpC2.ConjTranspose().MulVec(cmplxmat.Vector(hAP2toC2.MulVec(v3)))
+	if cmplxmat.Vector(leakC2).Norm() > 1e-9 {
+		t.Fatalf("p3 leaks into c2's decode space: %g", cmplxmat.Vector(leakC2).Norm())
+	}
+	visC3 := uPerpC3.ConjTranspose().MulVec(cmplxmat.Vector(hAP2toC3.MulVec(v3)))
+	if cmplxmat.Vector(visC3).Norm() < 1e-9 {
+		t.Fatal("p3 invisible at c3")
+	}
+	// Symmetrically for p2.
+	leakC3 := uPerpC3.ConjTranspose().MulVec(cmplxmat.Vector(hAP2toC3.MulVec(v2)))
+	if cmplxmat.Vector(leakC3).Norm() > 1e-9 {
+		t.Fatalf("p2 leaks into c3's decode space: %g", cmplxmat.Vector(leakC3).Norm())
+	}
+	visC2 := uPerpC2.ConjTranspose().MulVec(cmplxmat.Vector(hAP2toC2.MulVec(v2)))
+	if cmplxmat.Vector(visC2).Norm() < 1e-9 {
+		t.Fatal("p2 invisible at c2")
+	}
+}
+
+func TestPrecoderFirstWinnerFullMIMO(t *testing.T) {
+	// No ongoing transmissions: an M-antenna winner gets all M streams
+	// (plain 802.11n spatial multiplexing).
+	rng := rand.New(rand.NewSource(4))
+	for m := 1; m <= 4; m++ {
+		h := randMat(rng, m, m)
+		pre, err := ComputePrecoder(m, nil, []OwnReceiver{{H: h, Streams: m}})
+		if err != nil {
+			t.Fatalf("M=%d: %v", m, err)
+		}
+		if pre.NumStreams() != m {
+			t.Fatalf("M=%d: %d streams", m, pre.NumStreams())
+		}
+		// Effective channel must be invertible for ZF decoding.
+		eff := h.Mul(pre.Matrix())
+		if _, err := cmplxmat.Inverse(eff); err != nil {
+			t.Fatalf("M=%d: effective channel singular: %v", m, err)
+		}
+	}
+}
+
+func TestPrecoderRejectsOverSubscription(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	h := randMat(rng, 2, 2)
+	hOng := randMat(rng, 1, 2)
+	if _, err := ComputePrecoder(2, []OngoingReceiver{{H: hOng}}, []OwnReceiver{{H: h, Streams: 2}}); err == nil {
+		t.Fatal("expected over-subscription error")
+	}
+	if _, err := ComputePrecoder(2, nil, []OwnReceiver{{H: h, Streams: 0}}); err == nil {
+		t.Fatal("expected zero-streams error")
+	}
+	if _, err := ComputePrecoder(0, nil, []OwnReceiver{{H: h, Streams: 1}}); err == nil {
+		t.Fatal("expected bad-antenna-count error")
+	}
+	if _, err := ComputePrecoder(2, nil, nil); err == nil {
+		t.Fatal("expected no-receivers error")
+	}
+}
+
+func TestPrecoderDimensionValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Ongoing receiver channel with wrong antenna count.
+	bad := randMat(rng, 1, 3)
+	own := randMat(rng, 2, 2)
+	if _, err := ComputePrecoder(2, []OngoingReceiver{{H: bad}}, []OwnReceiver{{H: own, Streams: 1}}); err == nil {
+		t.Fatal("expected tx-antenna mismatch error")
+	}
+	// UPerp rows must match receiver antennas.
+	u := randMat(rng, 3, 1)
+	h := randMat(rng, 2, 2)
+	r := OngoingReceiver{H: h, UPerp: u}
+	if _, err := r.ConstraintRows(); err == nil {
+		t.Fatal("expected UPerp mismatch error")
+	}
+	if _, err := (OngoingReceiver{}).ConstraintRows(); err == nil {
+		t.Fatal("expected nil-channel error")
+	}
+}
+
+func TestNumConstraints(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := randMat(rng, 2, 3)
+	if n := (OngoingReceiver{H: h}).NumConstraints(); n != 2 {
+		t.Fatalf("nulling constraints = %d, want 2 (N)", n)
+	}
+	u := randMat(rng, 2, 1)
+	if n := (OngoingReceiver{H: h, UPerp: u}).NumConstraints(); n != 1 {
+		t.Fatalf("alignment constraints = %d, want 1 (n)", n)
+	}
+}
+
+func TestPrecoderApply(t *testing.T) {
+	pre := &Precoder{M: 2, Vectors: []cmplxmat.Vector{{1, 1i}}}
+	out, err := pre.Apply([][]complex128{{2, 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out[0][0] != 2 || out[1][1] != 3i {
+		t.Fatalf("Apply wrong: %v", out)
+	}
+	if _, err := pre.Apply(nil); err == nil {
+		t.Fatal("expected stream-count error")
+	}
+	if _, err := pre.Apply([][]complex128{{1}, {2}}); err == nil {
+		t.Fatal("expected stream-count error")
+	}
+}
+
+func TestResidualInterferenceZeroWithPerfectCSI(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	hOng := randMat(rng, 1, 3)
+	hOwn := randMat(rng, 3, 3)
+	pre, err := ComputePrecoder(3, []OngoingReceiver{{H: hOng}}, []OwnReceiver{{H: hOwn, Streams: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := pre.ResidualInterference(OngoingReceiver{H: hOng})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r > 1e-18 {
+			t.Fatalf("stream %d residual %g with perfect CSI", i, r)
+		}
+	}
+}
+
+func TestResidualInterferenceGrowsWithCSIError(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	hTrue := randMat(rng, 1, 2)
+	// Estimate with 5% error.
+	hEst := hTrue.Clone()
+	hEst.SetAt(0, 0, hEst.At(0, 0)*complex(1.05, 0.02))
+	hOwn := randMat(rng, 2, 2)
+	pre, err := ComputePrecoder(2, []OngoingReceiver{{H: hEst}}, []OwnReceiver{{H: hOwn, Streams: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := pre.ResidualInterference(OngoingReceiver{H: hTrue})
+	if res[0] < 1e-9 {
+		t.Fatal("expected nonzero residual with CSI error")
+	}
+	resSelf, _ := pre.ResidualInterference(OngoingReceiver{H: hEst})
+	if resSelf[0] > 1e-18 {
+		t.Fatal("residual against the estimate itself must vanish")
+	}
+}
+
+func TestUnwantedSpace(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	// No unwanted streams: U empty, U⊥ = I.
+	u, uPerp := UnwantedSpace(3, nil)
+	if u.Cols() != 0 || uPerp.Cols() != 3 {
+		t.Fatalf("empty unwanted space: U %d, U⊥ %d", u.Cols(), uPerp.Cols())
+	}
+	// One unwanted stream in ℂ²: U is its line, U⊥ one dim.
+	h := randVec(rng, 2)
+	u, uPerp = UnwantedSpace(2, []cmplxmat.Vector{h})
+	if u.Cols() != 1 || uPerp.Cols() != 1 {
+		t.Fatalf("U %d, U⊥ %d", u.Cols(), uPerp.Cols())
+	}
+	// U⊥ ⟂ h.
+	if d := cmplxmat.Vector(uPerp.ConjTranspose().MulVec(h)).Norm(); d > 1e-9 {
+		t.Fatalf("U⊥ not orthogonal to unwanted stream: %g", d)
+	}
+	// Two parallel unwanted streams still leave one free dim (rank 1) —
+	// this is what alignment buys: aligned interferers consume a single
+	// dimension.
+	h2 := h.Scale(2.5i)
+	u, uPerp = UnwantedSpace(2, []cmplxmat.Vector{h, h2})
+	if u.Cols() != 1 || uPerp.Cols() != 1 {
+		t.Fatalf("aligned streams must span 1 dim: U %d, U⊥ %d", u.Cols(), uPerp.Cols())
+	}
+}
+
+// TestPropJoinerNeverInterferes is the core safety property of the
+// whole paper: for random antenna configurations and channels, a
+// joiner's precoder leaves exactly zero interference in every
+// protected receiver's decoding space (with perfect CSI), while still
+// delivering m = M − K streams.
+func TestPropJoinerNeverInterferes(t *testing.T) {
+	f := func(seed int64, cfg uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Random scenario: 1-2 ongoing receivers with 1-2 antennas each
+		// (mix of nulling and alignment), joiner with enough antennas.
+		nOngoing := int(cfg)%2 + 1
+		ongoing := make([]OngoingReceiver, 0, nOngoing)
+		k := 0
+		maxAnt := 4
+		for i := 0; i < nOngoing; i++ {
+			nAnt := rng.Intn(2) + 1
+			var r OngoingReceiver
+			if nAnt == 1 || rng.Intn(2) == 0 {
+				// Nulling receiver: wants all its dimensions.
+				r = OngoingReceiver{H: randMat(rng, nAnt, maxAnt)}
+				k += nAnt
+			} else {
+				// Alignment receiver: 2 antennas, 1 wanted stream.
+				_, uPerp := UnwantedSpace(nAnt, []cmplxmat.Vector{randVec(rng, nAnt)})
+				r = OngoingReceiver{H: randMat(rng, nAnt, maxAnt), UPerp: uPerp}
+				k += uPerp.Cols()
+			}
+			ongoing = append(ongoing, r)
+		}
+		if k >= maxAnt {
+			return true // no DoF left; vacuous
+		}
+		m := MaxStreams(maxAnt, k)
+		hOwn := randMat(rng, maxAnt, maxAnt)
+		pre, err := ComputePrecoder(maxAnt, ongoing, []OwnReceiver{{H: hOwn, Streams: m}})
+		if err != nil {
+			return false
+		}
+		if pre.NumStreams() != m {
+			return false
+		}
+		for _, r := range ongoing {
+			res, err := pre.ResidualInterference(r)
+			if err != nil {
+				return false
+			}
+			for _, x := range res {
+				if x > 1e-16 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropPrecodingVectorsIndependent(t *testing.T) {
+	// The m pre-coding vectors must be linearly independent (they come
+	// from an orthonormal null-space basis).
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		hOng := randMat(rng, 1, 4)
+		hOwn := randMat(rng, 4, 4)
+		pre, err := ComputePrecoder(4, []OngoingReceiver{{H: hOng}}, []OwnReceiver{{H: hOwn, Streams: 3}})
+		if err != nil {
+			return false
+		}
+		return cmplxmat.Rank(pre.Matrix(), 0) == 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBeamformingBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	// 3-antenna AP, two 2-antenna clients: 2 streams to one, 1 to the
+	// other (the §6.4 comparison configuration).
+	h1 := randMat(rng, 2, 3)
+	h2 := randMat(rng, 2, 3)
+	pre, err := BeamformingPrecoder(3, []*cmplxmat.Matrix{h1, h2}, []int{2, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pre.NumStreams() != 3 {
+		t.Fatalf("streams = %d, want 3", pre.NumStreams())
+	}
+	if got := []int{pre.RxIndex[0], pre.RxIndex[1], pre.RxIndex[2]}; got[0] != 0 || got[1] != 0 || got[2] != 1 {
+		t.Fatalf("stream destinations %v", got)
+	}
+	// Per [7]: each stream arrives only at its selected receive
+	// antenna — zero at the selected antennas of all other streams.
+	selected := cmplxmat.VStack(h1.Submatrix(0, 2, 0, 3), h2.Submatrix(0, 1, 0, 3)) // 3×3
+	got := selected.Mul(pre.Matrix())                                               // 3×3, must be diagonal
+	for r := 0; r < 3; r++ {
+		for c := 0; c < 3; c++ {
+			mag := cmplxmat.Vector{got.At(r, c)}.Norm()
+			if r == c && mag < 1e-9 {
+				t.Fatalf("stream %d invisible at its target antenna", c)
+			}
+			if r != c && mag > 1e-9 {
+				t.Fatalf("stream %d leaks %g at selected antenna %d", c, mag, r)
+			}
+		}
+	}
+}
+
+func TestBeamformingValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	h := randMat(rng, 2, 3)
+	if _, err := BeamformingPrecoder(3, []*cmplxmat.Matrix{h}, []int{1, 1}); err == nil {
+		t.Fatal("expected length mismatch error")
+	}
+	if _, err := BeamformingPrecoder(3, []*cmplxmat.Matrix{h}, []int{4}); err == nil {
+		t.Fatal("expected over-subscription error")
+	}
+	if _, err := BeamformingPrecoder(3, []*cmplxmat.Matrix{h}, []int{0}); err == nil {
+		t.Fatal("expected zero-stream error")
+	}
+	if _, err := BeamformingPrecoder(3, []*cmplxmat.Matrix{h}, []int{3}); err == nil {
+		t.Fatal("expected per-client antenna limit error")
+	}
+}
+
+func BenchmarkComputePrecoderFig3(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	h31 := randMat(rng, 1, 3)
+	h32 := randMat(rng, 2, 3)
+	h33 := randMat(rng, 3, 3)
+	_, uPerp := UnwantedSpace(2, []cmplxmat.Vector{randVec(rng, 2)})
+	ongoing := []OngoingReceiver{{H: h31}, {H: h32, UPerp: uPerp}}
+	own := []OwnReceiver{{H: h33, Streams: 1}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := ComputePrecoder(3, ongoing, own); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

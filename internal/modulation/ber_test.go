@@ -1,0 +1,105 @@
+package modulation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestEmpiricalBERMatchesTheory sends random bits through an AWGN
+// channel at several SNRs and compares the measured bit error rate of
+// each constellation against the analytic curves the ESNR metric
+// relies on. A systematic mismatch here would silently bias every
+// bitrate decision in the MAC.
+func TestEmpiricalBERMatchesTheory(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	cases := []struct {
+		s     Scheme
+		snrDB float64
+	}{
+		{BPSK, 4}, {BPSK, 7},
+		{QPSK, 7}, {QPSK, 10},
+		{QAM16, 12}, {QAM16, 15},
+		{QAM64, 18},
+	}
+	for _, c := range cases {
+		snr := math.Pow(10, c.snrDB/10)
+		want := c.s.BERAWGN(snr)
+		if want < 1e-5 {
+			continue // too few errors to measure reliably
+		}
+		nBits := 240000 / c.s.BitsPerSymbol() * c.s.BitsPerSymbol()
+		bits := randBits(rng, nBits)
+		syms, err := c.s.Modulate(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// AWGN at the target SNR (unit symbol energy).
+		sigma := math.Sqrt(1 / snr / 2)
+		for i := range syms {
+			syms[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+		}
+		got := c.s.Demodulate(syms)
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		measured := float64(errs) / float64(len(bits))
+		// Within a factor of 1.7 of theory (gray-coded square QAM
+		// theory is itself a tight approximation).
+		if measured > want*1.7+1e-5 || measured < want/1.7-1e-5 {
+			t.Errorf("%v at %g dB: measured BER %.2e, theory %.2e", c.s, c.snrDB, measured, want)
+		}
+	}
+}
+
+// TestCodedBERWaterfall verifies the coding gain: at an SNR where
+// uncoded QPSK still commits errors, rate-1/2 coding plus
+// interleaving drives the post-Viterbi error rate to ~zero.
+func TestCodedBERWaterfall(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	nData := 6000
+	bits := randBits(rng, nData)
+	coded := ConvEncode(bits, Rate1_2)
+	il, err := NewInterleaver(96, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rem := len(coded) % 96; rem != 0 {
+		coded = append(coded, make([]byte, 96-rem)...)
+	}
+	interleaved, err := il.InterleaveAll(coded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms, err := QPSK.Modulate(interleaved)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snr := math.Pow(10, 6.0/10) // 6 dB: uncoded QPSK BER ≈ 2.3e-2
+	sigma := math.Sqrt(1 / snr / 2)
+	for i := range syms {
+		syms[i] += complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
+	}
+	rxBits := QPSK.Demodulate(syms)
+	deinter, err := il.DeinterleaveAll(rxBits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	need := CodedBitsLen(nData, Rate1_2)
+	decoded, err := ConvDecode(deinter[:need], Rate1_2, nData)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := 0
+	for i := range bits {
+		if decoded[i] != bits[i] {
+			errs++
+		}
+	}
+	if ber := float64(errs) / float64(nData); ber > 1e-3 {
+		t.Fatalf("coded BER %.2e at 6 dB — coding gain missing", ber)
+	}
+}

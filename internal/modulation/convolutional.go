@@ -1,0 +1,256 @@
+package modulation
+
+import "fmt"
+
+// The 802.11 convolutional code: constraint length K=7, generator
+// polynomials 133 and 171 (octal), i.e. the de-facto industry
+// standard code every Wi-Fi chipset implements.
+const (
+	constraintLen = 7
+	numStates     = 1 << (constraintLen - 1) // 64
+	polyA         = 0o133
+	polyB         = 0o171
+)
+
+// CodeRate identifies a convolutional code rate (via puncturing).
+type CodeRate int
+
+// Code rates defined by 802.11a.
+const (
+	Rate1_2 CodeRate = iota
+	Rate2_3
+	Rate3_4
+)
+
+// String returns the conventional name.
+func (r CodeRate) String() string {
+	switch r {
+	case Rate1_2:
+		return "1/2"
+	case Rate2_3:
+		return "2/3"
+	case Rate3_4:
+		return "3/4"
+	default:
+		return fmt.Sprintf("CodeRate(%d)", int(r))
+	}
+}
+
+// Fraction returns the code rate as numerator/denominator.
+func (r CodeRate) Fraction() (num, den int) {
+	switch r {
+	case Rate1_2:
+		return 1, 2
+	case Rate2_3:
+		return 2, 3
+	case Rate3_4:
+		return 3, 4
+	default:
+		panic(fmt.Sprintf("modulation: unknown code rate %d", int(r)))
+	}
+}
+
+// puncturePattern returns the per-branch keep mask for outputs A and
+// B over one puncturing period (802.11a §17.3.5.6).
+func (r CodeRate) puncturePattern() (a, b []bool) {
+	switch r {
+	case Rate1_2:
+		return []bool{true}, []bool{true}
+	case Rate2_3:
+		return []bool{true, true}, []bool{true, false}
+	case Rate3_4:
+		return []bool{true, true, false}, []bool{true, false, true}
+	default:
+		panic(fmt.Sprintf("modulation: unknown code rate %d", int(r)))
+	}
+}
+
+func parity(x uint32) byte {
+	x ^= x >> 16
+	x ^= x >> 8
+	x ^= x >> 4
+	x ^= x >> 2
+	x ^= x >> 1
+	return byte(x & 1)
+}
+
+// ConvEncode encodes data bits (one per byte, values 0/1) with the
+// K=7 code, appends 6 tail zeros to flush the encoder, and punctures
+// to the requested rate. The caller learns the input length out of
+// band (from the frame header), as in 802.11.
+func ConvEncode(bits []byte, rate CodeRate) []byte {
+	pa, pb := rate.puncturePattern()
+	period := len(pa)
+	out := make([]byte, 0, (len(bits)+constraintLen-1)*2)
+	var state uint32
+	idx := 0
+	emit := func(in byte) {
+		reg := state | uint32(in)<<(constraintLen-1)
+		a := parity(reg & polyA)
+		b := parity(reg & polyB)
+		if pa[idx%period] {
+			out = append(out, a)
+		}
+		if pb[idx%period] {
+			out = append(out, b)
+		}
+		idx++
+		state = reg >> 1
+	}
+	for _, bit := range bits {
+		emit(bit & 1)
+	}
+	for i := 0; i < constraintLen-1; i++ { // tail flush
+		emit(0)
+	}
+	return out
+}
+
+// branch holds the precomputed encoder outputs for (state, input).
+type branch struct {
+	next uint16
+	outA byte
+	outB byte
+}
+
+var trellis [numStates][2]branch
+
+func init() {
+	for s := 0; s < numStates; s++ {
+		for in := 0; in < 2; in++ {
+			reg := uint32(s) | uint32(in)<<(constraintLen-1)
+			trellis[s][in] = branch{
+				next: uint16(reg >> 1),
+				outA: parity(reg & polyA),
+				outB: parity(reg & polyB),
+			}
+		}
+	}
+}
+
+const erasure = 2 // depunctured placeholder bit: contributes no metric
+
+// depuncture expands a punctured stream back to the full rate-1/2
+// lattice, inserting erasures where bits were dropped. nBranches is
+// the number of trellis branches (data bits + 6 tail bits).
+func depuncture(coded []byte, rate CodeRate, nBranches int) ([]byte, error) {
+	pa, pb := rate.puncturePattern()
+	period := len(pa)
+	full := make([]byte, 0, nBranches*2)
+	pos := 0
+	for i := 0; i < nBranches; i++ {
+		if pa[i%period] {
+			if pos >= len(coded) {
+				return nil, fmt.Errorf("modulation: punctured stream too short at branch %d", i)
+			}
+			full = append(full, coded[pos])
+			pos++
+		} else {
+			full = append(full, erasure)
+		}
+		if pb[i%period] {
+			if pos >= len(coded) {
+				return nil, fmt.Errorf("modulation: punctured stream too short at branch %d", i)
+			}
+			full = append(full, coded[pos])
+			pos++
+		} else {
+			full = append(full, erasure)
+		}
+	}
+	return full, nil
+}
+
+// ConvDecode runs hard-decision Viterbi decoding over coded bits that
+// were produced by ConvEncode(bits, rate) where len(bits) == nDataBits.
+// It returns the recovered data bits.
+func ConvDecode(coded []byte, rate CodeRate, nDataBits int) ([]byte, error) {
+	if nDataBits < 0 {
+		return nil, fmt.Errorf("modulation: negative data length %d", nDataBits)
+	}
+	nBranches := nDataBits + constraintLen - 1
+	full, err := depuncture(coded, rate, nBranches)
+	if err != nil {
+		return nil, err
+	}
+
+	const inf = int32(1) << 30
+	metric := make([]int32, numStates)
+	next := make([]int32, numStates)
+	for i := range metric {
+		metric[i] = inf
+	}
+	metric[0] = 0 // encoder starts in state 0
+
+	// survivors[t][s] = input bit that led to state s at time t+1, plus
+	// predecessor, packed: bit<<15 | prevState.
+	survivors := make([][numStates]uint16, nBranches)
+
+	for t := 0; t < nBranches; t++ {
+		ra, rb := full[2*t], full[2*t+1]
+		for i := range next {
+			next[i] = inf
+		}
+		var survRow [numStates]uint16
+		for s := 0; s < numStates; s++ {
+			m := metric[s]
+			if m >= inf {
+				continue
+			}
+			for in := 0; in < 2; in++ {
+				br := trellis[s][in]
+				cost := m
+				if ra != erasure && br.outA != ra {
+					cost++
+				}
+				if rb != erasure && br.outB != rb {
+					cost++
+				}
+				if cost < next[br.next] {
+					next[br.next] = cost
+					survRow[br.next] = uint16(in)<<15 | uint16(s)
+				}
+			}
+		}
+		survivors[t] = survRow
+		metric, next = next, metric
+	}
+
+	// The tail flush forces the encoder back to state 0.
+	state := uint16(0)
+	if metric[0] >= inf {
+		// All-erasure corner case: pick the best reachable state.
+		best := inf
+		for s, m := range metric {
+			if m < best {
+				best = m
+				state = uint16(s)
+			}
+		}
+	}
+	decoded := make([]byte, nBranches)
+	for t := nBranches - 1; t >= 0; t-- {
+		packed := survivors[t][state]
+		decoded[t] = byte(packed >> 15)
+		state = packed & (numStates - 1)
+	}
+	return decoded[:nDataBits], nil
+}
+
+// CodedBitsLen returns the number of coded bits ConvEncode produces
+// for nDataBits input bits at the given rate.
+func CodedBitsLen(nDataBits int, rate CodeRate) int {
+	pa, pb := rate.puncturePattern()
+	period := len(pa)
+	nBranches := nDataBits + constraintLen - 1
+	n := 0
+	for i := 0; i < nBranches; i++ {
+		if pa[i%period] {
+			n++
+		}
+		if pb[i%period] {
+			n++
+		}
+	}
+	return n
+}

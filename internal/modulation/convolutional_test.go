@@ -1,0 +1,172 @@
+package modulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestConvEncodeKnownVector(t *testing.T) {
+	// The K=7 (133,171) code starting from the zero state: input 1
+	// produces output bits (1,1); a following 0 produces (1,0) then
+	// (1,1)... Verified against the standard trellis.
+	out := ConvEncode([]byte{1}, Rate1_2)
+	// 1 data bit + 6 tail bits → 7 branches → 14 coded bits.
+	if len(out) != 14 {
+		t.Fatalf("len = %d, want 14", len(out))
+	}
+	if out[0] != 1 || out[1] != 1 {
+		t.Fatalf("first branch = %d,%d, want 1,1", out[0], out[1])
+	}
+}
+
+func TestConvRoundTripNoNoise(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, rate := range []CodeRate{Rate1_2, Rate2_3, Rate3_4} {
+		for _, n := range []int{1, 2, 3, 10, 100, 999} {
+			bits := randBits(rng, n)
+			coded := ConvEncode(bits, rate)
+			if len(coded) != CodedBitsLen(n, rate) {
+				t.Fatalf("rate %v n=%d: coded len %d != %d", rate, n, len(coded), CodedBitsLen(n, rate))
+			}
+			got, err := ConvDecode(coded, rate, n)
+			if err != nil {
+				t.Fatalf("rate %v n=%d: %v", rate, n, err)
+			}
+			for i := range bits {
+				if got[i] != bits[i] {
+					t.Fatalf("rate %v n=%d: bit %d wrong", rate, n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestConvCorrectsScatteredErrors(t *testing.T) {
+	// The free distance of the (133,171) rate-1/2 code is 10, so a few
+	// well-separated bit flips must be corrected.
+	rng := rand.New(rand.NewSource(2))
+	bits := randBits(rng, 400)
+	coded := ConvEncode(bits, Rate1_2)
+	for _, pos := range []int{10, 150, 300, 450, 700} {
+		coded[pos] ^= 1
+	}
+	got, err := ConvDecode(coded, Rate1_2, 400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if got[i] != bits[i] {
+			t.Fatalf("scattered errors not corrected at bit %d", i)
+		}
+	}
+}
+
+func TestConvPuncturedCorrectsErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bits := randBits(rng, 300)
+	for _, rate := range []CodeRate{Rate2_3, Rate3_4} {
+		coded := ConvEncode(bits, rate)
+		coded[20] ^= 1
+		coded[200] ^= 1
+		got, err := ConvDecode(coded, rate, 300)
+		if err != nil {
+			t.Fatal(err)
+		}
+		errs := 0
+		for i := range bits {
+			if got[i] != bits[i] {
+				errs++
+			}
+		}
+		if errs > 0 {
+			t.Fatalf("rate %v: %d residual errors after 2 channel flips", rate, errs)
+		}
+	}
+}
+
+func TestConvDecodeShortInput(t *testing.T) {
+	if _, err := ConvDecode([]byte{1, 0}, Rate1_2, 100); err == nil {
+		t.Fatal("expected error for truncated stream")
+	}
+	if _, err := ConvDecode(nil, Rate1_2, -1); err == nil {
+		t.Fatal("expected error for negative length")
+	}
+}
+
+func TestConvZeroLength(t *testing.T) {
+	coded := ConvEncode(nil, Rate1_2)
+	if len(coded) != 12 { // 6 tail branches
+		t.Fatalf("tail-only encode = %d bits, want 12", len(coded))
+	}
+	got, err := ConvDecode(coded, Rate1_2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatalf("decoded %d bits from empty input", len(got))
+	}
+}
+
+func TestCodeRateFractions(t *testing.T) {
+	cases := []struct {
+		r        CodeRate
+		num, den int
+		name     string
+	}{{Rate1_2, 1, 2, "1/2"}, {Rate2_3, 2, 3, "2/3"}, {Rate3_4, 3, 4, "3/4"}}
+	for _, c := range cases {
+		n, d := c.r.Fraction()
+		if n != c.num || d != c.den {
+			t.Errorf("%v fraction = %d/%d", c.r, n, d)
+		}
+		if c.r.String() != c.name {
+			t.Errorf("%v name = %q", c.r, c.r.String())
+		}
+	}
+}
+
+func TestCodedBitsLenMatchesRate(t *testing.T) {
+	// For large n the coded length must approach n·den/num.
+	n := 1200
+	for _, rate := range []CodeRate{Rate1_2, Rate2_3, Rate3_4} {
+		num, den := rate.Fraction()
+		got := CodedBitsLen(n, rate)
+		want := (n + 6) * den / num
+		if got < want-2 || got > want+2 {
+			t.Errorf("rate %v: coded len %d, want ≈%d", rate, got, want)
+		}
+	}
+}
+
+func TestPropConvRoundTrip(t *testing.T) {
+	f := func(seed int64, rateSel, nSel uint8) bool {
+		rate := []CodeRate{Rate1_2, Rate2_3, Rate3_4}[rateSel%3]
+		n := int(nSel)%200 + 1
+		bits := randBits(rand.New(rand.NewSource(seed)), n)
+		got, err := ConvDecode(ConvEncode(bits, rate), rate, n)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkViterbi1500B(b *testing.B) {
+	bits := randBits(rand.New(rand.NewSource(1)), 1500*8)
+	coded := ConvEncode(bits, Rate3_4)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ConvDecode(coded, Rate3_4, len(bits)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

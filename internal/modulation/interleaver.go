@@ -1,0 +1,97 @@
+package modulation
+
+import "fmt"
+
+// Interleaver implements the 802.11a two-permutation block
+// interleaver (§17.3.5.7). It operates on one OFDM symbol's worth of
+// coded bits (nCBPS bits) and spreads adjacent coded bits across
+// non-adjacent subcarriers and alternating constellation bit
+// positions, so that a notch in the channel does not wipe out a run
+// of coded bits.
+type Interleaver struct {
+	nCBPS int   // coded bits per OFDM symbol
+	nBPSC int   // coded bits per subcarrier (BitsPerSymbol of scheme)
+	perm  []int // forward permutation: out[perm[k]] = in[k]
+	inv   []int
+}
+
+// NewInterleaver builds an interleaver for a symbol carrying nCBPS
+// coded bits with nBPSC bits per subcarrier.
+func NewInterleaver(nCBPS, nBPSC int) (*Interleaver, error) {
+	if nCBPS <= 0 || nBPSC <= 0 || nCBPS%nBPSC != 0 {
+		return nil, fmt.Errorf("modulation: invalid interleaver size nCBPS=%d nBPSC=%d", nCBPS, nBPSC)
+	}
+	il := &Interleaver{nCBPS: nCBPS, nBPSC: nBPSC}
+	s := nBPSC / 2
+	if s < 1 {
+		s = 1
+	}
+	n := nCBPS
+	il.perm = make([]int, n)
+	il.inv = make([]int, n)
+	for k := 0; k < n; k++ {
+		// First permutation: adjacent coded bits onto non-adjacent
+		// subcarriers (stride across 16 columns).
+		i := (n/16)*(k%16) + k/16
+		// Second permutation: rotate within groups of s so adjacent bits
+		// alternate between more/less significant constellation bits.
+		j := s*(i/s) + (i+n-(16*i)/n)%s
+		il.perm[k] = j
+		il.inv[j] = k
+	}
+	return il, nil
+}
+
+// BlockSize returns the interleaver block length (coded bits per
+// OFDM symbol).
+func (il *Interleaver) BlockSize() int { return il.nCBPS }
+
+// Interleave permutes one block of exactly nCBPS bits.
+func (il *Interleaver) Interleave(bits []byte) ([]byte, error) {
+	if len(bits) != il.nCBPS {
+		return nil, fmt.Errorf("modulation: interleave block %d != %d", len(bits), il.nCBPS)
+	}
+	out := make([]byte, len(bits))
+	for k, b := range bits {
+		out[il.perm[k]] = b
+	}
+	return out, nil
+}
+
+// Deinterleave inverts Interleave.
+func (il *Interleaver) Deinterleave(bits []byte) ([]byte, error) {
+	if len(bits) != il.nCBPS {
+		return nil, fmt.Errorf("modulation: deinterleave block %d != %d", len(bits), il.nCBPS)
+	}
+	out := make([]byte, len(bits))
+	for j, b := range bits {
+		out[il.inv[j]] = b
+	}
+	return out, nil
+}
+
+// InterleaveAll applies the interleaver block-by-block to a bit
+// stream whose length is a multiple of the block size.
+func (il *Interleaver) InterleaveAll(bits []byte) ([]byte, error) {
+	return il.applyAll(bits, il.Interleave)
+}
+
+// DeinterleaveAll inverts InterleaveAll.
+func (il *Interleaver) DeinterleaveAll(bits []byte) ([]byte, error) {
+	return il.applyAll(bits, il.Deinterleave)
+}
+
+func (il *Interleaver) applyAll(bits []byte, f func([]byte) ([]byte, error)) ([]byte, error) {
+	if len(bits)%il.nCBPS != 0 {
+		return nil, fmt.Errorf("modulation: stream length %d not a multiple of block %d", len(bits), il.nCBPS)
+	}
+	out := make([]byte, 0, len(bits))
+	for off := 0; off < len(bits); off += il.nCBPS {
+		blk, err := f(bits[off : off+il.nCBPS])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, blk...)
+	}
+	return out, nil
+}

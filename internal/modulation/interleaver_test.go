@@ -1,0 +1,221 @@
+package modulation
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestInterleaverRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []Scheme{BPSK, QPSK, QAM16, QAM64} {
+		nCBPS := DataSubcarriers * s.BitsPerSymbol()
+		il, err := NewInterleaver(nCBPS, s.BitsPerSymbol())
+		if err != nil {
+			t.Fatal(err)
+		}
+		bits := randBits(rng, nCBPS)
+		inter, err := il.Interleave(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := il.Deinterleave(inter)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				t.Fatalf("%v: roundtrip bit %d wrong", s, i)
+			}
+		}
+	}
+}
+
+func TestInterleaverIsPermutation(t *testing.T) {
+	for _, s := range []Scheme{QPSK, QAM64} {
+		nCBPS := DataSubcarriers * s.BitsPerSymbol()
+		il, _ := NewInterleaver(nCBPS, s.BitsPerSymbol())
+		seen := make([]bool, nCBPS)
+		for _, p := range il.perm {
+			if p < 0 || p >= nCBPS || seen[p] {
+				t.Fatalf("%v: perm not a bijection at %d", s, p)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestInterleaverSpreadsAdjacentBits(t *testing.T) {
+	// Adjacent coded bits must land at least 8 positions apart — the
+	// whole point of interleaving is to decorrelate burst errors.
+	nCBPS := DataSubcarriers * 4
+	il, _ := NewInterleaver(nCBPS, 4)
+	for k := 1; k < nCBPS; k++ {
+		d := il.perm[k] - il.perm[k-1]
+		if d < 0 {
+			d = -d
+		}
+		if d < 4 {
+			t.Fatalf("adjacent bits %d,%d mapped %d apart", k-1, k, d)
+		}
+	}
+}
+
+func TestInterleaverRejectsBadSizes(t *testing.T) {
+	if _, err := NewInterleaver(0, 1); err == nil {
+		t.Fatal("expected error for nCBPS=0")
+	}
+	if _, err := NewInterleaver(10, 4); err == nil {
+		t.Fatal("expected error for nCBPS not multiple of nBPSC")
+	}
+	il, _ := NewInterleaver(48, 1)
+	if _, err := il.Interleave(make([]byte, 47)); err == nil {
+		t.Fatal("expected error for wrong block size")
+	}
+	if _, err := il.Deinterleave(make([]byte, 49)); err == nil {
+		t.Fatal("expected error for wrong block size")
+	}
+}
+
+func TestInterleaveAll(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	il, _ := NewInterleaver(96, 2)
+	bits := randBits(rng, 96*5)
+	inter, err := il.InterleaveAll(bits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := il.DeinterleaveAll(inter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bits {
+		if back[i] != bits[i] {
+			t.Fatalf("stream roundtrip bit %d wrong", i)
+		}
+	}
+	if _, err := il.InterleaveAll(randBits(rng, 95)); err == nil {
+		t.Fatal("expected error for non-multiple stream")
+	}
+}
+
+func TestPropInterleaverBijective(t *testing.T) {
+	f := func(seed int64, schemeSel uint8) bool {
+		s := []Scheme{BPSK, QPSK, QAM16, QAM64}[schemeSel%4]
+		nCBPS := DataSubcarriers * s.BitsPerSymbol()
+		il, err := NewInterleaver(nCBPS, s.BitsPerSymbol())
+		if err != nil {
+			return false
+		}
+		bits := randBits(rand.New(rand.NewSource(seed)), nCBPS)
+		inter, err := il.Interleave(bits)
+		if err != nil {
+			return false
+		}
+		back, err := il.Deinterleave(inter)
+		if err != nil {
+			return false
+		}
+		for i := range bits {
+			if back[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestScramblerInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bits := randBits(rng, 1000)
+	for _, seed := range []byte{1, 0x5b, 0x7f} {
+		if string(Descramble(Scramble(bits, seed), seed)) != string(bits) {
+			t.Fatalf("scrambler not an involution for seed %#x", seed)
+		}
+	}
+}
+
+func TestScramblerZeroSeedStillScrambles(t *testing.T) {
+	bits := make([]byte, 127)
+	out := Scramble(bits, 0)
+	ones := 0
+	for _, b := range out {
+		ones += int(b)
+	}
+	if ones == 0 {
+		t.Fatal("seed 0 must be coerced to a nonzero LFSR state")
+	}
+}
+
+func TestScramblerPeriod127(t *testing.T) {
+	// The 7-bit LFSR sequence has period 127 for any nonzero seed.
+	zeros := make([]byte, 254)
+	seq := Scramble(zeros, 0x5d)
+	for i := 0; i < 127; i++ {
+		if seq[i] != seq[i+127] {
+			t.Fatalf("sequence not periodic at %d", i)
+		}
+	}
+	// Balanced: 64 ones per period (maximal-length property).
+	ones := 0
+	for i := 0; i < 127; i++ {
+		ones += int(seq[i])
+	}
+	if ones != 64 {
+		t.Fatalf("LFSR period has %d ones, want 64", ones)
+	}
+}
+
+func TestScramblerWhitensRuns(t *testing.T) {
+	// Scrambling an all-zero payload must leave no run longer than 7.
+	zeros := make([]byte, 500)
+	out := Scramble(zeros, 0x11)
+	run, maxRun := 0, 0
+	prev := byte(2)
+	for _, b := range out {
+		if b == prev {
+			run++
+		} else {
+			run = 1
+			prev = b
+		}
+		if run > maxRun {
+			maxRun = run
+		}
+	}
+	if maxRun > 7 {
+		t.Fatalf("max run %d > 7", maxRun)
+	}
+}
+
+func TestRateTable(t *testing.T) {
+	if len(Rates) != 8 {
+		t.Fatalf("rate table has %d entries, want 8", len(Rates))
+	}
+	// 20 MHz rates must be the canonical 6..54.
+	want20 := []float64{6, 9, 12, 18, 24, 36, 48, 54}
+	prev := 0.0
+	for i, r := range Rates {
+		got := r.DataRateMbps(20)
+		if got != want20[i] {
+			t.Errorf("%v = %g Mb/s at 20 MHz, want %g", r, got, want20[i])
+		}
+		if got <= prev {
+			t.Errorf("rate table not increasing at %v", r)
+		}
+		prev = got
+		// 10 MHz (paper's USRP2 channel) is exactly half.
+		if h := r.DataRateMbps(10); h != want20[i]/2 {
+			t.Errorf("%v = %g Mb/s at 10 MHz, want %g", r, h, want20[i]/2)
+		}
+		if r.Index() != i {
+			t.Errorf("%v Index = %d, want %d", r, r.Index(), i)
+		}
+	}
+	if (Rate{BPSK, Rate2_3}).Index() != -1 {
+		t.Error("nonexistent rate should have index -1")
+	}
+}

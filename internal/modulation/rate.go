@@ -1,0 +1,65 @@
+package modulation
+
+import "fmt"
+
+// Rate couples a constellation with a convolutional code rate — one
+// row of the 802.11a rate table. The paper's prototype runs these on
+// a 10 MHz USRP2 channel, which halves every data rate relative to the
+// 20 MHz table; DataRateMbps takes the bandwidth so both appear.
+type Rate struct {
+	Scheme   Scheme
+	CodeRate CodeRate
+}
+
+// The 802.11a rate set, ordered by increasing data rate. The paper's
+// bitrate selection (§3.4) picks among exactly these.
+var Rates = []Rate{
+	{BPSK, Rate1_2},
+	{BPSK, Rate3_4},
+	{QPSK, Rate1_2},
+	{QPSK, Rate3_4},
+	{QAM16, Rate1_2},
+	{QAM16, Rate3_4},
+	{QAM64, Rate2_3},
+	{QAM64, Rate3_4},
+}
+
+// String renders e.g. "16-QAM 3/4".
+func (r Rate) String() string {
+	return fmt.Sprintf("%v %v", r.Scheme, r.CodeRate)
+}
+
+// Index returns the position of r in Rates, or -1.
+func (r Rate) Index() int {
+	for i, x := range Rates {
+		if x == r {
+			return i
+		}
+	}
+	return -1
+}
+
+// OFDM symbol constants for 802.11a-style PHYs.
+const (
+	DataSubcarriers = 48   // data-bearing subcarriers per symbol
+	SymbolDuration  = 4e-6 // seconds at 20 MHz (doubles at 10 MHz)
+)
+
+// CodedBitsPerSymbol returns N_CBPS for this rate.
+func (r Rate) CodedBitsPerSymbol() int {
+	return DataSubcarriers * r.Scheme.BitsPerSymbol()
+}
+
+// DataBitsPerSymbol returns N_DBPS for this rate.
+func (r Rate) DataBitsPerSymbol() int {
+	num, den := r.CodeRate.Fraction()
+	return r.CodedBitsPerSymbol() * num / den
+}
+
+// DataRateMbps returns the PHY data rate in Mb/s for the given channel
+// bandwidth in MHz (20 gives the standard 6–54 Mb/s; the paper's
+// 10 MHz USRP2 channel gives 3–27 Mb/s).
+func (r Rate) DataRateMbps(bandwidthMHz float64) float64 {
+	symbolsPerSec := bandwidthMHz / 20 / SymbolDuration // 250k at 20 MHz
+	return float64(r.DataBitsPerSymbol()) * symbolsPerSec / 1e6
+}

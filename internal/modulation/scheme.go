@@ -1,0 +1,274 @@
+// Package modulation implements the 802.11 PHY bit-processing chain
+// used by the n+ prototype: BPSK/QPSK/16-QAM/64-QAM gray-coded
+// constellation mapping, the 802.11 frame scrambler, the industry-
+// standard K=7 convolutional code with puncturing to rates 2/3 and
+// 3/4, a hard-decision Viterbi decoder, and the 802.11a block
+// interleaver.
+//
+// Bits are represented one per byte (values 0 or 1) throughout; the
+// frame package converts between packed bytes and bit slices.
+package modulation
+
+import (
+	"fmt"
+	"math"
+)
+
+// Scheme identifies a constellation.
+type Scheme int
+
+// Supported constellations, matching the prototype's GNURadio OFDM
+// code base (§5 of the paper).
+const (
+	BPSK Scheme = iota
+	QPSK
+	QAM16
+	QAM64
+)
+
+// String returns the conventional name of the scheme.
+func (s Scheme) String() string {
+	switch s {
+	case BPSK:
+		return "BPSK"
+	case QPSK:
+		return "QPSK"
+	case QAM16:
+		return "16-QAM"
+	case QAM64:
+		return "64-QAM"
+	default:
+		return fmt.Sprintf("Scheme(%d)", int(s))
+	}
+}
+
+// BitsPerSymbol returns the number of coded bits carried by one
+// constellation point.
+func (s Scheme) BitsPerSymbol() int {
+	switch s {
+	case BPSK:
+		return 1
+	case QPSK:
+		return 2
+	case QAM16:
+		return 4
+	case QAM64:
+		return 6
+	default:
+		panic(fmt.Sprintf("modulation: unknown scheme %d", int(s)))
+	}
+}
+
+// Normalization factors so every constellation has unit average
+// energy (802.11a Table 81).
+var (
+	normQPSK  = 1 / math.Sqrt(2)
+	normQAM16 = 1 / math.Sqrt(10)
+	normQAM64 = 1 / math.Sqrt(42)
+)
+
+// grayAxis maps b bits to a gray-coded PAM level per 802.11a
+// (e.g. for 2 bits: 00→-3, 01→-1, 11→+1, 10→+3).
+func grayAxis(bits []byte) float64 {
+	switch len(bits) {
+	case 1:
+		if bits[0] == 0 {
+			return -1
+		}
+		return 1
+	case 2:
+		switch bits[0]<<1 | bits[1] {
+		case 0b00:
+			return -3
+		case 0b01:
+			return -1
+		case 0b11:
+			return 1
+		default: // 0b10
+			return 3
+		}
+	case 3:
+		switch bits[0]<<2 | bits[1]<<1 | bits[2] {
+		case 0b000:
+			return -7
+		case 0b001:
+			return -5
+		case 0b011:
+			return -3
+		case 0b010:
+			return -1
+		case 0b110:
+			return 1
+		case 0b111:
+			return 3
+		case 0b101:
+			return 5
+		default: // 0b100
+			return 7
+		}
+	default:
+		panic("modulation: grayAxis supports 1-3 bits")
+	}
+}
+
+// grayAxisDecode inverts grayAxis by slicing level to the nearest
+// constellation point.
+func grayAxisDecode(level float64, nbits int) []byte {
+	switch nbits {
+	case 1:
+		if level < 0 {
+			return []byte{0}
+		}
+		return []byte{1}
+	case 2:
+		switch {
+		case level < -2:
+			return []byte{0, 0}
+		case level < 0:
+			return []byte{0, 1}
+		case level < 2:
+			return []byte{1, 1}
+		default:
+			return []byte{1, 0}
+		}
+	case 3:
+		switch {
+		case level < -6:
+			return []byte{0, 0, 0}
+		case level < -4:
+			return []byte{0, 0, 1}
+		case level < -2:
+			return []byte{0, 1, 1}
+		case level < 0:
+			return []byte{0, 1, 0}
+		case level < 2:
+			return []byte{1, 1, 0}
+		case level < 4:
+			return []byte{1, 1, 1}
+		case level < 6:
+			return []byte{1, 0, 1}
+		default:
+			return []byte{1, 0, 0}
+		}
+	default:
+		panic("modulation: grayAxisDecode supports 1-3 bits")
+	}
+}
+
+// Modulate maps coded bits to constellation points. len(bits) must be
+// a multiple of BitsPerSymbol.
+func (s Scheme) Modulate(bits []byte) ([]complex128, error) {
+	bps := s.BitsPerSymbol()
+	if len(bits)%bps != 0 {
+		return nil, fmt.Errorf("modulation: %d bits not a multiple of %d (%v)", len(bits), bps, s)
+	}
+	out := make([]complex128, len(bits)/bps)
+	for i := range out {
+		chunk := bits[i*bps : (i+1)*bps]
+		switch s {
+		case BPSK:
+			out[i] = complex(grayAxis(chunk[:1]), 0)
+		case QPSK:
+			out[i] = complex(grayAxis(chunk[:1])*normQPSK, grayAxis(chunk[1:2])*normQPSK)
+		case QAM16:
+			out[i] = complex(grayAxis(chunk[:2])*normQAM16, grayAxis(chunk[2:4])*normQAM16)
+		case QAM64:
+			out[i] = complex(grayAxis(chunk[:3])*normQAM64, grayAxis(chunk[3:6])*normQAM64)
+		}
+	}
+	return out, nil
+}
+
+// Demodulate hard-slices received points back to coded bits.
+func (s Scheme) Demodulate(symbols []complex128) []byte {
+	bps := s.BitsPerSymbol()
+	out := make([]byte, 0, len(symbols)*bps)
+	for _, sym := range symbols {
+		switch s {
+		case BPSK:
+			out = append(out, grayAxisDecode(real(sym), 1)...)
+		case QPSK:
+			out = append(out, grayAxisDecode(real(sym)/normQPSK, 1)...)
+			out = append(out, grayAxisDecode(imag(sym)/normQPSK, 1)...)
+		case QAM16:
+			out = append(out, grayAxisDecode(real(sym)/normQAM16, 2)...)
+			out = append(out, grayAxisDecode(imag(sym)/normQAM16, 2)...)
+		case QAM64:
+			out = append(out, grayAxisDecode(real(sym)/normQAM64, 3)...)
+			out = append(out, grayAxisDecode(imag(sym)/normQAM64, 3)...)
+		}
+	}
+	return out
+}
+
+// AverageEnergy returns the mean symbol energy of the constellation
+// (1.0 for all supported schemes, by construction).
+func (s Scheme) AverageEnergy() float64 {
+	total := 0.0
+	n := 1 << s.BitsPerSymbol()
+	bits := make([]byte, s.BitsPerSymbol())
+	for v := 0; v < n; v++ {
+		for b := range bits {
+			bits[b] = byte(v >> (len(bits) - 1 - b) & 1)
+		}
+		pts, _ := s.Modulate(bits)
+		total += real(pts[0])*real(pts[0]) + imag(pts[0])*imag(pts[0])
+	}
+	return total / float64(n)
+}
+
+// BERAWGN returns the theoretical bit error rate of the scheme on an
+// AWGN channel at the given SNR (linear, per symbol). The esnr package
+// uses these curves to compute the effective SNR metric of Halperin et
+// al. [16].
+func (s Scheme) BERAWGN(snr float64) float64 {
+	if snr <= 0 {
+		return 0.5
+	}
+	switch s {
+	case BPSK:
+		return qfunc(math.Sqrt(2 * snr))
+	case QPSK:
+		return qfunc(math.Sqrt(snr))
+	case QAM16:
+		return 3.0 / 8.0 * erfcQAM(snr, 15)
+	case QAM64:
+		return 7.0 / 24.0 * erfcQAM(snr, 63)
+	default:
+		return 0.5
+	}
+}
+
+// qfunc is the Gaussian tail probability Q(x).
+func qfunc(x float64) float64 {
+	return 0.5 * math.Erfc(x/math.Sqrt2)
+}
+
+// erfcQAM is the standard square-QAM BER kernel 2·Q(√(3·snr/(M−1)))
+// with norm = M−1 (15 for 16-QAM, 63 for 64-QAM).
+func erfcQAM(snr, norm float64) float64 {
+	return 2 * qfunc(math.Sqrt(3*snr/norm))
+}
+
+// NearestPoint returns the constellation point closest to sym and the
+// squared distance to it, useful for EVM computations.
+func (s Scheme) NearestPoint(sym complex128) (complex128, float64) {
+	bits := s.Demodulate([]complex128{sym})
+	pts, _ := s.Modulate(bits)
+	d := sym - pts[0]
+	return pts[0], real(d)*real(d) + imag(d)*imag(d)
+}
+
+// EVM computes the rms error-vector magnitude between received symbols
+// and their nearest constellation points.
+func (s Scheme) EVM(symbols []complex128) float64 {
+	if len(symbols) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, sym := range symbols {
+		_, d2 := s.NearestPoint(sym)
+		sum += d2
+	}
+	return math.Sqrt(sum / float64(len(symbols)))
+}

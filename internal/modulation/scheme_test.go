@@ -1,0 +1,205 @@
+package modulation
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randBits(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	for i := range b {
+		b[i] = byte(rng.Intn(2))
+	}
+	return b
+}
+
+func TestSchemeStringAndBits(t *testing.T) {
+	cases := []struct {
+		s    Scheme
+		name string
+		bps  int
+	}{
+		{BPSK, "BPSK", 1}, {QPSK, "QPSK", 2}, {QAM16, "16-QAM", 4}, {QAM64, "64-QAM", 6},
+	}
+	for _, c := range cases {
+		if c.s.String() != c.name {
+			t.Errorf("String() = %q, want %q", c.s.String(), c.name)
+		}
+		if c.s.BitsPerSymbol() != c.bps {
+			t.Errorf("%v BitsPerSymbol = %d, want %d", c.s, c.s.BitsPerSymbol(), c.bps)
+		}
+	}
+}
+
+func TestModulateRoundTripAllSchemes(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range []Scheme{BPSK, QPSK, QAM16, QAM64} {
+		bits := randBits(rng, s.BitsPerSymbol()*100)
+		syms, err := s.Modulate(bits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := s.Demodulate(syms)
+		if len(got) != len(bits) {
+			t.Fatalf("%v: length %d != %d", s, len(got), len(bits))
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: bit %d flipped on noiseless roundtrip", s, i)
+			}
+		}
+	}
+}
+
+func TestModulateRejectsPartialSymbol(t *testing.T) {
+	if _, err := QAM16.Modulate(make([]byte, 3)); err == nil {
+		t.Fatal("expected error for partial symbol")
+	}
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, s := range []Scheme{BPSK, QPSK, QAM16, QAM64} {
+		if e := s.AverageEnergy(); math.Abs(e-1) > 1e-12 {
+			t.Errorf("%v average energy = %g, want 1", s, e)
+		}
+	}
+}
+
+func TestGrayNeighborsDifferByOneBit(t *testing.T) {
+	// Adjacent PAM levels must differ in exactly one bit — the defining
+	// property of gray coding that makes hard slicing robust.
+	for _, nbits := range []int{2, 3} {
+		nlev := 1 << nbits
+		levels := make([][]byte, 0, nlev)
+		for l := -(nlev - 1); l <= nlev-1; l += 2 {
+			levels = append(levels, grayAxisDecode(float64(l), nbits))
+		}
+		for i := 1; i < len(levels); i++ {
+			diff := 0
+			for b := range levels[i] {
+				if levels[i][b] != levels[i-1][b] {
+					diff++
+				}
+			}
+			if diff != 1 {
+				t.Fatalf("nbits=%d: levels %d,%d differ in %d bits", nbits, i-1, i, diff)
+			}
+		}
+	}
+}
+
+func TestDemodulateSlicesToNearest(t *testing.T) {
+	// A point near a constellation symbol must decode to that symbol's
+	// bits even with moderate noise.
+	rng := rand.New(rand.NewSource(2))
+	for _, s := range []Scheme{QPSK, QAM16, QAM64} {
+		bits := randBits(rng, s.BitsPerSymbol()*200)
+		syms, _ := s.Modulate(bits)
+		// Perturb by much less than half the minimum distance.
+		minDist := 2.0
+		switch s {
+		case QPSK:
+			minDist = 2 * normQPSK
+		case QAM16:
+			minDist = 2 * normQAM16
+		case QAM64:
+			minDist = 2 * normQAM64
+		}
+		for i := range syms {
+			syms[i] += complex(0.3*minDist*(rng.Float64()-0.5), 0.3*minDist*(rng.Float64()-0.5))
+		}
+		got := s.Demodulate(syms)
+		for i := range bits {
+			if got[i] != bits[i] {
+				t.Fatalf("%v: small perturbation flipped bit %d", s, i)
+			}
+		}
+	}
+}
+
+func TestBERAWGNMonotone(t *testing.T) {
+	// BER must fall with SNR, and higher-order schemes must be worse at
+	// the same SNR.
+	for _, s := range []Scheme{BPSK, QPSK, QAM16, QAM64} {
+		prev := 1.0
+		for snrDB := -5.0; snrDB <= 30; snrDB += 2.5 {
+			snr := math.Pow(10, snrDB/10)
+			ber := s.BERAWGN(snr)
+			if ber > prev+1e-15 {
+				t.Fatalf("%v: BER not monotone at %g dB", s, snrDB)
+			}
+			prev = ber
+		}
+	}
+	snr := math.Pow(10, 1.5)
+	if !(BPSK.BERAWGN(snr) < QAM16.BERAWGN(snr) && QAM16.BERAWGN(snr) < QAM64.BERAWGN(snr)) {
+		t.Fatal("scheme BER ordering wrong at 15 dB")
+	}
+	if b := BPSK.BERAWGN(0); b != 0.5 {
+		t.Fatalf("BER at zero SNR = %g, want 0.5", b)
+	}
+}
+
+func TestEVMZeroOnCleanSymbols(t *testing.T) {
+	bits := []byte{0, 1, 1, 0, 0, 0, 1, 1}
+	syms, _ := QPSK.Modulate(bits)
+	if evm := QPSK.EVM(syms); evm > 1e-12 {
+		t.Fatalf("EVM of clean symbols = %g", evm)
+	}
+	if evm := QPSK.EVM(nil); evm != 0 {
+		t.Fatal("EVM of empty slice should be 0")
+	}
+}
+
+func TestNearestPoint(t *testing.T) {
+	p, d2 := BPSK.NearestPoint(0.9)
+	if p != 1 || math.Abs(d2-0.01) > 1e-12 {
+		t.Fatalf("NearestPoint(0.9) = %v, %g", p, d2)
+	}
+}
+
+func TestPropModulateRoundTrip(t *testing.T) {
+	f := func(seed int64, schemeSel uint8) bool {
+		s := []Scheme{BPSK, QPSK, QAM16, QAM64}[schemeSel%4]
+		rng := rand.New(rand.NewSource(seed))
+		bits := randBits(rng, s.BitsPerSymbol()*(1+rng.Intn(50)))
+		syms, err := s.Modulate(bits)
+		if err != nil {
+			return false
+		}
+		got := s.Demodulate(syms)
+		if len(got) != len(bits) {
+			return false
+		}
+		for i := range bits {
+			if got[i] != bits[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSymbolMagnitudeBounded(t *testing.T) {
+	// No constellation point may exceed the peak of 64-QAM (7,7)/√42.
+	peak := math.Hypot(7, 7) / math.Sqrt(42)
+	for _, s := range []Scheme{BPSK, QPSK, QAM16, QAM64} {
+		n := 1 << s.BitsPerSymbol()
+		bits := make([]byte, s.BitsPerSymbol())
+		for v := 0; v < n; v++ {
+			for b := range bits {
+				bits[b] = byte(v >> (len(bits) - 1 - b) & 1)
+			}
+			pts, _ := s.Modulate(bits)
+			if cmplx.Abs(pts[0]) > peak+1e-12 {
+				t.Fatalf("%v point %v exceeds peak", s, pts[0])
+			}
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package modulation
+
+// Scramble applies the 802.11 frame-synchronous scrambler, a 7-bit
+// LFSR with polynomial x⁷ + x⁴ + 1 (802.11a §17.3.5.4). Scrambling is
+// an involution: applying it twice with the same seed restores the
+// input, so Descramble is the same operation.
+//
+// seed must be a non-zero 7-bit value; 802.11 transmitters pick a
+// pseudo-random nonzero seed per frame.
+func Scramble(bits []byte, seed byte) []byte {
+	state := seed & 0x7f
+	if state == 0 {
+		state = 0x7f
+	}
+	out := make([]byte, len(bits))
+	for i, b := range bits {
+		fb := (state>>6 ^ state>>3) & 1
+		state = state<<1&0x7f | fb
+		out[i] = (b & 1) ^ fb
+	}
+	return out
+}
+
+// Descramble reverses Scramble with the same seed.
+func Descramble(bits []byte, seed byte) []byte {
+	return Scramble(bits, seed)
+}

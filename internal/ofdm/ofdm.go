@@ -1,0 +1,238 @@
+// Package ofdm implements an 802.11a-style OFDM modem: subcarrier
+// mapping, cyclic-prefix insertion and removal, short/long training
+// preambles, cross-correlation packet detection, carrier-frequency-
+// offset estimation, and least-squares channel estimation.
+//
+// The paper's prototype (§5) builds on the GNURadio OFDM code base
+// over a 10 MHz channel; this package is the equivalent substrate.
+// Everything operates per OFDM subcarrier so that the MIMO nulling
+// and alignment of package mimo can treat each subcarrier as an
+// independent narrowband channel, exactly as 802.11n+ does (§4,
+// "Multipath").
+package ofdm
+
+import (
+	"fmt"
+	"math"
+
+	"nplus/internal/fft"
+)
+
+// Params describes one OFDM numerology. The zero value is not usable;
+// call NewParams or use Default.
+type Params struct {
+	FFTSize int // subcarriers, power of two (64 in 802.11)
+	CPLen   int // cyclic prefix samples (16 in 802.11)
+	// ScaleFactor jointly scales FFTSize and CPLen relative to the
+	// 802.11 base numerology. The paper (§4, Time Synchronization)
+	// scales both by the same factor to give joining transmitters
+	// more synchronization leeway without changing overhead.
+	ScaleFactor int
+
+	BandwidthHz float64 // channel bandwidth (10e6 for the USRP2 testbed)
+
+	dataBins  []int // FFT bin indices carrying data
+	pilotBins []int // FFT bin indices carrying pilots
+	plan      *fft.Plan
+}
+
+// Default returns the paper's numerology: 64 subcarriers, CP 16,
+// 10 MHz bandwidth.
+func Default() *Params {
+	p, err := NewParams(64, 16, 1, 10e6)
+	if err != nil {
+		panic(err) // impossible for these constants
+	}
+	return p
+}
+
+// NewParams validates and precomputes an OFDM numerology.
+// fftSize/cpLen are the base (unscaled) values; scale multiplies both.
+func NewParams(fftSize, cpLen, scale int, bandwidthHz float64) (*Params, error) {
+	if scale < 1 {
+		return nil, fmt.Errorf("ofdm: scale %d < 1", scale)
+	}
+	fftSize *= scale
+	cpLen *= scale
+	if fftSize < 16 || fftSize&(fftSize-1) != 0 {
+		return nil, fmt.Errorf("ofdm: FFT size %d must be a power of two ≥ 16", fftSize)
+	}
+	if cpLen <= 0 || cpLen >= fftSize {
+		return nil, fmt.Errorf("ofdm: CP length %d out of range (0, %d)", cpLen, fftSize)
+	}
+	if bandwidthHz <= 0 {
+		return nil, fmt.Errorf("ofdm: bandwidth %g must be positive", bandwidthHz)
+	}
+	plan, err := fft.NewPlan(fftSize)
+	if err != nil {
+		return nil, err
+	}
+	p := &Params{FFTSize: fftSize, CPLen: cpLen, ScaleFactor: scale, BandwidthHz: bandwidthHz, plan: plan}
+	p.computeBins()
+	return p, nil
+}
+
+// computeBins lays out the 802.11a subcarrier map, scaled to the FFT
+// size: used carriers span the middle ±(26/64) of the band, pilots at
+// ±(7/64) and ±(21/64), DC unused.
+func (p *Params) computeBins() {
+	n := p.FFTSize
+	maxIdx := 26 * n / 64
+	pilotSet := map[int]bool{
+		7 * n / 64: true, -7 * n / 64: true,
+		21 * n / 64: true, -21 * n / 64: true,
+	}
+	for k := -maxIdx; k <= maxIdx; k++ {
+		if k == 0 {
+			continue
+		}
+		bin := (k + n) % n // negative freq → upper bins
+		if pilotSet[k] {
+			p.pilotBins = append(p.pilotBins, bin)
+		} else {
+			p.dataBins = append(p.dataBins, bin)
+		}
+	}
+}
+
+// NumDataCarriers returns the number of data-bearing subcarriers (48
+// for the base numerology).
+func (p *Params) NumDataCarriers() int { return len(p.dataBins) }
+
+// NumPilotCarriers returns the number of pilot subcarriers (4).
+func (p *Params) NumPilotCarriers() int { return len(p.pilotBins) }
+
+// DataBins returns a copy of the data subcarrier FFT bin indices.
+func (p *Params) DataBins() []int { return append([]int(nil), p.dataBins...) }
+
+// PilotBins returns a copy of the pilot subcarrier FFT bin indices.
+func (p *Params) PilotBins() []int { return append([]int(nil), p.pilotBins...) }
+
+// SymbolLen returns the number of time samples in one OFDM symbol
+// including its cyclic prefix.
+func (p *Params) SymbolLen() int { return p.FFTSize + p.CPLen }
+
+// SymbolDuration returns the duration of one OFDM symbol in seconds.
+func (p *Params) SymbolDuration() float64 {
+	return float64(p.SymbolLen()) / p.BandwidthHz
+}
+
+// pilotPolarity is the 802.11 pilot polarity base pattern; pilots are
+// BPSK ±1 with polarity cycling per symbol (we use a fixed 127-length
+// pattern as in the standard).
+var pilotPolarity = []float64{1, 1, 1, 1, -1, -1, -1, 1, -1, -1, -1, -1, 1, 1, -1, 1}
+
+// Modulate maps one symbol's data (len == NumDataCarriers) onto time
+// samples: subcarrier map → IFFT → cyclic prefix. symIdx selects the
+// pilot polarity.
+func (p *Params) Modulate(data []complex128, symIdx int) ([]complex128, error) {
+	if len(data) != len(p.dataBins) {
+		return nil, fmt.Errorf("ofdm: %d data symbols, need %d", len(data), len(p.dataBins))
+	}
+	freq := make([]complex128, p.FFTSize)
+	for i, bin := range p.dataBins {
+		freq[bin] = data[i]
+	}
+	pol := pilotPolarity[symIdx%len(pilotPolarity)]
+	for _, bin := range p.pilotBins {
+		freq[bin] = complex(pol, 0)
+	}
+	p.plan.Inverse(freq)
+	// Unitary scaling (√N on top of the plan's 1/N) keeps per-bin
+	// symbol energy equal to time-domain sample energy, so an SNR
+	// defined against the time-domain noise floor is the same number
+	// per subcarrier. See Demodulate for the matching 1/√N.
+	root := complex(math.Sqrt(float64(p.FFTSize)), 0)
+	for i := range freq {
+		freq[i] *= root
+	}
+	out := make([]complex128, p.SymbolLen())
+	copy(out, freq[p.FFTSize-p.CPLen:]) // cyclic prefix
+	copy(out[p.CPLen:], freq)
+	return out, nil
+}
+
+// Demodulate strips the cyclic prefix from one received symbol
+// (len == SymbolLen) and returns the complex value observed on every
+// data subcarrier, in the same order Modulate consumed them.
+func (p *Params) Demodulate(samples []complex128) ([]complex128, error) {
+	if len(samples) != p.SymbolLen() {
+		return nil, fmt.Errorf("ofdm: %d samples, need %d", len(samples), p.SymbolLen())
+	}
+	freq := make([]complex128, p.FFTSize)
+	copy(freq, samples[p.CPLen:])
+	p.plan.Forward(freq)
+	inv := complex(1/math.Sqrt(float64(p.FFTSize)), 0)
+	out := make([]complex128, len(p.dataBins))
+	for i, bin := range p.dataBins {
+		out[i] = freq[bin] * inv
+	}
+	return out, nil
+}
+
+// DemodulateAll splits a sample stream into OFDM symbols and
+// demodulates each; the stream length must be a multiple of
+// SymbolLen.
+func (p *Params) DemodulateAll(samples []complex128) ([][]complex128, error) {
+	sl := p.SymbolLen()
+	if len(samples)%sl != 0 {
+		return nil, fmt.Errorf("ofdm: stream of %d samples not a multiple of symbol length %d", len(samples), sl)
+	}
+	out := make([][]complex128, 0, len(samples)/sl)
+	for off := 0; off < len(samples); off += sl {
+		sym, err := p.Demodulate(samples[off : off+sl])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, sym)
+	}
+	return out, nil
+}
+
+// DemodulateBin returns the value of one FFT bin for a received
+// symbol; used for per-subcarrier channel estimation including pilot
+// bins.
+func (p *Params) DemodulateBin(samples []complex128, bin int) (complex128, error) {
+	if len(samples) != p.SymbolLen() {
+		return 0, fmt.Errorf("ofdm: %d samples, need %d", len(samples), p.SymbolLen())
+	}
+	if bin < 0 || bin >= p.FFTSize {
+		return 0, fmt.Errorf("ofdm: bin %d out of range", bin)
+	}
+	freq := make([]complex128, p.FFTSize)
+	copy(freq, samples[p.CPLen:])
+	p.plan.Forward(freq)
+	return freq[bin] * complex(1/math.Sqrt(float64(p.FFTSize)), 0), nil
+}
+
+// FFT applies the numerology's forward FFT in place (length must be
+// FFTSize). Exposed for packages that assemble frequency-domain
+// symbols directly, like the per-subcarrier precoding in phy.
+func (p *Params) FFT(x []complex128) { p.plan.Forward(x) }
+
+// IFFT applies the numerology's inverse FFT in place (length must be
+// FFTSize).
+func (p *Params) IFFT(x []complex128) { p.plan.Inverse(x) }
+
+// Power returns the mean sample energy of a signal segment — the
+// power component of 802.11 carrier sense.
+func Power(samples []complex128) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range samples {
+		s += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return s / float64(len(samples))
+}
+
+// PowerDB returns Power in decibels (10·log10), with a floor at
+// -300 dB for silence.
+func PowerDB(samples []complex128) float64 {
+	pw := Power(samples)
+	if pw <= 0 {
+		return -300
+	}
+	return 10 * math.Log10(pw)
+}

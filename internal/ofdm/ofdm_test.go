@@ -1,0 +1,377 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randSymbols(rng *rand.Rand, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		// Random QPSK-like points.
+		out[i] = complex(float64(rng.Intn(2)*2-1)/math.Sqrt2, float64(rng.Intn(2)*2-1)/math.Sqrt2)
+	}
+	return out
+}
+
+func TestDefaultLayout(t *testing.T) {
+	p := Default()
+	if p.FFTSize != 64 || p.CPLen != 16 {
+		t.Fatalf("default numerology %d/%d", p.FFTSize, p.CPLen)
+	}
+	if p.NumDataCarriers() != 48 {
+		t.Fatalf("data carriers = %d, want 48", p.NumDataCarriers())
+	}
+	if p.NumPilotCarriers() != 4 {
+		t.Fatalf("pilot carriers = %d, want 4", p.NumPilotCarriers())
+	}
+	if p.SymbolLen() != 80 {
+		t.Fatalf("symbol length = %d, want 80", p.SymbolLen())
+	}
+	// 80 samples at 10 MHz = 8 µs (twice the 20 MHz 4 µs, §5).
+	if d := p.SymbolDuration(); math.Abs(d-8e-6) > 1e-12 {
+		t.Fatalf("symbol duration = %g, want 8 µs", d)
+	}
+}
+
+func TestNewParamsValidation(t *testing.T) {
+	cases := []struct {
+		fft, cp, scale int
+		bw             float64
+	}{
+		{63, 16, 1, 10e6}, // not power of two
+		{64, 0, 1, 10e6},  // no CP
+		{64, 64, 1, 10e6}, // CP ≥ FFT
+		{64, 16, 0, 10e6}, // bad scale
+		{64, 16, 1, 0},    // bad bandwidth
+		{8, 2, 1, 10e6},   // too small
+	}
+	for _, c := range cases {
+		if _, err := NewParams(c.fft, c.cp, c.scale, c.bw); err == nil {
+			t.Errorf("NewParams(%d,%d,%d,%g) should fail", c.fft, c.cp, c.scale, c.bw)
+		}
+	}
+}
+
+func TestScaledNumerology(t *testing.T) {
+	// §4: both CP and FFT scale by the same factor; the overhead ratio
+	// stays constant.
+	p2, err := NewParams(64, 16, 2, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2.FFTSize != 128 || p2.CPLen != 32 {
+		t.Fatalf("scaled numerology %d/%d", p2.FFTSize, p2.CPLen)
+	}
+	base := Default()
+	r1 := float64(base.CPLen) / float64(base.FFTSize)
+	r2 := float64(p2.CPLen) / float64(p2.FFTSize)
+	if r1 != r2 {
+		t.Fatalf("CP overhead changed with scaling: %g vs %g", r1, r2)
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(1))
+	data := randSymbols(rng, p.NumDataCarriers())
+	tx, err := p.Modulate(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != p.SymbolLen() {
+		t.Fatalf("tx length %d", len(tx))
+	}
+	got, err := p.Demodulate(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("subcarrier %d: %v != %v", i, got[i], data[i])
+		}
+	}
+}
+
+func TestCyclicPrefixIsCyclic(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(2))
+	tx, _ := p.Modulate(randSymbols(rng, 48), 0)
+	for i := 0; i < p.CPLen; i++ {
+		if cmplx.Abs(tx[i]-tx[p.FFTSize+i]) > 1e-12 {
+			t.Fatalf("CP sample %d not cyclic", i)
+		}
+	}
+}
+
+func TestCPAbsorbsDelaySpread(t *testing.T) {
+	// A two-tap channel with delay < CP must appear as a pure
+	// per-subcarrier multiplication after demodulation — the property
+	// that lets n+ run nulling/alignment per subcarrier.
+	p := Default()
+	rng := rand.New(rand.NewSource(3))
+	data := randSymbols(rng, 48)
+	tx, _ := p.Modulate(data, 0)
+	h0, h1 := complex(0.8, 0.1), complex(0.3, -0.2)
+	delay := 5
+	rx := make([]complex128, len(tx))
+	for i := range tx {
+		rx[i] = h0 * tx[i]
+		if i >= delay {
+			rx[i] += h1 * tx[i-delay]
+		}
+	}
+	got, _ := p.Demodulate(rx)
+	// Expected per-bin gain: H[k] = h0 + h1·e^{-2πik·delay/N}.
+	bins := p.DataBins()
+	for i, bin := range bins {
+		angle := -2 * math.Pi * float64(bin) * float64(delay) / float64(p.FFTSize)
+		hk := h0 + h1*complex(math.Cos(angle), math.Sin(angle))
+		want := hk * data[i]
+		if cmplx.Abs(got[i]-want) > 1e-9 {
+			t.Fatalf("bin %d: got %v want %v", bin, got[i], want)
+		}
+	}
+}
+
+func TestDemodulateAll(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(4))
+	var stream []complex128
+	var want [][]complex128
+	for s := 0; s < 3; s++ {
+		data := randSymbols(rng, 48)
+		tx, _ := p.Modulate(data, s)
+		stream = append(stream, tx...)
+		want = append(want, data)
+	}
+	got, err := p.DemodulateAll(stream)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d symbols", len(got))
+	}
+	for s := range want {
+		for i := range want[s] {
+			if cmplx.Abs(got[s][i]-want[s][i]) > 1e-9 {
+				t.Fatalf("symbol %d bin %d mismatch", s, i)
+			}
+		}
+	}
+	if _, err := p.DemodulateAll(stream[:len(stream)-1]); err == nil {
+		t.Fatal("expected error for ragged stream")
+	}
+}
+
+func TestPowerAndDB(t *testing.T) {
+	x := []complex128{1, 1i, -1, -1i}
+	if pw := Power(x); math.Abs(pw-1) > 1e-12 {
+		t.Fatalf("Power = %g", pw)
+	}
+	if db := PowerDB(x); math.Abs(db) > 1e-9 {
+		t.Fatalf("PowerDB = %g", db)
+	}
+	if db := PowerDB(nil); db != -300 {
+		t.Fatalf("PowerDB(nil) = %g", db)
+	}
+}
+
+func TestSTFStructure(t *testing.T) {
+	p := Default()
+	stf := p.STF()
+	short := p.FFTSize / 4
+	if len(stf) != NumShortSymbols*short {
+		t.Fatalf("STF length %d", len(stf))
+	}
+	// Periodic with period 16.
+	for i := short; i < len(stf); i++ {
+		if cmplx.Abs(stf[i]-stf[i-short]) > 1e-9 {
+			t.Fatalf("STF not periodic at %d", i)
+		}
+	}
+	if math.Abs(Power(stf)-1) > 1e-9 {
+		t.Fatalf("STF power %g, want 1", Power(stf))
+	}
+}
+
+func TestLTFStructure(t *testing.T) {
+	p := Default()
+	ltf := p.LTF()
+	if len(ltf) != p.LTFLen() {
+		t.Fatalf("LTF length %d != %d", len(ltf), p.LTFLen())
+	}
+	// The two repeats must be identical.
+	start := 2 * p.CPLen
+	for i := 0; i < p.FFTSize; i++ {
+		if cmplx.Abs(ltf[start+i]-ltf[start+p.FFTSize+i]) > 1e-9 {
+			t.Fatalf("LTF repeats differ at %d", i)
+		}
+	}
+	if math.Abs(Power(ltf)-1) > 1e-9 {
+		t.Fatalf("LTF power %g", Power(ltf))
+	}
+}
+
+func TestDetectPacketFindsSTF(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(5))
+	pad := 37
+	rx := make([]complex128, pad)
+	for i := range rx {
+		rx[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.01
+	}
+	rx = append(rx, p.STF()...)
+	off, metric := p.DetectPacket(rx)
+	if metric < 0.95 {
+		t.Fatalf("clean STF correlation %g", metric)
+	}
+	// Peak may land on any short-symbol boundary due to periodicity.
+	if (off-pad)%(p.FFTSize/4) != 0 {
+		t.Fatalf("offset %d not aligned with STF start %d", off, pad)
+	}
+}
+
+func TestDetectPacketLowOnNoise(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(6))
+	rx := make([]complex128, 600)
+	for i := range rx {
+		rx[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	_, metric := p.DetectPacket(rx)
+	if metric > 0.55 {
+		t.Fatalf("noise correlation too high: %g", metric)
+	}
+}
+
+func TestCrossCorrelateBounds(t *testing.T) {
+	p := Default()
+	stf := p.STF()
+	if m := CrossCorrelate(stf, stf); m < 0.999 || m > 1.001 {
+		t.Fatalf("self correlation = %g", m)
+	}
+	if m := CrossCorrelate(nil, stf); m != 0 {
+		t.Fatalf("short rx correlation = %g", m)
+	}
+	if m := CrossCorrelate(stf, nil); m != 0 {
+		t.Fatalf("empty ref correlation = %g", m)
+	}
+}
+
+func TestEstimateCFO(t *testing.T) {
+	p := Default()
+	for _, cfoTrue := range []float64{0, 1000, -2500, 7000} {
+		ltf := p.ApplyCFO(p.LTF(), cfoTrue, 0)
+		got, err := p.EstimateCFO(ltf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-cfoTrue) > 5 {
+			t.Fatalf("CFO estimate %g, want %g", got, cfoTrue)
+		}
+	}
+	if _, err := p.EstimateCFO(make([]complex128, 3)); err == nil {
+		t.Fatal("expected error for short LTF")
+	}
+}
+
+func TestCFOCompensationRoundTrip(t *testing.T) {
+	// Pre-compensating by −Δf must cancel a channel that applies +Δf —
+	// the joiner synchronization mechanism of §4.
+	p := Default()
+	rng := rand.New(rand.NewSource(7))
+	data := randSymbols(rng, 48)
+	tx, _ := p.Modulate(data, 0)
+	cfo := 3000.0
+	pre := p.ApplyCFO(tx, -cfo, 0)
+	rx := p.ApplyCFO(pre, cfo, 0)
+	got, _ := p.Demodulate(rx)
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("CFO compensation failed at bin %d", i)
+		}
+	}
+}
+
+func TestEstimateChannelFlat(t *testing.T) {
+	p := Default()
+	h := complex(0.7, -0.4)
+	ltf := p.LTF()
+	rx := make([]complex128, len(ltf))
+	for i := range ltf {
+		rx[i] = h * ltf[i]
+	}
+	est, err := p.EstimateChannel(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range p.DataBins() {
+		if cmplx.Abs(est[bin]-h) > 1e-6 {
+			t.Fatalf("bin %d: est %v want %v", bin, est[bin], h)
+		}
+	}
+}
+
+func TestEstimateChannelMultipath(t *testing.T) {
+	p := Default()
+	ltf := p.LTF()
+	h0, h1 := complex(0.9, 0), complex(0.4, 0.3)
+	delay := 7
+	rx := make([]complex128, len(ltf))
+	for i := range ltf {
+		rx[i] = h0 * ltf[i]
+		if i >= delay {
+			rx[i] += h1 * ltf[i-delay]
+		}
+	}
+	est, err := p.EstimateChannel(rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bin := range p.DataBins() {
+		angle := -2 * math.Pi * float64(bin) * float64(delay) / float64(p.FFTSize)
+		want := h0 + h1*complex(math.Cos(angle), math.Sin(angle))
+		if cmplx.Abs(est[bin]-want) > 1e-6 {
+			t.Fatalf("bin %d: est %v want %v", bin, est[bin], want)
+		}
+	}
+}
+
+func TestPropModulateRoundTrip(t *testing.T) {
+	p := Default()
+	f := func(seed int64, symIdx uint8) bool {
+		data := randSymbols(rand.New(rand.NewSource(seed)), 48)
+		tx, err := p.Modulate(data, int(symIdx))
+		if err != nil {
+			return false
+		}
+		got, err := p.Demodulate(tx)
+		if err != nil {
+			return false
+		}
+		for i := range data {
+			if cmplx.Abs(got[i]-data[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkModulate(b *testing.B) {
+	p := Default()
+	data := randSymbols(rand.New(rand.NewSource(1)), 48)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Modulate(data, i); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

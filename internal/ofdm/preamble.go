@@ -1,0 +1,292 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// This file implements the 802.11 preamble machinery the paper's
+// carrier sense and channel estimation rely on: the short training
+// field (STF) used for packet detection and coarse CFO estimation,
+// and the long training field (LTF) used for fine CFO and per-
+// subcarrier channel estimation. For multi-antenna transmitters the
+// LTF is repeated once per transmit antenna in disjoint symbol slots
+// (as in 802.11n's per-stream HT-LTFs) so a receiver can estimate
+// every column of the channel matrix.
+
+// stfSeq is the frequency-domain STF sequence (802.11a Table L-2
+// structure): 12 populated subcarriers at multiples of 4, giving a
+// time-domain signal with period FFTSize/4 — i.e. 10 short symbols
+// across two OFDM symbol durations.
+var stfCarriers = map[int]complex128{
+	-24: complex(1, 1), -20: complex(-1, -1), -16: complex(1, 1),
+	-12: complex(-1, -1), -8: complex(-1, -1), -4: complex(1, 1),
+	4: complex(-1, -1), 8: complex(-1, -1), 12: complex(1, 1),
+	16: complex(1, 1), 20: complex(1, 1), 24: complex(1, 1),
+}
+
+// NumShortSymbols is the number of repeated short training symbols in
+// the STF, as in 802.11 (and as cross-correlated by the paper's
+// carrier sense, §6.1).
+const NumShortSymbols = 10
+
+// STF returns the time-domain short training field: NumShortSymbols
+// repetitions of the FFTSize/4-sample short symbol, normalized to
+// unit average power.
+func (p *Params) STF() []complex128 {
+	freq := make([]complex128, p.FFTSize)
+	scale := complex(math.Sqrt(13.0/6.0), 0)
+	for k, v := range stfCarriers {
+		bin := (k*p.FFTSize/64 + p.FFTSize) % p.FFTSize
+		freq[bin] = scale * v
+	}
+	p.plan.Inverse(freq)
+	short := freq[:p.FFTSize/4]
+	out := make([]complex128, 0, NumShortSymbols*len(short))
+	for i := 0; i < NumShortSymbols; i++ {
+		out = append(out, short...)
+	}
+	return normalizePower(out)
+}
+
+// ltfSeq is the 802.11a long training sequence on the 52 used
+// subcarriers (±1 BPSK), indexed from -26..26 excluding DC.
+var ltfSeq = []float64{
+	1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, 1, 1, -1, -1, 1, 1, -1, 1, -1, 1, 1, 1, 1, // -26..-1
+	1, -1, -1, 1, 1, -1, 1, -1, 1, -1, -1, -1, -1, -1, 1, 1, -1, -1, 1, -1, 1, -1, 1, 1, 1, 1, // 1..26
+}
+
+// ltfFreq returns the frequency-domain LTF on all FFT bins.
+func (p *Params) ltfFreq() []complex128 {
+	freq := make([]complex128, p.FFTSize)
+	maxIdx := 26 * p.FFTSize / 64
+	// Scale index mapping: for FFTSize 64 this is the standard map; for
+	// scaled FFTs the sequence spreads across the same fractional band.
+	i := 0
+	for k := -maxIdx; k <= maxIdx; k++ {
+		if k == 0 {
+			continue
+		}
+		// Use the base sequence cyclically for scaled sizes.
+		v := ltfSeq[i%len(ltfSeq)]
+		i++
+		bin := (k + p.FFTSize) % p.FFTSize
+		freq[bin] = complex(v, 0)
+	}
+	return freq
+}
+
+// NumLTFRepeats is how many identical LTF symbols each antenna sends;
+// two repeats (as in 802.11) allow averaging and fine CFO estimation.
+const NumLTFRepeats = 2
+
+// ltfRaw builds the unnormalized time-domain LTF and returns it with
+// the normalization factor that LTF applies, so channel estimation
+// can undo exactly the same factor.
+func (p *Params) ltfRaw() (out []complex128, norm float64) {
+	freq := p.ltfFreq()
+	time := make([]complex128, p.FFTSize)
+	copy(time, freq)
+	p.plan.Inverse(time)
+	cp := 2 * p.CPLen
+	out = make([]complex128, 0, cp+NumLTFRepeats*p.FFTSize)
+	out = append(out, time[p.FFTSize-cp:]...)
+	for r := 0; r < NumLTFRepeats; r++ {
+		out = append(out, time...)
+	}
+	return out, math.Sqrt(Power(out))
+}
+
+// LTF returns one antenna's time-domain long training field: a
+// double-length cyclic prefix followed by NumLTFRepeats repetitions
+// of the FFTSize-sample long symbol, normalized to unit average
+// power.
+func (p *Params) LTF() []complex128 {
+	out, norm := p.ltfRaw()
+	if norm > 0 {
+		s := complex(1/norm, 0)
+		for i := range out {
+			out[i] *= s
+		}
+	}
+	return out
+}
+
+// LTFLen returns len(LTF()) without building it.
+func (p *Params) LTFLen() int { return 2*p.CPLen + NumLTFRepeats*p.FFTSize }
+
+// LTFFreq returns the frequency-domain LTF reference on all FFT bins
+// (zero on unused bins). Exposed for per-subcarrier precoded training
+// in package phy: a joiner must null/align its training symbols too.
+func (p *Params) LTFFreq() []complex128 { return p.ltfFreq() }
+
+// LTFNorm returns the normalization factor LTF() divides the raw
+// time-domain field by; precoded LTF builders must divide by the same
+// factor so receivers recover effective channels at true scale.
+func (p *Params) LTFNorm() float64 {
+	_, n := p.ltfRaw()
+	return n
+}
+
+// PreambleLen returns the length of a full single-antenna preamble
+// (STF + one LTF).
+func (p *Params) PreambleLen() int {
+	return NumShortSymbols*p.FFTSize/4 + p.LTFLen()
+}
+
+func normalizePower(x []complex128) []complex128 {
+	pw := Power(x)
+	if pw <= 0 {
+		return x
+	}
+	s := complex(1/math.Sqrt(pw), 0)
+	for i := range x {
+		x[i] *= s
+	}
+	return x
+}
+
+// CrossCorrelate computes the peak normalized cross-correlation of
+// ref against rx over all alignments, returning a value in [0, 1].
+// This is the correlation component of 802.11 carrier sense: the
+// receiver correlates the known STF against the incoming samples and
+// declares the medium busy when the metric exceeds a threshold
+// (§6.1 of the paper evaluates exactly this metric with and without
+// projection).
+func CrossCorrelate(rx, ref []complex128) float64 {
+	if len(ref) == 0 || len(rx) < len(ref) {
+		return 0
+	}
+	refNorm := math.Sqrt(energy(ref))
+	if refNorm == 0 {
+		return 0
+	}
+	best := 0.0
+	for off := 0; off+len(ref) <= len(rx); off++ {
+		var acc complex128
+		var rxE float64
+		for i, r := range ref {
+			v := rx[off+i]
+			acc += v * cmplx.Conj(r)
+			rxE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if rxE == 0 {
+			continue
+		}
+		m := cmplx.Abs(acc) / (refNorm * math.Sqrt(rxE))
+		if m > best {
+			best = m
+		}
+	}
+	return best
+}
+
+func energy(x []complex128) float64 {
+	var s float64
+	for _, v := range x {
+		s += real(v)*real(v) + imag(v)*imag(v)
+	}
+	return s
+}
+
+// DetectPacket scans rx for the STF and returns the sample offset of
+// the best correlation peak and the peak metric. A packet is
+// conventionally declared when metric ≥ threshold (0.6 works well at
+// the SNRs of interest).
+func (p *Params) DetectPacket(rx []complex128) (offset int, metric float64) {
+	ref := p.STF()
+	win := len(ref) / NumShortSymbols * 4 // correlate 4 short symbols
+	ref = ref[:win]
+	refNorm := math.Sqrt(energy(ref))
+	if refNorm == 0 || len(rx) < win {
+		return 0, 0
+	}
+	best, bestOff := 0.0, 0
+	for off := 0; off+win <= len(rx); off++ {
+		var acc complex128
+		var rxE float64
+		for i, r := range ref {
+			v := rx[off+i]
+			acc += v * cmplx.Conj(r)
+			rxE += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if rxE == 0 {
+			continue
+		}
+		m := cmplx.Abs(acc) / (refNorm * math.Sqrt(rxE))
+		if m > best {
+			best, bestOff = m, off
+		}
+	}
+	return bestOff, best
+}
+
+// EstimateCFO estimates the carrier frequency offset in Hz from the
+// two repeated LTF symbols: the phase drift between samples one
+// FFTSize apart is 2π·Δf·T_fft. ltf must be the received LTF portion
+// (with CP) from one antenna.
+//
+// This is how joining transmitters in n+ estimate their offset with
+// respect to the first contention winner so they can pre-compensate
+// (§4, Frequency Offset).
+func (p *Params) EstimateCFO(ltf []complex128) (float64, error) {
+	need := p.LTFLen()
+	if len(ltf) < need {
+		return 0, fmt.Errorf("ofdm: LTF too short: %d < %d", len(ltf), need)
+	}
+	start := 2 * p.CPLen
+	var acc complex128
+	for i := 0; i < p.FFTSize; i++ {
+		acc += cmplx.Conj(ltf[start+i]) * ltf[start+p.FFTSize+i]
+	}
+	phase := cmplx.Phase(acc)
+	tFFT := float64(p.FFTSize) / p.BandwidthHz
+	return phase / (2 * math.Pi * tFFT), nil
+}
+
+// ApplyCFO rotates samples by a frequency offset of cfo Hz, starting
+// at sample index startIdx. Transmitters use the negated estimate to
+// pre-compensate their offset.
+func (p *Params) ApplyCFO(samples []complex128, cfo float64, startIdx int) []complex128 {
+	out := make([]complex128, len(samples))
+	w := 2 * math.Pi * cfo / p.BandwidthHz
+	for i := range samples {
+		ph := w * float64(startIdx+i)
+		out[i] = samples[i] * complex(math.Cos(ph), math.Sin(ph))
+	}
+	return out
+}
+
+// EstimateChannel computes the least-squares per-bin channel estimate
+// H[bin] = Y[bin]/X[bin] from a received LTF, averaging the repeats.
+// It returns estimates for all FFT bins that the LTF populates
+// (others are zero).
+func (p *Params) EstimateChannel(ltf []complex128) ([]complex128, error) {
+	need := p.LTFLen()
+	if len(ltf) < need {
+		return nil, fmt.Errorf("ofdm: LTF too short: %d < %d", len(ltf), need)
+	}
+	ref := p.ltfFreq()
+	// The transmitted LTF was power-normalized; recover exactly that
+	// factor so H carries the true channel gain.
+	_, norm := p.ltfRaw()
+
+	est := make([]complex128, p.FFTSize)
+	start := 2 * p.CPLen
+	sym := make([]complex128, p.FFTSize)
+	for r := 0; r < NumLTFRepeats; r++ {
+		copy(sym, ltf[start+r*p.FFTSize:start+(r+1)*p.FFTSize])
+		p.plan.Forward(sym)
+		for bin := 0; bin < p.FFTSize; bin++ {
+			if ref[bin] != 0 {
+				est[bin] += sym[bin] / ref[bin]
+			}
+		}
+	}
+	scale := complex(norm/float64(NumLTFRepeats), 0)
+	for bin := range est {
+		est[bin] *= scale
+	}
+	return est, nil
+}

@@ -1,0 +1,134 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// TestEstimateChannelUnderNoise: the LS channel estimate's error must
+// shrink with preamble SNR roughly as 1/√SNR — the scaling the
+// testbed's PerturbEstimate model assumes.
+func TestEstimateChannelUnderNoise(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(1))
+	h := complex(0.8, -0.5)
+	errAt := func(snrDB float64) float64 {
+		var acc float64
+		const trials = 40
+		for tr := 0; tr < trials; tr++ {
+			ltf := p.LTF()
+			rx := make([]complex128, len(ltf))
+			scale := complex(math.Sqrt(math.Pow(10, snrDB/10)), 0)
+			for i := range ltf {
+				rx[i] = h * ltf[i] * scale
+			}
+			addNoise(rng, rx, 1)
+			est, err := p.EstimateChannel(rx)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var e float64
+			bins := p.DataBins()
+			for _, bin := range bins {
+				e += cmplx.Abs(est[bin]/scale - h)
+			}
+			acc += e / float64(len(bins))
+		}
+		return acc / trials
+	}
+	e10, e30 := errAt(10), errAt(30)
+	if e10 <= e30 {
+		t.Fatalf("estimation error must shrink with SNR: %g vs %g", e10, e30)
+	}
+	// 20 dB more SNR → ~10× lower rms error.
+	if ratio := e10 / e30; ratio < 4 || ratio > 25 {
+		t.Fatalf("error ratio %g, want ≈10", ratio)
+	}
+}
+
+func addNoise(rng *rand.Rand, x []complex128, pw float64) {
+	s := math.Sqrt(pw / 2)
+	for i := range x {
+		x[i] += complex(rng.NormFloat64()*s, rng.NormFloat64()*s)
+	}
+}
+
+// TestDetectPacketUnderCFO: packet detection must survive a realistic
+// carrier frequency offset (the STF correlation window is short
+// enough that intra-window rotation stays small).
+func TestDetectPacketUnderCFO(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(2))
+	for _, cfo := range []float64{0, 2000, 5000} {
+		rx := make([]complex128, 60)
+		for i := range rx {
+			rx[i] = complex(rng.NormFloat64(), rng.NormFloat64()) * 0.05
+		}
+		rx = append(rx, p.STF()...)
+		rx = p.ApplyCFO(rx, cfo, 0)
+		addNoise(rng, rx, 0.01)
+		_, metric := p.DetectPacket(rx)
+		if metric < 0.8 {
+			t.Fatalf("CFO %g Hz: detection metric %.3f", cfo, metric)
+		}
+	}
+}
+
+// TestCFOEstimateThenCorrectEndToEnd: a joiner estimating the
+// incumbent's CFO from its LTF and pre-compensating must land within
+// the cyclic-prefix tolerance (§4 Frequency Offset).
+func TestCFOEstimateThenCorrectEndToEnd(t *testing.T) {
+	p := Default()
+	rng := rand.New(rand.NewSource(3))
+	trueCFO := 3471.0
+	ltf := p.ApplyCFO(p.LTF(), trueCFO, 0)
+	addNoise(rng, ltf, 0.001)
+	est, err := p.EstimateCFO(ltf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(est-trueCFO) > 250 {
+		t.Fatalf("CFO estimate %.1f, want %.1f", est, trueCFO)
+	}
+	// Residual rotation over one OFDM symbol must be ≪ a subcarrier
+	// spacing (156.25 kHz at 10 MHz / 64).
+	residual := math.Abs(est - trueCFO)
+	spacing := p.BandwidthHz / float64(p.FFTSize)
+	if residual > spacing/100 {
+		t.Fatalf("residual CFO %.1f Hz too close to subcarrier spacing %.0f", residual, spacing)
+	}
+}
+
+// TestScaledNumerologyRoundTrip: the §4 joiner-synchronization
+// numerology (FFT and CP scaled ×2) must modulate and demodulate like
+// the base one.
+func TestScaledNumerologyRoundTrip(t *testing.T) {
+	p2, err := NewParams(64, 16, 2, 10e6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(4))
+	data := make([]complex128, p2.NumDataCarriers())
+	for i := range data {
+		data[i] = complex(float64(rng.Intn(2)*2-1), 0) / math.Sqrt2
+	}
+	tx, err := p2.Modulate(data, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Demodulate(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		if cmplx.Abs(got[i]-data[i]) > 1e-9 {
+			t.Fatalf("scaled numerology roundtrip failed at %d", i)
+		}
+	}
+	// Scaled symbols take exactly twice the air time.
+	if p2.SymbolDuration() != 2*Default().SymbolDuration() {
+		t.Fatal("scaled symbol duration wrong")
+	}
+}

@@ -1,0 +1,467 @@
+package phy
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/mimo"
+	"nplus/internal/modulation"
+	"nplus/internal/ofdm"
+)
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0xff, 0xa5, 0x3c}
+	bits := BytesToBits(data)
+	if len(bits) != 32 {
+		t.Fatalf("bit count %d", len(bits))
+	}
+	if !bytes.Equal(BitsToBytes(bits), data) {
+		t.Fatal("roundtrip failed")
+	}
+	// Partial byte dropped.
+	if got := BitsToBytes(bits[:10]); len(got) != 1 {
+		t.Fatalf("partial byte handling: %d bytes", len(got))
+	}
+}
+
+func TestPropBitsBytesRoundTrip(t *testing.T) {
+	f := func(data []byte) bool {
+		return bytes.Equal(BitsToBytes(BytesToBits(data)), data)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBitChainRoundTripAllRates(t *testing.T) {
+	params := ofdm.Default()
+	rng := rand.New(rand.NewSource(1))
+	payload := make([]byte, 310)
+	rng.Read(payload)
+	for _, rate := range modulation.Rates {
+		c := BitChain{Rate: rate, ScramblerSeed: 0x5b}
+		syms, err := c.EncodePayload(payload, params)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		if len(syms)%params.NumDataCarriers() != 0 {
+			t.Fatalf("%v: %d symbols not whole OFDM symbols", rate, len(syms))
+		}
+		got, err := c.DecodePayload(syms, len(payload), params)
+		if err != nil {
+			t.Fatalf("%v: %v", rate, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("%v: payload corrupted on clean channel", rate)
+		}
+	}
+}
+
+func TestBitChainToleratesNoise(t *testing.T) {
+	// QPSK 1/2 with symbol-level noise at ~12 dB must decode cleanly
+	// (coding gain over the ~10.5 dB uncoded requirement).
+	params := ofdm.Default()
+	rng := rand.New(rand.NewSource(2))
+	payload := make([]byte, 400)
+	rng.Read(payload)
+	c := BitChain{Rate: modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate1_2}, ScramblerSeed: 0x11}
+	syms, err := c.EncodePayload(payload, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	noisy := append([]complex128(nil), syms...)
+	channel.AddNoise(rng, noisy, channel.FromDB(-12))
+	got, err := c.DecodePayload(noisy, len(payload), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("payload corrupted at 12 dB with rate-1/2 coding")
+	}
+}
+
+func TestSymbolsNeeded(t *testing.T) {
+	params := ofdm.Default()
+	c := BitChain{Rate: modulation.Rate{Scheme: modulation.BPSK, CodeRate: modulation.Rate1_2}}
+	// 1500 B at BPSK 1/2: 24 data bits/symbol → (12000+6)*2 = 24012
+	// coded bits / 48 = 500.25 → 501 symbols.
+	if got := c.SymbolsNeeded(1500, params); got != 501 {
+		t.Fatalf("SymbolsNeeded = %d, want 501", got)
+	}
+}
+
+// buildStreams encodes per-stream payloads at the given rate.
+func buildStreams(t *testing.T, params *ofdm.Params, rate modulation.Rate, payloads [][]byte) ([][]complex128, []BitChain) {
+	t.Helper()
+	var streams [][]complex128
+	var chains []BitChain
+	maxLen := 0
+	for i, p := range payloads {
+		c := BitChain{Rate: rate, ScramblerSeed: byte(0x21 + i)}
+		syms, err := c.EncodePayload(p, params)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams = append(streams, syms)
+		chains = append(chains, c)
+		if len(syms) > maxLen {
+			maxLen = len(syms)
+		}
+	}
+	// Pad streams to equal length (concurrent streams end together).
+	for i := range streams {
+		for len(streams[i]) < maxLen {
+			streams[i] = append(streams[i], 0)
+		}
+	}
+	return streams, chains
+}
+
+// TestEndToEnd2x2MIMO runs a full single-transmitter 2×2 spatial
+// multiplexing exchange through a multipath channel with preamble-
+// based channel estimation — the baseline 802.11n path.
+func TestEndToEnd2x2MIMO(t *testing.T) {
+	params := ofdm.Default()
+	rng := rand.New(rand.NewSource(3))
+	ch := channel.NewRayleigh(rng, 2, 2, channel.DefaultProfile, channel.FromDB(25))
+
+	payloads := [][]byte{make([]byte, 120), make([]byte, 120)}
+	rng.Read(payloads[0])
+	rng.Read(payloads[1])
+	rate := modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate1_2}
+	streams, chains := buildStreams(t, params, rate, payloads)
+
+	// Plain spatial multiplexing: identity precoding.
+	pre, err := mimo.ComputePrecoder(2, nil, []mimo.OwnReceiver{{H: ch.FreqResponse(1, params.FFTSize), Streams: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := &Transmission{
+		Params:          params,
+		Bank:            UniformBank(params, pre),
+		StreamSymbols:   streams,
+		IncludePreamble: true,
+		IncludeSTF:      true,
+	}
+	antSamples, err := tx.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxSamples, err := ch.Apply(antSamples)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := range rxSamples {
+		channel.AddNoise(rng, rxSamples[a], 1) // unit noise floor: 25 dB SNR
+	}
+
+	rx := &Receiver{Params: params, N: 2}
+	layout := PreambleLayout{Streams: 2, LTFStart: rx.STFLen()}
+	eff, err := rx.EstimateEffectiveChannels(rxSamples, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataStart := rx.PreambleSamples(2, true)
+	decoded, err := rx.DecodeSymbols(rxSamples, DecodeConfig{Effective: eff, Wanted: []int{0, 1}}, dataStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range payloads {
+		got, err := chains[i].DecodePayload(decoded[i], len(payloads[i]), params)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payloads[i]) {
+			t.Fatalf("stream %d: payload corrupted", i)
+		}
+	}
+}
+
+// TestEndToEndFig2Concurrent is the signal-level reproduction of the
+// paper's Fig. 2: tx1 (1 antenna) and tx2 (2 antennas, nulling at
+// rx1) transmit concurrently through real multipath channels. rx1
+// must decode tx1's payload untouched and rx2 must decode tx2's
+// payload after projecting out tx1.
+func TestEndToEndFig2Concurrent(t *testing.T) {
+	params := ofdm.Default()
+	rng := rand.New(rand.NewSource(4))
+	// Channels (all SNRs ~25-28 dB, unit noise).
+	ch1to1 := channel.NewRayleigh(rng, 1, 1, channel.DefaultProfile, channel.FromDB(26))
+	ch1to2 := channel.NewRayleigh(rng, 2, 1, channel.DefaultProfile, channel.FromDB(24))
+	ch2to1 := channel.NewRayleigh(rng, 1, 2, channel.DefaultProfile, channel.FromDB(25))
+	ch2to2 := channel.NewRayleigh(rng, 2, 2, channel.DefaultProfile, channel.FromDB(27))
+
+	rate := modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate1_2}
+	p1 := make([]byte, 150)
+	p2 := make([]byte, 150)
+	rng.Read(p1)
+	rng.Read(p2)
+	chain1 := BitChain{Rate: rate, ScramblerSeed: 0x31}
+	chain2 := BitChain{Rate: rate, ScramblerSeed: 0x32}
+	syms1, err := chain1.EncodePayload(p1, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	syms2, err := chain2.EncodePayload(p2, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(syms1) != len(syms2) {
+		t.Fatal("test wants equal-length streams")
+	}
+
+	// tx1: single antenna, trivial precoder.
+	one := cmplxmat.Identity(1)
+	pre1 := &mimo.Precoder{M: 1, Vectors: []cmplxmat.Vector{one.Col(0)}}
+	tx1 := &Transmission{Params: params, Bank: UniformBank(params, pre1), StreamSymbols: [][]complex128{syms1}, IncludePreamble: true}
+
+	// tx2: null at rx1 on every data subcarrier (per-bin precoders).
+	dataBins := params.DataBins()
+	pres := make([]*mimo.Precoder, len(dataBins))
+	for k, bin := range dataBins {
+		h21 := ch2to1.FreqResponse(bin, params.FFTSize)
+		h22 := ch2to2.FreqResponse(bin, params.FFTSize)
+		pre, err := mimo.ComputePrecoder(2, []mimo.OngoingReceiver{{H: h21}}, []mimo.OwnReceiver{{H: h22, Streams: 1}})
+		if err != nil {
+			t.Fatalf("bin %d: %v", bin, err)
+		}
+		pres[k] = pre
+	}
+	bank2, err := BankFromPerBin(pres)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx2 := &Transmission{Params: params, Bank: bank2, StreamSymbols: [][]complex128{syms2}, IncludePreamble: true}
+
+	s1, err := tx1.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := tx2.Samples()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Align: tx2 starts its (precoded) LTF right when tx1's data
+	// begins... both streams must end together; here both have one LTF
+	// and equal data, so simply start tx2 concurrently with tx1.
+	if len(s1[0]) != len(s2[0]) {
+		t.Fatalf("length mismatch %d vs %d", len(s1[0]), len(s2[0]))
+	}
+
+	mix := func(chA *channel.MIMO, sA [][]complex128, chB *channel.MIMO, sB [][]complex128, n int) [][]complex128 {
+		rA, err := chA.Apply(sA)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rB, err := chB.Apply(sB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([][]complex128, n)
+		for a := 0; a < n; a++ {
+			out[a] = make([]complex128, len(rA[a]))
+			for i := range out[a] {
+				out[a][i] = rA[a][i] + rB[a][i]
+			}
+			channel.AddNoise(rng, out[a], 1)
+		}
+		return out
+	}
+	rx1Samples := mix(ch1to1, s1, ch2to1, s2, 1)
+	rx2Samples := mix(ch1to2, s1, ch2to2, s2, 2)
+
+	// rx1 (single antenna): estimates tx1's channel from tx1's LTF and
+	// decodes ignoring tx2 entirely (tx2 is nulled there).
+	rx1 := &Receiver{Params: params, N: 1}
+	eff1, err := rx1.EstimateEffectiveChannels(rx1Samples, PreambleLayout{Streams: 1, LTFStart: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dataStart := params.LTFLen()
+	dec1, err := rx1.DecodeSymbols(rx1Samples, DecodeConfig{Effective: eff1, Wanted: []int{0}}, dataStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got1, err := chain1.DecodePayload(dec1[0], len(p1), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got1, p1) {
+		t.Fatal("rx1's payload corrupted by the joiner despite nulling")
+	}
+	// The decoded constellation SNR at rx1 must stay high (~>18 dB):
+	// nulling kept the interference below the noise.
+	ref1, _ := chain1.EncodePayload(p1, params)
+	snr1, err := MeasureStreamSNR(dec1[0], ref1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snr1 < 15 {
+		t.Fatalf("rx1 post-decode SNR %g dB — nulling failed", snr1)
+	}
+
+	// rx2 (two antennas): genie CSI for both streams' effective
+	// channels (preamble-overlap estimation is exercised elsewhere).
+	effQ := make([]cmplxmat.Vector, len(dataBins))
+	effP := make([]cmplxmat.Vector, len(dataBins))
+	for k, bin := range dataBins {
+		effQ[k] = cmplxmat.Vector(ch2to2.FreqResponse(bin, params.FFTSize).MulVec(pres[k].Vectors[0]))
+		effP[k] = ch1to2.FreqResponse(bin, params.FFTSize).Col(0)
+	}
+	rx2 := &Receiver{Params: params, N: 2}
+	dec2, err := rx2.DecodeSymbols(rx2Samples, DecodeConfig{
+		Effective:       [][]cmplxmat.Vector{effP, effQ},
+		Wanted:          []int{1},
+		ProjectUnwanted: true,
+	}, dataStart)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := chain2.DecodePayload(dec2[0], len(p2), params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got2, p2) {
+		t.Fatal("rx2 failed to decode the joiner's payload")
+	}
+}
+
+func TestMeasureStreamSNR(t *testing.T) {
+	ref := []complex128{1, 1i, -1, -1i}
+	if snr, _ := MeasureStreamSNR(ref, ref); !math.IsInf(snr, 1) {
+		t.Fatalf("identical streams SNR = %g", snr)
+	}
+	noisy := []complex128{1.1, 1i, -1, -1i}
+	snr, err := MeasureStreamSNR(noisy, ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// signal 4, error 0.01 → 26 dB.
+	if math.Abs(snr-26.02) > 0.1 {
+		t.Fatalf("SNR = %g, want ≈26", snr)
+	}
+	if _, err := MeasureStreamSNR(ref[:2], ref); err == nil {
+		t.Fatal("expected length error")
+	}
+}
+
+// TestLinkAbstractionMatchesSignalLevel validates the fast path used
+// by the MAC experiments: the analytic post-projection SINR must
+// match the SNR measured by actually running samples through the
+// channel and decoder.
+func TestLinkAbstractionMatchesSignalLevel(t *testing.T) {
+	params := ofdm.Default()
+	rng := rand.New(rand.NewSource(5))
+	// Flat channels so every subcarrier behaves identically.
+	ch1 := channel.NewRayleigh(rng, 2, 1, channel.FlatProfile, channel.FromDB(20))
+	ch2 := channel.NewRayleigh(rng, 2, 1, channel.FlatProfile, channel.FromDB(22))
+
+	dataBins := params.DataBins()
+	nd := len(dataBins)
+	effP := make([]cmplxmat.Vector, nd)
+	effQ := make([]cmplxmat.Vector, nd)
+	for k, bin := range dataBins {
+		effP[k] = ch1.FreqResponse(bin, params.FFTSize).Col(0)
+		effQ[k] = ch2.FreqResponse(bin, params.FFTSize).Col(0)
+	}
+	noise := 1.0
+	sinrs, err := PostProjectionSINRs(2, [][]cmplxmat.Vector{effP, effQ}, 1, noise, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	predicted := channel.DB(sinrs[0])
+
+	// Signal level: random QPSK symbols for both streams.
+	nSym := 60
+	mkSyms := func() []complex128 {
+		s := make([]complex128, nSym*nd)
+		for i := range s {
+			s[i] = complex(float64(rng.Intn(2)*2-1)/math.Sqrt2, float64(rng.Intn(2)*2-1)/math.Sqrt2)
+		}
+		return s
+	}
+	symsP, symsQ := mkSyms(), mkSyms()
+	one := cmplxmat.Identity(1)
+	pre := &mimo.Precoder{M: 1, Vectors: []cmplxmat.Vector{one.Col(0)}}
+	t1 := &Transmission{Params: params, Bank: UniformBank(params, pre), StreamSymbols: [][]complex128{symsP}}
+	t2 := &Transmission{Params: params, Bank: UniformBank(params, pre), StreamSymbols: [][]complex128{symsQ}}
+	s1, _ := t1.Samples()
+	s2, _ := t2.Samples()
+	r1, _ := ch1.Apply(s1)
+	r2, _ := ch2.Apply(s2)
+	mix := make([][]complex128, 2)
+	for a := 0; a < 2; a++ {
+		mix[a] = make([]complex128, len(r1[a]))
+		for i := range mix[a] {
+			mix[a][i] = r1[a][i] + r2[a][i]
+		}
+		channel.AddNoise(rng, mix[a], noise)
+	}
+	rx := &Receiver{Params: params, N: 2}
+	dec, err := rx.DecodeSymbols(mix, DecodeConfig{
+		Effective:       [][]cmplxmat.Vector{effP, effQ},
+		Wanted:          []int{1},
+		ProjectUnwanted: true,
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured, err := MeasureStreamSNR(dec[0], symsQ)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(measured-predicted) > 2.0 {
+		t.Fatalf("link abstraction predicts %g dB, signal level measures %g dB", predicted, measured)
+	}
+}
+
+func TestTransmissionValidation(t *testing.T) {
+	params := ofdm.Default()
+	one := cmplxmat.Identity(1)
+	pre := &mimo.Precoder{M: 1, Vectors: []cmplxmat.Vector{one.Col(0)}}
+	// Stream symbol count not a multiple of data carriers.
+	tx := &Transmission{Params: params, Bank: UniformBank(params, pre), StreamSymbols: [][]complex128{make([]complex128, 47)}}
+	if _, err := tx.Samples(); err == nil {
+		t.Fatal("expected ragged-symbol error")
+	}
+	// Zero streams.
+	tx2 := &Transmission{Params: params, Bank: &PrecoderBank{M: 1}, StreamSymbols: nil}
+	if _, err := tx2.Samples(); err == nil {
+		t.Fatal("expected zero-stream error")
+	}
+}
+
+func TestBankFromPerBinValidation(t *testing.T) {
+	if _, err := BankFromPerBin(nil); err == nil {
+		t.Fatal("expected empty error")
+	}
+	one := cmplxmat.Identity(1)
+	a := &mimo.Precoder{M: 1, Vectors: []cmplxmat.Vector{one.Col(0)}}
+	b := &mimo.Precoder{M: 2, Vectors: []cmplxmat.Vector{{1, 0}}}
+	if _, err := BankFromPerBin([]*mimo.Precoder{a, b}); err == nil {
+		t.Fatal("expected mismatch error")
+	}
+}
+
+func TestDecodeSymbolsValidation(t *testing.T) {
+	params := ofdm.Default()
+	rx := &Receiver{Params: params, N: 2}
+	if _, err := rx.DecodeSymbols(nil, DecodeConfig{}, 0); err == nil {
+		t.Fatal("expected no-wanted error")
+	}
+	eff := [][]cmplxmat.Vector{make([]cmplxmat.Vector, params.NumDataCarriers())}
+	for k := range eff[0] {
+		eff[0][k] = cmplxmat.Vector{1, 0}
+	}
+	if _, err := rx.DecodeSymbols([][]complex128{{1}}, DecodeConfig{Effective: eff, Wanted: []int{0}}, 0); err == nil {
+		t.Fatal("expected antenna-count error")
+	}
+	if _, err := rx.DecodeSymbols([][]complex128{{}, {}}, DecodeConfig{Effective: eff, Wanted: []int{5}}, 0); err == nil {
+		t.Fatal("expected index-range error")
+	}
+}

@@ -1,0 +1,249 @@
+package phy
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nplus/internal/cmplxmat"
+	"nplus/internal/mimo"
+	"nplus/internal/ofdm"
+)
+
+// Receiver decodes a multi-stream transmission from per-antenna
+// sample streams whose frame timing is known (the simulator keeps
+// transmitters symbol-synchronized, as §4's time-synchronization
+// mechanism does on hardware).
+type Receiver struct {
+	Params *ofdm.Params
+	N      int // receive antennas
+}
+
+// PreambleLayout describes where a transmission's training fields
+// fall in the sample stream.
+type PreambleLayout struct {
+	Streams  int // number of spatial streams (one LTF each)
+	LTFStart int // sample index of the first LTF (STFLen() for a first winner, 0 for a joiner)
+}
+
+// STFLen returns the STF sample count for the receiver's numerology.
+func (r *Receiver) STFLen() int {
+	return ofdm.NumShortSymbols * r.Params.FFTSize / 4
+}
+
+// PreambleSamples returns the total preamble length for a
+// transmission with the given stream count (withSTF selects the
+// first-winner layout).
+func (r *Receiver) PreambleSamples(streams int, withSTF bool) int {
+	n := streams * r.Params.LTFLen()
+	if withSTF {
+		n += r.STFLen()
+	}
+	return n
+}
+
+// EstimateEffectiveChannels extracts, from the preamble portion of
+// per-antenna samples, the effective channel vector of each stream on
+// every data subcarrier: result[stream][dataBinIdx] is an N-element
+// vector (what the stream's precoded LTF looked like at this
+// receiver).
+func (r *Receiver) EstimateEffectiveChannels(samples [][]complex128, layout PreambleLayout) ([][]cmplxmat.Vector, error) {
+	if len(samples) != r.N {
+		return nil, fmt.Errorf("phy: %d antenna streams for %d antennas", len(samples), r.N)
+	}
+	need := layout.LTFStart + layout.Streams*r.Params.LTFLen()
+	for a, s := range samples {
+		if len(s) < need {
+			return nil, fmt.Errorf("phy: antenna %d has %d samples, preamble needs %d", a, len(s), need)
+		}
+	}
+	p := r.Params
+	ltfLen := p.LTFLen()
+	dataBins := p.DataBins()
+	out := make([][]cmplxmat.Vector, layout.Streams)
+	for i := 0; i < layout.Streams; i++ {
+		start := layout.LTFStart + i*ltfLen
+		perAntenna := make([][]complex128, r.N) // per-bin estimates
+		for a := 0; a < r.N; a++ {
+			est, err := p.EstimateChannel(samples[a][start : start+ltfLen])
+			if err != nil {
+				return nil, err
+			}
+			perAntenna[a] = est
+		}
+		out[i] = make([]cmplxmat.Vector, len(dataBins))
+		for k, bin := range dataBins {
+			v := make(cmplxmat.Vector, r.N)
+			for a := 0; a < r.N; a++ {
+				v[a] = perAntenna[a][bin]
+			}
+			out[i][k] = v
+		}
+	}
+	return out, nil
+}
+
+// DecodeConfig selects which streams to decode and in which subspace.
+type DecodeConfig struct {
+	// Effective[stream][dataBinIdx]: effective channels of ALL streams
+	// present on the medium at this receiver (wanted first is not
+	// required; Wanted lists indices into this slice).
+	Effective [][]cmplxmat.Vector
+	// Wanted are the indices of the streams this receiver wants.
+	Wanted []int
+	// ProjectUnwanted selects the n+ receive behavior: treat all
+	// non-wanted streams as the unwanted space and decode in its
+	// orthogonal complement. When false, the receiver zero-forces
+	// against every stream individually (requires N ≥ total streams).
+	ProjectUnwanted bool
+}
+
+// DecodeSymbols recovers each wanted stream's constellation points
+// from the data portion of the samples (after the preamble).
+// dataStart is the sample index where data symbols begin.
+func (r *Receiver) DecodeSymbols(samples [][]complex128, cfg DecodeConfig, dataStart int) ([][]complex128, error) {
+	if len(cfg.Wanted) == 0 {
+		return nil, errors.New("phy: no wanted streams")
+	}
+	p := r.Params
+	nd := p.NumDataCarriers()
+	sl := p.SymbolLen()
+	if len(samples) != r.N {
+		return nil, fmt.Errorf("phy: %d antenna streams for %d antennas", len(samples), r.N)
+	}
+	avail := len(samples[0]) - dataStart
+	if avail < 0 {
+		return nil, errors.New("phy: dataStart beyond samples")
+	}
+	nSym := avail / sl
+	// Build one decoder per data bin.
+	decoders := make([]*mimo.Decoder, nd)
+	for k := 0; k < nd; k++ {
+		wanted := make([]cmplxmat.Vector, len(cfg.Wanted))
+		var unwanted []cmplxmat.Vector
+		wantedSet := make(map[int]bool, len(cfg.Wanted))
+		for _, w := range cfg.Wanted {
+			if w < 0 || w >= len(cfg.Effective) {
+				return nil, fmt.Errorf("phy: wanted index %d out of range", w)
+			}
+			wantedSet[w] = true
+		}
+		for wi, w := range cfg.Wanted {
+			wanted[wi] = cfg.Effective[w][k]
+		}
+		for si := range cfg.Effective {
+			if !wantedSet[si] {
+				unwanted = append(unwanted, cfg.Effective[si][k])
+			}
+		}
+		var uPerp *cmplxmat.Matrix
+		if cfg.ProjectUnwanted && len(unwanted) > 0 {
+			_, uPerp = mimo.UnwantedSpace(r.N, unwanted)
+		} else if len(unwanted) > 0 {
+			// Plain ZF: decode wanted jointly with nulling of unwanted by
+			// including them in the wanted set then discarding. Implemented
+			// as projection too, but without rank collapse: stack all.
+			_, uPerp = mimo.UnwantedSpace(r.N, unwanted)
+		}
+		dec, err := mimo.NewDecoder(r.N, uPerp, wanted)
+		if err != nil {
+			return nil, fmt.Errorf("phy: bin %d: %w", k, err)
+		}
+		decoders[k] = dec
+	}
+	out := make([][]complex128, len(cfg.Wanted))
+	for i := range out {
+		out[i] = make([]complex128, 0, nSym*nd)
+	}
+	y := make(cmplxmat.Vector, r.N)
+	dataBins := p.DataBins()
+	freq := make([][]complex128, r.N)
+	inv := complex(1/math.Sqrt(float64(p.FFTSize)), 0) // unitary convention
+	for sym := 0; sym < nSym; sym++ {
+		off := dataStart + sym*sl
+		for a := 0; a < r.N; a++ {
+			f := make([]complex128, p.FFTSize)
+			copy(f, samples[a][off+p.CPLen:off+sl])
+			p.FFT(f)
+			for i := range f {
+				f[i] *= inv
+			}
+			freq[a] = f
+		}
+		for k, bin := range dataBins {
+			for a := 0; a < r.N; a++ {
+				y[a] = freq[a][bin]
+			}
+			x, err := decoders[k].Decode(y)
+			if err != nil {
+				return nil, err
+			}
+			for i := range out {
+				out[i] = append(out[i], x[i])
+			}
+		}
+	}
+	return out, nil
+}
+
+// MeasureStreamSNR compares decoded symbols against the transmitted
+// reference and returns the measured SNR in dB — the metric of the
+// paper's §6.2 nulling/alignment experiments.
+func MeasureStreamSNR(decoded, reference []complex128) (float64, error) {
+	if len(decoded) != len(reference) || len(decoded) == 0 {
+		return 0, fmt.Errorf("phy: cannot compare %d decoded to %d reference symbols", len(decoded), len(reference))
+	}
+	var sig, errPow float64
+	for i := range decoded {
+		sig += real(reference[i])*real(reference[i]) + imag(reference[i])*imag(reference[i])
+		d := decoded[i] - reference[i]
+		errPow += real(d)*real(d) + imag(d)*imag(d)
+	}
+	if errPow == 0 {
+		return math.Inf(1), nil
+	}
+	return 10 * math.Log10(sig/errPow), nil
+}
+
+// PostProjectionSINRs computes the link-abstraction per-subcarrier
+// SINR of a wanted stream for ESNR-based bitrate selection: for every
+// data bin, the ZF SINR of stream `wanted` given all effective
+// channels, a noise floor, and optional residual leakage vectors per
+// bin.
+func PostProjectionSINRs(n int, effective [][]cmplxmat.Vector, wanted int, noise float64, leakage [][]cmplxmat.Vector) ([]float64, error) {
+	if wanted < 0 || wanted >= len(effective) {
+		return nil, fmt.Errorf("phy: wanted index %d out of range", wanted)
+	}
+	nBins := len(effective[wanted])
+	out := make([]float64, nBins)
+	for k := 0; k < nBins; k++ {
+		var unwanted []cmplxmat.Vector
+		for si := range effective {
+			if si != wanted {
+				unwanted = append(unwanted, effective[si][k])
+			}
+		}
+		var uPerp *cmplxmat.Matrix
+		if len(unwanted) > 0 {
+			_, uPerp = mimo.UnwantedSpace(n, unwanted)
+		}
+		dec, err := mimo.NewDecoder(n, uPerp, []cmplxmat.Vector{effective[wanted][k]})
+		if err != nil {
+			return nil, fmt.Errorf("phy: bin %d: %w", k, err)
+		}
+		var leak []cmplxmat.Vector
+		if leakage != nil {
+			for _, l := range leakage {
+				if k < len(l) {
+					leak = append(leak, l[k])
+				}
+			}
+		}
+		sinr, err := dec.PostSINR(0, noise, leak)
+		if err != nil {
+			return nil, err
+		}
+		out[k] = sinr
+	}
+	return out, nil
+}

@@ -1,0 +1,127 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMeanStdDev(t *testing.T) {
+	if Mean(nil) != 0 || StdDev(nil) != 0 || StdDev([]float64{1}) != 0 {
+		t.Fatal("empty-input conventions broken")
+	}
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean %g", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2.138) > 0.01 {
+		t.Fatalf("stddev %g", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {25, 2}, {50, 3}, {75, 4}, {100, 5}, {-5, 1}, {110, 5},
+	}
+	for _, c := range cases {
+		if got := Percentile(xs, c.p); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("P%g = %g, want %g", c.p, got, c.want)
+		}
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile")
+	}
+	if Median(xs) != 3 {
+		t.Fatal("median")
+	}
+	// Percentile must not mutate its input.
+	ys := []float64{3, 1, 2}
+	Percentile(ys, 50)
+	if ys[0] != 3 {
+		t.Fatal("Percentile sorted caller's slice")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	if c.N() != 4 || c.Min() != 1 || c.Max() != 4 || c.Mean() != 2.5 {
+		t.Fatal("CDF summary broken")
+	}
+	if got := c.At(2); got != 0.5 {
+		t.Fatalf("At(2) = %g", got)
+	}
+	if got := c.At(0.5); got != 0 {
+		t.Fatalf("At(0.5) = %g", got)
+	}
+	if got := c.At(99); got != 1 {
+		t.Fatalf("At(99) = %g", got)
+	}
+	if got := c.Quantile(0.5); math.Abs(got-2.5) > 1e-12 {
+		t.Fatalf("Quantile(0.5) = %g", got)
+	}
+	pts := c.Points(5)
+	if len(pts) != 5 || pts[0][0] != 1 || pts[4][0] != 4 {
+		t.Fatalf("Points = %v", pts)
+	}
+	if (&CDF{}).At(1) != 0 || NewCDF(nil).Points(3) != nil {
+		t.Fatal("empty CDF conventions")
+	}
+}
+
+func TestPropCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 50)
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for x := -30.0; x <= 30; x += 1.5 {
+			p := c.At(x)
+			if p < prev || p < 0 || p > 1 {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBin(t *testing.T) {
+	xs := []float64{1, 5, 9, 12, 20}
+	ys := []float64{10, 50, 90, 120, 200}
+	bands := Bin(xs, ys, []float64{0, 10, 15})
+	if len(bands) != 2 {
+		t.Fatalf("%d bands", len(bands))
+	}
+	if len(bands[0]) != 3 || len(bands[1]) != 1 {
+		t.Fatalf("band sizes %d/%d", len(bands[0]), len(bands[1]))
+	}
+	if bands[1][0] != 120 {
+		t.Fatal("wrong sample in band")
+	}
+	if Bin(xs, ys, []float64{5}) != nil {
+		t.Fatal("degenerate edges should give nil")
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := &Table{Header: []string{"name", "value"}}
+	tb.AddRow("alpha", F(1.234))
+	tb.AddRow("b", F(10))
+	out := tb.String()
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "1.23") || !strings.Contains(out, "10.00") {
+		t.Fatalf("table output:\n%s", out)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("table has %d lines", len(lines))
+	}
+}

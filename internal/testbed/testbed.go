@@ -1,0 +1,249 @@
+// Package testbed synthesizes the paper's evaluation environment
+// (Fig. 10): twenty node locations on an office floor plan, log-
+// distance path loss with shadowing calibrated so link SNRs span the
+// 5–32.5 dB range of §6.2, Rayleigh multipath channels per node pair,
+// and reciprocity-based channel estimates with calibration error —
+// the ChannelProvider behind every MAC experiment.
+//
+// This package is the documented substitution for the USRP2 testbed
+// (DESIGN.md §2): we have no radios, so geometry + a standard
+// propagation model generate the same SNR statistics the paper's
+// placements produced.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/mac"
+	"nplus/internal/ofdm"
+)
+
+// Point is a 2-D location in meters.
+type Point struct{ X, Y float64 }
+
+// Distance returns the Euclidean distance to q.
+func (p Point) Distance(q Point) float64 {
+	return math.Hypot(p.X-q.X, p.Y-q.Y)
+}
+
+// Config tunes the synthetic environment. Zero values select the
+// calibrated defaults.
+type Config struct {
+	NumLocations int     // node positions on the floor (20 like Fig. 10)
+	Width        float64 // floor width, meters
+	Height       float64 // floor height, meters
+	MinSpacing   float64 // minimum distance between locations
+
+	PathLossExp float64 // log-distance exponent
+	RefGainDB   float64 // gain at 1 m, dB (combined with TxPowerDB)
+	ShadowDB    float64 // log-normal shadowing σ
+	TxPowerDB   float64 // default transmit power over the noise floor
+
+	Profile channel.Profile // multipath profile
+
+	// Channel-estimation model: processing gain of the LTF (samples
+	// effectively averaged) and the multiplicative error floor from
+	// residual hardware calibration — together these set the ~25–27 dB
+	// cancellation depth of §6.2.
+	EstGain  float64
+	EstFloor float64
+}
+
+// DefaultConfig returns the calibrated environment.
+func DefaultConfig() Config {
+	return Config{
+		NumLocations: 20,
+		Width:        30,
+		Height:       20,
+		MinSpacing:   2,
+		PathLossExp:  3.0,
+		RefGainDB:    -40,
+		ShadowDB:     3.5,
+		TxPowerDB:    81,
+		Profile:      channel.DefaultProfile,
+		EstGain:      128,
+		EstFloor:     0.045,
+	}
+}
+
+// Testbed is a generated floor plan.
+type Testbed struct {
+	Cfg       Config
+	Locations []Point
+	params    *ofdm.Params
+}
+
+// New generates a testbed with the given seed. The same seed always
+// yields the same floor plan.
+func New(seed int64, cfg Config) (*Testbed, error) {
+	if cfg.NumLocations < 2 {
+		return nil, fmt.Errorf("testbed: %d locations", cfg.NumLocations)
+	}
+	if cfg.Width <= 0 || cfg.Height <= 0 || cfg.MinSpacing < 0 {
+		return nil, fmt.Errorf("testbed: bad floor geometry %+v", cfg)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	tb := &Testbed{Cfg: cfg, params: ofdm.Default()}
+	const maxTries = 10000
+	for len(tb.Locations) < cfg.NumLocations {
+		tries := 0
+		for {
+			tries++
+			if tries > maxTries {
+				return nil, fmt.Errorf("testbed: cannot place %d locations with spacing %g", cfg.NumLocations, cfg.MinSpacing)
+			}
+			p := Point{X: rng.Float64() * cfg.Width, Y: rng.Float64() * cfg.Height}
+			ok := true
+			for _, q := range tb.Locations {
+				if p.Distance(q) < cfg.MinSpacing {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				tb.Locations = append(tb.Locations, p)
+				break
+			}
+		}
+	}
+	return tb, nil
+}
+
+// NodeSpec describes one node to deploy.
+type NodeSpec struct {
+	ID       mac.NodeID
+	Antennas int
+}
+
+// Deployment places nodes at distinct random locations and draws
+// every pairwise channel. It implements mac.ChannelProvider.
+type Deployment struct {
+	tb       *Testbed
+	Nodes    map[mac.NodeID]NodeSpec
+	Position map[mac.NodeID]Point
+	calib    *channel.Calibration
+	// raw channel objects per ordered pair
+	chans map[[2]mac.NodeID]*channel.MIMO
+	// cached per-data-bin frequency responses
+	freq map[[2]mac.NodeID][]*cmplxmat.Matrix
+}
+
+// Deploy assigns the given nodes to random distinct testbed locations
+// using rng and draws Rayleigh channels for every ordered node pair.
+func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error) {
+	if len(nodes) > len(tb.Locations) {
+		return nil, fmt.Errorf("testbed: %d nodes for %d locations", len(nodes), len(tb.Locations))
+	}
+	maxAnt := 0
+	for _, n := range nodes {
+		if n.Antennas < 1 {
+			return nil, fmt.Errorf("testbed: node %d has %d antennas", n.ID, n.Antennas)
+		}
+		if n.Antennas > maxAnt {
+			maxAnt = n.Antennas
+		}
+	}
+	d := &Deployment{
+		tb:       tb,
+		Nodes:    make(map[mac.NodeID]NodeSpec),
+		Position: make(map[mac.NodeID]Point),
+		calib:    channel.NewCalibration(rng, maxAnt, tb.Cfg.EstFloor),
+		chans:    make(map[[2]mac.NodeID]*channel.MIMO),
+		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix),
+	}
+	perm := rng.Perm(len(tb.Locations))
+	for i, n := range nodes {
+		if _, dup := d.Nodes[n.ID]; dup {
+			return nil, fmt.Errorf("testbed: duplicate node id %d", n.ID)
+		}
+		d.Nodes[n.ID] = n
+		d.Position[n.ID] = tb.Locations[perm[i]]
+	}
+	// Draw channels for every ordered pair (reciprocity ties the two
+	// directions together: the reverse is the transpose).
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if a.ID == b.ID {
+				continue
+			}
+			if _, done := d.chans[[2]mac.NodeID{a.ID, b.ID}]; done {
+				continue
+			}
+			dist := d.Position[a.ID].Distance(d.Position[b.ID])
+			gain := channel.PathLoss(rng, dist, tb.Cfg.PathLossExp, channel.FromDB(tb.Cfg.RefGainDB), tb.Cfg.ShadowDB)
+			fwd := channel.NewRayleigh(rng, b.Antennas, a.Antennas, tb.Cfg.Profile, gain)
+			d.chans[[2]mac.NodeID{a.ID, b.ID}] = fwd
+			d.chans[[2]mac.NodeID{b.ID, a.ID}] = fwd.Reverse(nil)
+		}
+	}
+	return d, nil
+}
+
+// Params returns the OFDM numerology of the testbed.
+func (tb *Testbed) Params() *ofdm.Params { return tb.params }
+
+// Channel implements mac.ChannelProvider: the true per-data-bin
+// matrices from node `from` to node `to`.
+func (d *Deployment) Channel(from, to mac.NodeID) []*cmplxmat.Matrix {
+	key := [2]mac.NodeID{from, to}
+	if cached, ok := d.freq[key]; ok {
+		return cached
+	}
+	ch, ok := d.chans[key]
+	if !ok {
+		panic(fmt.Sprintf("testbed: no channel %d→%d", from, to))
+	}
+	bins := d.tb.params.DataBins()
+	out := make([]*cmplxmat.Matrix, len(bins))
+	for k, bin := range bins {
+		out[k] = ch.FreqResponse(bin, d.tb.params.FFTSize)
+	}
+	d.freq[key] = out
+	return out
+}
+
+// Estimate implements mac.ChannelProvider: reciprocity-derived
+// estimate = true channel × per-antenna-pair calibration error +
+// preamble-SNR-dependent noise.
+func (d *Deployment) Estimate(from, to mac.NodeID, rng *rand.Rand) []*cmplxmat.Matrix {
+	truth := d.Channel(from, to)
+	out := make([]*cmplxmat.Matrix, len(truth))
+	// Preamble SNR at the estimating node: the reverse-link preamble
+	// power over the noise floor.
+	preambleSNR := channel.FromDB(d.tb.Cfg.TxPowerDB) * meanGainOf(truth)
+	for k, h := range truth {
+		out[k] = channel.PerturbEstimate(rng, h, preambleSNR, d.tb.Cfg.EstGain, d.tb.Cfg.EstFloor)
+	}
+	return out
+}
+
+func meanGainOf(h []*cmplxmat.Matrix) float64 {
+	if len(h) == 0 {
+		return 0
+	}
+	var acc float64
+	for _, m := range h {
+		f := m.FrobeniusNorm()
+		acc += f * f / float64(m.Rows()*m.Cols())
+	}
+	return acc / float64(len(h))
+}
+
+// NoisePower implements mac.ChannelProvider (unit reference floor).
+func (d *Deployment) NoisePower() float64 { return 1 }
+
+// LinkSNRDB returns the average per-bin SNR of the from→to link at
+// the testbed's default transmit power — the quantity the paper's
+// experiments bin placements by.
+func (d *Deployment) LinkSNRDB(from, to mac.NodeID) float64 {
+	return d.tb.Cfg.TxPowerDB + channel.DB(meanGainOf(d.Channel(from, to)))
+}
+
+// TxPower returns the default transmit power (linear).
+func (tb *Testbed) TxPower() float64 { return channel.FromDB(tb.Cfg.TxPowerDB) }
+
+var _ mac.ChannelProvider = (*Deployment)(nil)

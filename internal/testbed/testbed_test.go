@@ -1,0 +1,183 @@
+package testbed
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nplus/internal/mac"
+)
+
+func TestNewPlacesAllLocations(t *testing.T) {
+	tb, err := New(1, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tb.Locations) != 20 {
+		t.Fatalf("%d locations", len(tb.Locations))
+	}
+	// Spacing respected.
+	for i := range tb.Locations {
+		for j := i + 1; j < len(tb.Locations); j++ {
+			if d := tb.Locations[i].Distance(tb.Locations[j]); d < tb.Cfg.MinSpacing {
+				t.Fatalf("locations %d,%d only %.2f m apart", i, j, d)
+			}
+		}
+	}
+	// Determinism.
+	tb2, _ := New(1, DefaultConfig())
+	for i := range tb.Locations {
+		if tb.Locations[i] != tb2.Locations[i] {
+			t.Fatal("same seed, different floor plan")
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumLocations = 1
+	if _, err := New(1, cfg); err == nil {
+		t.Fatal("expected location-count error")
+	}
+	cfg = DefaultConfig()
+	cfg.Width = -1
+	if _, err := New(1, cfg); err == nil {
+		t.Fatal("expected geometry error")
+	}
+	// Impossible spacing.
+	cfg = DefaultConfig()
+	cfg.Width, cfg.Height, cfg.MinSpacing = 3, 3, 10
+	if _, err := New(1, cfg); err == nil {
+		t.Fatal("expected placement failure")
+	}
+}
+
+func deployTrio(t *testing.T, seed int64) *Deployment {
+	t.Helper()
+	tb, err := New(seed, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := tb.Deploy(rand.New(rand.NewSource(seed)), []NodeSpec{
+		{ID: 1, Antennas: 1}, {ID: 2, Antennas: 2}, {ID: 3, Antennas: 3},
+		{ID: 11, Antennas: 1}, {ID: 12, Antennas: 2}, {ID: 13, Antennas: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeployChannels(t *testing.T) {
+	d := deployTrio(t, 2)
+	h := d.Channel(2, 13)
+	if len(h) != 48 {
+		t.Fatalf("%d bins", len(h))
+	}
+	if h[0].Rows() != 3 || h[0].Cols() != 2 {
+		t.Fatalf("channel 2→13 is %d×%d, want 3×2", h[0].Rows(), h[0].Cols())
+	}
+	// Caching returns the same object.
+	if &d.Channel(2, 13)[0] == &h[0] {
+		_ = h // same backing array is fine; just ensure no panic
+	}
+	if d.NoisePower() != 1 {
+		t.Fatal("noise floor must be unit")
+	}
+}
+
+func TestReciprocity(t *testing.T) {
+	d := deployTrio(t, 3)
+	fwd := d.Channel(2, 12)
+	rev := d.Channel(12, 2)
+	for _, bin := range []int{0, 20, 47} {
+		if !rev[bin].EqualApprox(fwd[bin].Transpose(), 1e-9) {
+			t.Fatalf("bin %d: reverse channel is not the transpose", bin)
+		}
+	}
+}
+
+func TestEstimateErrorProperties(t *testing.T) {
+	d := deployTrio(t, 4)
+	rng := rand.New(rand.NewSource(9))
+	truth := d.Channel(3, 13)
+	est := d.Estimate(3, 13, rng)
+	if len(est) != len(truth) {
+		t.Fatal("estimate bin count mismatch")
+	}
+	// Nonzero but small relative error (the ~25–27 dB cancellation
+	// floor corresponds to ~4.5–5.5% rms error).
+	var rel float64
+	for b := range truth {
+		rel += est[b].Sub(truth[b]).FrobeniusNorm() / truth[b].FrobeniusNorm()
+	}
+	rel /= float64(len(truth))
+	if rel < 0.01 || rel > 0.15 {
+		t.Fatalf("relative estimation error %.3f out of range", rel)
+	}
+}
+
+func TestLinkSNRRange(t *testing.T) {
+	// Across seeds, most links must land in a plausible indoor range.
+	in, total := 0, 0
+	for seed := int64(1); seed <= 20; seed++ {
+		d := deployTrio(t, seed)
+		for _, pair := range [][2]mac.NodeID{{1, 11}, {2, 12}, {3, 13}} {
+			snr := d.LinkSNRDB(pair[0], pair[1])
+			total++
+			if snr > -5 && snr < 50 {
+				in++
+			}
+		}
+	}
+	if float64(in)/float64(total) < 0.9 {
+		t.Fatalf("only %d/%d links in range", in, total)
+	}
+}
+
+func TestDeployValidation(t *testing.T) {
+	tb, _ := New(5, DefaultConfig())
+	rng := rand.New(rand.NewSource(1))
+	// Too many nodes.
+	specs := make([]NodeSpec, 21)
+	for i := range specs {
+		specs[i] = NodeSpec{ID: mac.NodeID(i), Antennas: 1}
+	}
+	if _, err := tb.Deploy(rng, specs); err == nil {
+		t.Fatal("expected too-many-nodes error")
+	}
+	// Duplicate ids.
+	if _, err := tb.Deploy(rng, []NodeSpec{{ID: 1, Antennas: 1}, {ID: 1, Antennas: 2}}); err == nil {
+		t.Fatal("expected duplicate-id error")
+	}
+	// Bad antennas.
+	if _, err := tb.Deploy(rng, []NodeSpec{{ID: 1, Antennas: 0}}); err == nil {
+		t.Fatal("expected antenna error")
+	}
+}
+
+func TestChannelPanicsOnUnknownPair(t *testing.T) {
+	d := deployTrio(t, 6)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for unknown pair")
+		}
+	}()
+	d.Channel(1, 99)
+}
+
+func TestPointDistance(t *testing.T) {
+	if d := (Point{0, 0}).Distance(Point{3, 4}); math.Abs(d-5) > 1e-12 {
+		t.Fatalf("distance %g", d)
+	}
+}
+
+func TestTxPower(t *testing.T) {
+	tb, _ := New(7, DefaultConfig())
+	if p := tb.TxPower(); math.Abs(10*math.Log10(p)-tb.Cfg.TxPowerDB) > 1e-9 {
+		t.Fatalf("TxPower %g", p)
+	}
+	if tb.Params().NumDataCarriers() != 48 {
+		t.Fatal("params wrong")
+	}
+}
