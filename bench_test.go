@@ -1,7 +1,8 @@
 // Package nplus's repository-level benchmarks regenerate every table
 // and figure of the paper's evaluation (§6) plus the §3.5 overhead
-// numbers and the ablations DESIGN.md calls out. Each benchmark runs
-// the corresponding experiment once per iteration and reports the
+// numbers and the ablations DESIGN.md calls out. The figure
+// benchmarks drive the exp registry — the same engine cmd/npexp uses
+// — and run each experiment once per iteration, reporting the
 // headline metrics through testing.B metrics, so
 //
 //	go test -bench=. -benchmem
@@ -14,23 +15,51 @@ import (
 	"testing"
 
 	"nplus/internal/core"
+	"nplus/internal/exp"
 	"nplus/internal/mac"
 )
 
-// BenchmarkFig9aSensingPower — Fig. 9(a): RSSI jump when a weak tx2
-// starts under a strong tx1, with and without projection (paper: 0.4
-// vs 8.5 dB).
-func BenchmarkFig9aSensingPower(b *testing.B) {
-	cfg := core.DefaultFig9Config()
-	cfg.Trials = 60
-	var last *core.Fig9Result
+// runRegistered runs the named registry experiment b.N times with the
+// given scaling overrides and returns the last result for metric
+// reporting.
+func runRegistered(b *testing.B, name string, o exp.Overrides) exp.Result {
+	b.Helper()
+	e, ok := exp.Get(name)
+	if !ok {
+		b.Fatalf("experiment %q not registered (have %v)", name, exp.Names())
+	}
+	cfg := e.DefaultConfig()
+	if c, ok := cfg.(exp.Configurable); ok {
+		cfg = c.WithOverrides(o)
+	}
+	var last exp.Result
 	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig9(cfg)
+		r, err := exp.Run(e, cfg)
 		if err != nil {
 			b.Fatal(err)
 		}
 		last = r
 	}
+	return last
+}
+
+// BenchmarkRegistry runs every registered experiment at smoke scale,
+// so `go test -bench . -benchtime 1x` exercises the whole registry
+// and a new registration cannot silently rot.
+func BenchmarkRegistry(b *testing.B) {
+	smoke := exp.Overrides{Trials: 20, Placements: 4, Epochs: 20}
+	for _, e := range exp.All() {
+		b.Run(e.Name(), func(b *testing.B) {
+			runRegistered(b, e.Name(), smoke)
+		})
+	}
+}
+
+// BenchmarkFig9aSensingPower — Fig. 9(a): RSSI jump when a weak tx2
+// starts under a strong tx1, with and without projection (paper: 0.4
+// vs 8.5 dB).
+func BenchmarkFig9aSensingPower(b *testing.B) {
+	last := runRegistered(b, "fig9", exp.Overrides{Trials: 60}).(*core.Fig9Result)
 	b.ReportMetric(last.JumpRawDB, "raw-jump-dB")
 	b.ReportMetric(last.JumpProjectedDB, "proj-jump-dB")
 }
@@ -39,16 +68,7 @@ func BenchmarkFig9aSensingPower(b *testing.B) {
 // correlations indistinguishable from idle (paper: ≈18% raw, ≈0%
 // projected).
 func BenchmarkFig9bCorrelation(b *testing.B) {
-	cfg := core.DefaultFig9Config()
-	cfg.Trials = 150
-	var last *core.Fig9Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig9(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig9", exp.Overrides{Trials: 150}).(*core.Fig9Result)
 	b.ReportMetric(100*last.IndistinctRaw, "raw-indistinct-%")
 	b.ReportMetric(100*last.IndistinctProjected, "proj-indistinct-%")
 }
@@ -57,32 +77,14 @@ func BenchmarkFig9bCorrelation(b *testing.B) {
 // wanted stream due to imperfect nulling, below the L=27 dB threshold
 // (paper: 0.8 dB).
 func BenchmarkFig11aNulling(b *testing.B) {
-	cfg := core.DefaultFig11Config()
-	cfg.Placements = 120
-	var last *core.Fig11Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig11(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig11", exp.Overrides{Placements: 120}).(*core.Fig11Result)
 	b.ReportMetric(last.AvgNullingDB, "nulling-loss-dB")
 }
 
 // BenchmarkFig11bAlignment — Fig. 11(b): same for alignment (paper:
 // 1.3 dB, worse than nulling because U must also be estimated).
 func BenchmarkFig11bAlignment(b *testing.B) {
-	cfg := core.DefaultFig11Config()
-	cfg.Placements = 120
-	var last *core.Fig11Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig11(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig11", exp.Overrides{Placements: 120}).(*core.Fig11Result)
 	b.ReportMetric(last.AvgAlignmentDB, "alignment-loss-dB")
 }
 
@@ -90,17 +92,7 @@ func BenchmarkFig11bAlignment(b *testing.B) {
 // vs 802.11n (paper: total ≈2×, 1-antenna ≈0.97×, 2-antenna ≈1.5×,
 // 3-antenna ≈3.5×).
 func BenchmarkFig12Throughput(b *testing.B) {
-	cfg := core.DefaultFig12Config()
-	cfg.Placements = 15
-	cfg.Epochs = 80
-	var last *core.Fig12Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig12(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig12", exp.Overrides{Placements: 15, Epochs: 80}).(*core.Fig12Result)
 	b.ReportMetric(last.MeanGainTotal, "total-gain-x")
 	b.ReportMetric(last.MeanGainFlow[1], "gain-1ant-x")
 	b.ReportMetric(last.MeanGainFlow[2], "gain-2ant-x")
@@ -110,50 +102,21 @@ func BenchmarkFig12Throughput(b *testing.B) {
 // BenchmarkFig13aVs80211n — Fig. 13(a): downlink scenario total gain
 // over 802.11n (paper: ≈2.4×).
 func BenchmarkFig13aVs80211n(b *testing.B) {
-	cfg := core.DefaultFig13Config()
-	cfg.Placements = 12
-	cfg.Epochs = 80
-	var last *core.Fig13Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig13(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig13", exp.Overrides{Placements: 12, Epochs: 80}).(*core.Fig13Result)
 	b.ReportMetric(last.MeanGainVsLegacy, "gain-vs-80211n-x")
 }
 
 // BenchmarkFig13bVsBeamforming — Fig. 13(b): same scenario vs the
 // multi-user beamforming baseline [7] (paper: ≈1.8×).
 func BenchmarkFig13bVsBeamforming(b *testing.B) {
-	cfg := core.DefaultFig13Config()
-	cfg.Placements = 12
-	cfg.Epochs = 80
-	var last *core.Fig13Result
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunFig13(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "fig13", exp.Overrides{Placements: 12, Epochs: 80}).(*core.Fig13Result)
 	b.ReportMetric(last.MeanGainVsBeamforming, "gain-vs-BF-x")
 }
 
 // BenchmarkHandshakeOverhead — §3.5: alignment-space size and total
 // light-weight-handshake overhead (paper: ≈3 OFDM symbols, ≈4%).
 func BenchmarkHandshakeOverhead(b *testing.B) {
-	cfg := core.DefaultOverheadConfig()
-	cfg.Trials = 40
-	var last *core.OverheadResult
-	for i := 0; i < b.N; i++ {
-		r, err := core.RunOverhead(cfg)
-		if err != nil {
-			b.Fatal(err)
-		}
-		last = r
-	}
+	last := runRegistered(b, "overhead", exp.Overrides{Trials: 40}).(*core.OverheadResult)
 	b.ReportMetric(last.DiffSymbols.Mean(), "align-symbols")
 	b.ReportMetric(last.RawBytes.Mean()/last.DiffBytes.Mean(), "compression-x")
 	b.ReportMetric(100*last.OverheadFraction, "overhead-%")

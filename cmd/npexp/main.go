@@ -1,125 +1,91 @@
-// Command npexp regenerates the paper's evaluation figures.
+// Command npexp regenerates the paper's evaluation figures through
+// the parallel experiment engine. Experiments are enumerated from the
+// exp registry, so a newly registered experiment shows up here with
+// no driver changes.
 //
 // Usage:
 //
-//	npexp -fig 9            # carrier sense (Fig. 9a/9b)
-//	npexp -fig 11           # nulling/alignment residuals (Fig. 11a/11b)
-//	npexp -fig 12           # trio throughput CDFs (Fig. 12a–d)
-//	npexp -fig 13           # downlink gains vs 802.11n and beamforming
-//	npexp -fig overhead     # §3.5 handshake overhead
-//	npexp -fig all          # everything
+//	npexp -exp fig9             # carrier sense (Fig. 9a/9b)
+//	npexp -exp fig12 -workers 8 # trio throughput CDFs on 8 workers
+//	npexp -exp all              # everything registered
+//	npexp -list                 # names and descriptions
 //
-// -placements / -epochs / -trials / -seed scale the experiments; the
-// defaults reproduce the paper's shapes in a couple of minutes.
+// -placements / -epochs / -trials / -seed scale the experiments (each
+// experiment applies the knobs it understands); the defaults
+// reproduce the paper's shapes in a couple of minutes. Results are
+// bit-identical at any -workers value: trial i always derives its RNG
+// from hash(seed, i).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
-	"nplus/internal/core"
+	_ "nplus/internal/core" // registers the paper's experiments
+	"nplus/internal/exp"
 )
 
 func main() {
-	fig := flag.String("fig", "all", "figure to regenerate: 9, 11, 12, 13, overhead, all")
-	placements := flag.Int("placements", 0, "random placements (0 = default per figure)")
+	names := strings.Join(exp.Names(), ", ")
+	expName := flag.String("exp", "all", "experiment to run: all, or one of: "+names)
+	fig := flag.String("fig", "", "deprecated alias for -exp (accepts 9 for fig9, etc.)")
+	list := flag.Bool("list", false, "list registered experiments and exit")
+	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
+	placements := flag.Int("placements", 0, "random placements (0 = default per experiment)")
 	epochs := flag.Int("epochs", 0, "contention rounds per placement (0 = default)")
-	trials := flag.Int("trials", 0, "trials for Fig 9 / overhead (0 = default)")
+	trials := flag.Int("trials", 0, "trials for fig9 / overhead (0 = default)")
 	seed := flag.Int64("seed", 0, "base seed (0 = default)")
 	flag.Parse()
 
-	run := func(name string, f func() (fmt.Stringer, error)) {
-		fmt.Printf("==== %s ====\n", name)
-		res, err := f()
+	if *list {
+		for _, e := range exp.All() {
+			fmt.Printf("%-10s %s\n", e.Name(), e.Description())
+		}
+		return
+	}
+
+	name := *expName
+	if *fig != "" {
+		if *expName != "all" {
+			fmt.Fprintln(os.Stderr, "npexp: -fig and -exp are mutually exclusive (use -exp)")
+			os.Exit(2)
+		}
+		name = *fig
+	}
+	// Accept the historical bare figure numbers ("-fig 9").
+	if _, ok := exp.Get(name); !ok && name != "all" {
+		if _, ok := exp.Get("fig" + name); ok {
+			name = "fig" + name
+		}
+	}
+
+	var selected []exp.Experiment
+	if name == "all" {
+		selected = exp.All()
+	} else {
+		e, ok := exp.Get(name)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "npexp: unknown experiment %q (have: all, %s)\n", name, names)
+			os.Exit(2)
+		}
+		selected = []exp.Experiment{e}
+	}
+
+	o := exp.Overrides{Trials: *trials, Placements: *placements, Epochs: *epochs, Seed: *seed}
+	runner := &exp.Runner{Workers: *workers}
+	for _, e := range selected {
+		fmt.Printf("==== %s: %s ====\n", e.Name(), e.Description())
+		cfg := e.DefaultConfig()
+		if c, ok := cfg.(exp.Configurable); ok {
+			cfg = c.WithOverrides(o)
+		}
+		res, err := runner.Run(e, cfg)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "npexp: %s: %v\n", name, err)
+			fmt.Fprintf(os.Stderr, "npexp: %s: %v\n", e.Name(), err)
 			os.Exit(1)
 		}
-		fmt.Println(res)
+		fmt.Println(res.Render())
 	}
-
-	want := func(name string) bool { return *fig == "all" || *fig == name }
-
-	if want("9") {
-		run("Figure 9: multi-dimensional carrier sense", func() (fmt.Stringer, error) {
-			cfg := core.DefaultFig9Config()
-			if *trials > 0 {
-				cfg.Trials = *trials
-			}
-			if *seed != 0 {
-				cfg.Seed = *seed
-			}
-			r, err := core.RunFig9(cfg)
-			return render{r}, err
-		})
-	}
-	if want("11") {
-		run("Figure 11: nulling and alignment residuals", func() (fmt.Stringer, error) {
-			cfg := core.DefaultFig11Config()
-			if *placements > 0 {
-				cfg.Placements = *placements
-			}
-			if *seed != 0 {
-				cfg.Seed = *seed
-			}
-			r, err := core.RunFig11(cfg)
-			return render{r}, err
-		})
-	}
-	if want("12") {
-		run("Figure 12: trio throughput, n+ vs 802.11n", func() (fmt.Stringer, error) {
-			cfg := core.DefaultFig12Config()
-			if *placements > 0 {
-				cfg.Placements = *placements
-			}
-			if *epochs > 0 {
-				cfg.Epochs = *epochs
-			}
-			if *seed != 0 {
-				cfg.Seed = *seed
-			}
-			r, err := core.RunFig12(cfg)
-			return render{r}, err
-		})
-	}
-	if want("13") {
-		run("Figure 13: downlink gains vs 802.11n and beamforming", func() (fmt.Stringer, error) {
-			cfg := core.DefaultFig13Config()
-			if *placements > 0 {
-				cfg.Placements = *placements
-			}
-			if *epochs > 0 {
-				cfg.Epochs = *epochs
-			}
-			if *seed != 0 {
-				cfg.Seed = *seed
-			}
-			r, err := core.RunFig13(cfg)
-			return render{r}, err
-		})
-	}
-	if want("overhead") {
-		run("Section 3.5: light-weight handshake overhead", func() (fmt.Stringer, error) {
-			cfg := core.DefaultOverheadConfig()
-			if *trials > 0 {
-				cfg.Trials = *trials
-			}
-			if *seed != 0 {
-				cfg.Seed = *seed
-			}
-			r, err := core.RunOverhead(cfg)
-			return render{r}, err
-		})
-	}
-}
-
-// render adapts the Render() convention to fmt.Stringer.
-type render struct{ r interface{ Render() string } }
-
-func (x render) String() string {
-	if x.r == nil {
-		return ""
-	}
-	return x.r.Render()
 }

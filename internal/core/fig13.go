@@ -2,7 +2,9 @@ package core
 
 import (
 	"fmt"
+	"math/rand"
 
+	"nplus/internal/exp"
 	"nplus/internal/mac"
 	"nplus/internal/stats"
 )
@@ -24,6 +26,34 @@ func DefaultFig13Config() Fig13Config {
 	return Fig13Config{Placements: 40, Epochs: 120, Seed: 1000, MinSNRDB: 5, Options: DefaultOptions()}
 }
 
+// BaseSeed implements exp.Config.
+func (c Fig13Config) BaseSeed() int64 { return c.Seed }
+
+// TrialCount implements exp.Config: one trial per kept placement.
+func (c Fig13Config) TrialCount() int { return c.Placements }
+
+// Validate implements exp.Config.
+func (c Fig13Config) Validate() error {
+	if c.Placements < 1 || c.Epochs < 1 {
+		return fmt.Errorf("core: bad Fig13 config %+v", c)
+	}
+	return nil
+}
+
+// WithOverrides implements exp.Configurable.
+func (c Fig13Config) WithOverrides(o exp.Overrides) exp.Config {
+	if o.Placements > 0 {
+		c.Placements = o.Placements
+	}
+	if o.Epochs > 0 {
+		c.Epochs = o.Epochs
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
+}
+
 // Fig13Result holds the gain CDFs of Fig. 13(a) and (b).
 type Fig13Result struct {
 	// GainVsLegacy / GainVsBeamforming: total network throughput gain
@@ -37,57 +67,87 @@ type Fig13Result struct {
 	Placements                              int
 }
 
-// RunFig13 regenerates Figure 13.
-func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
-	if cfg.Placements < 1 || cfg.Epochs < 1 {
-		return nil, fmt.Errorf("core: bad Fig13 config %+v", cfg)
-	}
+// fig13Experiment adapts Figure 13 to the exp engine: each trial
+// rejection-samples placements from its own RNG until one has usable
+// links, then runs the paired n+ / 802.11n / beamforming evaluation.
+type fig13Experiment struct{}
+
+func (fig13Experiment) Name() string { return "fig13" }
+func (fig13Experiment) Description() string {
+	return "downlink gains vs 802.11n and multi-user beamforming (Fig. 13a/13b)"
+}
+func (fig13Experiment) DefaultConfig() exp.Config { return DefaultFig13Config() }
+
+// fig13Sample is one placement's throughput under the three MACs,
+// indexed by flow ID 1..3.
+type fig13Sample struct {
+	tn, tl, tb float64
+	fn, fl, fb [4]float64
+}
+
+func (fig13Experiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sample, error) {
+	c := cfg.(Fig13Config)
 	nodes, links := DownlinkNodes()
+	for attempt := 0; attempt < maxPlacementAttempts; attempt++ {
+		net, err := NewNetwork(rng.Int63(), nodes, links, c.Options)
+		if err != nil {
+			return nil, err
+		}
+		if net.MinLinkSNRDB() < c.MinSNRDB {
+			continue
+		}
+		resN, err := net.RunEpochs(mac.ModeNPlus, c.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resL, err := net.RunEpochs(mac.Mode80211n, c.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		resB, err := net.RunEpochs(mac.ModeBeamforming, c.Epochs)
+		if err != nil {
+			return nil, err
+		}
+		s := fig13Sample{
+			tn: resN.TotalThroughputMbps(),
+			tl: resL.TotalThroughputMbps(),
+			tb: resB.TotalThroughputMbps(),
+		}
+		if s.tl <= 0 || s.tb <= 0 {
+			continue
+		}
+		for id := 1; id <= 3; id++ {
+			s.fn[id] = resN.FlowThroughputMbps(id)
+			s.fl[id] = resL.FlowThroughputMbps(id)
+			s.fb[id] = resB.FlowThroughputMbps(id)
+		}
+		return s, nil
+	}
+	return nil, fmt.Errorf("core: Fig13 trial %d found no usable placement in %d attempts", i, maxPlacementAttempts)
+}
+
+func (fig13Experiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Result, error) {
 	var gainL, gainB []float64
 	flowGainL := map[int][]float64{1: nil, 2: nil, 3: nil}
 	flowGainB := map[int][]float64{1: nil, 2: nil, 3: nil}
-
-	seed := cfg.Seed
 	placed := 0
-	for placed < cfg.Placements {
-		seed++
-		net, err := NewNetwork(seed, nodes, links, cfg.Options)
-		if err != nil {
-			return nil, err
-		}
-		if net.MinLinkSNRDB() < cfg.MinSNRDB {
+	for _, raw := range samples {
+		if raw == nil {
 			continue
 		}
-		resN, err := net.RunEpochs(mac.ModeNPlus, cfg.Epochs)
-		if err != nil {
-			return nil, err
-		}
-		resL, err := net.RunEpochs(mac.Mode80211n, cfg.Epochs)
-		if err != nil {
-			return nil, err
-		}
-		resB, err := net.RunEpochs(mac.ModeBeamforming, cfg.Epochs)
-		if err != nil {
-			return nil, err
-		}
-		tn, tl, tb := resN.TotalThroughputMbps(), resL.TotalThroughputMbps(), resB.TotalThroughputMbps()
-		if tl <= 0 || tb <= 0 {
-			continue
-		}
+		s := raw.(fig13Sample)
 		placed++
-		gainL = append(gainL, tn/tl)
-		gainB = append(gainB, tn/tb)
+		gainL = append(gainL, s.tn/s.tl)
+		gainB = append(gainB, s.tn/s.tb)
 		for id := 1; id <= 3; id++ {
-			fn := resN.FlowThroughputMbps(id)
-			if fl := resL.FlowThroughputMbps(id); fl > 0 {
-				flowGainL[id] = append(flowGainL[id], fn/fl)
+			if s.fl[id] > 0 {
+				flowGainL[id] = append(flowGainL[id], s.fn[id]/s.fl[id])
 			}
-			if fb := resB.FlowThroughputMbps(id); fb > 0 {
-				flowGainB[id] = append(flowGainB[id], fn/fb)
+			if s.fb[id] > 0 {
+				flowGainB[id] = append(flowGainB[id], s.fn[id]/s.fb[id])
 			}
 		}
 	}
-
 	out := &Fig13Result{
 		GainVsLegacy:          stats.NewCDF(gainL),
 		GainVsBeamforming:     stats.NewCDF(gainB),
@@ -102,6 +162,16 @@ func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
 		out.FlowGainVsBeamforming[id] = stats.NewCDF(flowGainB[id])
 	}
 	return out, nil
+}
+
+// RunFig13 regenerates Figure 13 through the parallel experiment
+// engine.
+func RunFig13(cfg Fig13Config) (*Fig13Result, error) {
+	res, err := exp.Run(fig13Experiment{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig13Result), nil
 }
 
 // Render prints both panels as decile tables.

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"nplus/internal/channel"
+	"nplus/internal/exp"
 	"nplus/internal/mimo"
 	"nplus/internal/ofdm"
 	"nplus/internal/stats"
@@ -27,6 +28,39 @@ func DefaultFig9Config() Fig9Config {
 	return Fig9Config{Seed: 3, Trials: 300, Tx1SNRDB: 25, Tx2SNRDB: 2}
 }
 
+// fig9PowerTrials is the number of independent channel draws the
+// power panel (Fig. 9a) averages over. A single Rayleigh draw puts
+// the reported RSSI jump at the mercy of one fading realization; a
+// small average keeps the panel stable without changing its meaning.
+const fig9PowerTrials = 10
+
+// BaseSeed implements exp.Config.
+func (c Fig9Config) BaseSeed() int64 { return c.Seed }
+
+// TrialCount reserves the first fig9PowerTrials trials for the power
+// panel (Fig. 9a); the remaining Trials each draw one correlation
+// sample per condition (Fig. 9b).
+func (c Fig9Config) TrialCount() int { return c.Trials + fig9PowerTrials }
+
+// Validate implements exp.Config.
+func (c Fig9Config) Validate() error {
+	if c.Trials < 10 {
+		return fmt.Errorf("core: Fig9 needs ≥10 trials, got %d", c.Trials)
+	}
+	return nil
+}
+
+// WithOverrides implements exp.Configurable.
+func (c Fig9Config) WithOverrides(o exp.Overrides) exp.Config {
+	if o.Trials > 0 {
+		c.Trials = o.Trials
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
+}
+
 // Fig9Result reports both panels.
 type Fig9Result struct {
 	// Power panel (Fig. 9a): RSSI jump in dB when tx2 starts.
@@ -40,28 +74,58 @@ type Fig9Result struct {
 	IndistinctRaw, IndistinctProjected float64
 }
 
-// RunFig9 regenerates Figure 9 at signal level.
-func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
-	if cfg.Trials < 10 {
-		return nil, fmt.Errorf("core: Fig9 needs ≥10 trials, got %d", cfg.Trials)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
-	params := ofdm.Default()
+// fig9Experiment adapts Figure 9 to the exp engine. Every trial draws
+// its own tx1/tx2 channels from the trial RNG (a fresh placement of
+// the two transmitters), so trials are independent and shard cleanly
+// across workers; silent and busy conditions within a trial share the
+// draw, keeping the comparison paired as in the testbed runs.
+type fig9Experiment struct{}
 
-	// Flat channels keep each transmitter's spatial signature constant
-	// across the band, matching the narrowband projection of §3.2 (the
-	// wideband system projects per subcarrier).
-	ch1 := channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(cfg.Tx1SNRDB))
-	ch2 := channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(cfg.Tx2SNRDB))
+func (fig9Experiment) Name() string { return "fig9" }
+func (fig9Experiment) Description() string {
+	return "multi-dimensional carrier sense: power jump and correlation CDFs (Fig. 9a/9b)"
+}
+func (fig9Experiment) DefaultConfig() exp.Config { return DefaultFig9Config() }
+
+// fig9Sample carries one power-panel draw (linear before→after power
+// ratios) or one correlation draw per condition.
+type fig9Sample struct {
+	power                                    bool
+	rawRatio, projRatio                      float64
+	silentRaw, busyRaw, silentProj, busyProj float64
+}
+
+// fig9Channels draws one placement: flat channels keep each
+// transmitter's spatial signature constant across the band, matching
+// the narrowband projection of §3.2 (the wideband system projects per
+// subcarrier), plus the sensor that nulls tx1's signature.
+func fig9Channels(cfg Fig9Config, rng *rand.Rand, params *ofdm.Params) (ch1, ch2 *channel.MIMO, cs *mimo.CarrierSense, err error) {
+	ch1 = channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(cfg.Tx1SNRDB))
+	ch2 = channel.NewRayleigh(rng, 3, 1, channel.FlatProfile, channel.FromDB(cfg.Tx2SNRDB))
 	h1 := ch1.FreqResponse(0, params.FFTSize).Col(0)
+	cs = mimo.NewCarrierSense(3)
+	if err = cs.AddStream(h1); err != nil {
+		return nil, nil, nil, err
+	}
+	return ch1, ch2, cs, nil
+}
 
-	cs := mimo.NewCarrierSense(3)
-	if err := cs.AddStream(h1); err != nil {
+func (fig9Experiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sample, error) {
+	c := cfg.(Fig9Config)
+	params := ofdm.Default()
+	ch1, ch2, cs, err := fig9Channels(c, rng, params)
+	if err != nil {
 		return nil, err
 	}
+	if i < fig9PowerTrials {
+		return fig9PowerTrial(rng, params, ch1, ch2, cs)
+	}
+	return fig9CorrelationTrial(rng, params, ch1, ch2, cs)
+}
 
-	// ---- Panel (a): power profile over 50 OFDM symbols; tx2 starts
-	// at symbol 25.
+// fig9PowerTrial measures panel (a): the power profile over 50 OFDM
+// symbols with tx2 starting at symbol 25.
+func fig9PowerTrial(rng *rand.Rand, params *ofdm.Params, ch1, ch2 *channel.MIMO, cs *mimo.CarrierSense) (exp.Sample, error) {
 	symLen := params.SymbolLen()
 	total := 50 * symLen
 	mix := make([][]complex128, 3)
@@ -99,59 +163,84 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 		projBefore += ofdm.Power(s[:25*symLen])
 		projAfter += ofdm.Power(s[25*symLen:])
 	}
-	res := &Fig9Result{
-		JumpRawDB:       channel.DB(rawAfter / rawBefore),
-		JumpProjectedDB: channel.DB(projAfter / projBefore),
-	}
+	return fig9Sample{
+		power:     true,
+		rawRatio:  rawAfter / rawBefore,
+		projRatio: projAfter / projBefore,
+	}, nil
+}
 
-	// ---- Panel (b): correlation CDFs at low tx2 SNR.
+// fig9CorrelationTrial measures one panel-(b) draw: the correlation
+// metric in a sensing window with tx2 silent and with tx2 sending its
+// preamble, raw and projected.
+func fig9CorrelationTrial(rng *rand.Rand, params *ofdm.Params, ch1, ch2 *channel.MIMO, cs *mimo.CarrierSense) (exp.Sample, error) {
 	stf := params.STF()
 	winLen := len(stf) + 40
-	var silentRaw, busyRaw, silentProj, busyProj []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		for _, busy := range []bool{false, true} {
-			win := make([][]complex128, 3)
-			for a := range win {
-				win[a] = make([]complex128, winLen)
-			}
-			p1 := randomSignal(rng, winLen)
-			rr1, err := ch1.Apply([][]complex128{p1})
+	s := fig9Sample{}
+	for _, busy := range []bool{false, true} {
+		win := make([][]complex128, 3)
+		for a := range win {
+			win[a] = make([]complex128, winLen)
+		}
+		p1 := randomSignal(rng, winLen)
+		rr1, err := ch1.Apply([][]complex128{p1})
+		if err != nil {
+			return nil, err
+		}
+		for a := 0; a < 3; a++ {
+			copy(win[a], rr1[a])
+		}
+		if busy {
+			p2 := make([]complex128, winLen)
+			copy(p2[20:], stf)
+			rr2, err := ch2.Apply([][]complex128{p2})
 			if err != nil {
 				return nil, err
 			}
 			for a := 0; a < 3; a++ {
-				copy(win[a], rr1[a])
-			}
-			if busy {
-				p2 := make([]complex128, winLen)
-				copy(p2[20:], stf)
-				rr2, err := ch2.Apply([][]complex128{p2})
-				if err != nil {
-					return nil, err
+				for i := range win[a] {
+					win[a][i] += rr2[a][i]
 				}
-				for a := 0; a < 3; a++ {
-					for i := range win[a] {
-						win[a][i] += rr2[a][i]
-					}
-				}
-			}
-			for a := 0; a < 3; a++ {
-				channel.AddNoise(rng, win[a], 1)
-			}
-			raw := ofdm.CrossCorrelate(win[0], stf)
-			proj, err := cs.Correlate(win, stf)
-			if err != nil {
-				return nil, err
-			}
-			if busy {
-				busyRaw = append(busyRaw, raw)
-				busyProj = append(busyProj, proj)
-			} else {
-				silentRaw = append(silentRaw, raw)
-				silentProj = append(silentProj, proj)
 			}
 		}
+		for a := 0; a < 3; a++ {
+			channel.AddNoise(rng, win[a], 1)
+		}
+		raw := ofdm.CrossCorrelate(win[0], stf)
+		proj, err := cs.Correlate(win, stf)
+		if err != nil {
+			return nil, err
+		}
+		if busy {
+			s.busyRaw, s.busyProj = raw, proj
+		} else {
+			s.silentRaw, s.silentProj = raw, proj
+		}
 	}
+	return s, nil
+}
+
+func (fig9Experiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Result, error) {
+	res := &Fig9Result{}
+	var silentRaw, busyRaw, silentProj, busyProj []float64
+	var rawRatios, projRatios []float64
+	for _, raw := range samples {
+		if raw == nil {
+			continue
+		}
+		s := raw.(fig9Sample)
+		if s.power {
+			rawRatios = append(rawRatios, s.rawRatio)
+			projRatios = append(projRatios, s.projRatio)
+			continue
+		}
+		silentRaw = append(silentRaw, s.silentRaw)
+		busyRaw = append(busyRaw, s.busyRaw)
+		silentProj = append(silentProj, s.silentProj)
+		busyProj = append(busyProj, s.busyProj)
+	}
+	res.JumpRawDB = channel.DB(stats.Mean(rawRatios))
+	res.JumpProjectedDB = channel.DB(stats.Mean(projRatios))
 	res.SilentRaw = stats.NewCDF(silentRaw)
 	res.BusyRaw = stats.NewCDF(busyRaw)
 	res.SilentProj = stats.NewCDF(silentProj)
@@ -159,6 +248,16 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 	res.IndistinctRaw = indistinct(res.SilentRaw, busyRaw)
 	res.IndistinctProjected = indistinct(res.SilentProj, busyProj)
 	return res, nil
+}
+
+// RunFig9 regenerates Figure 9 at signal level through the parallel
+// experiment engine.
+func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
+	res, err := exp.Run(fig9Experiment{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*Fig9Result), nil
 }
 
 // indistinct returns the fraction of busy-condition metrics that are

@@ -7,6 +7,7 @@ import (
 
 	"nplus/internal/channel"
 	"nplus/internal/cmplxmat"
+	"nplus/internal/exp"
 	"nplus/internal/frame"
 	"nplus/internal/mac"
 	"nplus/internal/mimo"
@@ -30,6 +31,31 @@ func DefaultOverheadConfig() OverheadConfig {
 	return OverheadConfig{Trials: 100, Seed: 21}
 }
 
+// BaseSeed implements exp.Config.
+func (c OverheadConfig) BaseSeed() int64 { return c.Seed }
+
+// TrialCount implements exp.Config.
+func (c OverheadConfig) TrialCount() int { return c.Trials }
+
+// Validate implements exp.Config.
+func (c OverheadConfig) Validate() error {
+	if c.Trials < 1 {
+		return fmt.Errorf("core: bad overhead config %+v", c)
+	}
+	return nil
+}
+
+// WithOverrides implements exp.Configurable.
+func (c OverheadConfig) WithOverrides(o exp.Overrides) exp.Config {
+	if o.Trials > 0 {
+		c.Trials = o.Trials
+	}
+	if o.Seed != 0 {
+		c.Seed = o.Seed
+	}
+	return c
+}
+
 // OverheadResult reports the measured compression and overhead.
 type OverheadResult struct {
 	// OFDM symbols occupied by the alignment space, differential vs
@@ -43,59 +69,84 @@ type OverheadResult struct {
 	OverheadFraction float64
 }
 
-// RunOverhead regenerates the §3.5 numbers. For every trial it draws
-// a multipath channel, computes a 2-antenna receiver's decoding space
-// U⊥ on each of the 64 OFDM subcarriers (one wanted stream, one
-// interferer — the Fig. 3 situation at rx2), encodes it
-// differentially into the light-weight CTS, and counts symbols.
-func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
-	if cfg.Trials < 1 {
-		return nil, fmt.Errorf("core: bad overhead config %+v", cfg)
-	}
-	rng := rand.New(rand.NewSource(cfg.Seed))
+// overheadHeaderRate is the §3.5 header rate: header symbols carry
+// N_DBPS bits each (BPSK 1/2 over 48 carriers = 24 bits/symbol; the
+// paper's header runs at a QPSK-class rate, 96 bits/symbol — report
+// that).
+func overheadHeaderRate() modulation.Rate {
+	return modulation.Rate{Scheme: modulation.QAM16, CodeRate: modulation.Rate1_2}
+}
+
+// overheadExperiment adapts the §3.5 measurement to the exp engine.
+// Every trial draws a multipath channel, computes a 2-antenna
+// receiver's decoding space U⊥ on each of the 64 OFDM subcarriers
+// (one wanted stream, one interferer — the Fig. 3 situation at rx2),
+// encodes it differentially into the light-weight CTS, and counts
+// symbols.
+type overheadExperiment struct{}
+
+func (overheadExperiment) Name() string { return "overhead" }
+func (overheadExperiment) Description() string {
+	return "light-weight handshake overhead of the differential alignment-space encoding (§3.5)"
+}
+func (overheadExperiment) DefaultConfig() exp.Config { return DefaultOverheadConfig() }
+
+// overheadSample is one channel draw's encoding cost.
+type overheadSample struct {
+	diffBytes, rawBytes, diffSyms, rawSyms float64
+}
+
+func (overheadExperiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sample, error) {
 	params := ofdm.Default()
-	// Header symbols carry N_DBPS bits each at the base header rate
-	// (BPSK 1/2 over 48 carriers = 24 bits/symbol; the paper's header
-	// runs at a QPSK-class rate, 96 bits/symbol — report that).
-	headerRate := modulation.Rate{Scheme: modulation.QAM16, CodeRate: modulation.Rate1_2}
-	bitsPerSym := headerRate.DataBitsPerSymbol()
+	bitsPerSym := overheadHeaderRate().DataBitsPerSymbol()
 
-	var diffSyms, rawSyms, diffBytes, rawBytes []float64
-	for trial := 0; trial < cfg.Trials; trial++ {
-		// Interferer and wanted-stream channels to a 2-antenna receiver.
-		chI := channel.NewRayleigh(rng, 2, 1, channel.DefaultProfile, channel.FromDB(15))
-		space := &frame.AlignmentSpace{}
-		for bin := 0; bin < params.FFTSize; bin++ {
-			hI := chI.FreqResponse(bin, params.FFTSize).Col(0)
-			_, uPerp := mimo.UnwantedSpace(2, []cmplxmat.Vector{hI})
-			space.Matrices = append(space.Matrices, uPerp)
-		}
-		// Phase-align each subcarrier's basis columns with the previous
-		// subcarrier's: an orthonormal basis is only defined up to a
-		// per-column phase, and the QR convention can flip between
-		// bins; a transmitting receiver picks the continuous
-		// representative precisely so the differential CTS encoding
-		// compresses (§3.5).
-		alignBases(space.Matrices)
-		enc, err := space.EncodedSize()
-		if err != nil {
-			return nil, err
-		}
-		raw, err := space.RawSize()
-		if err != nil {
-			return nil, err
-		}
-		ds, err := space.OFDMSymbols(bitsPerSym)
-		if err != nil {
-			return nil, err
-		}
-		rs := (raw*8 + bitsPerSym - 1) / bitsPerSym
-		diffBytes = append(diffBytes, float64(enc))
-		rawBytes = append(rawBytes, float64(raw))
-		diffSyms = append(diffSyms, float64(ds))
-		rawSyms = append(rawSyms, float64(rs))
+	// Interferer and wanted-stream channels to a 2-antenna receiver.
+	chI := channel.NewRayleigh(rng, 2, 1, channel.DefaultProfile, channel.FromDB(15))
+	space := &frame.AlignmentSpace{}
+	for bin := 0; bin < params.FFTSize; bin++ {
+		hI := chI.FreqResponse(bin, params.FFTSize).Col(0)
+		_, uPerp := mimo.UnwantedSpace(2, []cmplxmat.Vector{hI})
+		space.Matrices = append(space.Matrices, uPerp)
 	}
+	// Phase-align each subcarrier's basis columns with the previous
+	// subcarrier's: an orthonormal basis is only defined up to a
+	// per-column phase, and the QR convention can flip between bins; a
+	// transmitting receiver picks the continuous representative
+	// precisely so the differential CTS encoding compresses (§3.5).
+	alignBases(space.Matrices)
+	enc, err := space.EncodedSize()
+	if err != nil {
+		return nil, err
+	}
+	raw, err := space.RawSize()
+	if err != nil {
+		return nil, err
+	}
+	ds, err := space.OFDMSymbols(bitsPerSym)
+	if err != nil {
+		return nil, err
+	}
+	rs := (raw*8 + bitsPerSym - 1) / bitsPerSym
+	return overheadSample{
+		diffBytes: float64(enc),
+		rawBytes:  float64(raw),
+		diffSyms:  float64(ds),
+		rawSyms:   float64(rs),
+	}, nil
+}
 
+func (overheadExperiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Result, error) {
+	var diffSyms, rawSyms, diffBytes, rawBytes []float64
+	for _, raw := range samples {
+		if raw == nil {
+			continue
+		}
+		s := raw.(overheadSample)
+		diffBytes = append(diffBytes, s.diffBytes)
+		rawBytes = append(rawBytes, s.rawBytes)
+		diffSyms = append(diffSyms, s.diffSyms)
+		rawSyms = append(rawSyms, s.rawSyms)
+	}
 	res := &OverheadResult{
 		DiffSymbols: stats.NewCDF(diffSyms),
 		RawSymbols:  stats.NewCDF(rawSyms),
@@ -105,6 +156,7 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 
 	// Total overhead for 1500 B at 18 Mb/s (20 MHz rate; 9 Mb/s over
 	// the 10 MHz channel — the ratio is bandwidth-independent).
+	params := ofdm.Default()
 	t := mac.DefaultTiming10MHz()
 	rate18 := modulation.Rate{Scheme: modulation.QPSK, CodeRate: modulation.Rate3_4}
 	packetAir := 1500 * 8 / (rate18.DataRateMbps(10) * 1e6)
@@ -112,6 +164,16 @@ func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
 	extra := 2*t.SIFS + (res.DiffSymbols.Mean()+1)*symDur // +1 data-header symbol (§3.5)
 	res.OverheadFraction = extra / (packetAir + extra)
 	return res, nil
+}
+
+// RunOverhead regenerates the §3.5 numbers through the parallel
+// experiment engine.
+func RunOverhead(cfg OverheadConfig) (*OverheadResult, error) {
+	res, err := exp.Run(overheadExperiment{}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return res.(*OverheadResult), nil
 }
 
 // alignBases rotates each matrix's columns by a unit phase so they

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// ScenarioSpec names a node/link deployment that drivers (cmd/npsim
+// and future workload generators) can run by name.
+type ScenarioSpec struct {
+	Name        string
+	Description string
+	// Build returns the deployment; a function rather than stored
+	// slices so every caller gets fresh copies.
+	Build func() ([]Node, []Link)
+}
+
+var (
+	scenarioMu sync.RWMutex
+	scenarios  = map[string]ScenarioSpec{}
+)
+
+// RegisterScenario adds s to the scenario registry. Registration
+// happens in init functions, so duplicates and incomplete specs
+// panic.
+func RegisterScenario(s ScenarioSpec) {
+	if s.Name == "" || s.Build == nil {
+		panic("core: RegisterScenario with empty name or nil Build")
+	}
+	scenarioMu.Lock()
+	defer scenarioMu.Unlock()
+	if _, dup := scenarios[s.Name]; dup {
+		panic(fmt.Sprintf("core: duplicate scenario %q", s.Name))
+	}
+	scenarios[s.Name] = s
+}
+
+// ScenarioByName returns the scenario registered under name.
+func ScenarioByName(name string) (ScenarioSpec, bool) {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	s, ok := scenarios[name]
+	return s, ok
+}
+
+// ScenarioNames returns every registered scenario name, sorted.
+func ScenarioNames() []string {
+	scenarioMu.RLock()
+	defer scenarioMu.RUnlock()
+	names := make([]string, 0, len(scenarios))
+	for n := range scenarios {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	RegisterScenario(ScenarioSpec{
+		Name:        "trio",
+		Description: "heterogeneous trio of Fig. 3: 1/2/3-antenna contending pairs",
+		Build:       TrioNodes,
+	})
+	RegisterScenario(ScenarioSpec{
+		Name:        "downlink",
+		Description: "downlink of Fig. 4: uplink client plus a 3-antenna AP serving two clients",
+		Build:       DownlinkNodes,
+	})
+}

@@ -1,0 +1,60 @@
+package exp
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Experiment{}
+)
+
+// Register adds e to the global registry. Registration happens in
+// package init functions, so a duplicate or empty name is a
+// programming error and panics.
+func Register(e Experiment) {
+	name := e.Name()
+	if name == "" {
+		panic("exp: Register with empty name")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("exp: duplicate experiment %q", name))
+	}
+	registry[name] = e
+}
+
+// Get returns the experiment registered under name.
+func Get(name string) (Experiment, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	e, ok := registry[name]
+	return e, ok
+}
+
+// Names returns every registered name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// All returns every registered experiment, sorted by name.
+func All() []Experiment {
+	names := Names()
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	out := make([]Experiment, 0, len(names))
+	for _, n := range names {
+		out = append(out, registry[n])
+	}
+	return out
+}

@@ -1,0 +1,75 @@
+package exp
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Runner executes an experiment's trials on a worker pool.
+type Runner struct {
+	// Workers is the pool size; 0 selects GOMAXPROCS. The worker
+	// count affects only wall-clock time, never results.
+	Workers int
+}
+
+// Run validates cfg (falling back to the experiment's default when
+// nil), shards the trials across the pool, and reduces the samples.
+func (r *Runner) Run(e Experiment, cfg Config) (Result, error) {
+	if cfg == nil {
+		cfg = e.DefaultConfig()
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, fmt.Errorf("exp: %s: %w", e.Name(), err)
+	}
+	n := cfg.TrialCount()
+	if n < 0 {
+		return nil, fmt.Errorf("exp: %s: negative trial count %d", e.Name(), n)
+	}
+	samples := make([]Sample, n)
+	errs := make([]error, n)
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+
+	// Workers pull the next trial index from a shared counter; each
+	// trial writes only its own slot, so no locking is needed on the
+	// results and sample order is trial order by construction.
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	seed := cfg.BaseSeed()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				rng := rand.New(rand.NewSource(TrialSeed(seed, i)))
+				samples[i], errs[i] = e.Trial(cfg, i, rng)
+			}
+		}()
+	}
+	wg.Wait()
+	// Report the lowest-index failure so the error, like the samples,
+	// does not depend on scheduling.
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("exp: %s: trial %d: %w", e.Name(), i, err)
+		}
+	}
+	return e.Reduce(cfg, samples)
+}
+
+// Run executes e with cfg on a default (GOMAXPROCS-sized) runner.
+func Run(e Experiment, cfg Config) (Result, error) {
+	return (&Runner{}).Run(e, cfg)
+}

@@ -1,0 +1,21 @@
+package mac
+
+import "testing"
+
+func TestParseMode(t *testing.T) {
+	for _, m := range Modes() {
+		got, err := ParseMode(m.CLIName())
+		if err != nil {
+			t.Fatalf("ParseMode(%q): %v", m.CLIName(), err)
+		}
+		if got != m {
+			t.Fatalf("ParseMode(%q) = %v, want %v", m.CLIName(), got, m)
+		}
+	}
+	if _, err := ParseMode("warp-drive"); err == nil {
+		t.Fatal("expected error for unknown mode")
+	}
+	if len(ModeNames()) != len(Modes()) {
+		t.Fatal("ModeNames/Modes length mismatch")
+	}
+}

@@ -27,6 +27,7 @@ package mac
 import (
 	"fmt"
 	"math/rand"
+	"strings"
 
 	"nplus/internal/cmplxmat"
 )
@@ -130,4 +131,42 @@ func (m Mode) String() string {
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
+}
+
+// CLIName is the flag-friendly spelling ParseMode understands.
+func (m Mode) CLIName() string {
+	switch m {
+	case ModeNPlus:
+		return "nplus"
+	case Mode80211n:
+		return "80211n"
+	case ModeBeamforming:
+		return "beamforming"
+	default:
+		return fmt.Sprintf("mode%d", int(m))
+	}
+}
+
+// Modes lists every MAC variant the simulator implements, in
+// definition order — drivers enumerate this instead of hard-coding
+// the set.
+func Modes() []Mode { return []Mode{ModeNPlus, Mode80211n, ModeBeamforming} }
+
+// ModeNames returns the command-line names understood by ParseMode.
+func ModeNames() []string {
+	names := make([]string, 0, len(Modes()))
+	for _, m := range Modes() {
+		names = append(names, m.CLIName())
+	}
+	return names
+}
+
+// ParseMode resolves a command-line mode name.
+func ParseMode(name string) (Mode, error) {
+	for _, m := range Modes() {
+		if name == m.CLIName() {
+			return m, nil
+		}
+	}
+	return 0, fmt.Errorf("mac: unknown mode %q (have %s)", name, strings.Join(ModeNames(), ", "))
 }
