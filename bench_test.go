@@ -47,7 +47,7 @@ func runRegistered(b *testing.B, name string, o exp.Overrides) exp.Result {
 // so `go test -bench . -benchtime 1x` exercises the whole registry
 // and a new registration cannot silently rot.
 func BenchmarkRegistry(b *testing.B) {
-	smoke := exp.Overrides{Trials: 20, Placements: 4, Epochs: 20}
+	smoke := exp.Overrides{Trials: 20, Placements: 4, Epochs: 20, Duration: 0.02}
 	for _, e := range exp.All() {
 		b.Run(e.Name(), func(b *testing.B) {
 			runRegistered(b, e.Name(), smoke)
@@ -120,6 +120,27 @@ func BenchmarkHandshakeOverhead(b *testing.B) {
 	b.ReportMetric(last.DiffSymbols.Mean(), "align-symbols")
 	b.ReportMetric(last.RawBytes.Mean()/last.DiffBytes.Mean(), "compression-x")
 	b.ReportMetric(100*last.OverheadFraction, "overhead-%")
+}
+
+// BenchmarkDelayLoad — delay vs offered load on generated ad-hoc
+// deployments: reports the MACs' delivered throughput at the top of
+// the sweep (n+ should carry roughly 2× before saturating) and the
+// n+ p95 delay at the lightest load.
+func BenchmarkDelayLoad(b *testing.B) {
+	last := runRegistered(b, "delayload", exp.Overrides{Placements: 2, Duration: 0.04}).(*core.DelayLoadResult)
+	top := last.Points[len(last.Points)-1]
+	b.ReportMetric(top.Throughput[0], "nplus-Mbps")
+	b.ReportMetric(top.Throughput[1], "80211n-Mbps")
+	b.ReportMetric(last.Points[0].Delay[0].P95*1e3, "nplus-light-p95-ms")
+}
+
+// BenchmarkFairSize — Jain fairness across network sizes under both
+// MACs on generated deployments.
+func BenchmarkFairSize(b *testing.B) {
+	last := runRegistered(b, "fairsize", exp.Overrides{Placements: 2, Duration: 0.03}).(*core.FairSizeResult)
+	top := last.Points[len(last.Points)-1]
+	b.ReportMetric(top.Jain[0], "nplus-jain")
+	b.ReportMetric(top.Jain[1], "80211n-jain")
 }
 
 // BenchmarkAblationJoinThreshold sweeps the §4 join threshold L: with

@@ -37,6 +37,10 @@ func main() {
 	epochs := flag.Int("epochs", 0, "contention rounds per placement (0 = default)")
 	trials := flag.Int("trials", 0, "trials for fig9 / overhead (0 = default)")
 	seed := flag.Int64("seed", 0, "base seed (0 = default)")
+	topoName := flag.String("topo", "", "topology generator for workload experiments (empty = default)")
+	trafficName := flag.String("traffic", "", "traffic model for workload experiments (empty = default)")
+	nodes := flag.Int("nodes", 0, "generated topology size (0 = default)")
+	duration := flag.Float64("duration", 0, "virtual seconds per protocol run (0 = default)")
 	flag.Parse()
 
 	if *list {
@@ -73,7 +77,10 @@ func main() {
 		selected = []exp.Experiment{e}
 	}
 
-	o := exp.Overrides{Trials: *trials, Placements: *placements, Epochs: *epochs, Seed: *seed}
+	o := exp.Overrides{
+		Trials: *trials, Placements: *placements, Epochs: *epochs, Seed: *seed,
+		Topo: *topoName, Traffic: *trafficName, Nodes: *nodes, Duration: *duration,
+	}
 	runner := &exp.Runner{Workers: *workers}
 	for _, e := range selected {
 		fmt.Printf("==== %s: %s ====\n", e.Name(), e.Description())

@@ -14,6 +14,8 @@ func init() {
 		fig12Experiment{},
 		fig13Experiment{},
 		overheadExperiment{},
+		delayLoadExperiment{},
+		fairSizeExperiment{},
 	} {
 		exp.Register(e)
 	}

@@ -12,25 +12,25 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 
 	"nplus/internal/esnr"
 	"nplus/internal/mac"
 	"nplus/internal/sim"
 	"nplus/internal/testbed"
+	"nplus/internal/topo"
+	"nplus/internal/traffic"
 )
 
-// Node describes one radio.
-type Node struct {
-	ID       mac.NodeID
-	Antennas int
-}
+// Node describes one radio. The canonical definition lives in package
+// topo so deployment generators emit exactly the slices the scenario
+// registry produces; core aliases it to keep its historical API.
+type Node = topo.Node
 
-// Link is a backlogged traffic flow between two nodes.
-type Link struct {
-	ID     int
-	Tx, Rx mac.NodeID
-}
+// Link is a traffic flow between two nodes — backlogged by default,
+// open-loop when the run attaches an arrival model.
+type Link = topo.Link
 
 // Options tunes a Network. Zero values select calibrated defaults.
 type Options struct {
@@ -42,6 +42,10 @@ type Options struct {
 	AlignmentSpaceError float64
 	// PERWidth is the delivery waterfall width in dB (default 1).
 	PERWidth float64
+	// Positions optionally pins every node to an explicit location in
+	// meters (generated topologies carry their geometry here); nil
+	// selects random placement on the testbed floor plan.
+	Positions map[mac.NodeID]testbed.Point
 }
 
 // DefaultOptions returns the calibrated defaults used throughout the
@@ -78,6 +82,15 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 	if opts.Testbed.NumLocations == 0 {
 		opts.Testbed = testbed.DefaultConfig()
 	}
+	if opts.Positions == nil && len(nodes) > opts.Testbed.NumLocations {
+		// Random placement of more nodes than the floor plan holds:
+		// grow the floor at constant density so large hand-built node
+		// sets deploy without manual testbed tuning.
+		scale := math.Sqrt(float64(len(nodes)) / float64(opts.Testbed.NumLocations))
+		opts.Testbed.NumLocations = len(nodes)
+		opts.Testbed.Width *= scale
+		opts.Testbed.Height *= scale
+	}
 	tb, err := testbed.New(seed, opts.Testbed)
 	if err != nil {
 		return nil, err
@@ -88,7 +101,13 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 		specs[i] = testbed.NodeSpec{ID: n.ID, Antennas: n.Antennas}
 		byID[n.ID] = n
 	}
-	dep, err := tb.Deploy(rand.New(rand.NewSource(seed+1)), specs)
+	depRNG := rand.New(rand.NewSource(seed + 1))
+	var dep *testbed.Deployment
+	if opts.Positions != nil {
+		dep, err = tb.DeployAt(depRNG, specs, opts.Positions)
+	} else {
+		dep, err = tb.Deploy(depRNG, specs)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -112,6 +131,14 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 		})
 	}
 	return net, nil
+}
+
+// NewNetworkFromLayout deploys a generated topology: the layout's
+// nodes, links, and explicit positions run through the same channel
+// and MAC stack as the hand-built scenarios.
+func NewNetworkFromLayout(seed int64, l *topo.Layout, opts Options) (*Network, error) {
+	opts.Positions = l.Positions
+	return NewNetwork(seed, l.Nodes, l.Links, opts)
 }
 
 // Scenario builds the MAC scenario view of this network with a fresh
@@ -162,6 +189,57 @@ func (n *Network) RunProtocol(mode mac.Mode, duration float64) (map[int]float64,
 		return nil, nil, err
 	}
 	return proto.Run(duration), tr, nil
+}
+
+// TrafficRun describes one open-loop protocol run: every flow gets an
+// arrival process from the named traffic model at the given mean rate
+// and a share of its station's bounded queue.
+type TrafficRun struct {
+	Mode     mac.Mode
+	Duration float64 // virtual seconds
+	Model    string  // traffic registry name; traffic.Saturated keeps stations backlogged
+	RatePPS  float64 // mean per-flow arrival rate, packets/second
+	QueueCap int     // per-station queue bound (0 = default 64)
+	Trace    bool    // attach a protocol trace
+}
+
+// RunTrafficProtocol runs the event-driven protocol under open-loop
+// traffic and returns the per-flow statistics (throughput, delays,
+// drops) plus the trace (nil unless requested). The scenario salt
+// matches RunProtocol's, so a saturated TrafficRun reproduces the
+// backlogged run bit-for-bit.
+func (n *Network) RunTrafficProtocol(r TrafficRun) (map[int]*mac.FlowStats, *sim.Trace, error) {
+	spec, ok := traffic.ByName(r.Model)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: unknown traffic model %q (have %v)", r.Model, traffic.Names())
+	}
+	sc, err := n.Scenario(int64(r.Mode) + 29)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := sim.NewEngine(n.seed + 31)
+	var tr *sim.Trace
+	if r.Trace {
+		tr = &sim.Trace{}
+		eng.SetTrace(tr)
+	}
+	proto, err := mac.NewProtocol(eng, sc, n.Flows, mac.DefaultEpochConfig(r.Mode))
+	if err != nil {
+		return nil, nil, err
+	}
+	var srcErr error
+	proto.SetTraffic(func(f mac.Flow) traffic.Source {
+		src, err := spec.New(traffic.Config{RatePPS: r.RatePPS})
+		if err != nil && srcErr == nil {
+			srcErr = err
+		}
+		return src
+	}, r.QueueCap)
+	if srcErr != nil {
+		return nil, nil, fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
+	}
+	proto.Run(r.Duration)
+	return proto.Stats(), tr, nil
 }
 
 // MinLinkSNRDB returns the weakest flow SNR in the deployment —

@@ -36,6 +36,12 @@ type Overrides struct {
 	Placements int
 	Epochs     int
 	Seed       int64
+
+	// Workload knobs for traffic/topology experiments.
+	Topo     string  // deployment generator name
+	Traffic  string  // arrival model name
+	Nodes    int     // generated topology size
+	Duration float64 // virtual seconds per protocol run
 }
 
 // Configurable is implemented by configs that can absorb Overrides,

@@ -2,9 +2,11 @@ package mac
 
 import (
 	"fmt"
+	"math/rand"
 	"sort"
 
 	"nplus/internal/sim"
+	"nplus/internal/traffic"
 )
 
 // Protocol is the event-driven n+ MAC: per-node CSMA/CA with DIFS,
@@ -25,12 +27,15 @@ type Protocol struct {
 	Cfg      EpochConfig
 	stations []*station
 	// medium state
-	actives    []*Active
-	activeOf   map[*station][]*Active
-	jointEnd   float64 // when the current joint transmission ends
-	endHandle  *sim.EventHandle
-	stats      map[int]*FlowStats
-	firstStart float64
+	actives   []*Active
+	activeOf  map[*station][]*Active
+	jointEnd  float64 // when the current joint transmission ends
+	endHandle *sim.EventHandle
+	stats     map[int]*FlowStats
+	// startOf records when each active entered the medium: a joiner
+	// only has the window from its join to the joint end, so its air
+	// time (and byte credit) must not count the primary's head start.
+	startOf map[*Active]float64
 }
 
 type station struct {
@@ -43,7 +48,25 @@ type station struct {
 	// txActive true while this station transmits
 	txActive bool
 	retries  int
+
+	// Open-loop traffic state (nil queue = fully backlogged, the
+	// seed behavior). srcs and arrRNGs parallel flows; a nil source
+	// means that flow receives no arrivals.
+	queue   *traffic.Queue
+	srcs    []traffic.Source
+	arrRNGs []*rand.Rand
+	// credit[flowID] accumulates successfully carried bytes toward the
+	// head-of-line packet: a transmission is sized to stripe one
+	// payload over its streams (and a joiner gets whatever air time
+	// remains), so a packet completes when enough bytes have been
+	// delivered across transmissions — the fragmentation/aggregation
+	// view of §3.1.
+	credit map[int]float64
 }
+
+// openLoop reports whether the station transmits from a bounded queue
+// fed by an arrival process rather than being always backlogged.
+func (st *station) openLoop() bool { return st.queue != nil }
 
 // NewProtocol builds the event-driven MAC over the given flows
 // (grouped by transmitter) with a fully backlogged traffic model.
@@ -58,6 +81,7 @@ func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (
 		Cfg:      cfg,
 		activeOf: make(map[*station][]*Active),
 		stats:    make(map[int]*FlowStats),
+		startOf:  make(map[*Active]float64),
 	}
 	for i, tx := range order {
 		st := &station{id: i, tx: tx, flows: groups[tx], cw: cfg.Timing.CWMin}
@@ -72,12 +96,78 @@ func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (
 // Stats returns the per-flow statistics collected so far.
 func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
 
-// Start arms every station's first contention.
+// SetTraffic switches stations from the fully backlogged model to
+// open-loop arrivals: newSource is called once per flow (a nil return
+// means that flow receives no arrivals; a station whose flows all
+// return nil stays saturated), and each station gets a bounded packet
+// queue of queueCap packets (default 64). Stations with a queue
+// contend only while it is non-empty — they contend on arrival and go
+// idle when drained — and record per-packet queueing+service delay.
+// Every flow's arrival stream draws from its own RNG derived from the
+// sim engine's seed, so the stream is deterministic and independent
+// of how the MAC interleaves events. Must be called before Start.
+func (p *Protocol) SetTraffic(newSource func(f Flow) traffic.Source, queueCap int) {
+	if queueCap < 1 {
+		queueCap = 64
+	}
+	for _, st := range p.stations {
+		srcs := make([]traffic.Source, len(st.flows))
+		rngs := make([]*rand.Rand, len(st.flows))
+		any := false
+		for i, f := range st.flows {
+			srcs[i] = newSource(f)
+			rngs[i] = rand.New(rand.NewSource(p.Eng.RNG().Int63()))
+			if srcs[i] != nil {
+				any = true
+			}
+		}
+		if !any {
+			continue // fully backlogged station
+		}
+		st.queue = traffic.NewQueue(queueCap)
+		st.srcs = srcs
+		st.arrRNGs = rngs
+		st.credit = make(map[int]float64, len(st.flows))
+	}
+}
+
+// Start arms every station's first contention and, for open-loop
+// stations, primes each flow's arrival process.
 func (p *Protocol) Start() {
 	for _, st := range p.stations {
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
 		p.armCountdown(st)
+		if st.openLoop() {
+			for fi, src := range st.srcs {
+				if src != nil {
+					p.scheduleArrival(st, fi)
+				}
+			}
+		}
 	}
+}
+
+// scheduleArrival books flow fi's next packet arrival at this station.
+func (p *Protocol) scheduleArrival(st *station, fi int) {
+	delay := st.srcs[fi].Next(st.arrRNGs[fi])
+	p.Eng.Schedule(delay, func() { p.arrive(st, fi) })
+}
+
+// arrive enqueues one packet for flow fi; if the station was idle
+// (empty queue), it begins contending immediately — the open-loop
+// counterpart of "always backlogged".
+func (p *Protocol) arrive(st *station, fi int) {
+	f := st.flows[fi]
+	fs := p.stats[f.ID]
+	fs.Arrivals++
+	wasEmpty := st.queue.Len() == 0
+	if !st.queue.Enqueue(traffic.Packet{Flow: f.ID, Bytes: p.Cfg.PacketBytes, ArrivedAt: p.Eng.Now()}) {
+		fs.Drops++
+		p.Eng.Tracef("station %d (tx %d) drops a flow-%d packet: queue full", st.id, st.tx, f.ID)
+	} else if wasEmpty && !st.txActive {
+		p.armCountdown(st)
+	}
+	p.scheduleArrival(st, fi)
 }
 
 // usedDoF returns the number of occupied degrees of freedom.
@@ -89,6 +179,9 @@ func (p *Protocol) usedDoF() int { return totalConstraints(p.actives) }
 func (p *Protocol) eligible(st *station) bool {
 	if st.txActive {
 		return false
+	}
+	if st.openLoop() && st.queue.Len() == 0 {
+		return false // nothing to send: idle until the next arrival
 	}
 	k := p.usedDoF()
 	if k == 0 {
@@ -137,15 +230,36 @@ func (p *Protocol) freeze(st *station, contentionStart float64) {
 // win fires when a station's backoff expires: it transmits (primary)
 // or joins (secondary).
 func (p *Protocol) win(st *station) {
-	req := JoinRequest{Dests: st.flows}
+	dests := st.flows
+	if st.openLoop() {
+		// Serve only flows with queued packets: an AP with one busy
+		// client must not waste streams on drained ones.
+		dests = make([]Flow, 0, len(st.flows))
+		for _, f := range st.flows {
+			if st.queue.CountFlow(f.ID) > 0 {
+				dests = append(dests, f)
+			}
+		}
+		if len(dests) == 0 {
+			return // drained since arming; idle until the next arrival
+		}
+	}
+	req := JoinRequest{Dests: dests}
 	isPrimary := len(p.actives) == 0
 	beamform := isPrimary && (p.Cfg.Mode == ModeBeamforming || len(req.Dests) > 1)
 	group, err := p.Sc.PlanBest(req, p.actives, beamform, isPrimary)
 	if err != nil {
-		// Cannot transmit without harming incumbents: back off again and
-		// wait for the medium to clear.
+		// Cannot transmit without harming incumbents: back off again
+		// and wait for the medium to clear. With a busy medium the
+		// finish() transition re-arms every station; with an empty one
+		// no transition will ever come, so re-arm directly — an
+		// open-loop station could otherwise stall with a full queue
+		// until another station happens to transmit.
 		p.Eng.Tracef("station %d (tx %d) blocked: %v", st.id, st.tx, err)
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
+		if len(p.actives) == 0 {
+			p.armCountdown(st)
+		}
 		return
 	}
 	contentionStart := p.Eng.Now()
@@ -154,7 +268,6 @@ func (p *Protocol) win(st *station) {
 	t := p.Cfg.Timing
 
 	if isPrimary {
-		p.firstStart = p.Eng.Now()
 		totalStreams := 0
 		rate := group[0].Rate
 		for _, a := range group {
@@ -184,6 +297,9 @@ func (p *Protocol) win(st *station) {
 	}
 	p.actives = append(p.actives, group...)
 	p.activeOf[st] = group
+	for _, a := range group {
+		p.startOf[a] = p.Eng.Now()
+	}
 
 	// Medium state changed: every other station re-evaluates.
 	for _, other := range p.stations {
@@ -194,11 +310,32 @@ func (p *Protocol) win(st *station) {
 	}
 }
 
+// serveCredit adds delivered bytes to a flow's credit and completes
+// as many queued packets as the credit covers (half a byte of slack
+// absorbs float rounding on exactly-sized transmissions). Credit
+// never outlives the backlog it pays for.
+func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
+	fs := p.stats[flowID]
+	cr := st.credit[flowID] + delivered
+	for cr+0.5 >= float64(p.Cfg.PacketBytes) {
+		pkt, got := st.queue.DequeueFlow(flowID)
+		if !got {
+			break
+		}
+		fs.Served++
+		fs.Delays = append(fs.Delays, p.Eng.Now()-pkt.ArrivedAt)
+		cr -= float64(pkt.Bytes)
+	}
+	if cr < 0 || st.queue.CountFlow(flowID) == 0 {
+		cr = 0 // credit cannot pre-pay packets that have not arrived
+	}
+	st.credit[flowID] = cr
+}
+
 // finish ends the joint transmission: concurrent ACKs, delivery
 // sampling, stats, and a fresh contention round.
 func (p *Protocol) finish() {
 	t := p.Cfg.Timing
-	start := p.firstStart
 	// Stable station order: map iteration would randomize RNG draws.
 	stations := make([]*station, 0, len(p.activeOf))
 	for st := range p.activeOf {
@@ -214,14 +351,33 @@ func (p *Protocol) finish() {
 			if err != nil {
 				panic(fmt.Sprintf("mac: delivery SINR: %v", err))
 			}
-			// Air time this active actually had.
-			air := p.jointEnd - start - t.HandshakeOverhead()
+			// Air time this active actually had: from ITS join (not the
+			// primary's start) minus its handshake, so a late joiner is
+			// only credited for the window it really transmitted in.
+			air := p.jointEnd - p.startOf[a] - t.HandshakeOverhead()
+			if air < 0 {
+				air = 0
+			}
 			bps := a.Rate.DataRateMbps(p.Cfg.BandwidthMHz) * 1e6
 			bytesPerStream := int64(air * bps / 8)
 			if max := int64(p.Cfg.PacketBytes); bytesPerStream > max {
 				bytesPerStream = max
 			}
+			// Open-loop stations serve real queued packets by byte
+			// credit: each successful stream contributes the bytes it
+			// carried (a transmission stripes one payload over its
+			// streams, and a joiner gets only the remaining air time),
+			// and a packet completes — recording its queueing+service
+			// delay — once the flow's credited bytes cover it: the
+			// fragmentation/aggregation view of §3.1. Lost bytes are
+			// never credited, so a starved packet stays queued for
+			// retransmission.
+			exactPerStream := air * bps / 8
+			if m := float64(p.Cfg.PacketBytes); exactPerStream > m {
+				exactPerStream = m
+			}
 			ok := true
+			delivered := 0.0
 			for s := 0; s < a.Streams; s++ {
 				if bytesPerStream <= 0 {
 					continue
@@ -229,10 +385,14 @@ func (p *Protocol) finish() {
 				fs.SentPackets++
 				if p.Sc.StreamSuccess(a, delivery, s) {
 					fs.DeliveredBytes += bytesPerStream
+					delivered += exactPerStream
 				} else {
 					fs.LostPackets++
 					ok = false
 				}
+			}
+			if st.openLoop() {
+				p.serveCredit(st, a.Flow.ID, delivered)
 			}
 			if ok {
 				st.cw = t.CWMin
@@ -251,6 +411,7 @@ func (p *Protocol) finish() {
 	p.Eng.Tracef("joint transmission ends; ACK phase")
 	p.actives = nil
 	p.activeOf = make(map[*station][]*Active)
+	p.startOf = make(map[*Active]float64)
 	p.jointEnd = 0
 
 	// ACK phase then a new contention round for everyone.

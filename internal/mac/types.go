@@ -85,6 +85,16 @@ type FlowStats struct {
 	Wins           int64 // primary contention wins
 	Joins          int64 // secondary contention wins
 	StreamSum      int64 // Σ streams across transmissions (for averages)
+
+	// Open-loop traffic accounting, populated only by traffic-driven
+	// protocol runs (zero in backlogged and epoch runs).
+	Arrivals int64 // packets offered by the arrival process
+	Drops    int64 // packets rejected at a full station queue
+	Served   int64 // packets delivered and dequeued
+	// Delays holds each served packet's queueing+service delay in
+	// seconds: arrival at the station queue → end of the data
+	// transmission that delivered it.
+	Delays []float64
 }
 
 // ThroughputMbps converts delivered bytes over elapsed seconds.
@@ -102,6 +112,15 @@ func (s *FlowStats) LossRate() float64 {
 		return 0
 	}
 	return float64(s.LostPackets) / float64(total)
+}
+
+// DropRate returns the fraction of offered packets rejected at a full
+// queue (open-loop runs only).
+func (s *FlowStats) DropRate() float64 {
+	if s.Arrivals == 0 {
+		return 0
+	}
+	return float64(s.Drops) / float64(s.Arrivals)
 }
 
 // Mode selects the MAC variant.

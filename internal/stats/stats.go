@@ -49,6 +49,12 @@ func Percentile(xs []float64, p float64) float64 {
 	}
 	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
+	return percentileSorted(sorted, p)
+}
+
+// percentileSorted is Percentile over an already-sorted non-empty
+// slice, for callers that take several percentiles of one sample set.
+func percentileSorted(sorted []float64, p float64) float64 {
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -62,6 +68,61 @@ func Percentile(xs []float64, p float64) float64 {
 		return sorted[lo]
 	}
 	return sorted[lo]*(1-frac) + sorted[lo+1]*frac
+}
+
+// JainFairness returns Jain's fairness index (Σx)²/(n·Σx²) of the
+// given allocations: 1 when every share is equal, approaching 1/n as
+// one allocation dominates. By convention the index of an empty or
+// all-zero set is 0.
+func JainFairness(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// DelaySummary condenses a set of per-packet delay samples into the
+// order statistics delay experiments report.
+type DelaySummary struct {
+	N                   int
+	Mean, P50, P95, P99 float64
+	Max                 float64
+}
+
+// SummarizeDelays computes a DelaySummary (zero-valued for an empty
+// sample set).
+func SummarizeDelays(samples []float64) DelaySummary {
+	if len(samples) == 0 {
+		return DelaySummary{}
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	return DelaySummary{
+		N:    len(sorted),
+		Mean: Mean(sorted),
+		P50:  percentileSorted(sorted, 50),
+		P95:  percentileSorted(sorted, 95),
+		P99:  percentileSorted(sorted, 99),
+		Max:  sorted[len(sorted)-1],
+	}
+}
+
+// String renders the summary in milliseconds (delays throughout the
+// simulator are in seconds).
+func (d DelaySummary) String() string {
+	if d.N == 0 {
+		return "no delay samples"
+	}
+	return fmt.Sprintf("n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms",
+		d.N, d.Mean*1e3, d.P50*1e3, d.P95*1e3, d.P99*1e3, d.Max*1e3)
 }
 
 // CDF is an empirical cumulative distribution function.

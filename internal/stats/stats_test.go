@@ -125,3 +125,69 @@ func TestTable(t *testing.T) {
 		t.Fatalf("table has %d lines", len(lines))
 	}
 }
+
+func TestJainFairness(t *testing.T) {
+	if JainFairness(nil) != 0 || JainFairness([]float64{0, 0}) != 0 {
+		t.Fatal("empty/all-zero convention broken")
+	}
+	if j := JainFairness([]float64{5, 5, 5, 5}); math.Abs(j-1) > 1e-12 {
+		t.Fatalf("equal shares: %g, want 1", j)
+	}
+	// One user hogging everything among n: index → 1/n.
+	if j := JainFairness([]float64{10, 0, 0, 0}); math.Abs(j-0.25) > 1e-12 {
+		t.Fatalf("single hog among 4: %g, want 0.25", j)
+	}
+	// Worked example: (1+2+3)²/(3·(1+4+9)) = 36/42.
+	if j := JainFairness([]float64{1, 2, 3}); math.Abs(j-36.0/42) > 1e-12 {
+		t.Fatalf("1,2,3: %g, want %g", j, 36.0/42)
+	}
+	// Scale invariance.
+	a := JainFairness([]float64{1, 2, 7, 4})
+	b := JainFairness([]float64{10, 20, 70, 40})
+	if math.Abs(a-b) > 1e-12 {
+		t.Fatalf("not scale invariant: %g vs %g", a, b)
+	}
+	// Bounds on random inputs.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 100; i++ {
+		xs := make([]float64, 1+rng.Intn(20))
+		for k := range xs {
+			xs[k] = rng.Float64() * 100
+		}
+		j := JainFairness(xs)
+		if j < 1/float64(len(xs))-1e-12 || j > 1+1e-12 {
+			t.Fatalf("index %g outside [1/n, 1] for n=%d", j, len(xs))
+		}
+	}
+}
+
+func TestSummarizeDelays(t *testing.T) {
+	if s := SummarizeDelays(nil); s.N != 0 || s.String() != "no delay samples" {
+		t.Fatalf("empty summary: %+v %q", s, s.String())
+	}
+	// 1..100 ms: exact percentiles under linear interpolation.
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(100-i) / 1e3 // reversed: summary must sort
+	}
+	s := SummarizeDelays(xs)
+	if s.N != 100 || math.Abs(s.Mean-0.0505) > 1e-9 || math.Abs(s.Max-0.1) > 1e-12 {
+		t.Fatalf("summary %+v", s)
+	}
+	if math.Abs(s.P50-0.0505) > 1e-9 {
+		t.Fatalf("p50 %g", s.P50)
+	}
+	if math.Abs(s.P95-0.09505) > 1e-9 {
+		t.Fatalf("p95 %g", s.P95)
+	}
+	if math.Abs(s.P99-0.09901) > 1e-9 {
+		t.Fatalf("p99 %g", s.P99)
+	}
+	if !strings.Contains(s.String(), "p99=") {
+		t.Fatalf("render %q", s.String())
+	}
+	// Summarize must not mutate its input.
+	if xs[0] != 0.1 {
+		t.Fatal("input mutated")
+	}
+}

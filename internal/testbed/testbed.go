@@ -132,12 +132,10 @@ type Deployment struct {
 	freq map[[2]mac.NodeID][]*cmplxmat.Matrix
 }
 
-// Deploy assigns the given nodes to random distinct testbed locations
-// using rng and draws Rayleigh channels for every ordered node pair.
-func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error) {
-	if len(nodes) > len(tb.Locations) {
-		return nil, fmt.Errorf("testbed: %d nodes for %d locations", len(nodes), len(tb.Locations))
-	}
+// newDeployment validates the node specs and builds the deployment
+// shell, drawing the calibration state from rng — the first RNG use,
+// an order pinned by the seeded figure outputs.
+func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error) {
 	maxAnt := 0
 	for _, n := range nodes {
 		if n.Antennas < 1 {
@@ -147,24 +145,21 @@ func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error)
 			maxAnt = n.Antennas
 		}
 	}
-	d := &Deployment{
+	return &Deployment{
 		tb:       tb,
 		Nodes:    make(map[mac.NodeID]NodeSpec),
 		Position: make(map[mac.NodeID]Point),
 		calib:    channel.NewCalibration(rng, maxAnt, tb.Cfg.EstFloor),
 		chans:    make(map[[2]mac.NodeID]*channel.MIMO),
 		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix),
-	}
-	perm := rng.Perm(len(tb.Locations))
-	for i, n := range nodes {
-		if _, dup := d.Nodes[n.ID]; dup {
-			return nil, fmt.Errorf("testbed: duplicate node id %d", n.ID)
-		}
-		d.Nodes[n.ID] = n
-		d.Position[n.ID] = tb.Locations[perm[i]]
-	}
-	// Draw channels for every ordered pair (reciprocity ties the two
-	// directions together: the reverse is the transpose).
+	}, nil
+}
+
+// drawChannels draws Rayleigh channels for every ordered node pair
+// (reciprocity ties the two directions together: the reverse is the
+// transpose).
+func (d *Deployment) drawChannels(rng *rand.Rand, nodes []NodeSpec) {
+	tb := d.tb
 	for _, a := range nodes {
 		for _, b := range nodes {
 			if a.ID == b.ID {
@@ -180,6 +175,52 @@ func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error)
 			d.chans[[2]mac.NodeID{b.ID, a.ID}] = fwd.Reverse(nil)
 		}
 	}
+}
+
+// Deploy assigns the given nodes to random distinct testbed locations
+// using rng and draws Rayleigh channels for every ordered node pair.
+func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error) {
+	if len(nodes) > len(tb.Locations) {
+		return nil, fmt.Errorf("testbed: %d nodes for %d locations", len(nodes), len(tb.Locations))
+	}
+	d, err := tb.newDeployment(rng, nodes)
+	if err != nil {
+		return nil, err
+	}
+	perm := rng.Perm(len(tb.Locations))
+	for i, n := range nodes {
+		if _, dup := d.Nodes[n.ID]; dup {
+			return nil, fmt.Errorf("testbed: duplicate node id %d", n.ID)
+		}
+		d.Nodes[n.ID] = n
+		d.Position[n.ID] = tb.Locations[perm[i]]
+	}
+	d.drawChannels(rng, nodes)
+	return d, nil
+}
+
+// DeployAt places nodes at the given explicit positions (meters) —
+// the entry point for generated topologies, whose geometry is decided
+// by a deployment generator rather than the fixed floor plan — and
+// draws channels exactly as Deploy does. Every node needs a position;
+// the testbed's own location set is ignored.
+func (tb *Testbed) DeployAt(rng *rand.Rand, nodes []NodeSpec, pos map[mac.NodeID]Point) (*Deployment, error) {
+	d, err := tb.newDeployment(rng, nodes)
+	if err != nil {
+		return nil, err
+	}
+	for _, n := range nodes {
+		if _, dup := d.Nodes[n.ID]; dup {
+			return nil, fmt.Errorf("testbed: duplicate node id %d", n.ID)
+		}
+		p, ok := pos[n.ID]
+		if !ok {
+			return nil, fmt.Errorf("testbed: node %d has no position", n.ID)
+		}
+		d.Nodes[n.ID] = n
+		d.Position[n.ID] = p
+	}
+	d.drawChannels(rng, nodes)
 	return d, nil
 }
 

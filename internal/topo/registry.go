@@ -1,0 +1,89 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+)
+
+// Spec names one deployment generator that drivers (cmd/npsim,
+// experiment configs) can run by name, mirroring the scenario and
+// traffic registries so `-list` output always reflects what is
+// actually registered.
+type Spec struct {
+	Name        string
+	Description string
+	Generate    func(cfg GenConfig, rng *rand.Rand) (*Layout, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds s to the generator registry. Registration happens in
+// init functions, so duplicates and incomplete specs panic.
+func Register(s Spec) {
+	if s.Name == "" || s.Generate == nil {
+		panic("topo: Register with empty name or nil Generate")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("topo: duplicate generator %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// ByName returns the generator registered under name.
+func ByName(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered generator name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Generate runs the named generator.
+func Generate(name string, cfg GenConfig, rng *rand.Rand) (*Layout, error) {
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("topo: unknown generator %q (have %v)", name, Names())
+	}
+	return spec.Generate(cfg, rng)
+}
+
+func init() {
+	Register(Spec{
+		Name:        "disk-adhoc",
+		Description: "uniform-disk placement, nearest-neighbor tx→rx pairs, mixed antennas",
+		Generate:    generate(placeDisk, pairAdhoc),
+	})
+	Register(Spec{
+		Name:        "disk-uplink",
+		Description: "uniform-disk placement, clients uplink to their nearest multi-antenna AP",
+		Generate:    generate(placeDisk, pairUplink),
+	})
+	Register(Spec{
+		Name:        "grid-adhoc",
+		Description: "grid placement, nearest-neighbor tx→rx pairs, mixed antennas",
+		Generate:    generate(placeGrid, pairAdhoc),
+	})
+	Register(Spec{
+		Name:        "grid-uplink",
+		Description: "grid placement, clients uplink to their nearest multi-antenna AP",
+		Generate:    generate(placeGrid, pairUplink),
+	})
+}

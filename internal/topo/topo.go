@@ -1,0 +1,347 @@
+// Package topo generates parameterized node deployments: where the
+// scenario registry holds a handful of hand-built layouts (the Fig. 3
+// trio, the Fig. 4 downlink), topo mass-produces them — uniform-disk
+// or grid placement, a configurable mix of 1/2/3-antenna radios, and
+// either ad-hoc nearest-neighbor pairing or AP-uplink association.
+// Generators emit the same Node/Link slices the scenario registry
+// produces (package core aliases these types), plus explicit node
+// positions that the testbed deploys verbatim, so a generated 200-node
+// network runs through exactly the same channel/MAC stack as the
+// hand-built ones.
+package topo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"nplus/internal/mac"
+	"nplus/internal/testbed"
+)
+
+// Node describes one radio. This is the canonical definition; package
+// core aliases it so hand-built scenarios and generated topologies
+// share one vocabulary.
+type Node struct {
+	ID       mac.NodeID
+	Antennas int
+}
+
+// Link is a backlogged or open-loop traffic flow between two nodes.
+type Link struct {
+	ID     int
+	Tx, Rx mac.NodeID
+}
+
+// Layout is one generated deployment: the node/link description plus
+// explicit positions in meters. Positions are what make generated
+// topologies geometric — the testbed deploys them verbatim instead of
+// shuffling nodes onto its fixed floor plan.
+type Layout struct {
+	Nodes     []Node
+	Links     []Link
+	Positions map[mac.NodeID]testbed.Point
+}
+
+// GenConfig parameterizes a generator. Zero values select calibrated
+// defaults.
+type GenConfig struct {
+	// Nodes is the total number of radios to place (default 50).
+	Nodes int
+	// AreaPerNode sets the deployment density in m² per node (default
+	// 30, matching the hand-built testbed's 600 m² for 20 locations).
+	// The disk radius and grid pitch both derive from it.
+	AreaPerNode float64
+	// MinSpacing is the minimum distance between radios in meters
+	// (default 1) — co-located radios would see unphysical path gains.
+	MinSpacing float64
+	// Mix is the fraction of 1-, 2-, and 3-antenna radios among
+	// non-AP nodes (default an even third each). It is normalized, so
+	// {1, 1, 2} means half the radios have 3 antennas.
+	Mix [3]float64
+	// APFraction is, for uplink generators, the fraction of nodes that
+	// are access points (default 0.1, at least one).
+	APFraction float64
+	// APAntennas is the AP antenna count for uplink generators
+	// (default 3 — the heterogeneity gradient the paper studies points
+	// from 1-antenna clients up to multi-antenna APs).
+	APAntennas int
+}
+
+func (c GenConfig) withDefaults() GenConfig {
+	if c.Nodes == 0 {
+		c.Nodes = 50
+	}
+	if c.AreaPerNode == 0 {
+		c.AreaPerNode = 30
+	}
+	if c.MinSpacing == 0 {
+		c.MinSpacing = 1
+	}
+	if c.Mix == [3]float64{} {
+		c.Mix = [3]float64{1, 1, 1}
+	}
+	if c.APFraction == 0 {
+		c.APFraction = 0.1
+	}
+	if c.APAntennas == 0 {
+		c.APAntennas = 3
+	}
+	return c
+}
+
+// Validate rejects unusable parameter combinations.
+func (c GenConfig) Validate() error {
+	c = c.withDefaults()
+	if c.Nodes < 2 {
+		return fmt.Errorf("topo: %d nodes (need at least a pair)", c.Nodes)
+	}
+	if c.AreaPerNode <= 0 || c.MinSpacing < 0 {
+		return fmt.Errorf("topo: bad geometry (area/node %g, spacing %g)", c.AreaPerNode, c.MinSpacing)
+	}
+	if c.Mix[0] < 0 || c.Mix[1] < 0 || c.Mix[2] < 0 || c.Mix[0]+c.Mix[1]+c.Mix[2] == 0 {
+		return fmt.Errorf("topo: bad antenna mix %v", c.Mix)
+	}
+	if c.APFraction < 0 || c.APFraction >= 1 {
+		return fmt.Errorf("topo: AP fraction %g outside [0, 1)", c.APFraction)
+	}
+	if c.APAntennas < 1 {
+		return fmt.Errorf("topo: %d AP antennas", c.APAntennas)
+	}
+	return nil
+}
+
+// antennaCounts converts the mix fractions into an exact multiset of
+// n antenna counts (largest-remainder rounding), shuffled by rng so
+// antenna classes are not spatially correlated with generation order.
+func antennaCounts(rng *rand.Rand, mix [3]float64, n int) []int {
+	total := mix[0] + mix[1] + mix[2]
+	counts := [3]int{}
+	assigned := 0
+	rems := [3]float64{}
+	for i := 0; i < 3; i++ {
+		exact := mix[i] / total * float64(n)
+		counts[i] = int(math.Floor(exact))
+		rems[i] = exact - float64(counts[i])
+		assigned += counts[i]
+	}
+	for assigned < n {
+		best := 0
+		for i := 1; i < 3; i++ {
+			if rems[i] > rems[best] {
+				best = i
+			}
+		}
+		counts[best]++
+		rems[best] = -1
+		assigned++
+	}
+	out := make([]int, 0, n)
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			out = append(out, i+1)
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// placeDisk samples n points uniformly in a disk sized for the
+// configured density, rejecting points closer than MinSpacing to an
+// accepted one (with a bounded retry budget, after which the spacing
+// constraint is relaxed — density always wins over spacing).
+func placeDisk(rng *rand.Rand, cfg GenConfig, n int) []testbed.Point {
+	radius := math.Sqrt(cfg.AreaPerNode * float64(n) / math.Pi)
+	pts := make([]testbed.Point, 0, n)
+	const maxTries = 200
+	for len(pts) < n {
+		var p testbed.Point
+		ok := false
+		for try := 0; try < maxTries; try++ {
+			r := radius * math.Sqrt(rng.Float64())
+			theta := 2 * math.Pi * rng.Float64()
+			p = testbed.Point{X: radius + r*math.Cos(theta), Y: radius + r*math.Sin(theta)}
+			ok = true
+			for _, q := range pts {
+				if p.Distance(q) < cfg.MinSpacing {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		pts = append(pts, p) // spacing-relaxed point if the budget ran out
+	}
+	return pts
+}
+
+// placeGrid lays n points on a square grid whose pitch matches the
+// configured density.
+func placeGrid(rng *rand.Rand, cfg GenConfig, n int) []testbed.Point {
+	pitch := math.Sqrt(cfg.AreaPerNode)
+	cols := int(math.Ceil(math.Sqrt(float64(n))))
+	pts := make([]testbed.Point, 0, n)
+	for i := 0; i < n; i++ {
+		pts = append(pts, testbed.Point{
+			X: float64(i%cols) * pitch,
+			Y: float64(i/cols) * pitch,
+		})
+	}
+	return pts
+}
+
+// pairAdhoc pairs radios with their nearest unpaired neighbor: each
+// pass the lowest-ID unpaired node becomes a transmitter and links to
+// the closest remaining node. An odd leftover node is dropped —
+// a radio with no flow is dead weight in every experiment.
+func pairAdhoc(rng *rand.Rand, cfg GenConfig, pts []testbed.Point) (*Layout, error) {
+	n := len(pts)
+	ants := antennaCounts(rng, cfg.Mix, n)
+	l := &Layout{Positions: make(map[mac.NodeID]testbed.Point, n)}
+	for i := 0; i < n; i++ {
+		id := mac.NodeID(i + 1)
+		l.Nodes = append(l.Nodes, Node{ID: id, Antennas: ants[i]})
+		l.Positions[id] = pts[i]
+	}
+	paired := make([]bool, n)
+	flow := 0
+	for i := 0; i < n; i++ {
+		if paired[i] {
+			continue
+		}
+		best, bestDist := -1, math.Inf(1)
+		for j := i + 1; j < n; j++ {
+			if paired[j] {
+				continue
+			}
+			if d := pts[i].Distance(pts[j]); d < bestDist {
+				best, bestDist = j, d
+			}
+		}
+		if best < 0 {
+			break // odd leftover; removed below
+		}
+		paired[i], paired[best] = true, true
+		flow++
+		l.Links = append(l.Links, Link{ID: flow, Tx: mac.NodeID(i + 1), Rx: mac.NodeID(best + 1)})
+	}
+	// Drop any node that ended up unpaired (at most one).
+	kept := l.Nodes[:0]
+	for i, nd := range l.Nodes {
+		if paired[i] {
+			kept = append(kept, nd)
+		} else {
+			delete(l.Positions, nd.ID)
+		}
+	}
+	l.Nodes = kept
+	if len(l.Links) == 0 {
+		return nil, fmt.Errorf("topo: ad-hoc pairing produced no links from %d nodes", n)
+	}
+	return l, nil
+}
+
+// pairUplink designates the first K placed points as access points
+// with APAntennas each; the remaining radios are clients drawn from
+// the antenna mix, each transmitting uplink to its nearest AP.
+func pairUplink(rng *rand.Rand, cfg GenConfig, pts []testbed.Point) (*Layout, error) {
+	n := len(pts)
+	aps := int(math.Round(cfg.APFraction * float64(n)))
+	if aps < 1 {
+		aps = 1
+	}
+	if aps >= n {
+		return nil, fmt.Errorf("topo: %d APs leave no clients among %d nodes", aps, n)
+	}
+	isAP := chooseAPs(pts, aps)
+	ants := antennaCounts(rng, cfg.Mix, n-aps)
+	l := &Layout{Positions: make(map[mac.NodeID]testbed.Point, n)}
+	ci := 0
+	var apIDs []mac.NodeID
+	for i := 0; i < n; i++ {
+		id := mac.NodeID(i + 1)
+		a := cfg.APAntennas
+		if !isAP[i] {
+			a = ants[ci]
+			ci++
+		} else {
+			apIDs = append(apIDs, id)
+		}
+		l.Nodes = append(l.Nodes, Node{ID: id, Antennas: a})
+		l.Positions[id] = pts[i]
+	}
+	flow := 0
+	for i := 0; i < n; i++ {
+		if isAP[i] {
+			continue
+		}
+		id := mac.NodeID(i + 1)
+		best, bestDist := mac.NodeID(0), math.Inf(1)
+		for _, ap := range apIDs {
+			if d := l.Positions[id].Distance(l.Positions[ap]); d < bestDist {
+				best, bestDist = ap, d
+			}
+		}
+		flow++
+		l.Links = append(l.Links, Link{ID: flow, Tx: id, Rx: best})
+	}
+	return l, nil
+}
+
+// chooseAPs marks ap point indices spread over the placement
+// geometry — greedy k-center: start from the point nearest the
+// centroid, then repeatedly take the point farthest from every AP
+// chosen so far. Index striding would not work: grid placements emit
+// points in row-major order, so a stride that divides the column
+// count stacks every AP into a single column.
+func chooseAPs(pts []testbed.Point, aps int) []bool {
+	n := len(pts)
+	var cx, cy float64
+	for _, p := range pts {
+		cx += p.X
+		cy += p.Y
+	}
+	center := testbed.Point{X: cx / float64(n), Y: cy / float64(n)}
+	first, bestDist := 0, math.Inf(1)
+	for i, p := range pts {
+		if d := p.Distance(center); d < bestDist {
+			first, bestDist = i, d
+		}
+	}
+	isAP := make([]bool, n)
+	isAP[first] = true
+	// minDist[i]: distance from point i to its nearest chosen AP.
+	minDist := make([]float64, n)
+	for i, p := range pts {
+		minDist[i] = p.Distance(pts[first])
+	}
+	for k := 1; k < aps; k++ {
+		next, far := -1, -1.0
+		for i, d := range minDist {
+			if !isAP[i] && d > far {
+				next, far = i, d
+			}
+		}
+		isAP[next] = true
+		for i, p := range pts {
+			if d := p.Distance(pts[next]); d < minDist[i] {
+				minDist[i] = d
+			}
+		}
+	}
+	return isAP
+}
+
+// generate composes a placement with a pairing.
+func generate(place func(*rand.Rand, GenConfig, int) []testbed.Point,
+	pair func(*rand.Rand, GenConfig, []testbed.Point) (*Layout, error)) func(GenConfig, *rand.Rand) (*Layout, error) {
+	return func(cfg GenConfig, rng *rand.Rand) (*Layout, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cfg = cfg.withDefaults()
+		return pair(rng, cfg, place(rng, cfg, cfg.Nodes))
+	}
+}

@@ -1,0 +1,215 @@
+package topo
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"nplus/internal/mac"
+	"nplus/internal/testbed"
+)
+
+func genLayout(t *testing.T, name string, cfg GenConfig, seed int64) *Layout {
+	t.Helper()
+	l, err := Generate(name, cfg, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatalf("%s: %v", name, err)
+	}
+	return l
+}
+
+// checkWellFormed validates the invariants every generator must hold:
+// distinct node IDs, positions for every node, links between existing
+// nodes, antenna counts in 1..3 (or the AP count), distinct link IDs.
+func checkWellFormed(t *testing.T, l *Layout) {
+	t.Helper()
+	ids := make(map[mac.NodeID]Node, len(l.Nodes))
+	for _, n := range l.Nodes {
+		if _, dup := ids[n.ID]; dup {
+			t.Fatalf("duplicate node id %d", n.ID)
+		}
+		if n.Antennas < 1 || n.Antennas > 3 {
+			t.Fatalf("node %d has %d antennas", n.ID, n.Antennas)
+		}
+		if _, ok := l.Positions[n.ID]; !ok {
+			t.Fatalf("node %d has no position", n.ID)
+		}
+		ids[n.ID] = n
+	}
+	if len(l.Positions) != len(l.Nodes) {
+		t.Fatalf("%d positions for %d nodes", len(l.Positions), len(l.Nodes))
+	}
+	linkIDs := map[int]bool{}
+	for _, lk := range l.Links {
+		if linkIDs[lk.ID] {
+			t.Fatalf("duplicate link id %d", lk.ID)
+		}
+		linkIDs[lk.ID] = true
+		if _, ok := ids[lk.Tx]; !ok {
+			t.Fatalf("link %d from unknown node %d", lk.ID, lk.Tx)
+		}
+		if _, ok := ids[lk.Rx]; !ok {
+			t.Fatalf("link %d to unknown node %d", lk.ID, lk.Rx)
+		}
+		if lk.Tx == lk.Rx {
+			t.Fatalf("link %d is a self-loop", lk.ID)
+		}
+	}
+}
+
+func TestEveryGeneratorProducesWellFormedLayouts(t *testing.T) {
+	for _, name := range Names() {
+		for _, n := range []int{10, 51, 200} {
+			l := genLayout(t, name, GenConfig{Nodes: n}, int64(n))
+			checkWellFormed(t, l)
+			if len(l.Links) == 0 {
+				t.Fatalf("%s n=%d: no links", name, n)
+			}
+			if len(l.Nodes) < n-1 {
+				t.Fatalf("%s n=%d: only %d nodes survived", name, n, len(l.Nodes))
+			}
+		}
+	}
+}
+
+func TestAdhocPairingIsPerfectMatching(t *testing.T) {
+	l := genLayout(t, "disk-adhoc", GenConfig{Nodes: 40}, 3)
+	seen := map[mac.NodeID]bool{}
+	for _, lk := range l.Links {
+		if seen[lk.Tx] || seen[lk.Rx] {
+			t.Fatalf("node reused across pairs (link %d)", lk.ID)
+		}
+		seen[lk.Tx], seen[lk.Rx] = true, true
+	}
+	if len(seen) != len(l.Nodes) {
+		t.Fatalf("%d nodes paired of %d", len(seen), len(l.Nodes))
+	}
+	// Odd node count: the leftover is dropped, everything else paired.
+	lo := genLayout(t, "grid-adhoc", GenConfig{Nodes: 41}, 4)
+	if len(lo.Nodes) != 40 || len(lo.Links) != 20 {
+		t.Fatalf("odd layout has %d nodes / %d links, want 40/20", len(lo.Nodes), len(lo.Links))
+	}
+	checkWellFormed(t, lo)
+}
+
+func TestUplinkClientsAssociateWithNearestAP(t *testing.T) {
+	l := genLayout(t, "disk-uplink", GenConfig{Nodes: 60, APFraction: 0.1, APAntennas: 3}, 5)
+	rxSet := map[mac.NodeID]bool{}
+	for _, lk := range l.Links {
+		rxSet[lk.Rx] = true
+	}
+	byID := map[mac.NodeID]Node{}
+	for _, n := range l.Nodes {
+		byID[n.ID] = n
+	}
+	for ap := range rxSet {
+		if byID[ap].Antennas != 3 {
+			t.Fatalf("AP %d has %d antennas, want 3", ap, byID[ap].Antennas)
+		}
+	}
+	if len(rxSet) < 2 || len(rxSet) > 6 {
+		t.Fatalf("%d distinct APs used for 60 nodes at 10%%", len(rxSet))
+	}
+	if len(l.Links) != len(l.Nodes)-6 {
+		t.Fatalf("%d uplink flows for %d nodes (6 APs expected)", len(l.Links), len(l.Nodes))
+	}
+	// Nearest-AP property against all receivers seen in the layout.
+	for _, lk := range l.Links {
+		d := l.Positions[lk.Tx].Distance(l.Positions[lk.Rx])
+		for ap := range rxSet {
+			if other := l.Positions[lk.Tx].Distance(l.Positions[ap]); other < d-1e-12 {
+				t.Fatalf("client %d linked to AP %d at %.2f m but AP %d is %.2f m away",
+					lk.Tx, lk.Rx, d, ap, other)
+			}
+		}
+	}
+}
+
+func TestAntennaMixFollowsConfiguredFractions(t *testing.T) {
+	l := genLayout(t, "grid-adhoc", GenConfig{Nodes: 90, Mix: [3]float64{1, 1, 1}}, 6)
+	counts := map[int]int{}
+	for _, n := range l.Nodes {
+		counts[n.Antennas]++
+	}
+	for a := 1; a <= 3; a++ {
+		if counts[a] != 30 {
+			t.Fatalf("antenna mix %v, want 30 of each", counts)
+		}
+	}
+	// Skewed mix: everything 2-antenna.
+	l2 := genLayout(t, "grid-adhoc", GenConfig{Nodes: 20, Mix: [3]float64{0, 1, 0}}, 7)
+	for _, n := range l2.Nodes {
+		if n.Antennas != 2 {
+			t.Fatalf("node %d has %d antennas under all-2 mix", n.ID, n.Antennas)
+		}
+	}
+}
+
+func TestPlacementGeometry(t *testing.T) {
+	cfg := GenConfig{Nodes: 100, AreaPerNode: 30, MinSpacing: 1}
+	l := genLayout(t, "disk-adhoc", cfg, 8)
+	radius := math.Sqrt(30 * 100 / math.Pi)
+	center := 0.0
+	for _, p := range l.Positions {
+		d := p.Distance(testbed.Point{X: radius, Y: radius})
+		if d > radius+1e-9 {
+			t.Fatalf("point %v outside the disk (r=%.1f, d=%.1f)", p, radius, d)
+		}
+		center += d
+	}
+	g := genLayout(t, "grid-adhoc", cfg, 9)
+	pitch := math.Sqrt(30.0)
+	for id, p := range g.Positions {
+		for id2, q := range g.Positions {
+			if id != id2 && p.Distance(q) < pitch-1e-9 {
+				t.Fatalf("grid points %d and %d closer than the pitch", id, id2)
+			}
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministicPerSeed(t *testing.T) {
+	for _, name := range Names() {
+		a := genLayout(t, name, GenConfig{Nodes: 30}, 11)
+		b := genLayout(t, name, GenConfig{Nodes: 30}, 11)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("%s: layouts diverge across identical seeds", name)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfigAndUnknownName(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	if _, err := Generate("disk-adhoc", GenConfig{Nodes: 1}, rng); err == nil {
+		t.Fatal("single-node config accepted")
+	}
+	if _, err := Generate("disk-adhoc", GenConfig{Mix: [3]float64{-1, 1, 1}}, rng); err == nil {
+		t.Fatal("negative mix accepted")
+	}
+	if _, err := Generate("disk-uplink", GenConfig{APFraction: 0.99, Nodes: 2}, rng); err == nil {
+		t.Fatal("all-AP config accepted")
+	}
+	if _, err := Generate("no-such-generator", GenConfig{}, rng); err == nil {
+		t.Fatal("unknown generator lookup succeeded")
+	}
+}
+
+// Regression: AP selection must spread over the placement geometry.
+// Index striding used to stack every grid AP into a single column
+// (stride a multiple of the column count).
+func TestGridUplinkAPsAreSpread(t *testing.T) {
+	l := genLayout(t, "grid-uplink", GenConfig{Nodes: 100}, 12)
+	xs, ys := map[float64]bool{}, map[float64]bool{}
+	aps := map[mac.NodeID]bool{}
+	for _, lk := range l.Links {
+		aps[lk.Rx] = true
+	}
+	for ap := range aps {
+		xs[l.Positions[ap].X] = true
+		ys[l.Positions[ap].Y] = true
+	}
+	if len(xs) < 3 || len(ys) < 3 {
+		t.Fatalf("%d APs collapse onto %d columns × %d rows", len(aps), len(xs), len(ys))
+	}
+}

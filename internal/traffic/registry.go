@@ -1,0 +1,116 @@
+package traffic
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Spec names one arrival model that drivers (cmd/npsim, experiment
+// configs) can instantiate by name.
+type Spec struct {
+	Name        string
+	Description string
+	// New builds a source from cfg. A nil Source with a nil error
+	// means the model is saturated (fully backlogged): the MAC skips
+	// queueing entirely and every station always has a packet — the
+	// degenerate case the seed repository hard-coded.
+	New func(cfg Config) (Source, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds s to the model registry. Registration happens in init
+// functions, so duplicates and incomplete specs panic.
+func Register(s Spec) {
+	if s.Name == "" || s.New == nil {
+		panic("traffic: Register with empty name or nil New")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("traffic: duplicate model %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// ByName returns the model registered under name.
+func ByName(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered model name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewSource builds a source for the named model; a (nil, nil) return
+// means saturated.
+func NewSource(name string, cfg Config) (Source, error) {
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("traffic: unknown model %q (have %v)", name, Names())
+	}
+	return spec.New(cfg)
+}
+
+// Saturated is the registry name of the backlogged degenerate case.
+const Saturated = "saturated"
+
+func init() {
+	Register(Spec{
+		Name:        "poisson",
+		Description: "memoryless arrivals, exponential interarrivals at the mean rate",
+		New: func(cfg Config) (Source, error) {
+			if err := cfg.validateRate(); err != nil {
+				return nil, err
+			}
+			return poisson{rate: cfg.RatePPS}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "cbr",
+		Description: "constant bit rate: exact fixed interarrival spacing",
+		New: func(cfg Config) (Source, error) {
+			if err := cfg.validateRate(); err != nil {
+				return nil, err
+			}
+			return &cbr{period: 1 / cfg.RatePPS}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "bursty",
+		Description: "MMPP on-off bursts: Poisson while ON, silent while OFF, same mean rate",
+		New: func(cfg Config) (Source, error) {
+			if err := cfg.validateRate(); err != nil {
+				return nil, err
+			}
+			cfg = cfg.withDefaults()
+			if cfg.OnFraction <= 0 || cfg.OnFraction > 1 {
+				return nil, fmt.Errorf("traffic: ON fraction %g outside (0, 1]", cfg.OnFraction)
+			}
+			if cfg.CycleSec <= 0 {
+				return nil, fmt.Errorf("traffic: cycle length %g s is not positive", cfg.CycleSec)
+			}
+			return newOnOff(cfg), nil
+		},
+	})
+	Register(Spec{
+		Name:        Saturated,
+		Description: "fully backlogged (no arrival process; stations always have a packet)",
+		New:         func(Config) (Source, error) { return nil, nil },
+	})
+}

@@ -1,0 +1,237 @@
+// Package traffic provides open-loop packet arrival processes and the
+// bounded per-station queues that feed the event-driven MAC. Where the
+// seed repository modeled only fully backlogged stations, these
+// sources let experiments ask the delay-vs-load and fairness questions
+// of the related work: a station contends only while its queue is
+// non-empty, so queueing delay, drops, and idle air time all become
+// observable.
+//
+// Every source draws exclusively from the *rand.Rand handed to Next,
+// so a per-flow RNG (derived from the sim engine's seed) yields a
+// deterministic per-flow arrival stream that does not depend on how
+// the MAC interleaves events.
+package traffic
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Source generates one flow's packet arrival process. Next returns
+// the interarrival time in seconds until the next packet, drawing any
+// randomness from rng. Implementations may carry state (e.g. the
+// on/off phase of a bursty source) but must derive all randomness
+// from rng so equal seeds replay equal streams.
+type Source interface {
+	Next(rng *rand.Rand) float64
+}
+
+// Config parameterizes a source built from the registry. Zero values
+// select calibrated defaults where one exists.
+type Config struct {
+	// RatePPS is the mean arrival rate in packets per second. It must
+	// be positive for every open-loop model.
+	RatePPS float64
+	// OnFraction is the fraction of time a bursty source spends in its
+	// ON state (default 0.25): a smaller fraction concentrates the
+	// same mean rate into sharper bursts.
+	OnFraction float64
+	// CycleSec is a bursty source's mean ON+OFF cycle length in
+	// seconds (default 0.02).
+	CycleSec float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.OnFraction == 0 {
+		c.OnFraction = 0.25
+	}
+	if c.CycleSec == 0 {
+		c.CycleSec = 0.02
+	}
+	return c
+}
+
+func (c Config) validateRate() error {
+	if c.RatePPS <= 0 {
+		return fmt.Errorf("traffic: rate %g pkt/s is not positive", c.RatePPS)
+	}
+	return nil
+}
+
+// poisson emits arrivals with i.i.d. exponential interarrivals —
+// the classic open-loop memoryless workload.
+type poisson struct{ rate float64 }
+
+func (p poisson) Next(rng *rand.Rand) float64 { return rng.ExpFloat64() / p.rate }
+
+// cbr emits arrivals at exact constant spacing (constant bit rate).
+// The first arrival lands at a random phase within one period so
+// same-rate flows do not contend in lockstep.
+type cbr struct {
+	period  float64
+	started bool
+}
+
+func (c *cbr) Next(rng *rand.Rand) float64 {
+	if !c.started {
+		c.started = true
+		return rng.Float64() * c.period
+	}
+	return c.period
+}
+
+// onOff is a two-state Markov-modulated Poisson process: Poisson
+// arrivals at an elevated rate while ON, silence while OFF, with
+// exponentially distributed state holding times. The ON rate is
+// scaled so the long-run mean equals the configured rate.
+type onOff struct {
+	lambdaOn   float64 // arrival rate while ON
+	meanOn     float64 // mean ON duration
+	meanOff    float64 // mean OFF duration
+	on         bool
+	stateLeft  float64 // time remaining in the current state
+	primedOnce bool
+}
+
+func newOnOff(cfg Config) *onOff {
+	return &onOff{
+		lambdaOn: cfg.RatePPS / cfg.OnFraction,
+		meanOn:   cfg.CycleSec * cfg.OnFraction,
+		meanOff:  cfg.CycleSec * (1 - cfg.OnFraction),
+	}
+}
+
+func (s *onOff) Next(rng *rand.Rand) float64 {
+	if !s.primedOnce {
+		// Start in a random phase so flows are not burst-synchronized.
+		s.primedOnce = true
+		s.on = rng.Float64() < s.meanOn/(s.meanOn+s.meanOff)
+		if s.on {
+			s.stateLeft = rng.ExpFloat64() * s.meanOn
+		} else {
+			s.stateLeft = rng.ExpFloat64() * s.meanOff
+		}
+	}
+	elapsed := 0.0
+	for {
+		if s.on {
+			gap := rng.ExpFloat64() / s.lambdaOn
+			if gap <= s.stateLeft {
+				s.stateLeft -= gap
+				return elapsed + gap
+			}
+			elapsed += s.stateLeft
+			s.on = false
+			s.stateLeft = rng.ExpFloat64() * s.meanOff
+		} else {
+			elapsed += s.stateLeft
+			s.on = true
+			s.stateLeft = rng.ExpFloat64() * s.meanOn
+		}
+	}
+}
+
+// Packet is one queued unit of work.
+type Packet struct {
+	Flow      int     // flow ID the packet belongs to
+	Bytes     int     // payload size
+	ArrivedAt float64 // virtual arrival time, seconds
+}
+
+// QueueStats counts a queue's lifetime activity.
+type QueueStats struct {
+	Arrivals int64 // enqueue attempts
+	Drops    int64 // rejected because the queue was full
+	Served   int64 // successfully dequeued
+}
+
+// Queue is a bounded FIFO packet queue with enqueue/drop/dequeue
+// accounting — the per-station buffer between an arrival process and
+// the MAC. It is not safe for concurrent use: each simulated station
+// owns one and the sim engine is single-threaded.
+type Queue struct {
+	cap   int
+	pkts  []Packet
+	head  int
+	Stats QueueStats
+}
+
+// NewQueue returns a queue bounded at capacity packets (capacity must
+// be positive).
+func NewQueue(capacity int) *Queue {
+	if capacity < 1 {
+		panic(fmt.Sprintf("traffic: queue capacity %d", capacity))
+	}
+	return &Queue{cap: capacity}
+}
+
+// Cap returns the queue bound.
+func (q *Queue) Cap() int { return q.cap }
+
+// Len returns the number of queued packets.
+func (q *Queue) Len() int { return len(q.pkts) - q.head }
+
+// Enqueue appends p, returning false (and counting a drop) when the
+// queue is full.
+func (q *Queue) Enqueue(p Packet) bool {
+	q.Stats.Arrivals++
+	if q.Len() >= q.cap {
+		q.Stats.Drops++
+		return false
+	}
+	q.pkts = append(q.pkts, p)
+	return true
+}
+
+// Dequeue removes and returns the oldest packet.
+func (q *Queue) Dequeue() (Packet, bool) {
+	if q.Len() == 0 {
+		return Packet{}, false
+	}
+	p := q.pkts[q.head]
+	q.advance(q.head)
+	q.Stats.Served++
+	return p, true
+}
+
+// DequeueFlow removes and returns the oldest packet belonging to the
+// given flow (FIFO within the flow).
+func (q *Queue) DequeueFlow(flow int) (Packet, bool) {
+	for i := q.head; i < len(q.pkts); i++ {
+		if q.pkts[i].Flow == flow {
+			p := q.pkts[i]
+			q.advance(i)
+			q.Stats.Served++
+			return p, true
+		}
+	}
+	return Packet{}, false
+}
+
+// CountFlow returns the number of queued packets of the given flow.
+func (q *Queue) CountFlow(flow int) int {
+	n := 0
+	for i := q.head; i < len(q.pkts); i++ {
+		if q.pkts[i].Flow == flow {
+			n++
+		}
+	}
+	return n
+}
+
+// advance removes the packet at index i, preserving order, and
+// compacts the backing slice once the dead prefix dominates.
+func (q *Queue) advance(i int) {
+	if i == q.head {
+		q.pkts[i] = Packet{}
+		q.head++
+	} else {
+		copy(q.pkts[q.head+1:i+1], q.pkts[q.head:i])
+		q.pkts[q.head] = Packet{}
+		q.head++
+	}
+	if q.head > len(q.pkts)/2 && q.head > 16 {
+		q.pkts = append(q.pkts[:0], q.pkts[q.head:]...)
+		q.head = 0
+	}
+}

@@ -1,0 +1,239 @@
+package traffic
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// drain pulls n interarrivals and returns their sum and the samples.
+func drain(t *testing.T, s Source, rng *rand.Rand, n int) (float64, []float64) {
+	t.Helper()
+	var total float64
+	out := make([]float64, 0, n)
+	for i := 0; i < n; i++ {
+		d := s.Next(rng)
+		if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+			t.Fatalf("interarrival %d is %g", i, d)
+		}
+		total += d
+		out = append(out, d)
+	}
+	return total, out
+}
+
+func TestPoissonMeanRate(t *testing.T) {
+	src, err := NewSource("poisson", Config{RatePPS: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, _ := drain(t, src, rand.New(rand.NewSource(1)), 20000)
+	rate := 20000 / total
+	if rate < 380 || rate > 420 {
+		t.Fatalf("poisson empirical rate %.1f pkt/s, want ≈400", rate)
+	}
+}
+
+func TestCBRIsExact(t *testing.T) {
+	src, err := NewSource("cbr", Config{RatePPS: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, gaps := drain(t, src, rand.New(rand.NewSource(2)), 50)
+	// The first gap is a random phase offset within one period; every
+	// later gap is exact.
+	if gaps[0] < 0 || gaps[0] >= 1.0/250 {
+		t.Fatalf("cbr phase %g outside [0, %g)", gaps[0], 1.0/250)
+	}
+	for _, g := range gaps[1:] {
+		if g != 1.0/250 {
+			t.Fatalf("cbr gap %g, want %g", g, 1.0/250)
+		}
+	}
+	// Two same-rate flows with different RNGs must not be phase-locked.
+	a, err := NewSource("cbr", Config{RatePPS: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewSource("cbr", Config{RatePPS: 250})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Next(rand.New(rand.NewSource(3))) == b.Next(rand.New(rand.NewSource(4))) {
+		t.Fatal("independent cbr flows start in lockstep")
+	}
+}
+
+func TestBurstyMeanRateAndBurstiness(t *testing.T) {
+	src, err := NewSource("bursty", Config{RatePPS: 400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, gaps := drain(t, src, rand.New(rand.NewSource(3)), 20000)
+	rate := 20000 / total
+	if rate < 340 || rate > 460 {
+		t.Fatalf("bursty empirical rate %.1f pkt/s, want ≈400", rate)
+	}
+	// Burstiness: the squared coefficient of variation of interarrivals
+	// must exceed the Poisson value of 1 — on-off gaps fatten the tail.
+	mean := total / float64(len(gaps))
+	var varAcc float64
+	for _, g := range gaps {
+		d := g - mean
+		varAcc += d * d
+	}
+	cv2 := varAcc / float64(len(gaps)) / (mean * mean)
+	if cv2 < 1.3 {
+		t.Fatalf("bursty interarrival CV² = %.2f, want clearly above Poisson's 1", cv2)
+	}
+}
+
+func TestSaturatedModelReturnsNilSource(t *testing.T) {
+	src, err := NewSource(Saturated, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src != nil {
+		t.Fatalf("saturated model built a source: %#v", src)
+	}
+}
+
+func TestOpenLoopModelsRejectNonPositiveRate(t *testing.T) {
+	for _, name := range []string{"poisson", "cbr", "bursty"} {
+		if _, err := NewSource(name, Config{}); err == nil {
+			t.Fatalf("%s accepted zero rate", name)
+		}
+	}
+}
+
+func TestRegistryNamesAndUnknown(t *testing.T) {
+	names := Names()
+	want := map[string]bool{"poisson": false, "cbr": false, "bursty": false, Saturated: false}
+	for _, n := range names {
+		spec, ok := ByName(n)
+		if !ok || spec.Description == "" {
+			t.Fatalf("model %q unregistered or undescribed", n)
+		}
+		if _, tracked := want[n]; tracked {
+			want[n] = true
+		}
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Fatalf("model %q missing from registry (have %v)", n, names)
+		}
+	}
+	if _, err := NewSource("no-such-model", Config{RatePPS: 1}); err == nil {
+		t.Fatal("unknown model lookup succeeded")
+	}
+}
+
+func TestSourcesAreDeterministicPerSeed(t *testing.T) {
+	for _, name := range []string{"poisson", "cbr", "bursty"} {
+		mk := func() []float64 {
+			src, err := NewSource(name, Config{RatePPS: 500})
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, gaps := drain(t, src, rand.New(rand.NewSource(7)), 500)
+			return gaps
+		}
+		a, b := mk(), mk()
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: gap %d diverged across identical seeds", name, i)
+			}
+		}
+	}
+}
+
+func TestQueueFIFOAndBound(t *testing.T) {
+	q := NewQueue(3)
+	for i := 0; i < 5; i++ {
+		q.Enqueue(Packet{Flow: 1, Bytes: 100, ArrivedAt: float64(i)})
+	}
+	if q.Len() != 3 {
+		t.Fatalf("queue length %d, want 3", q.Len())
+	}
+	if q.Stats.Arrivals != 5 || q.Stats.Drops != 2 {
+		t.Fatalf("stats %+v, want 5 arrivals / 2 drops", q.Stats)
+	}
+	for i := 0; i < 3; i++ {
+		p, ok := q.Dequeue()
+		if !ok || p.ArrivedAt != float64(i) {
+			t.Fatalf("dequeue %d: got %+v ok=%v, want arrival %d", i, p, ok, i)
+		}
+	}
+	if _, ok := q.Dequeue(); ok {
+		t.Fatal("dequeue from empty queue succeeded")
+	}
+	if q.Stats.Served != 3 {
+		t.Fatalf("served %d, want 3", q.Stats.Served)
+	}
+}
+
+func TestQueueDequeueFlowPreservesOtherFlows(t *testing.T) {
+	q := NewQueue(10)
+	q.Enqueue(Packet{Flow: 1, ArrivedAt: 0.1})
+	q.Enqueue(Packet{Flow: 2, ArrivedAt: 0.2})
+	q.Enqueue(Packet{Flow: 1, ArrivedAt: 0.3})
+	if n := q.CountFlow(1); n != 2 {
+		t.Fatalf("flow 1 count %d, want 2", n)
+	}
+	p, ok := q.DequeueFlow(2)
+	if !ok || p.ArrivedAt != 0.2 {
+		t.Fatalf("DequeueFlow(2) = %+v ok=%v", p, ok)
+	}
+	p, ok = q.DequeueFlow(1)
+	if !ok || p.ArrivedAt != 0.1 {
+		t.Fatalf("DequeueFlow(1) = %+v, want the older packet", p)
+	}
+	p, ok = q.DequeueFlow(1)
+	if !ok || p.ArrivedAt != 0.3 {
+		t.Fatalf("second DequeueFlow(1) = %+v", p)
+	}
+	if _, ok := q.DequeueFlow(3); ok {
+		t.Fatal("DequeueFlow of absent flow succeeded")
+	}
+}
+
+func TestQueueCompactionKeepsOrder(t *testing.T) {
+	q := NewQueue(1000)
+	next := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 20; i++ {
+			q.Enqueue(Packet{Flow: 1, ArrivedAt: float64(next)})
+			next++
+		}
+		for i := 0; i < 15; i++ {
+			if _, ok := q.Dequeue(); !ok {
+				t.Fatal("unexpected empty queue")
+			}
+		}
+	}
+	// Everything remaining must still come out in arrival order.
+	prev := -1.0
+	for q.Len() > 0 {
+		p, _ := q.Dequeue()
+		if p.ArrivedAt <= prev {
+			t.Fatalf("order broken: %g after %g", p.ArrivedAt, prev)
+		}
+		prev = p.ArrivedAt
+	}
+}
+
+func TestBurstyRejectsBadShape(t *testing.T) {
+	for _, cfg := range []Config{
+		{RatePPS: 100, OnFraction: 1.5},
+		{RatePPS: 100, OnFraction: -0.2},
+		{RatePPS: 100, CycleSec: -1},
+	} {
+		if _, err := NewSource("bursty", cfg); err == nil {
+			t.Fatalf("bursty accepted bad shape %+v", cfg)
+		}
+	}
+	// OnFraction 1 degenerates to plain Poisson and must be accepted.
+	if _, err := NewSource("bursty", Config{RatePPS: 100, OnFraction: 1}); err != nil {
+		t.Fatalf("bursty rejected OnFraction=1: %v", err)
+	}
+}
