@@ -12,11 +12,14 @@
 package nplus_test
 
 import (
+	"math/rand"
+	"sync"
 	"testing"
 
 	"nplus/internal/core"
 	"nplus/internal/exp"
 	"nplus/internal/mac"
+	"nplus/internal/topo"
 )
 
 // runRegistered runs the named registry experiment b.N times with the
@@ -141,6 +144,86 @@ func BenchmarkFairSize(b *testing.B) {
 	top := last.Points[len(last.Points)-1]
 	b.ReportMetric(top.Jain[0], "nplus-jain")
 	b.ReportMetric(top.Jain[1], "80211n-jain")
+}
+
+var (
+	planner200Once sync.Once
+	planner200Net  *core.Network
+	planner200Err  error
+)
+
+// planner200Setup builds (once) the 200-node generated uplink
+// deployment the planner benchmarks run on — the same scale as the
+// CI workload smoke.
+func planner200Setup(b *testing.B) *core.Network {
+	b.Helper()
+	planner200Once.Do(func() {
+		layout, err := topo.Generate("disk-uplink", topo.GenConfig{Nodes: 200}, rand.New(rand.NewSource(42)))
+		if err != nil {
+			planner200Err = err
+			return
+		}
+		planner200Net, planner200Err = core.NewNetworkFromLayout(7, layout, core.DefaultOptions())
+	})
+	if planner200Err != nil {
+		b.Fatal(planner200Err)
+	}
+	return planner200Net
+}
+
+// BenchmarkPlanner200NodeRound measures one contention round of the
+// join planner on a 200-node deployment: a primary win planned via
+// PlanBest, then a secondary join against it. This is the MAC hot
+// path that makes large event-driven runs planner-bound; CI exports
+// its ns/op as BENCH_planner.json so future PRs have a perf
+// trajectory to compare against.
+func BenchmarkPlanner200NodeRound(b *testing.B) {
+	net := planner200Setup(b)
+	sc, err := net.Scenario(99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flows := net.Flows
+	// A 2-antenna primary and a 3-antenna secondary joiner.
+	var prim, join *mac.Flow
+	for i := range flows {
+		f := &flows[i]
+		if prim == nil && f.TxAntennas == 2 {
+			prim = f
+		} else if join == nil && f.TxAntennas == 3 {
+			join = f
+		}
+	}
+	if prim == nil || join == nil {
+		b.Fatal("generated deployment lacks the mixed-antenna flows the round needs")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		group, err := sc.PlanBest(mac.JoinRequest{Dests: []mac.Flow{*prim}}, nil, false, true)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := sc.PlanBest(mac.JoinRequest{Dests: []mac.Flow{*join}}, group, false, false); err != nil && err != mac.ErrNoDoF {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocol200NodeSaturated runs the full event-driven n+
+// protocol on the 200-node deployment under heavy open-loop load —
+// the wall-clock view of the same hot path (plus delivery, traffic,
+// and event-engine costs).
+func BenchmarkProtocol200NodeSaturated(b *testing.B) {
+	net := planner200Setup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, err := net.RunTrafficProtocol(core.TrafficRun{
+			Mode: mac.ModeNPlus, Duration: 0.02, Model: "poisson", RatePPS: 800,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkAblationJoinThreshold sweeps the §4 join threshold L: with

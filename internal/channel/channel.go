@@ -70,16 +70,36 @@ func NewRayleigh(rng *rand.Rand, n, m int, profile Profile, gain float64) *MIMO 
 		panic(fmt.Sprintf("channel: invalid dimensions %d×%d", n, m))
 	}
 	powers := profile.tapPowers()
-	ch := &MIMO{N: n, M: m, taps: make([][][]complex128, n)}
+	// Per-tap standard deviations, hoisted out of the antenna loops.
+	sigmas := make([]float64, len(powers))
+	for t, pw := range powers {
+		sigmas[t] = math.Sqrt(gain * pw / 2)
+	}
+	ch := newMIMOShell(n, m, len(powers))
 	for i := 0; i < n; i++ {
-		ch.taps[i] = make([][]complex128, m)
 		for j := 0; j < m; j++ {
-			tv := make([]complex128, len(powers))
-			for t, pw := range powers {
-				sigma := math.Sqrt(gain * pw / 2)
+			tv := ch.taps[i][j]
+			for t, sigma := range sigmas {
 				tv[t] = complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma)
 			}
-			ch.taps[i][j] = tv
+		}
+	}
+	return ch
+}
+
+// newMIMOShell builds an N×M channel whose tap vectors (all length
+// numTaps) slice one flat backing array: large deployments draw tens
+// of thousands of channels, and per-antenna-pair slice allocations
+// dominated their construction time.
+func newMIMOShell(n, m, numTaps int) *MIMO {
+	ch := &MIMO{N: n, M: m, taps: make([][][]complex128, n)}
+	backing := make([]complex128, n*m*numTaps)
+	rows := make([][]complex128, n*m)
+	for i := 0; i < n; i++ {
+		ch.taps[i] = rows[i*m : (i+1)*m]
+		for j := 0; j < m; j++ {
+			ch.taps[i][j] = backing[:numTaps:numTaps]
+			backing = backing[numTaps:]
 		}
 	}
 	return ch
@@ -105,17 +125,30 @@ func FromTaps(taps [][][]complex128) *MIMO {
 // fftSize-point OFDM system: H[n][m] = Σ_t taps·e^{-2πi·bin·t/fft}.
 func (c *MIMO) FreqResponse(bin, fftSize int) *cmplxmat.Matrix {
 	h := cmplxmat.New(c.N, c.M)
+	c.FreqResponseInto(h, bin, fftSize)
+	return h
+}
+
+// FreqResponseInto computes FreqResponse into a caller-provided N×M
+// matrix, letting deployments batch-allocate their per-bin channel
+// caches.
+func (c *MIMO) FreqResponseInto(h *cmplxmat.Matrix, bin, fftSize int) {
+	// Twiddle factors e^{-2πi·bin·t/fft} depend only on the tap
+	// index: compute them once instead of per antenna pair.
+	twiddle := make([]complex128, c.MaxDelay()+1)
+	for t := range twiddle {
+		angle := -2 * math.Pi * float64(bin) * float64(t) / float64(fftSize)
+		twiddle[t] = complex(math.Cos(angle), math.Sin(angle))
+	}
 	for n := 0; n < c.N; n++ {
 		for m := 0; m < c.M; m++ {
 			var acc complex128
 			for t, g := range c.taps[n][m] {
-				angle := -2 * math.Pi * float64(bin) * float64(t) / float64(fftSize)
-				acc += g * complex(math.Cos(angle), math.Sin(angle))
+				acc += g * twiddle[t]
 			}
 			h.SetAt(n, m, acc)
 		}
 	}
-	return h
 }
 
 // FreqResponseAll returns the channel matrix on every FFT bin.
@@ -180,12 +213,36 @@ func (c *MIMO) Apply(tx [][]complex128) ([][]complex128, error) {
 // *after* the offline calibration the paper performs (method of [4]);
 // pass nil for ideal reciprocity.
 func (c *MIMO) Reverse(calib *Calibration) *MIMO {
-	rev := &MIMO{N: c.M, M: c.N, taps: make([][][]complex128, c.M)}
+	// Uniform tap counts (every generated channel) share one backing
+	// array, exactly like NewRayleigh.
+	uniform := true
+	numTaps := len(c.taps[0][0])
+	for _, row := range c.taps {
+		for _, tv := range row {
+			if len(tv) != numTaps {
+				uniform = false
+			}
+		}
+	}
+	var rev *MIMO
+	if uniform {
+		rev = newMIMOShell(c.M, c.N, numTaps)
+	} else {
+		rev = &MIMO{N: c.M, M: c.N, taps: make([][][]complex128, c.M)}
+		for m := 0; m < c.M; m++ {
+			rev.taps[m] = make([][]complex128, c.N)
+		}
+	}
 	for m := 0; m < c.M; m++ {
-		rev.taps[m] = make([][]complex128, c.N)
 		for n := 0; n < c.N; n++ {
 			src := c.taps[n][m]
-			tv := make([]complex128, len(src))
+			var tv []complex128
+			if uniform {
+				tv = rev.taps[m][n]
+			} else {
+				tv = make([]complex128, len(src))
+				rev.taps[m][n] = tv
+			}
 			copy(tv, src)
 			if calib != nil {
 				e := calib.factor(m, n)
@@ -193,7 +250,6 @@ func (c *MIMO) Reverse(calib *Calibration) *MIMO {
 					tv[t] *= e
 				}
 			}
-			rev.taps[m][n] = tv
 		}
 	}
 	return rev
@@ -251,6 +307,14 @@ func AddNoise(rng *rand.Rand, samples []complex128, power float64) {
 // σ² = |h|²/(preambleSNR·gain) + |h|²·floor².
 func PerturbEstimate(rng *rand.Rand, h *cmplxmat.Matrix, preambleSNR, gain, floor float64) *cmplxmat.Matrix {
 	out := h.Clone()
+	PerturbEstimateInto(rng, h, out, preambleSNR, gain, floor)
+	return out
+}
+
+// PerturbEstimateInto writes the perturbed estimate of h into out
+// (same shape), for callers that batch-allocate their estimates. out
+// may alias a fresh zero matrix; it is fully overwritten.
+func PerturbEstimateInto(rng *rand.Rand, h, out *cmplxmat.Matrix, preambleSNR, gain, floor float64) {
 	for i := 0; i < h.Rows(); i++ {
 		for j := 0; j < h.Cols(); j++ {
 			v := h.At(i, j)
@@ -264,7 +328,6 @@ func PerturbEstimate(rng *rand.Rand, h *cmplxmat.Matrix, preambleSNR, gain, floo
 			out.SetAt(i, j, v+complex(rng.NormFloat64()*sigma, rng.NormFloat64()*sigma))
 		}
 	}
-	return out
 }
 
 // PathLoss computes the linear power gain of a link of length d

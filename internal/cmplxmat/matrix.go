@@ -40,6 +40,25 @@ func New(rows, cols int) *Matrix {
 	return &Matrix{rows: rows, cols: cols, data: make([]complex128, rows*cols)}
 }
 
+// NewBatch returns count zero rows×cols matrices backed by one
+// shared allocation (struct array + one data block). Per-subcarrier
+// pipelines build dozens of same-shape matrices at once; allocating
+// them individually fragments the heap and dominates GC time.
+func NewBatch(count, rows, cols int) []*Matrix {
+	if count < 0 || rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("cmplxmat: negative batch %d of %d×%d", count, rows, cols))
+	}
+	structs := make([]Matrix, count)
+	data := make([]complex128, count*rows*cols)
+	out := make([]*Matrix, count)
+	stride := rows * cols
+	for i := range out {
+		structs[i] = Matrix{rows: rows, cols: cols, data: data[i*stride : (i+1)*stride : (i+1)*stride]}
+		out[i] = &structs[i]
+	}
+	return out
+}
+
 // FromSlice builds a rows×cols matrix from row-major data. The slice
 // is copied.
 func FromSlice(rows, cols int, data []complex128) *Matrix {
@@ -219,6 +238,81 @@ func (m *Matrix) MulVec(v Vector) Vector {
 		out[i] = s
 	}
 	return out
+}
+
+// MulVecInto computes m·v into dst (len(dst) == m.Rows()) without
+// allocating, and returns dst. dst must not alias v.
+func (m *Matrix) MulVecInto(dst, v Vector) Vector {
+	if m.cols != len(v) {
+		panic(fmt.Sprintf("cmplxmat: MulVecInto shape mismatch %d×%d · %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("cmplxmat: MulVecInto dst length %d != %d rows", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		var s complex128
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, x := range row {
+			s += x * v[j]
+		}
+		dst[i] = s
+	}
+	return dst
+}
+
+// ConjTransposeMulVec returns mᴴ·v without materializing the
+// transpose — the projection step U⊥ᴴ·y that every decode and every
+// alignment projection performs.
+func (m *Matrix) ConjTransposeMulVec(v Vector) Vector {
+	if m.rows != len(v) {
+		panic(fmt.Sprintf("cmplxmat: ConjTransposeMulVec shape mismatch %d×%d ᴴ· %d", m.rows, m.cols, len(v)))
+	}
+	out := make(Vector, m.cols)
+	for i := 0; i < m.rows; i++ {
+		x := v[i]
+		if x == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			out[j] += cmplx.Conj(a) * x
+		}
+	}
+	return out
+}
+
+// ConjTransposeMulVecInto computes mᴴ·v into dst (len m.Cols()),
+// without allocating, and returns dst.
+func (m *Matrix) ConjTransposeMulVecInto(dst, v Vector) Vector {
+	if m.rows != len(v) {
+		panic(fmt.Sprintf("cmplxmat: ConjTransposeMulVecInto shape mismatch %d×%d ᴴ· %d", m.rows, m.cols, len(v)))
+	}
+	if len(dst) != m.cols {
+		panic(fmt.Sprintf("cmplxmat: ConjTransposeMulVecInto dst length %d != %d cols", len(dst), m.cols))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		x := v[i]
+		if x == 0 {
+			continue
+		}
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		for j, a := range row {
+			dst[j] += cmplx.Conj(a) * x
+		}
+	}
+	return dst
+}
+
+// RowView returns row i aliasing the matrix storage — no copy. The
+// caller must not mutate the result; use Row for an owned copy.
+func (m *Matrix) RowView(i int) Vector {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("cmplxmat: row %d out of bounds for %d×%d", i, m.rows, m.cols))
+	}
+	return Vector(m.data[i*m.cols : (i+1)*m.cols])
 }
 
 // ConjTranspose returns the conjugate (Hermitian) transpose mᴴ.

@@ -26,23 +26,26 @@ func DecomposeQR(a *Matrix) *QR {
 	if m-1 < steps {
 		steps = m - 1
 	}
+	// One reflector scratch reused across steps: QR runs per bin per
+	// candidate plan in the MAC hot path, so per-step temporaries add
+	// up to real GC pressure.
+	scratch := make(Vector, m)
 	for k := 0; k < steps; k++ {
-		// Build the Householder reflector that zeroes R[k+1:,k].
-		x := make(Vector, m-k)
+		// Build the Householder reflector that zeroes R[k+1:,k]:
+		// v = x + e^{iθ}·α·e₁ (θ the phase of x₀, the sign choice that
+		// avoids cancellation), normalized.
+		v := scratch[:m-k]
 		for i := k; i < m; i++ {
-			x[i-k] = r.data[i*n+k]
+			v[i-k] = r.data[i*n+k]
 		}
-		alpha := x.Norm()
+		alpha := v.Norm()
 		if alpha < DefaultTol {
 			continue
 		}
-		// Choose the sign that avoids cancellation: v = x + e^{iθ}·α·e₁
-		// where θ is the phase of x₀.
 		phase := complex(1, 0)
-		if cmplx.Abs(x[0]) > 0 {
-			phase = x[0] / complex(cmplx.Abs(x[0]), 0)
+		if cmplx.Abs(v[0]) > 0 {
+			phase = v[0] / complex(cmplx.Abs(v[0]), 0)
 		}
-		v := x.Clone()
 		v[0] += phase * complex(alpha, 0)
 		vn := v.Norm()
 		if vn < DefaultTol {
@@ -179,6 +182,21 @@ func OrthonormalBasis(a *Matrix, tol float64) *Matrix {
 	if a.rows == 0 || a.cols == 0 {
 		return New(a.rows, 0)
 	}
+	if a.cols == 1 {
+		// One direction: the basis is the normalized column (or empty
+		// when it is numerically zero). |R₀₀| of the 1-column QR is
+		// exactly ‖v‖, so the rank decision matches the general path;
+		// the result differs from Householder output only by a unit
+		// phase, which spans the same space.
+		v := a.Col(0)
+		n := v.Norm()
+		if n <= tol*float64(a.rows)*a.MaxAbs() || n == 0 {
+			return New(a.rows, 0)
+		}
+		out := New(a.rows, 1)
+		out.SetCol(0, v.Scale(complex(1/n, 0)))
+		return out
+	}
 	qr := DecomposeQR(a)
 	scale := a.MaxAbs()
 	if scale == 0 {
@@ -215,8 +233,30 @@ func OrthogonalComplement(a *Matrix, tol float64) *Matrix {
 	if a.cols == 0 {
 		return Identity(a.rows)
 	}
-	// null(aᴴ) = complement of col(a).
-	return NullSpace(a.ConjTranspose(), tol)
+	if tol <= 0 {
+		tol = DefaultTol
+	}
+	// null(aᴴ) = complement of col(a). NullSpace(aᴴ) would QR (aᴴ)ᴴ,
+	// so decompose a directly and skip both transpose copies; the
+	// rank threshold below matches NullSpace's exactly.
+	qr := DecomposeQR(a)
+	scale := a.MaxAbs()
+	dim := a.rows
+	if a.cols > dim {
+		dim = a.cols
+	}
+	thresh := tol * float64(dim) * scale
+	rank := 0
+	n := min(a.rows, a.cols)
+	for i := 0; i < n; i++ {
+		if cmplx.Abs(qr.R.At(i, i)) > thresh {
+			rank++
+		}
+	}
+	if rank >= a.rows {
+		return New(a.rows, 0)
+	}
+	return qr.Q.Submatrix(0, a.rows, rank, a.rows)
 }
 
 // ProjectorOnto returns the orthogonal projector P = B·Bᴴ where B is
@@ -310,6 +350,25 @@ func PseudoInverse(a *Matrix) (*Matrix, error) {
 	if a.cols == 0 {
 		return New(0, a.rows), nil
 	}
+	if a.cols == 1 {
+		// Scalar Gram: A⁺ = aᴴ/‖a‖². This is the single-stream
+		// zero-forcing filter — by far the most common decoder shape —
+		// and the closed form reproduces the QR path bit-for-bit (a
+		// 1×1 QR has no reflection steps) without its allocations.
+		var gram complex128
+		for _, x := range a.data {
+			gram += cmplx.Conj(x) * x
+		}
+		if gram == 0 {
+			return nil, fmt.Errorf("cmplxmat: PseudoInverse: %w", errSingular)
+		}
+		inv := 1 / gram
+		out := New(1, a.rows)
+		for i, x := range a.data {
+			out.data[i] = inv * cmplx.Conj(x)
+		}
+		return out, nil
+	}
 	ah := a.ConjTranspose()
 	gram := ah.Mul(a)
 	inv, err := Inverse(gram)
@@ -319,12 +378,41 @@ func PseudoInverse(a *Matrix) (*Matrix, error) {
 	return inv.Mul(ah), nil
 }
 
+// errSingular is the shared singularity failure.
+var errSingular = fmt.Errorf("matrix is singular")
+
 // Inverse returns a⁻¹ for a square nonsingular matrix.
 func Inverse(a *Matrix) (*Matrix, error) {
 	if a.rows != a.cols {
 		return nil, fmt.Errorf("cmplxmat: Inverse needs a square matrix, got %d×%d", a.rows, a.cols)
 	}
 	n := a.rows
+	// Closed forms for the 1×1 and 2×2 systems that dominate the MIMO
+	// decoder path (Gram matrices of 1–2 streams); larger systems take
+	// the numerically safer QR route.
+	if n == 1 {
+		x := a.data[0]
+		if x == 0 { // matches the QR test: |R₀₀| ≤ tol·|a| only at zero
+			return nil, fmt.Errorf("cmplxmat: Inverse: matrix is singular")
+		}
+		inv := New(1, 1)
+		inv.data[0] = 1 / x
+		return inv, nil
+	}
+	if n == 2 {
+		det := a.data[0]*a.data[3] - a.data[1]*a.data[2]
+		scale := a.MaxAbs()
+		if cmplx.Abs(det) <= DefaultTol*2*scale*scale {
+			return nil, fmt.Errorf("cmplxmat: Inverse: matrix is singular")
+		}
+		inv := New(2, 2)
+		d := 1 / det
+		inv.data[0] = a.data[3] * d
+		inv.data[1] = -a.data[1] * d
+		inv.data[2] = -a.data[2] * d
+		inv.data[3] = a.data[0] * d
+		return inv, nil
+	}
 	inv := New(n, n)
 	qr := DecomposeQR(a)
 	scale := a.MaxAbs()
@@ -335,9 +423,10 @@ func Inverse(a *Matrix) (*Matrix, error) {
 		}
 	}
 	qh := qr.Q.ConjTranspose()
-	// Solve R·X = Qᴴ column by column.
+	// Solve R·X = Qᴴ column by column (x is fully overwritten by each
+	// back substitution, so one buffer serves all columns).
+	x := make(Vector, n)
 	for c := 0; c < n; c++ {
-		x := make(Vector, n)
 		for i := n - 1; i >= 0; i-- {
 			s := qh.At(i, c)
 			for j := i + 1; j < n; j++ {

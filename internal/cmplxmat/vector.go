@@ -86,6 +86,38 @@ func (v Vector) Sub(w Vector) Vector {
 	return out
 }
 
+// SubInPlace subtracts w from v in place (v −= w). The in-place
+// variants exist for hot paths that would otherwise allocate a fresh
+// vector per arithmetic step; they mutate their receiver, so they
+// must never be applied to a vector shared with a cache.
+func (v Vector) SubInPlace(w Vector) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmplxmat: SubInPlace length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] -= w[i]
+	}
+}
+
+// SubScaledInPlace subtracts s·w from v in place (v −= s·w) — one
+// Gram-Schmidt step without the two temporaries Sub(w.Scale(s)) would
+// allocate.
+func (v Vector) SubScaledInPlace(w Vector, s complex128) {
+	if len(v) != len(w) {
+		panic(fmt.Sprintf("cmplxmat: SubScaledInPlace length mismatch %d vs %d", len(v), len(w)))
+	}
+	for i := range v {
+		v[i] -= s * w[i]
+	}
+}
+
+// ScaleInPlace multiplies v by s in place.
+func (v Vector) ScaleInPlace(s complex128) {
+	for i := range v {
+		v[i] *= s
+	}
+}
+
 // Normalize returns v/‖v‖, or a zero vector if ‖v‖ is (near) zero.
 func (v Vector) Normalize() Vector {
 	n := v.Norm()

@@ -21,9 +21,47 @@ func TestNewNetworkValidation(t *testing.T) {
 	if _, err := NewNetwork(1, nodes, badLinks, DefaultOptions()); err == nil {
 		t.Fatal("expected unknown-rx error")
 	}
-	// Zero-value options select defaults.
+	// Zero-value options still deploy (the zero testbed config selects
+	// the default floor plan) — but JoinThresholdDB/PERWidth zeros are
+	// now literal values, not default requests; see TestOptionSentinels.
 	if _, err := NewNetwork(1, nodes, links, Options{}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestOptionSentinels pins the Auto/explicit-zero semantics: NaN
+// (Auto) selects the calibrated default, while an explicit 0 — which
+// the old zero-value merging silently replaced with 27 and 1 — now
+// reaches the scenario untouched (disabling the §4 admission check
+// and selecting a hard delivery threshold respectively).
+func TestOptionSentinels(t *testing.T) {
+	nodes, links := TrioNodes()
+	build := func(opts Options) *mac.Scenario {
+		net, err := NewNetwork(1, nodes, links, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc, err := net.Scenario(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc
+	}
+	auto := build(Options{JoinThresholdDB: Auto, PERWidth: Auto})
+	if auto.JoinThresholdDB != 27 || auto.PERWidth != 1 {
+		t.Fatalf("Auto sentinels resolved to L=%g width=%g, want 27 and 1", auto.JoinThresholdDB, auto.PERWidth)
+	}
+	def := build(DefaultOptions())
+	if def.JoinThresholdDB != 27 || def.PERWidth != 1 {
+		t.Fatalf("DefaultOptions resolved to L=%g width=%g", def.JoinThresholdDB, def.PERWidth)
+	}
+	zero := build(Options{JoinThresholdDB: 0, PERWidth: 0})
+	if zero.JoinThresholdDB != 0 || zero.PERWidth != 0 {
+		t.Fatalf("explicit zeros were overridden: L=%g width=%g", zero.JoinThresholdDB, zero.PERWidth)
+	}
+	custom := build(Options{JoinThresholdDB: 90, PERWidth: 2.5})
+	if custom.JoinThresholdDB != 90 || custom.PERWidth != 2.5 {
+		t.Fatalf("explicit values were overridden: L=%g width=%g", custom.JoinThresholdDB, custom.PERWidth)
 	}
 }
 

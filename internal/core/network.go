@@ -32,21 +32,37 @@ type Node = topo.Node
 // open-loop when the run attaches an arrival model.
 type Link = topo.Link
 
-// Options tunes a Network. Zero values select calibrated defaults.
+// Options tunes a Network. Start from DefaultOptions for the
+// calibrated §6 settings; the float fields below take any explicit
+// value as given — including 0 — and use Auto (NaN) as the "pick the
+// calibrated default" sentinel. (Earlier revisions silently replaced
+// a zero JoinThresholdDB/PERWidth with the default, which made an
+// explicit 0 unexpressible.)
 type Options struct {
 	Testbed testbed.Config
-	// JoinThresholdDB is L of §4 (default 27).
+	// JoinThresholdDB is L of §4 (Auto → 27). An explicit value ≤ 0
+	// disables the §4 admission check: joiners keep full power.
 	JoinThresholdDB float64
 	// AlignmentSpaceError is the advertised-U⊥ estimation error
-	// (default 0.05; see mac.Scenario).
+	// (see mac.Scenario; DefaultOptions uses 0.05, zero means a
+	// perfectly advertised space).
 	AlignmentSpaceError float64
-	// PERWidth is the delivery waterfall width in dB (default 1).
+	// PERWidth is the delivery waterfall width in dB (Auto → 1). An
+	// explicit 0 selects a hard delivery threshold (a step-function
+	// waterfall).
 	PERWidth float64
 	// Positions optionally pins every node to an explicit location in
 	// meters (generated topologies carry their geometry here); nil
 	// selects random placement on the testbed floor plan.
 	Positions map[mac.NodeID]testbed.Point
 }
+
+// Auto marks an Options float field as "use the calibrated default".
+// It is NaN, so the zero value of Options does NOT select defaults
+// for JoinThresholdDB and PERWidth — zero there now means literal
+// zero. Use DefaultOptions (or assign Auto explicitly) for the §6
+// calibration.
+var Auto = math.NaN()
 
 // DefaultOptions returns the calibrated defaults used throughout the
 // evaluation.
@@ -73,10 +89,10 @@ type Network struct {
 // distinct locations, draws every pairwise channel, and registers the
 // links as backlogged flows.
 func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network, error) {
-	if opts.JoinThresholdDB == 0 {
+	if math.IsNaN(opts.JoinThresholdDB) {
 		opts.JoinThresholdDB = 27
 	}
-	if opts.PERWidth == 0 {
+	if math.IsNaN(opts.PERWidth) {
 		opts.PERWidth = 1
 	}
 	if opts.Testbed.NumLocations == 0 {

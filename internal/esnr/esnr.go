@@ -135,7 +135,8 @@ func (sel *Selector) SelectRate(sinrs []float64) (modulation.Rate, bool) {
 // the given size survives at the chosen rate, using the standard
 // link-abstraction model: a logistic curve in ESNR centered on the
 // rate's threshold. width controls the sharpness of the PER waterfall
-// (dB); 1.0 matches the 2–3 dB waterfall regions measured in [16].
+// (dB); 1.0 matches the 2–3 dB waterfall regions measured in [16],
+// and width ≤ 0 degenerates to a hard threshold at the rate's MinDB.
 func (sel *Selector) PacketSuccessProbability(sinrs []float64, rate modulation.Rate, width float64) float64 {
 	var th *Threshold
 	for i := range sel.thresholds {
@@ -147,10 +148,16 @@ func (sel *Selector) PacketSuccessProbability(sinrs []float64, rate modulation.R
 	if th == nil {
 		return 0
 	}
-	if width <= 0 {
-		width = 1.0
-	}
 	esnrDB := EffectiveSNRDB(sinrs, rate.Scheme)
+	if width <= 0 {
+		// Degenerate waterfall: a hard delivery threshold. Callers can
+		// now express this explicitly (it used to be silently replaced
+		// by the 1 dB default).
+		if esnrDB >= th.MinDB {
+			return 1
+		}
+		return 0
+	}
 	// Logistic centered half a width above threshold so that a link
 	// exactly at threshold succeeds with ~0.73 (thresholds in [16] are
 	// the ~90% delivery point; the offset keeps the two consistent).

@@ -5,7 +5,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
+	"strings"
 
 	"nplus/internal/channel"
 	"nplus/internal/cmplxmat"
@@ -25,6 +25,10 @@ type Active struct {
 	Vectors [][]cmplxmat.Vector
 	// UPerp[bin] is the receiver's advertised decoding space (N×n):
 	// later joiners must be invisible inside it (Claims 3.3/3.4).
+	// Populated only on plans actually returned to the caller — the
+	// advertisement rides the receiver's CTS, so candidate plans that
+	// lose the rate-adaptation sweep never pay for (or draw RNG for)
+	// a space nobody will hear.
 	UPerp []*cmplxmat.Matrix
 	// Rate is the bitrate chosen via ESNR at join time (§3.4).
 	Rate modulation.Rate
@@ -46,6 +50,17 @@ type Active struct {
 	// PowerScale records the §4 join-threshold power reduction (1 =
 	// no reduction).
 	PowerScale float64
+	// decodeSpace[bin] is the orthonormal basis of the interference
+	// complement this receiver decodes in (nil = full space), kept
+	// from finalizeAtReceiver so advertise can build UPerp on demand.
+	decodeSpace []*cmplxmat.Matrix
+	// effAt caches EffectiveAt results per receiver. Provider.Channel
+	// is deterministic and Vectors never change after planning, so the
+	// true effective channels of a transmission at any given node are
+	// fixed for its lifetime — yet interference accounting used to
+	// recompute the same NumBins matrix-vector products for every
+	// candidate plan, every joiner, and every delivery.
+	effAt map[NodeID][][]cmplxmat.Vector
 }
 
 // Scenario holds everything the join planner needs about the RF
@@ -60,7 +75,8 @@ type Scenario struct {
 	NumBins int
 	// JoinThresholdDB is L of §4: a joiner whose attenuated power at
 	// an ongoing receiver exceeds L dB must reduce its power, because
-	// practical nulling/alignment cancels at most ~L dB.
+	// practical nulling/alignment cancels at most ~L dB. A value ≤ 0
+	// disables the admission check entirely (joiners keep full power).
 	JoinThresholdDB float64
 	// PERWidth is the dB width of the delivery waterfall (see
 	// esnr.PacketSuccessProbability).
@@ -74,6 +90,10 @@ type Scenario struct {
 	// the error is immaterial, but a proper subspace (n < N) rotates
 	// the alignment target.
 	AlignmentSpaceError float64
+	// noPlanMemo disables PlanBest's candidate memoization and
+	// early-exit bounds, forcing the full subset × cap sweep. Tests
+	// use it to assert the memoized sweep is result-equivalent.
+	noPlanMemo bool
 }
 
 // estimate fetches the reciprocity-derived channel estimate for
@@ -108,18 +128,181 @@ func totalConstraints(actives []*Active) int {
 
 // EffectiveAt returns, per stream and per bin, the true effective
 // channel of transmission a as observed at node rx with rxAnt
-// antennas: √P·H_true·v.
+// antennas: √P·H_true·v. The result is cached on the Active — the
+// true channel and the precoding vectors are both fixed for the
+// transmission's lifetime — so repeat callers (candidate planning,
+// later joiners, delivery accounting) share one computation. Callers
+// must treat the returned vectors as read-only.
 func (sc *Scenario) EffectiveAt(a *Active, rx NodeID, rxAnt int) [][]cmplxmat.Vector {
+	if cached, ok := a.effAt[rx]; ok && len(cached[0][0]) == rxAnt {
+		// A mismatched rxAnt (two flows claiming the same receiver id
+		// with different antenna counts) falls through and recomputes
+		// rather than returning wrong-dimension vectors.
+		return cached
+	}
 	h := sc.Provider.Channel(a.Flow.Tx, rx)
 	out := make([][]cmplxmat.Vector, a.Streams)
+	// One flat backing array for all streams × bins keeps the cache
+	// from fragmenting the heap.
+	backing := make(cmplxmat.Vector, a.Streams*sc.NumBins*rxAnt)
 	for s := 0; s < a.Streams; s++ {
 		out[s] = make([]cmplxmat.Vector, sc.NumBins)
 		for b := 0; b < sc.NumBins; b++ {
-			out[s][b] = cmplxmat.Vector(h[b].MulVec(a.Vectors[s][b]))
+			dst := backing[:rxAnt:rxAnt]
+			backing = backing[rxAnt:]
+			out[s][b] = h[b].MulVecInto(dst, a.Vectors[s][b])
 		}
 	}
+	if a.effAt == nil {
+		a.effAt = make(map[NodeID][][]cmplxmat.Vector)
+	}
+	a.effAt[rx] = out
 	return out
 }
+
+// planCtx is the state of one contention attempt: channel estimates
+// drawn once per attempt (one RTS handshake yields one estimate, so
+// every candidate subset and stream cap PlanBest evaluates must see
+// the same channel view), the derived mean gains for the §4 admission
+// check, each receiver's interference complement against the fixed
+// incumbent set, and the stream allocations already planned. Sharing
+// this across candidates is both the physically faithful model and
+// the planner's main cost saving.
+type planCtx struct {
+	tx    NodeID
+	est   map[NodeID][]*cmplxmat.Matrix
+	gain  map[NodeID]float64
+	uperp map[NodeID][]*cmplxmat.Matrix
+	parts map[NodeID]*binPartition
+	rows  map[*Active][]*cmplxmat.Matrix
+	seen  map[string]bool
+}
+
+// binPartition is the per-bin interference partition at one receiver
+// against the attempt's incumbent set (capacity = all antennas),
+// together with the orthogonal complement of each basis. A receiver
+// finalizing a single-destination plan sees exactly this interference
+// and can reuse the partition whenever its spare dimensions cover the
+// basis (the common case), skipping a per-bin QR.
+type binPartition struct {
+	basis [][]cmplxmat.Vector
+	leak  [][]cmplxmat.Vector
+	comp  []*cmplxmat.Matrix
+}
+
+func newPlanCtx(tx NodeID) *planCtx {
+	return &planCtx{
+		tx:    tx,
+		est:   make(map[NodeID][]*cmplxmat.Matrix),
+		gain:  make(map[NodeID]float64),
+		uperp: make(map[NodeID][]*cmplxmat.Matrix),
+		parts: make(map[NodeID]*binPartition),
+		rows:  make(map[*Active][]*cmplxmat.Matrix),
+		seen:  make(map[string]bool),
+	}
+}
+
+// constraintRowsAt caches, per incumbent, the per-bin Eq. 7
+// constraint rows U⊥ᴴ·H_est against the attempt's estimate: they are
+// identical for every candidate subset and stream cap of the attempt.
+func (sc *Scenario) constraintRowsAt(ctx *planCtx, a *Active, est []*cmplxmat.Matrix) []*cmplxmat.Matrix {
+	if r, ok := ctx.rows[a]; ok {
+		return r
+	}
+	out := make([]*cmplxmat.Matrix, sc.NumBins)
+	for b := 0; b < sc.NumBins; b++ {
+		out[b] = a.UPerp[b].ConjTranspose().Mul(est[b])
+	}
+	ctx.rows[a] = out
+	return out
+}
+
+// estimateAt draws (once) and caches the attempt's channel estimate
+// toward rx.
+func (sc *Scenario) estimateAt(ctx *planCtx, rx NodeID) []*cmplxmat.Matrix {
+	if e, ok := ctx.est[rx]; ok {
+		return e
+	}
+	e := sc.estimate(ctx.tx, rx)
+	ctx.est[rx] = e
+	return e
+}
+
+// gainAt caches meanGain of the attempt's estimate toward rx.
+func (sc *Scenario) gainAt(ctx *planCtx, rx NodeID) float64 {
+	if g, ok := ctx.gain[rx]; ok {
+		return g
+	}
+	g := meanGain(sc.estimateAt(ctx, rx))
+	ctx.gain[rx] = g
+	return g
+}
+
+// complementAt returns, per bin, an orthonormal basis of the
+// orthogonal complement of the interference node rx currently sees
+// from the given actives (identity when no interference), cached per
+// receiver: the incumbent set is fixed for the whole attempt, so the
+// per-bin partition and QR need not repeat across candidate subsets
+// and stream caps. The raw partitions are kept on the ctx for
+// finalizeAtReceiver to reuse.
+func (sc *Scenario) complementAt(ctx *planCtx, rx NodeID, rxAnt int, actives []*Active) []*cmplxmat.Matrix {
+	if u, ok := ctx.uperp[rx]; ok {
+		return u
+	}
+	var interference [][]cmplxmat.Vector
+	for _, a := range actives {
+		interference = append(interference, sc.EffectiveAt(a, rx, rxAnt)...)
+	}
+	part := &binPartition{
+		basis: make([][]cmplxmat.Vector, sc.NumBins),
+		leak:  make([][]cmplxmat.Vector, sc.NumBins),
+		comp:  make([]*cmplxmat.Matrix, sc.NumBins),
+	}
+	u := make([]*cmplxmat.Matrix, sc.NumBins)
+	// One shared identity for interference-free bins: callers treat
+	// the complements as read-only, and on an idle medium (the common
+	// contention case) every bin takes this path.
+	var id *cmplxmat.Matrix
+	var scratch []interfCand
+	noise := sc.Provider.NoisePower()
+	for b := 0; b < sc.NumBins; b++ {
+		// Floor-aware rank: imperfectly-aligned interference must not
+		// inflate the space (see partitionInterference).
+		var basis, leak []cmplxmat.Vector
+		basis, leak, scratch = partitionInterferenceScratch(interference, b, noise, rxAnt, scratch)
+		part.basis[b] = basis
+		part.leak[b] = leak
+		if len(basis) == 0 {
+			if id == nil {
+				id = cmplxmat.Identity(rxAnt)
+			}
+			u[b] = id
+			continue
+		}
+		u[b] = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
+		part.comp[b] = u[b]
+	}
+	ctx.uperp[rx] = u
+	ctx.parts[rx] = part
+	return u
+}
+
+// allocKey identifies a candidate plan within one attempt: the
+// destination flows and the per-destination stream counts. Two
+// candidates with the same key run the identical precoding problem on
+// the identical attempt-wide estimates.
+func allocKey(dests []Flow, alloc []int) string {
+	var sb strings.Builder
+	for d, f := range dests {
+		fmt.Fprintf(&sb, "%d:%d;", f.ID, alloc[d])
+	}
+	return sb.String()
+}
+
+// errPlanMemo signals that a candidate allocation was already
+// explored earlier in the same attempt (its outcome — success or
+// failure — is already reflected in PlanBest's running best).
+var errPlanMemo = errors.New("mac: candidate allocation already planned this attempt")
 
 // JoinRequest describes one transmitter's attempt to start
 // transmitting: usually a single destination flow, or several flows
@@ -172,7 +355,27 @@ func (sc *Scenario) PlanJoin(flow Flow, actives []*Active) (*Active, error) {
 // SINRs and advertised spaces come from true channels (receivers
 // measure those directly from the precoded preamble) — which is
 // exactly why residual interference is nonzero in practice (§6.2).
+//
+// A standalone call models one contention attempt: estimates toward
+// each receiver are drawn once and shared between the admission check
+// and the precoder (one RTS = one estimate).
 func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active, error) {
+	if len(req.Dests) == 0 {
+		return nil, errors.New("mac: join request with no destinations")
+	}
+	group, err := sc.planJoinGroup(req, actives, newPlanCtx(req.Dests[0].Tx))
+	if err != nil {
+		return nil, err
+	}
+	return sc.advertiseGroup(group), nil
+}
+
+// planJoinGroup is PlanJoinGroup against an attempt-wide planCtx: all
+// channel estimates, admission gains, and interference complements
+// come from the shared ctx, and every stream allocation visited is
+// recorded in ctx.seen so PlanBest's cap sweep never replans an
+// identical candidate (errPlanMemo reports such a duplicate).
+func (sc *Scenario) planJoinGroup(req JoinRequest, actives []*Active, ctx *planCtx) ([]*Active, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -185,15 +388,16 @@ func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active
 
 	// §4 admission: estimate attenuated power at every ongoing
 	// receiver; reduce power so residual after ~L dB of cancellation
-	// stays below the noise floor.
+	// stays below the noise floor. L ≤ 0 disables the check.
 	powerScale := 1.0
-	lLin := channel.FromDB(sc.JoinThresholdDB)
-	for _, a := range actives {
-		hEst := sc.estimate(tx.Tx, a.Flow.Rx)
-		pInt := tx.TxPower * meanGain(hEst)
-		if pInt > lLin {
-			if s := lLin / pInt; s < powerScale {
-				powerScale = s
+	if sc.JoinThresholdDB > 0 {
+		lLin := channel.FromDB(sc.JoinThresholdDB)
+		for _, a := range actives {
+			pInt := tx.TxPower * sc.gainAt(ctx, a.Flow.Rx)
+			if pInt > lLin {
+				if s := lLin / pInt; s < powerScale {
+					powerScale = s
+				}
 			}
 		}
 	}
@@ -204,7 +408,7 @@ func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active
 	// degenerates to full nulling, UPerp = I).
 	crossUPerp := make([][]*cmplxmat.Matrix, len(req.Dests))
 	for d, f := range req.Dests {
-		crossUPerp[d] = sc.interferenceComplement(f.Rx, f.RxAntennas, actives)
+		crossUPerp[d] = sc.complementAt(ctx, f.Rx, f.RxAntennas, actives)
 	}
 
 	// Stream allocation: round-robin one stream at a time, capped by
@@ -217,14 +421,23 @@ func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active
 
 	ownEst := make([][]*cmplxmat.Matrix, len(req.Dests))
 	for d, f := range req.Dests {
-		ownEst[d] = sc.estimate(tx.Tx, f.Rx)
+		ownEst[d] = sc.estimateAt(ctx, f.Rx)
 	}
 	ongoingEst := make([][]*cmplxmat.Matrix, len(actives))
+	ongoingRows := make([][]*cmplxmat.Matrix, len(actives))
 	for i, a := range actives {
-		ongoingEst[i] = sc.estimate(tx.Tx, a.Flow.Rx)
+		ongoingEst[i] = sc.estimateAt(ctx, a.Flow.Rx)
+		ongoingRows[i] = sc.constraintRowsAt(ctx, a, ongoingEst[i])
 	}
 
 	for {
+		if !sc.noPlanMemo {
+			key := allocKey(req.Dests, alloc)
+			if ctx.seen[key] {
+				return nil, errPlanMemo
+			}
+			ctx.seen[key] = true
+		}
 		total := 0
 		for _, s := range alloc {
 			total += s
@@ -232,9 +445,9 @@ func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active
 		if total == 0 {
 			return nil, fmt.Errorf("mac: tx %d: no feasible stream allocation: %w", tx.Tx, ErrNoDoF)
 		}
-		vectors, err := sc.precodeGroup(req, actives, ongoingEst, ownEst, crossUPerp, alloc, tx.TxPower*powerScale, total)
+		vectors, err := sc.precodeGroup(req, actives, ongoingEst, ongoingRows, ownEst, crossUPerp, alloc, tx.TxPower*powerScale, total)
 		if err == nil {
-			return sc.buildActives(req, actives, vectors, alloc, powerScale)
+			return sc.buildActives(req, actives, ctx, vectors, alloc, powerScale)
 		}
 		// Shrink: drop one stream from the most-loaded destination and
 		// retry (cross-receiver constraints can make a count infeasible
@@ -252,31 +465,9 @@ func (sc *Scenario) PlanJoinGroup(req JoinRequest, actives []*Active) ([]*Active
 	}
 }
 
-// interferenceComplement returns, per bin, an orthonormal basis of
-// the orthogonal complement of the interference node rx currently
-// sees from the given actives (identity when no interference).
-func (sc *Scenario) interferenceComplement(rx NodeID, rxAnt int, actives []*Active) []*cmplxmat.Matrix {
-	out := make([]*cmplxmat.Matrix, sc.NumBins)
-	var interference [][]cmplxmat.Vector
-	for _, a := range actives {
-		interference = append(interference, sc.EffectiveAt(a, rx, rxAnt)...)
-	}
-	for b := 0; b < sc.NumBins; b++ {
-		// Floor-aware rank: imperfectly-aligned interference must not
-		// inflate the space (see partitionInterference).
-		basis, _ := partitionInterference(interference, b, sc.Provider.NoisePower(), rxAnt)
-		if len(basis) == 0 {
-			out[b] = cmplxmat.Identity(rxAnt)
-			continue
-		}
-		out[b] = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
-	}
-	return out
-}
-
 // precodeGroup solves Eq. 7 on every bin for the requested
 // allocation, returning per-dest per-stream per-bin scaled vectors.
-func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst, ownEst [][]*cmplxmat.Matrix, crossUPerp [][]*cmplxmat.Matrix, alloc []int, power float64, total int) ([][][]cmplxmat.Vector, error) {
+func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst, ongoingRows, ownEst [][]*cmplxmat.Matrix, crossUPerp [][]*cmplxmat.Matrix, alloc []int, power float64, total int) ([][][]cmplxmat.Vector, error) {
 	tx := req.Dests[0]
 	scale := complex(math.Sqrt(power/float64(total)), 0)
 	vectors := make([][][]cmplxmat.Vector, len(req.Dests))
@@ -286,13 +477,18 @@ func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst,
 			vectors[d][s] = make([]cmplxmat.Vector, sc.NumBins)
 		}
 	}
+	// Per-bin scratch, allocated once: ComputePrecoder reads these
+	// within the call and retains nothing.
+	ongoing := make([]mimo.OngoingReceiver, len(actives))
+	own := make([]mimo.OwnReceiver, 0, len(req.Dests))
+	destOf := make([]int, 0, len(req.Dests))
+	idx := make([]int, 0, len(req.Dests)) // next stream slot per own receiver
 	for b := 0; b < sc.NumBins; b++ {
-		ongoing := make([]mimo.OngoingReceiver, len(actives))
 		for i, a := range actives {
-			ongoing[i] = mimo.OngoingReceiver{H: ongoingEst[i][b], UPerp: a.UPerp[b]}
+			ongoing[i] = mimo.OngoingReceiver{H: ongoingEst[i][b], UPerp: a.UPerp[b], Rows: ongoingRows[i][b]}
 		}
-		var own []mimo.OwnReceiver
-		var destOf []int
+		own = own[:0]
+		destOf = destOf[:0]
 		for d := range req.Dests {
 			if alloc[d] == 0 {
 				continue
@@ -308,10 +504,14 @@ func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst,
 		if err != nil {
 			return nil, fmt.Errorf("mac: tx %d bin %d: %w", tx.Tx, b, err)
 		}
-		idx := make([]int, len(own)) // next stream slot per own receiver
+		idx = idx[:len(own)]
+		for i := range idx {
+			idx[i] = 0
+		}
 		for i, v := range pre.Vectors {
 			d := destOf[pre.RxIndex[i]]
-			vectors[d][idx[pre.RxIndex[i]]][b] = v.Scale(scale)
+			v.ScaleInPlace(scale) // precoder vectors are freshly owned
+			vectors[d][idx[pre.RxIndex[i]]][b] = v
 			idx[pre.RxIndex[i]]++
 		}
 	}
@@ -321,7 +521,7 @@ func (sc *Scenario) precodeGroup(req JoinRequest, actives []*Active, ongoingEst,
 // buildActives wraps the computed vectors into one Active per
 // destination and finalizes each receiver's state; siblings see each
 // other as known interference.
-func (sc *Scenario) buildActives(req JoinRequest, actives []*Active, vectors [][][]cmplxmat.Vector, alloc []int, powerScale float64) ([]*Active, error) {
+func (sc *Scenario) buildActives(req JoinRequest, actives []*Active, ctx *planCtx, vectors [][][]cmplxmat.Vector, alloc []int, powerScale float64) ([]*Active, error) {
 	var group []*Active
 	for d, f := range req.Dests {
 		if alloc[d] == 0 {
@@ -337,7 +537,14 @@ func (sc *Scenario) buildActives(req JoinRequest, actives []*Active, vectors [][
 				known = append(known, sib)
 			}
 		}
-		if err := sc.finalizeAtReceiver(a, known); err != nil {
+		// With no siblings, the interference this receiver sees is
+		// exactly the attempt's incumbent set, whose partition
+		// complementAt already cached on the ctx.
+		var part *binPartition
+		if ctx != nil && len(group) == 1 {
+			part = ctx.parts[a.Flow.Rx]
+		}
+		if err := sc.finalizeAtReceiver(a, known, part); err != nil {
 			return nil, err
 		}
 	}
@@ -348,26 +555,43 @@ func (sc *Scenario) buildActives(req JoinRequest, actives []*Active, vectors [][
 }
 
 // finalizeAtReceiver computes, from true channels, the receiver-side
-// state of a new transmission: its ZF decoders, join-time SINRs,
-// chosen rate, and the advertised decoding space.
-func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active) error {
+// state of a new transmission: its ZF decoders, join-time SINRs, and
+// chosen rate — everything rate adaptation needs to score the plan.
+// The advertised decoding space is deliberately NOT built here; see
+// advertise. part optionally carries the attempt-cached interference
+// partition at this receiver (valid only when actives is exactly the
+// incumbent set the cache was built against); bins whose cached basis
+// fits the receiver's spare dimensions skip the partition and its QR.
+func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active, part *binPartition) error {
 	n := a.Flow.RxAntennas
 	wanted := sc.EffectiveAt(a, a.Flow.Rx, n) // [stream][bin]
 	// Interference this receiver currently sees (true effective
-	// channels of all ongoing streams).
+	// channels of all ongoing streams). Built lazily: when every bin
+	// reuses the cached partition, the raw vectors are never needed.
 	var interference [][]cmplxmat.Vector // [stream][bin]
-	for _, other := range actives {
-		interference = append(interference, sc.EffectiveAt(other, a.Flow.Rx, n)...)
+	interferenceBuilt := false
+	buildInterference := func() {
+		if interferenceBuilt {
+			return
+		}
+		interferenceBuilt = true
+		for _, other := range actives {
+			interference = append(interference, sc.EffectiveAt(other, a.Flow.Rx, n)...)
+		}
 	}
 
 	noise := sc.Provider.NoisePower()
 	a.decoders = make([]*mimo.Decoder, sc.NumBins)
-	a.UPerp = make([]*cmplxmat.Matrix, sc.NumBins)
+	a.decodeSpace = make([]*cmplxmat.Matrix, sc.NumBins)
 	a.baseLeakage = make([][]cmplxmat.Vector, sc.NumBins)
 	a.JoinSINRs = make([][]float64, a.Streams)
 	for s := range a.JoinSINRs {
 		a.JoinSINRs[s] = make([]float64, sc.NumBins)
 	}
+	// Per-bin scratch: ColumnsToMatrix and NewDecoder copy what they
+	// need, so these buffers are safely reused across bins.
+	wantedBin := make([]cmplxmat.Vector, a.Streams)
+	var scratch []interfCand
 	for b := 0; b < sc.NumBins; b++ {
 		// Partition interference: directions the receiver can and
 		// should cancel go into the unwanted space; interference below
@@ -377,13 +601,25 @@ func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active) error {
 		// re-deriving it from the raw vectors would rank-inflate on
 		// imperfectly aligned interference.
 		capacity := n - a.Streams
-		basis, leak := partitionInterference(interference, b, noise, capacity)
-		a.baseLeakage[b] = leak
+		var basis, leak []cmplxmat.Vector
 		var uPerpInterf *cmplxmat.Matrix
-		if len(basis) > 0 {
-			uPerpInterf = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
+		if part != nil && len(part.basis[b]) <= capacity {
+			// The full-capacity partition never overflowed the spare
+			// dimensions, so the capacity-limited one is identical —
+			// reuse it and its precomputed complement.
+			basis, leak = part.basis[b], part.leak[b]
+			if len(basis) > 0 {
+				uPerpInterf = part.comp[b]
+			}
+		} else {
+			buildInterference()
+			basis, leak, scratch = partitionInterferenceScratch(interference, b, noise, capacity, scratch)
+			if len(basis) > 0 {
+				uPerpInterf = cmplxmat.OrthogonalComplement(cmplxmat.ColumnsToMatrix(basis), 0)
+			}
 		}
-		wantedBin := make([]cmplxmat.Vector, a.Streams)
+		a.baseLeakage[b] = leak
+		a.decodeSpace[b] = uPerpInterf
 		for s := 0; s < a.Streams; s++ {
 			wantedBin[s] = wanted[s][b]
 		}
@@ -399,20 +635,48 @@ func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active) error {
 			}
 			a.JoinSINRs[s][b] = sinr
 		}
-		// Advertised decoding space: the directions actually used to
-		// decode — projections of the wanted channels onto the
-		// complement of the current interference, orthonormalized.
-		// Dimension = wanted stream count n_j, giving later joiners
-		// exactly n_j constraints (the Σn_j = K accounting of §3.3).
-		var dirs []cmplxmat.Vector
+	}
+
+	// Per-packet bitrate from the weakest stream's ESNR (§3.4): one
+	// rate covers all streams of the transmission.
+	a.Rate, a.RateOK = sc.selectRate(a.JoinSINRs)
+	return nil
+}
+
+// advertise builds a transmission's advertised decoding space (the
+// UPerp its receiver broadcasts in its CTS): the directions actually
+// used to decode — projections of the wanted channels onto the
+// complement of the current interference, orthonormalized, blurred by
+// AlignmentSpaceError. Dimension = wanted stream count n_j, giving
+// later joiners exactly n_j constraints (the Σn_j = K accounting of
+// §3.3).
+//
+// It runs once per plan actually handed back to a caller — only a
+// returned plan's CTS is ever transmitted, so losing rate-adaptation
+// candidates skip both the per-bin orthonormalization and the
+// quantization-noise RNG draws. Idempotent.
+func (sc *Scenario) advertise(a *Active) {
+	if a.UPerp != nil {
+		return
+	}
+	wanted := a.effAt[a.Flow.Rx] // cached by finalizeAtReceiver
+	a.UPerp = make([]*cmplxmat.Matrix, sc.NumBins)
+	dirs := make([]cmplxmat.Vector, 0, a.Streams)
+	proj := make(cmplxmat.Vector, a.Flow.RxAntennas) // Uᴴ·v scratch
+	for b := 0; b < sc.NumBins; b++ {
+		uPerpInterf := a.decodeSpace[b]
+		dirs = dirs[:0]
 		for s := 0; s < a.Streams; s++ {
-			v := wantedBin[s]
+			v := wanted[s][b]
 			if uPerpInterf != nil {
-				proj := uPerpInterf.Mul(uPerpInterf.ConjTranspose()).MulVec(v)
-				v = cmplxmat.Vector(proj)
+				// U·(Uᴴ·v): two thin mat-vecs instead of building the
+				// N×N projector per stream.
+				v = uPerpInterf.MulVec(uPerpInterf.ConjTransposeMulVecInto(proj[:uPerpInterf.Cols()], v))
 			}
 			if e := sc.AlignmentSpaceError; e > 0 {
-				v = v.Clone()
+				if uPerpInterf == nil {
+					v = v.Clone() // the EffectiveAt cache is read-only
+				}
 				sigma := e / math.Sqrt2
 				for i := range v {
 					mag := real(v[i])*real(v[i]) + imag(v[i])*imag(v[i])
@@ -424,11 +688,14 @@ func (sc *Scenario) finalizeAtReceiver(a *Active, actives []*Active) error {
 		}
 		a.UPerp[b] = cmplxmat.OrthonormalBasis(cmplxmat.ColumnsToMatrix(dirs), 0)
 	}
+}
 
-	// Per-packet bitrate from the weakest stream's ESNR (§3.4): one
-	// rate covers all streams of the transmission.
-	a.Rate, a.RateOK = sc.selectRate(a.JoinSINRs)
-	return nil
+// advertiseGroup runs advertise over every Active of a plan.
+func (sc *Scenario) advertiseGroup(group []*Active) []*Active {
+	for _, a := range group {
+		sc.advertise(a)
+	}
+	return group
 }
 
 // selectRate picks the fastest rate supported by every stream.
@@ -466,25 +733,44 @@ func (sc *Scenario) NoteJoiner(incumbent, joiner *Active) {
 // the floor is free — that is exactly what alignment buys (§2); its
 // sub-floor residue is negligible by construction.
 func partitionInterference(interference [][]cmplxmat.Vector, bin int, noise float64, capacity int) (basis, leak []cmplxmat.Vector) {
+	basis, leak, _ = partitionInterferenceScratch(interference, bin, noise, capacity, nil)
+	return basis, leak
+}
+
+// interfCand is one above-floor interference direction.
+type interfCand struct {
+	v  cmplxmat.Vector
+	pw float64
+}
+
+// partitionInterferenceScratch is partitionInterference with a
+// caller-owned candidate buffer: per-bin callers pass the returned
+// scratch back in so the candidate slice is allocated once per
+// receiver instead of once per bin.
+func partitionInterferenceScratch(interference [][]cmplxmat.Vector, bin int, noise float64, capacity int, scratch []interfCand) (basis, leak []cmplxmat.Vector, _ []interfCand) {
 	floor := noise * 1e-3
-	type cand struct {
-		v  cmplxmat.Vector
-		pw float64
-	}
-	var cands []cand
+	cands := scratch[:0]
 	for _, ivs := range interference {
 		v := ivs[bin]
 		pw := v.NormSq()
 		if pw < floor {
 			continue // unmeasurable and harmless
 		}
-		cands = append(cands, cand{v: v, pw: pw})
+		cands = append(cands, interfCand{v: v, pw: pw})
 	}
-	sort.SliceStable(cands, func(i, j int) bool { return cands[i].pw > cands[j].pw })
+	// Stable insertion sort by descending power: the candidate set is
+	// a handful of streams, and this runs per bin per plan — the
+	// reflection machinery of sort.SliceStable allocated on every
+	// call.
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && cands[j].pw > cands[j-1].pw; j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 	for _, c := range cands {
 		r := c.v.Clone()
 		for _, bv := range basis {
-			r = r.Sub(bv.Scale(bv.Dot(r)))
+			r.SubScaledInPlace(bv, bv.Dot(r))
 		}
 		if r.NormSq() <= floor {
 			continue // inside the cancelled subspace: free
@@ -495,7 +781,7 @@ func partitionInterference(interference [][]cmplxmat.Vector, bin int, noise floa
 			leak = append(leak, c.v)
 		}
 	}
-	return basis, leak
+	return basis, leak, cands
 }
 
 // DeliverySINRs returns the per-stream per-bin SINR at delivery time:
@@ -506,11 +792,17 @@ func (sc *Scenario) DeliverySINRs(a *Active) ([][]float64, error) {
 	out := make([][]float64, a.Streams)
 	for s := range out {
 		out[s] = make([]float64, sc.NumBins)
-		for b := 0; b < sc.NumBins; b++ {
-			leak := append([]cmplxmat.Vector(nil), a.baseLeakage[b]...)
-			for _, l := range a.laterLeakage {
-				leak = append(leak, l[b])
-			}
+	}
+	// One leak buffer, rebuilt per bin and shared by every stream:
+	// the leakage set does not depend on the stream, and PostSINR only
+	// reads it.
+	leak := make([]cmplxmat.Vector, 0, len(a.laterLeakage)+4)
+	for b := 0; b < sc.NumBins; b++ {
+		leak = append(leak[:0], a.baseLeakage[b]...)
+		for _, l := range a.laterLeakage {
+			leak = append(leak, l[b])
+		}
+		for s := 0; s < a.Streams; s++ {
 			sinr, err := a.decoders[b].PostSINR(s, noise, leak)
 			if err != nil {
 				return nil, err
@@ -579,6 +871,10 @@ func (sc *Scenario) PlanBest(req JoinRequest, actives []*Active, beamform, mustT
 	if maxCap < 1 {
 		return nil, ErrNoDoF
 	}
+	// One contention attempt = one channel estimate per receiver: the
+	// ctx shares estimates, admission gains, interference complements,
+	// and already-planned allocations across every candidate below.
+	ctx := newPlanCtx(req.Dests[0].Tx)
 	// Candidate destination subsets: the full set plus each receiver
 	// solo (dropping a receiver whose link is in a fade often unlocks
 	// higher aggregate rate than force-sharing streams with it).
@@ -588,20 +884,34 @@ func (sc *Scenario) PlanBest(req JoinRequest, actives []*Active, beamform, mustT
 			subsets = append(subsets, []Flow{f})
 		}
 	}
+	// No candidate can beat cap·topRate: once the running best clears
+	// that bound the remaining (smaller) caps cannot win and the sweep
+	// stops early.
+	topRate := modulation.Rates[len(modulation.Rates)-1].DataRateMbps(20)
 	var best []*Active
 	bestCover := -1
 	bestScore := -1.0
 	var fallback []*Active
 	var lastErr error
 	for _, dests := range subsets {
+		if best != nil && !sc.noPlanMemo && len(dests) < bestCover {
+			continue // coverage dominates: a smaller subset cannot win
+		}
 		for cap := maxCap; cap >= 1; cap-- {
+			if best != nil && !sc.noPlanMemo && bestCover >= len(dests) &&
+				float64(cap)*topRate <= bestScore {
+				break // no remaining cap can beat the running best
+			}
 			r := JoinRequest{Dests: dests, MaxTotalStreams: cap}
 			var group []*Active
 			var err error
 			if beamform {
-				group, err = sc.PlanBeamforming(r)
+				group, err = sc.planBeamforming(r, ctx)
 			} else {
-				group, err = sc.PlanJoinGroup(r, actives)
+				group, err = sc.planJoinGroup(r, actives, ctx)
+			}
+			if err == errPlanMemo {
+				continue // duplicate allocation, outcome already counted
 			}
 			if err != nil {
 				lastErr = err
@@ -636,11 +946,12 @@ func (sc *Scenario) PlanBest(req JoinRequest, actives []*Active, beamform, mustT
 		}
 	}
 	if best != nil {
-		return best, nil
+		return sc.advertiseGroup(best), nil
 	}
 	if fallback != nil {
 		if mustTransmit {
-			return fallback, nil // the medium is won: send at the floor
+			// The medium is won: send at the floor.
+			return sc.advertiseGroup(fallback), nil
 		}
 		return nil, fmt.Errorf("mac: tx %d: no destination sustains a rate", req.Dests[0].Tx)
 	}
@@ -655,6 +966,19 @@ func (sc *Scenario) PlanBest(req JoinRequest, actives []*Active, beamform, mustT
 // of joining: the request must be the only transmission on the medium
 // (the winner pre-codes all streams itself).
 func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
+	if len(req.Dests) == 0 {
+		return nil, errors.New("mac: join request with no destinations")
+	}
+	group, err := sc.planBeamforming(req, newPlanCtx(req.Dests[0].Tx))
+	if err != nil {
+		return nil, err
+	}
+	return sc.advertiseGroup(group), nil
+}
+
+// planBeamforming is PlanBeamforming against an attempt-wide planCtx
+// (shared estimates + allocation memo), mirroring planJoinGroup.
+func (sc *Scenario) planBeamforming(req JoinRequest, ctx *planCtx) ([]*Active, error) {
 	if err := req.validate(); err != nil {
 		return nil, err
 	}
@@ -666,6 +990,13 @@ func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
 		avail = req.MaxTotalStreams
 	}
 	alloc := roundRobinAlloc(req.Dests, avail)
+	if !sc.noPlanMemo {
+		key := allocKey(req.Dests, alloc)
+		if ctx.seen[key] {
+			return nil, errPlanMemo
+		}
+		ctx.seen[key] = true
+	}
 	total := 0
 	for _, s := range alloc {
 		total += s
@@ -677,7 +1008,7 @@ func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
 
 	ownEst := make([][]*cmplxmat.Matrix, len(req.Dests))
 	for d, f := range req.Dests {
-		ownEst[d] = sc.estimate(tx.Tx, f.Rx)
+		ownEst[d] = sc.estimateAt(ctx, f.Rx)
 	}
 	vectors := make([][][]cmplxmat.Vector, len(req.Dests))
 	for d := range vectors {
@@ -686,8 +1017,9 @@ func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
 			vectors[d][s] = make([]cmplxmat.Vector, sc.NumBins)
 		}
 	}
+	chans := make([]*cmplxmat.Matrix, len(req.Dests))
+	idx := make([]int, len(req.Dests))
 	for b := 0; b < sc.NumBins; b++ {
-		chans := make([]*cmplxmat.Matrix, len(req.Dests))
 		for d := range req.Dests {
 			chans[d] = ownEst[d][b]
 		}
@@ -695,12 +1027,15 @@ func (sc *Scenario) PlanBeamforming(req JoinRequest) ([]*Active, error) {
 		if err != nil {
 			return nil, fmt.Errorf("mac: beamforming bin %d: %w", b, err)
 		}
-		idx := make([]int, len(req.Dests))
+		for i := range idx {
+			idx[i] = 0
+		}
 		for i, v := range pre.Vectors {
 			d := pre.RxIndex[i]
-			vectors[d][idx[d]][b] = v.Scale(scale)
+			v.ScaleInPlace(scale) // precoder vectors are freshly owned
+			vectors[d][idx[d]][b] = v
 			idx[d]++
 		}
 	}
-	return sc.buildActives(req, nil, vectors, alloc, 1)
+	return sc.buildActives(req, nil, ctx, vectors, alloc, 1)
 }

@@ -26,6 +26,13 @@ type Protocol struct {
 	Sc       *Scenario
 	Cfg      EpochConfig
 	stations []*station
+	// contenders indexes, sorted by station id, the stations that can
+	// currently contend for the medium: not transmitting, and (for
+	// open-loop stations) with a non-empty queue. Medium transitions
+	// touch only this set, so thousands of idle open-loop stations
+	// cost nothing — the previous all-stations rescan made every
+	// transition O(network size).
+	contenders []*station
 	// medium state
 	actives   []*Active
 	activeOf  map[*station][]*Active
@@ -45,6 +52,11 @@ type station struct {
 	backoff int // remaining slots
 	cw      int
 	pending *sim.EventHandle
+	// armedAt is when the pending countdown was armed: frozen-counter
+	// crediting measures consumed DIFS+slots from this instant.
+	armedAt float64
+	// contending mirrors membership in Protocol.contenders.
+	contending bool
 	// txActive true while this station transmits
 	txActive bool
 	retries  int
@@ -67,6 +79,34 @@ type station struct {
 // openLoop reports whether the station transmits from a bounded queue
 // fed by an arrival process rather than being always backlogged.
 func (st *station) openLoop() bool { return st.queue != nil }
+
+// wantsMedium reports whether a station belongs in the contender
+// index: it has something to send and is not already transmitting.
+func (st *station) wantsMedium() bool {
+	return !st.txActive && (!st.openLoop() || st.queue.Len() > 0)
+}
+
+// addContender inserts st into the id-sorted contender index.
+func (p *Protocol) addContender(st *station) {
+	if st.contending {
+		return
+	}
+	st.contending = true
+	i := sort.Search(len(p.contenders), func(i int) bool { return p.contenders[i].id >= st.id })
+	p.contenders = append(p.contenders, nil)
+	copy(p.contenders[i+1:], p.contenders[i:])
+	p.contenders[i] = st
+}
+
+// removeContender drops st from the contender index.
+func (p *Protocol) removeContender(st *station) {
+	if !st.contending {
+		return
+	}
+	st.contending = false
+	i := sort.Search(len(p.contenders), func(i int) bool { return p.contenders[i].id >= st.id })
+	p.contenders = append(p.contenders[:i], p.contenders[i+1:]...)
+}
 
 // NewProtocol builds the event-driven MAC over the given flows
 // (grouped by transmitter) with a fully backlogged traffic model.
@@ -136,7 +176,10 @@ func (p *Protocol) SetTraffic(newSource func(f Flow) traffic.Source, queueCap in
 func (p *Protocol) Start() {
 	for _, st := range p.stations {
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
-		p.armCountdown(st)
+		if st.wantsMedium() {
+			p.addContender(st)
+			p.armCountdown(st)
+		}
 		if st.openLoop() {
 			for fi, src := range st.srcs {
 				if src != nil {
@@ -165,6 +208,7 @@ func (p *Protocol) arrive(st *station, fi int) {
 		fs.Drops++
 		p.Eng.Tracef("station %d (tx %d) drops a flow-%d packet: queue full", st.id, st.tx, f.ID)
 	} else if wasEmpty && !st.txActive {
+		p.addContender(st)
 		p.armCountdown(st)
 	}
 	p.scheduleArrival(st, fi)
@@ -207,17 +251,22 @@ func (p *Protocol) armCountdown(st *station) {
 	t := p.Cfg.Timing
 	delay := t.DIFS + float64(st.backoff)*t.Slot
 	p.Eng.Cancel(st.pending)
+	st.armedAt = p.Eng.Now()
 	st.pending = p.Eng.Schedule(delay, func() { p.win(st) })
 }
 
-// freeze cancels a station's countdown, crediting consumed slots
-// (frozen counters, as in 802.11).
-func (p *Protocol) freeze(st *station, contentionStart float64) {
-	if st.pending == nil || st.pending.Cancelled() {
+// freeze cancels a station's live countdown, crediting the slots it
+// consumed since ITS OWN countdown was armed (frozen counters, as in
+// 802.11): a station that sensed the medium free for DIFS plus k
+// slots resumes the next round with backoff reduced by k. Time inside
+// the station's DIFS earns no credit, and a countdown that already
+// fired or froze is left untouched.
+func (p *Protocol) freeze(st *station) {
+	if !st.pending.Live() {
 		return
 	}
 	p.Eng.Cancel(st.pending)
-	elapsed := p.Eng.Now() - contentionStart - p.Cfg.Timing.DIFS
+	elapsed := p.Eng.Now() - st.armedAt - p.Cfg.Timing.DIFS
 	if elapsed > 0 {
 		consumed := int(elapsed / p.Cfg.Timing.Slot)
 		st.backoff -= consumed
@@ -241,6 +290,7 @@ func (p *Protocol) win(st *station) {
 			}
 		}
 		if len(dests) == 0 {
+			p.removeContender(st)
 			return // drained since arming; idle until the next arrival
 		}
 	}
@@ -262,8 +312,8 @@ func (p *Protocol) win(st *station) {
 		}
 		return
 	}
-	contentionStart := p.Eng.Now()
 	st.txActive = true
+	p.removeContender(st)
 	st.backoff = p.Sc.RNG.Intn(st.cw + 1) // fresh draw for next round
 	t := p.Cfg.Timing
 
@@ -301,12 +351,11 @@ func (p *Protocol) win(st *station) {
 		p.startOf[a] = p.Eng.Now()
 	}
 
-	// Medium state changed: every other station re-evaluates.
-	for _, other := range p.stations {
-		if other != st {
-			p.freeze(other, contentionStart)
-			p.armCountdown(other)
-		}
+	// Medium state changed: every station still contending
+	// re-evaluates (the winner itself just left the index).
+	for _, other := range p.contenders {
+		p.freeze(other)
+		p.armCountdown(other)
 	}
 }
 
@@ -337,13 +386,26 @@ func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
 func (p *Protocol) finish() {
 	t := p.Cfg.Timing
 	// Stable station order: map iteration would randomize RNG draws.
+	// (Insertion sort: at most a handful of concurrent transmitters,
+	// and sort.Slice's reflection swapper allocates per call.)
 	stations := make([]*station, 0, len(p.activeOf))
 	for st := range p.activeOf {
 		stations = append(stations, st)
 	}
-	sort.Slice(stations, func(i, j int) bool { return stations[i].id < stations[j].id })
+	for i := 1; i < len(stations); i++ {
+		for j := i; j > 0 && stations[j].id < stations[j-1].id; j-- {
+			stations[j], stations[j-1] = stations[j-1], stations[j]
+		}
+	}
 	for _, st := range stations {
 		group := p.activeOf[st]
+		// One transmission, one verdict: a station's contention window
+		// reacts to whether ITS transmission survived, regardless of
+		// how many flows (Actives) it striped onto the medium.
+		// Per-active updates would double the CW several times for a
+		// single lost multi-flow transmission and let the last active's
+		// outcome clobber the earlier ones.
+		stOK := true
 		for _, a := range group {
 			fs := p.stats[a.Flow.ID]
 			fs.StreamSum += int64(a.Streams)
@@ -376,7 +438,6 @@ func (p *Protocol) finish() {
 			if m := float64(p.Cfg.PacketBytes); exactPerStream > m {
 				exactPerStream = m
 			}
-			ok := true
 			delivered := 0.0
 			for s := 0; s < a.Streams; s++ {
 				if bytesPerStream <= 0 {
@@ -388,25 +449,29 @@ func (p *Protocol) finish() {
 					delivered += exactPerStream
 				} else {
 					fs.LostPackets++
-					ok = false
+					stOK = false
 				}
 			}
 			if st.openLoop() {
 				p.serveCredit(st, a.Flow.ID, delivered)
 			}
-			if ok {
-				st.cw = t.CWMin
-				st.retries = 0
-			} else {
-				// Binary exponential backoff on loss.
-				st.cw = st.cw*2 + 1
-				if st.cw > t.CWMax {
-					st.cw = t.CWMax
-				}
-				st.retries++
+		}
+		if stOK {
+			st.cw = t.CWMin
+			st.retries = 0
+		} else {
+			// Binary exponential backoff on loss, applied once per
+			// station per transmission.
+			st.cw = st.cw*2 + 1
+			if st.cw > t.CWMax {
+				st.cw = t.CWMax
 			}
+			st.retries++
 		}
 		st.txActive = false
+		if st.wantsMedium() {
+			p.addContender(st)
+		}
 	}
 	p.Eng.Tracef("joint transmission ends; ACK phase")
 	p.actives = nil
@@ -414,12 +479,11 @@ func (p *Protocol) finish() {
 	p.startOf = make(map[*Active]float64)
 	p.jointEnd = 0
 
-	// ACK phase then a new contention round for everyone.
+	// ACK phase then a new contention round for every station that
+	// still wants the medium (the index is id-sorted, so the order —
+	// and any RNG the armed events later draw — is deterministic).
 	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
-		// Stable station order for determinism.
-		sts := append([]*station(nil), p.stations...)
-		sort.Slice(sts, func(i, j int) bool { return sts[i].id < sts[j].id })
-		for _, st := range sts {
+		for _, st := range p.contenders {
 			p.armCountdown(st)
 		}
 	})

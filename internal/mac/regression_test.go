@@ -1,0 +1,306 @@
+package mac
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"nplus/internal/channel"
+	"nplus/internal/cmplxmat"
+	"nplus/internal/sim"
+)
+
+// TestFreezeCreditsConsumedSlots pins the frozen-counter semantics of
+// 802.11: a station whose countdown is frozen mid-backoff resumes the
+// next round with the consumed slots credited. The original
+// implementation measured elapsed time from the *winner's* win
+// instant (always "now"), so the credit was always negative and no
+// slot was ever consumed.
+func TestFreezeCreditsConsumedSlots(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	flows, p := trioProvider(rng, 22, 0)
+	eng := sim.NewEngine(121)
+	sc := newScenario(p, 221)
+	proto, err := NewProtocol(eng, sc, flows, DefaultEpochConfig(ModeNPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm := proto.Cfg.Timing
+	st := proto.stations[0]
+
+	// Arm a 10-slot countdown at t=0 and freeze it after DIFS + 3.5
+	// slots: exactly 3 whole slots were sensed idle.
+	st.backoff = 10
+	proto.addContender(st)
+	proto.armCountdown(st)
+	eng.Schedule(tm.DIFS+3.5*tm.Slot, func() { proto.freeze(st) })
+	eng.Run(tm.DIFS + 4*tm.Slot)
+	if st.backoff != 7 {
+		t.Fatalf("frozen after DIFS+3.5 slots: backoff %d, want 7 (3 slots credited)", st.backoff)
+	}
+
+	// A second freeze on the already-frozen countdown must not credit
+	// again.
+	proto.freeze(st)
+	if st.backoff != 7 {
+		t.Fatalf("double freeze changed backoff to %d", st.backoff)
+	}
+
+	// Freezing inside the DIFS earns no credit: the backoff countdown
+	// has not started yet.
+	st.backoff = 5
+	proto.armCountdown(st)
+	eng.Schedule(tm.DIFS/2, func() { proto.freeze(st) })
+	eng.Run(eng.Now() + tm.DIFS)
+	if st.backoff != 5 {
+		t.Fatalf("frozen during DIFS: backoff %d, want 5 (no credit)", st.backoff)
+	}
+}
+
+// twoFlowStationFixture builds a protocol whose single station (a
+// 3-antenna AP) carries TWO flows to 2-antenna clients, at an SNR so
+// low that every stream of every transmission is lost.
+func twoFlowStationFixture(t *testing.T, snrDB float64) (*sim.Engine, *Protocol) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(33))
+	p := newFlatProvider(8)
+	ants := map[NodeID]int{2: 3, 12: 2, 13: 2}
+	ids := []NodeID{2, 12, 13}
+	for _, a := range ids {
+		for _, b := range ids {
+			if a != b {
+				p.setRandom(rng, a, b, ants[b], ants[a], 0)
+			}
+		}
+	}
+	pw := channel.FromDB(snrDB)
+	flows := []Flow{
+		{ID: 2, Tx: 2, Rx: 12, TxAntennas: 3, RxAntennas: 2, TxPower: pw},
+		{ID: 3, Tx: 2, Rx: 13, TxAntennas: 3, RxAntennas: 2, TxPower: pw},
+	}
+	eng := sim.NewEngine(133)
+	sc := newScenario(p, 233)
+	proto, err := NewProtocol(eng, sc, flows, DefaultEpochConfig(ModeNPlus))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(proto.stations) != 1 {
+		t.Fatalf("expected one station for the shared transmitter, got %d", len(proto.stations))
+	}
+	return eng, proto
+}
+
+// TestPerStationBEBOnMultiFlowLoss pins binary exponential backoff as
+// a PER-STATION reaction: one lost transmission doubles the station's
+// contention window exactly once, no matter how many flows (Actives)
+// the transmission striped onto the medium. The original code applied
+// the update once per Active inside the group loop, so a two-flow
+// station quadrupled its window (and counted two retries) for a
+// single loss — and a mixed success/loss outcome was clobbered by
+// whichever Active happened to be processed last.
+func TestPerStationBEBOnMultiFlowLoss(t *testing.T) {
+	eng, proto := twoFlowStationFixture(t, -5) // hopeless links: all streams lost
+	proto.Start()
+	tm := proto.Cfg.Timing
+	st := proto.stations[0]
+	for i := 0; i < 200000 && st.cw == tm.CWMin; i++ {
+		if !eng.Step() {
+			t.Fatal("engine drained before the first transmission finished")
+		}
+	}
+	if st.cw != 2*tm.CWMin+1 {
+		t.Fatalf("after one lost two-flow transmission: cw %d, want %d (one doubling)", st.cw, 2*tm.CWMin+1)
+	}
+	if st.retries != 1 {
+		t.Fatalf("after one lost two-flow transmission: retries %d, want 1", st.retries)
+	}
+}
+
+// TestPerStationBEBResetsOnSuccess is the complementary pin: at high
+// SNR a multi-flow station's window stays at CWMin.
+func TestPerStationBEBResetsOnSuccess(t *testing.T) {
+	eng, proto := twoFlowStationFixture(t, 25)
+	proto.Start()
+	tm := proto.Cfg.Timing
+	st := proto.stations[0]
+	for i := 0; i < 200000; i++ {
+		if !eng.Step() {
+			break
+		}
+		if eng.Now() > 0.05 {
+			break
+		}
+	}
+	if proto.stats[2].Wins == 0 {
+		t.Fatal("station never transmitted")
+	}
+	if st.cw != tm.CWMin || st.retries != 0 {
+		t.Fatalf("healthy station grew its window: cw %d retries %d", st.cw, st.retries)
+	}
+}
+
+// planSignature captures everything PlanBest's choice is judged by.
+type planSignature struct {
+	streams []int
+	rates   []int
+	rateOK  []bool
+	sinrs   [][][]float64
+}
+
+func signatureOf(group []*Active) planSignature {
+	var sig planSignature
+	for _, a := range group {
+		sig.streams = append(sig.streams, a.Streams)
+		sig.rates = append(sig.rates, a.Rate.Index())
+		sig.rateOK = append(sig.rateOK, a.RateOK)
+		sinrs := make([][]float64, len(a.JoinSINRs))
+		for s := range a.JoinSINRs {
+			sinrs[s] = append([]float64(nil), a.JoinSINRs[s]...)
+		}
+		sig.sinrs = append(sig.sinrs, sinrs)
+	}
+	return sig
+}
+
+func signaturesEqual(a, b planSignature) bool {
+	if len(a.streams) != len(b.streams) {
+		return false
+	}
+	for i := range a.streams {
+		if a.streams[i] != b.streams[i] || a.rates[i] != b.rates[i] || a.rateOK[i] != b.rateOK[i] {
+			return false
+		}
+		for s := range a.sinrs[i] {
+			for bn := range a.sinrs[i][s] {
+				if a.sinrs[i][s][bn] != b.sinrs[i][s][bn] {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// TestPlanBestMemoEquivalence pins the planner-cache overhaul: with a
+// fixed seed (and no alignment-space noise, so the sweep itself draws
+// no RNG) the memoized subset × cap sweep must return bit-identical
+// plans — same Actives, same rates, same SINRs — as the exhaustive
+// sweep, for both a multi-receiver primary and a secondary joiner.
+func TestPlanBestMemoEquivalence(t *testing.T) {
+	type result struct {
+		primary, join planSignature
+	}
+	run := func(noMemo bool) result {
+		rng := rand.New(rand.NewSource(41))
+		flows, p := trioProvider(rng, 22, 0.03)
+		sc := newScenario(p, 241)
+		sc.AlignmentSpaceError = 0
+		sc.noPlanMemo = noMemo
+
+		// Primary winner on an idle medium.
+		prim, err := sc.PlanBest(JoinRequest{Dests: []Flow{flows[1]}}, nil, false, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Secondary joiner against it.
+		join, err := sc.PlanBest(JoinRequest{Dests: []Flow{flows[2]}}, prim, false, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return result{primary: signatureOf(prim), join: signatureOf(join)}
+	}
+	memo, full := run(false), run(true)
+	if !signaturesEqual(memo.primary, full.primary) {
+		t.Fatal("memoized sweep changed the primary plan")
+	}
+	if !signaturesEqual(memo.join, full.join) {
+		t.Fatal("memoized sweep changed the join plan")
+	}
+}
+
+// TestEffectiveAtCacheMatchesRecompute verifies the per-(Active,
+// receiver) effective-channel cache returns exactly what a direct
+// recomputation from the true channel and the precoding vectors
+// yields — and that repeated calls return the same backing (cached,
+// not redrawn).
+func TestEffectiveAtCacheMatchesRecompute(t *testing.T) {
+	rng := rand.New(rand.NewSource(51))
+	flows, p := trioProvider(rng, 22, 0)
+	sc := newScenario(p, 251)
+	a, err := sc.PlanJoin(flows[2], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := flows[0].Rx
+	rxAnt := flows[0].RxAntennas
+	eff := sc.EffectiveAt(a, rx, rxAnt)
+	h := p.Channel(a.Flow.Tx, rx)
+	for s := 0; s < a.Streams; s++ {
+		for b := 0; b < sc.NumBins; b++ {
+			want := h[b].MulVec(a.Vectors[s][b])
+			for i := range want {
+				if eff[s][b][i] != want[i] {
+					t.Fatalf("stream %d bin %d entry %d: cache %v, recompute %v", s, b, i, eff[s][b][i], want[i])
+				}
+			}
+		}
+	}
+	again := sc.EffectiveAt(a, rx, rxAnt)
+	if &again[0][0][0] != &eff[0][0][0] {
+		t.Fatal("EffectiveAt recomputed instead of returning the cache")
+	}
+}
+
+// TestAdmissionCheckDisabledAtZeroThreshold pins the new sentinel
+// semantics: JoinThresholdDB ≤ 0 disables §4 power control entirely,
+// so a joiner keeps PowerScale 1 even when its raw power at the
+// incumbent's receiver is enormous.
+func TestAdmissionCheckDisabledAtZeroThreshold(t *testing.T) {
+	run := func(threshold float64) float64 {
+		rng := rand.New(rand.NewSource(61))
+		flows, p := trioProvider(rng, 40, 0) // strong links
+		sc := newScenario(p, 261)
+		sc.JoinThresholdDB = threshold
+		a1, err := sc.PlanJoin(flows[0], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		j, err := sc.PlanJoin(flows[2], []*Active{a1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return j.PowerScale
+	}
+	if s := run(27); s >= 1 {
+		t.Fatalf("L=27 dB at 40 dB SNR should reduce power, got scale %g", s)
+	}
+	if s := run(0); s != 1 {
+		t.Fatalf("L=0 must disable the admission check, got scale %g", s)
+	}
+	if math.IsNaN(run(27)) {
+		t.Fatal("power scale NaN")
+	}
+}
+
+// TestConjTransposeMulVecMatchesExplicit pins the transpose-free
+// kernels against their explicit counterparts.
+func TestConjTransposeMulVecMatchesExplicit(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	m := cmplxmat.New(3, 2)
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 2; j++ {
+			m.SetAt(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	v := make(cmplxmat.Vector, 3)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	got := m.ConjTransposeMulVec(v)
+	want := m.ConjTranspose().MulVec(v)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("entry %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}

@@ -3,6 +3,7 @@ package mimo
 import (
 	"errors"
 	"fmt"
+	"math/cmplx"
 
 	"nplus/internal/cmplxmat"
 )
@@ -13,11 +14,15 @@ import (
 // (perfectly aligned) interference, then inverts the effective
 // channel of its n wanted streams inside that space.
 type Decoder struct {
-	n      int              // receive antennas
-	uPerp  *cmplxmat.Matrix // N×d decoding space basis (d ≥ n)
-	wanted *cmplxmat.Matrix // N×n effective channels of wanted streams
-	a      *cmplxmat.Matrix // d×n projected effective channel U⊥ᴴ·Hw
-	pinv   *cmplxmat.Matrix // n×d left inverse of a
+	n       int // receive antennas
+	streams int // wanted streams
+	// g = A⁺·U⊥ᴴ (n×N): row i is the full zero-forcing combiner of
+	// stream i acting on the raw antennas. Precomputed once — PostSINR
+	// is called per stream per bin per delivery, and rebuilding this
+	// product there dominated the planner profile.
+	g *cmplxmat.Matrix
+	// gNormSq[i] caches ‖row i of g‖².
+	gNormSq []float64
 }
 
 // NewDecoder builds a decoder. uPerp may be nil, meaning the receiver
@@ -33,10 +38,7 @@ func NewDecoder(n int, uPerp *cmplxmat.Matrix, wanted []cmplxmat.Vector) (*Decod
 	if len(wanted) == 0 {
 		return nil, errors.New("mimo: decoder with no wanted streams")
 	}
-	if uPerp == nil {
-		uPerp = cmplxmat.Identity(n)
-	}
-	if uPerp.Rows() != n {
+	if uPerp != nil && uPerp.Rows() != n {
 		return nil, fmt.Errorf("mimo: U⊥ has %d rows for %d antennas", uPerp.Rows(), n)
 	}
 	for i, h := range wanted {
@@ -44,20 +46,58 @@ func NewDecoder(n int, uPerp *cmplxmat.Matrix, wanted []cmplxmat.Vector) (*Decod
 			return nil, fmt.Errorf("mimo: wanted stream %d channel has %d entries for %d antennas", i, len(h), n)
 		}
 	}
-	if len(wanted) > uPerp.Cols() {
-		return nil, fmt.Errorf("mimo: %d wanted streams exceed %d decoding dimensions", len(wanted), uPerp.Cols())
+	dims := n
+	if uPerp != nil {
+		dims = uPerp.Cols()
+	}
+	if len(wanted) > dims {
+		return nil, fmt.Errorf("mimo: %d wanted streams exceed %d decoding dimensions", len(wanted), dims)
+	}
+	if uPerp == nil && len(wanted) == 1 {
+		// Full-space single-stream receiver (the most common decoder
+		// in contention-heavy runs): g = hᴴ/‖h‖² directly, identical
+		// to the matrix pipeline below without its intermediates.
+		h := wanted[0]
+		var gram complex128
+		for _, x := range h {
+			gram += cmplx.Conj(x) * x
+		}
+		if gram == 0 {
+			return nil, fmt.Errorf("mimo: wanted streams not separable in decoding space: zero channel")
+		}
+		inv := 1 / gram
+		g := cmplxmat.New(1, n)
+		row := g.RowView(0)
+		for i, x := range h {
+			row[i] = inv * cmplx.Conj(x)
+		}
+		return &Decoder{n: n, streams: 1, g: g, gNormSq: []float64{row.NormSq()}}, nil
 	}
 	hw := cmplxmat.ColumnsToMatrix(wanted)
-	a := uPerp.ConjTranspose().Mul(hw)
+	// With no unwanted space (nil uPerp, the full-space receiver of a
+	// first contention winner — the common case on an idle medium)
+	// U⊥ = I, so A = Hw and g = A⁺ directly.
+	a := hw
+	if uPerp != nil {
+		a = uPerp.ConjTranspose().Mul(hw)
+	}
 	pinv, err := cmplxmat.PseudoInverse(a)
 	if err != nil {
 		return nil, fmt.Errorf("mimo: wanted streams not separable in decoding space: %w", err)
 	}
-	return &Decoder{n: n, uPerp: uPerp, wanted: hw, a: a, pinv: pinv}, nil
+	g := pinv
+	if uPerp != nil {
+		g = pinv.Mul(uPerp.ConjTranspose())
+	}
+	gNormSq := make([]float64, g.Rows())
+	for i := range gNormSq {
+		gNormSq[i] = g.RowView(i).NormSq()
+	}
+	return &Decoder{n: n, streams: len(wanted), g: g, gNormSq: gNormSq}, nil
 }
 
 // NumStreams returns the number of wanted streams.
-func (d *Decoder) NumStreams() int { return d.a.Cols() }
+func (d *Decoder) NumStreams() int { return d.streams }
 
 // Decode recovers the n wanted symbols from one received N-vector:
 // x̂ = A⁺·U⊥ᴴ·y.
@@ -65,8 +105,7 @@ func (d *Decoder) Decode(y cmplxmat.Vector) (cmplxmat.Vector, error) {
 	if len(y) != d.n {
 		return nil, fmt.Errorf("mimo: received vector has %d entries for %d antennas", len(y), d.n)
 	}
-	proj := d.uPerp.ConjTranspose().MulVec(y)
-	return d.pinv.MulVec(proj), nil
+	return d.g.MulVec(y), nil
 }
 
 // DecodeBlock decodes per-antenna sample streams: samples[a][t] →
@@ -122,8 +161,8 @@ func (d *Decoder) PostSINR(i int, noisePower float64, leakage []cmplxmat.Vector)
 		return 0, fmt.Errorf("mimo: stream %d out of range", i)
 	}
 	// g = row i of A⁺·U⊥ᴴ (an N-vector acting on the raw antennas).
-	g := d.pinv.Mul(d.uPerp.ConjTranspose()).Row(i)
-	den := noisePower * g.NormSq()
+	g := d.g.RowView(i)
+	den := noisePower * d.gNormSq[i]
 	for _, l := range leakage {
 		if len(l) != d.n {
 			return 0, fmt.Errorf("mimo: leakage vector has %d entries for %d antennas", len(l), d.n)

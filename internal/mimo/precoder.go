@@ -38,6 +38,13 @@ type OngoingReceiver struct {
 	// per Claim 3.1 the transmitter must then null at this receiver,
 	// which is equivalent to UPerp = I.
 	UPerp *cmplxmat.Matrix
+
+	// Rows optionally carries precomputed ConstraintRows (U⊥ᴴ·H).
+	// The product depends only on the receiver's advertised space and
+	// the attempt's channel estimate, so a planner evaluating many
+	// candidate plans against the same incumbents computes it once
+	// and shares it here. Must never be mutated after being set.
+	Rows *cmplxmat.Matrix
 }
 
 // ConstraintRows returns the rows this receiver contributes to Eq. 7:
@@ -45,6 +52,9 @@ type OngoingReceiver struct {
 // linear equation a pre-coding vector must annihilate (Claims 3.3 and
 // 3.4).
 func (r OngoingReceiver) ConstraintRows() (*cmplxmat.Matrix, error) {
+	if r.Rows != nil {
+		return r.Rows, nil
+	}
 	if r.H == nil {
 		return nil, errors.New("mimo: OngoingReceiver with nil channel")
 	}
@@ -209,25 +219,39 @@ func ComputePrecoder(m int, ongoing []OngoingReceiver, own []OwnReceiver) (*Prec
 			}
 			blocks = append(blocks, rows)
 		}
-		var constraint *cmplxmat.Matrix
-		if len(blocks) == 0 {
-			constraint = cmplxmat.New(0, m)
-		} else {
-			constraint = cmplxmat.VStack(blocks...)
-		}
-		basis := cmplxmat.NullSpace(constraint, 0)
-		if basis.Cols() < dst.Streams {
-			return nil, fmt.Errorf("mimo: own receiver %d: %d free dimensions for %d streams", i, basis.Cols(), dst.Streams)
+		// With no constraints at all (a lone winner on an idle medium
+		// serving one receiver — the dominant contention case) the
+		// null space is the full transmit space and the basis columns
+		// are the canonical unit vectors, so the QR machinery can be
+		// skipped entirely; the values are identical.
+		var basis *cmplxmat.Matrix
+		if len(blocks) > 0 {
+			basis = cmplxmat.NullSpace(cmplxmat.VStack(blocks...), 0)
+			if basis.Cols() < dst.Streams {
+				return nil, fmt.Errorf("mimo: own receiver %d: %d free dimensions for %d streams", i, basis.Cols(), dst.Streams)
+			}
+		} else if dst.Streams > m {
+			// The constraint-free null space is the full m-dimensional
+			// transmit space.
+			return nil, fmt.Errorf("mimo: own receiver %d: %d free dimensions for %d streams", i, m, dst.Streams)
 		}
 		for s := 0; s < dst.Streams; s++ {
-			v := basis.Col(s)
+			var v cmplxmat.Vector
+			var eff cmplxmat.Vector
+			if basis == nil {
+				v = make(cmplxmat.Vector, m)
+				v[s] = 1
+				eff = dst.H.Col(s) // H·e_s
+			} else {
+				v = basis.Col(s)
+				eff = dst.H.MulVec(v)
+			}
 			// Deliverability check: the stream must be visible in the
 			// receiver's decoding space (the identity block of Eq. 7).
-			eff := dst.H.MulVec(v)
 			if dst.UPerp != nil {
-				eff = dst.UPerp.ConjTranspose().MulVec(eff)
+				eff = dst.UPerp.ConjTransposeMulVec(eff)
 			}
-			if cmplxmat.Vector(eff).Norm() < 1e-9 {
+			if eff.Norm() < 1e-9 {
 				return nil, fmt.Errorf("mimo: own receiver %d stream %d lands entirely in its unwanted space", i, s)
 			}
 			p.Vectors = append(p.Vectors, v)

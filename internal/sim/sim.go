@@ -26,6 +26,10 @@ type EventHandle struct{ ev *event }
 // Cancelled reports whether the event was cancelled.
 func (h *EventHandle) Cancelled() bool { return h.ev.idx == -2 }
 
+// Live reports whether the event is still scheduled — neither fired
+// nor cancelled. A nil handle is not live.
+func (h *EventHandle) Live() bool { return h != nil && h.ev.idx >= 0 }
+
 type eventHeap []*event
 
 func (h eventHeap) Len() int { return len(h) }

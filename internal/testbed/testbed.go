@@ -145,13 +145,16 @@ func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec) (*Deployment,
 			maxAnt = n.Antennas
 		}
 	}
+	// Pre-size the pairwise maps: n·(n−1) ordered pairs would force
+	// repeated rehashing on large deployments.
+	pairs := len(nodes) * (len(nodes) - 1)
 	return &Deployment{
 		tb:       tb,
-		Nodes:    make(map[mac.NodeID]NodeSpec),
-		Position: make(map[mac.NodeID]Point),
+		Nodes:    make(map[mac.NodeID]NodeSpec, len(nodes)),
+		Position: make(map[mac.NodeID]Point, len(nodes)),
 		calib:    channel.NewCalibration(rng, maxAnt, tb.Cfg.EstFloor),
-		chans:    make(map[[2]mac.NodeID]*channel.MIMO),
-		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix),
+		chans:    make(map[[2]mac.NodeID]*channel.MIMO, pairs),
+		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix, pairs),
 	}, nil
 }
 
@@ -239,9 +242,9 @@ func (d *Deployment) Channel(from, to mac.NodeID) []*cmplxmat.Matrix {
 		panic(fmt.Sprintf("testbed: no channel %d→%d", from, to))
 	}
 	bins := d.tb.params.DataBins()
-	out := make([]*cmplxmat.Matrix, len(bins))
+	out := cmplxmat.NewBatch(len(bins), ch.N, ch.M)
 	for k, bin := range bins {
-		out[k] = ch.FreqResponse(bin, d.tb.params.FFTSize)
+		ch.FreqResponseInto(out[k], bin, d.tb.params.FFTSize)
 	}
 	d.freq[key] = out
 	return out
@@ -252,12 +255,15 @@ func (d *Deployment) Channel(from, to mac.NodeID) []*cmplxmat.Matrix {
 // preamble-SNR-dependent noise.
 func (d *Deployment) Estimate(from, to mac.NodeID, rng *rand.Rand) []*cmplxmat.Matrix {
 	truth := d.Channel(from, to)
-	out := make([]*cmplxmat.Matrix, len(truth))
+	if len(truth) == 0 {
+		return nil
+	}
+	out := cmplxmat.NewBatch(len(truth), truth[0].Rows(), truth[0].Cols())
 	// Preamble SNR at the estimating node: the reverse-link preamble
 	// power over the noise floor.
 	preambleSNR := channel.FromDB(d.tb.Cfg.TxPowerDB) * meanGainOf(truth)
 	for k, h := range truth {
-		out[k] = channel.PerturbEstimate(rng, h, preambleSNR, d.tb.Cfg.EstGain, d.tb.Cfg.EstFloor)
+		channel.PerturbEstimateInto(rng, h, out[k], preambleSNR, d.tb.Cfg.EstGain, d.tb.Cfg.EstFloor)
 	}
 	return out
 }
