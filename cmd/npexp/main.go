@@ -1,23 +1,32 @@
 // Command npexp regenerates the paper's evaluation figures through
-// the parallel experiment engine. Experiments are enumerated from the
-// exp registry, so a newly registered experiment shows up here with
-// no driver changes.
+// the parallel experiment engine, and runs declarative runspec sweeps
+// as batch jobs. Experiments are enumerated from the exp registry, so
+// a newly registered experiment shows up here with no driver changes.
 //
 // Usage:
 //
 //	npexp -exp fig9             # carrier sense (Fig. 9a/9b)
 //	npexp -exp fig12 -workers 8 # trio throughput CDFs on 8 workers
 //	npexp -exp all              # everything registered
+//	npexp -exp delayload -json  # structured result as JSON
+//	npexp -spec sweep.json -json  # runspec grid → one Report per line (JSONL)
 //	npexp -list                 # names and descriptions
+//
+// With -spec, the shared knobs (-seed, -topo, -traffic, -nodes,
+// -duration, -epochs) override the sweep's base spec field-for-field
+// when explicitly passed; -trials/-placements have no spec
+// counterpart and are rejected.
 //
 // -placements / -epochs / -trials / -seed scale the experiments (each
 // experiment applies the knobs it understands); the defaults
-// reproduce the paper's shapes in a couple of minutes. Results are
-// bit-identical at any -workers value: trial i always derives its RNG
-// from hash(seed, i).
+// reproduce the paper's shapes in a couple of minutes. Only flags the
+// user actually passed are applied, so an explicit -seed 0 really
+// runs seed 0. Results are bit-identical at any -workers value: trial
+// i always derives its RNG from hash(seed, i).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -25,18 +34,21 @@ import (
 
 	_ "nplus/internal/core" // registers the paper's experiments
 	"nplus/internal/exp"
+	"nplus/internal/runspec"
 )
 
 func main() {
 	names := strings.Join(exp.Names(), ", ")
 	expName := flag.String("exp", "all", "experiment to run: all, or one of: "+names)
 	fig := flag.String("fig", "", "deprecated alias for -exp (accepts 9 for fig9, etc.)")
+	specPath := flag.String("spec", "", "runspec file (single spec or sweep): run it through the parallel engine")
+	jsonOut := flag.Bool("json", false, "emit structured results as JSON (JSONL for -spec sweeps)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")
 	placements := flag.Int("placements", 0, "random placements (0 = default per experiment)")
 	epochs := flag.Int("epochs", 0, "contention rounds per placement (0 = default)")
 	trials := flag.Int("trials", 0, "trials for fig9 / overhead (0 = default)")
-	seed := flag.Int64("seed", 0, "base seed (0 = default)")
+	seed := flag.Int64("seed", 0, "base seed (0 = default unless passed explicitly)")
 	topoName := flag.String("topo", "", "topology generator for workload experiments (empty = default)")
 	trafficName := flag.String("traffic", "", "traffic model for workload experiments (empty = default)")
 	nodes := flag.Int("nodes", 0, "generated topology size (0 = default)")
@@ -47,6 +59,50 @@ func main() {
 		for _, e := range exp.All() {
 			fmt.Printf("%-10s %s\n", e.Name(), e.Description())
 		}
+		return
+	}
+
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	if *specPath != "" {
+		if set["exp"] || set["fig"] {
+			fmt.Fprintln(os.Stderr, "npexp: -spec and -exp/-fig are mutually exclusive")
+			os.Exit(2)
+		}
+		// Registry-experiment knobs have no spec-field counterpart;
+		// reject them rather than silently dropping them.
+		if set["trials"] || set["placements"] {
+			fmt.Fprintln(os.Stderr, "npexp: -trials/-placements are registry-experiment knobs; a sweep's size is its grid")
+			os.Exit(2)
+		}
+		sw, err := runspec.LoadSweep(*specPath)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "npexp: %v\n", err)
+			os.Exit(1)
+		}
+		// Explicitly-passed flags override the base spec
+		// field-for-field, exactly as npsim treats its spec file.
+		if set["topo"] {
+			sw.Base.Topo = *topoName
+			sw.Base.Scenario = ""
+		}
+		if set["traffic"] {
+			sw.Base.Traffic = *trafficName
+		}
+		if set["nodes"] {
+			sw.Base.Nodes = *nodes
+		}
+		if set["duration"] {
+			sw.Base.DurationS = *duration
+		}
+		if set["epochs"] {
+			sw.Base.Epochs = *epochs
+		}
+		if set["seed"] {
+			sw.Base.Seed = seed
+		}
+		runSweep(sw, *workers, *jsonOut)
 		return
 	}
 
@@ -77,13 +133,22 @@ func main() {
 		selected = []exp.Experiment{e}
 	}
 
+	// flag.Visit marks explicitly-passed knobs so zero values apply:
+	// the old nonzero convention made -seed 0 inexpressible.
 	o := exp.Overrides{
 		Trials: *trials, Placements: *placements, Epochs: *epochs, Seed: *seed,
 		Topo: *topoName, Traffic: *trafficName, Nodes: *nodes, Duration: *duration,
+		Set: exp.OverrideSet{
+			Trials: set["trials"], Placements: set["placements"], Epochs: set["epochs"],
+			Seed: set["seed"], Topo: set["topo"], Traffic: set["traffic"],
+			Nodes: set["nodes"], Duration: set["duration"],
+		},
 	}
 	runner := &exp.Runner{Workers: *workers}
 	for _, e := range selected {
-		fmt.Printf("==== %s: %s ====\n", e.Name(), e.Description())
+		if !*jsonOut {
+			fmt.Printf("==== %s: %s ====\n", e.Name(), e.Description())
+		}
 		cfg := e.DefaultConfig()
 		if c, ok := cfg.(exp.Configurable); ok {
 			cfg = c.WithOverrides(o)
@@ -93,6 +158,40 @@ func main() {
 			fmt.Fprintf(os.Stderr, "npexp: %s: %v\n", e.Name(), err)
 			os.Exit(1)
 		}
+		if *jsonOut {
+			// The structured payload of every registered experiment:
+			// results are plain structs (CDFs serialize as summaries),
+			// one envelope object per experiment.
+			data, err := json.MarshalIndent(map[string]any{
+				"experiment": e.Name(),
+				"result":     res,
+			}, "", "  ")
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "npexp: %s: marshal: %v\n", e.Name(), err)
+				os.Exit(1)
+			}
+			fmt.Println(string(data))
+			continue
+		}
 		fmt.Println(res.Render())
 	}
+}
+
+// runSweep executes a declarative sweep through the parallel runner:
+// JSONL (one Report per line) with -json, the summary table
+// otherwise.
+func runSweep(sw runspec.Sweep, workers int, jsonOut bool) {
+	res, err := runspec.RunSweep(sw, workers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npexp: %v\n", err)
+		os.Exit(1)
+	}
+	if jsonOut {
+		if err := res.WriteJSONL(os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "npexp: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	fmt.Print(res.Render())
 }

@@ -2,7 +2,16 @@
 // the core registry (the Fig. 3 trio, the Fig. 4 downlink) or a
 // generated topology from the topo registry (uniform-disk / grid
 // placement, ad-hoc or AP-uplink pairing, 50–500 nodes) — under a
-// chosen MAC and traffic model, and prints per-flow results.
+// chosen MAC and traffic model, and reports structured per-flow
+// results.
+//
+// Every run is described by a declarative runspec.Spec: either loaded
+// from a JSON file with -spec, or assembled from the flags below.
+// Flags given alongside -spec override the file field-for-field, and
+// only flags the user actually passed apply — so `-seed 0` means seed
+// zero, not "use the default". A knob the resolved configuration
+// cannot consume (e.g. -rate under saturated traffic, -epochs with
+// the event-driven protocol) is rejected, never silently dropped.
 //
 // With the default saturated traffic, scenarios use the fast
 // epoch-based evaluation (the paper's §6.3 methodology) and -trace
@@ -14,23 +23,21 @@
 // Usage:
 //
 //	npsim -scenario trio -mode nplus -seed 4
-//	npsim -scenario trio -trace -duration 0.05
-//	npsim -scenario downlink -traffic poisson -rate 600 -duration 0.2
-//	npsim -topo disk-uplink -nodes 200 -traffic poisson -rate 100 -mode nplus
+//	npsim -spec examples/specs/uplink200.json -json
+//	npsim -spec examples/specs/trio.json -mode 80211n
+//	npsim -topo disk-uplink -nodes 200 -traffic poisson -rate 100
 //	npsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"sort"
 	"strings"
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
-	"nplus/internal/stats"
+	"nplus/internal/runspec"
 	"nplus/internal/topo"
 	"nplus/internal/traffic"
 )
@@ -40,18 +47,21 @@ func main() {
 	topoNames := strings.Join(topo.Names(), ", ")
 	trafficNames := strings.Join(traffic.Names(), ", ")
 	modeNames := strings.Join(mac.ModeNames(), ", ")
-	scenario := flag.String("scenario", "trio", "hand-built deployment, one of: "+scenarioNames)
+	specPath := flag.String("spec", "", "declarative run spec (JSON file); other flags override its fields")
+	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON instead of the text view")
+	scenario := flag.String("scenario", runspec.DefaultScenario, "hand-built deployment, one of: "+scenarioNames)
 	topoName := flag.String("topo", "", "generated deployment instead of -scenario, one of: "+topoNames)
-	nodes := flag.Int("nodes", 50, "generated topology size (with -topo)")
+	nodes := flag.Int("nodes", runspec.DefaultNodes, "generated topology size (with -topo)")
 	trafficName := flag.String("traffic", traffic.Saturated, "arrival model, one of: "+trafficNames)
-	rate := flag.Float64("rate", 400, "mean per-flow arrival rate, packets/s (open-loop models)")
-	queueCap := flag.Int("queue", 64, "per-station packet queue bound (open-loop models)")
-	modeName := flag.String("mode", "nplus", "MAC variant, one of: "+modeNames)
+	rate := flag.Float64("rate", runspec.DefaultRatePPS, "mean per-flow arrival rate, packets/s (open-loop models)")
+	queueCap := flag.Int("queue", runspec.DefaultQueueCap, "per-station packet queue bound (open-loop models)")
+	modeName := flag.String("mode", runspec.DefaultMode, "MAC variant, one of: "+modeNames)
+	engine := flag.String("engine", "", "execution engine: epoch, protocol (default: auto)")
 	list := flag.Bool("list", false, "list registered scenarios, topologies, traffic models, and modes, then exit")
-	seed := flag.Int64("seed", 4, "placement seed")
-	epochs := flag.Int("epochs", 200, "contention rounds (epoch mode)")
+	seed := flag.Int64("seed", runspec.DefaultSeed, "placement seed")
+	epochs := flag.Int("epochs", runspec.DefaultEpochs, "contention rounds (epoch engine)")
 	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
-	duration := flag.Float64("duration", 0.1, "virtual seconds (protocol mode)")
+	duration := flag.Float64("duration", runspec.DefaultDuration, "virtual seconds (protocol engine)")
 	flag.Parse()
 
 	if *list {
@@ -79,147 +89,110 @@ func main() {
 		return
 	}
 
-	mode, err := mac.ParseMode(*modeName)
+	// set records which flags the user actually passed: only those
+	// override the spec file, and an explicit zero (e.g. -seed 0)
+	// stays explicit.
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+
+	var spec runspec.Spec
+	if *specPath != "" {
+		var err error
+		spec, err = runspec.LoadSpec(*specPath)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
+	if set["scenario"] && set["topo"] {
+		usagef("-scenario and -topo are mutually exclusive")
+	}
+	if set["scenario"] {
+		spec.Scenario = *scenario
+		spec.Topo = ""
+	}
+	if set["topo"] {
+		spec.Topo = *topoName
+		spec.Scenario = ""
+	}
+	if set["nodes"] {
+		spec.Nodes = *nodes
+	}
+	if set["traffic"] {
+		spec.Traffic = *trafficName
+	}
+	if set["rate"] {
+		spec.RatePPS = *rate
+	}
+	if set["queue"] {
+		spec.QueueCap = *queueCap
+	}
+	if set["mode"] {
+		spec.Mode = *modeName
+	}
+	if set["engine"] {
+		spec.Engine = *engine
+	}
+	if set["seed"] {
+		spec.Seed = seed
+	}
+	if set["epochs"] {
+		spec.Epochs = *epochs
+	}
+	if set["duration"] {
+		spec.DurationS = *duration
+	}
+	if *trace && *jsonOut {
+		usagef("-trace and -json are mutually exclusive (the MAC trace is a text view)")
+	}
+	if *trace && spec.Engine == "" {
+		// The MAC trace only exists on the event-driven path; an
+		// explicitly requested epoch engine is a contradiction that
+		// RunTraced rejects rather than silently overriding.
+		spec.Engine = runspec.EngineProtocol
+	}
+
+	norm, err := spec.Normalized()
 	if err != nil {
 		usagef("%v", err)
 	}
-	if _, ok := traffic.ByName(*trafficName); !ok {
-		usagef("unknown traffic model %q (have: %s)", *trafficName, trafficNames)
+	if *trace && norm.Engine != runspec.EngineProtocol {
+		usagef("-trace needs the protocol engine (spec pins engine %q)", norm.Engine)
 	}
 
-	var net *core.Network
-	var label string
-	if *topoName != "" {
-		spec, ok := topo.ByName(*topoName)
-		if !ok {
-			usagef("unknown topology generator %q (have: %s)", *topoName, topoNames)
+	if !*jsonOut {
+		dep := "scenario " + norm.Scenario
+		if norm.Topo != "" {
+			dep = fmt.Sprintf("topology %s (%d nodes)", norm.Topo, norm.Nodes)
 		}
-		layout, err := spec.Generate(topo.GenConfig{Nodes: *nodes}, rand.New(rand.NewSource(*seed)))
-		if err != nil {
-			fatalf("%v", err)
-		}
-		net, err = core.NewNetworkFromLayout(*seed, layout, core.DefaultOptions())
-		if err != nil {
-			fatalf("%v", err)
-		}
-		label = fmt.Sprintf("topology %s (%d nodes, %d flows)", spec.Name, len(layout.Nodes), len(layout.Links))
-	} else {
-		spec, ok := core.ScenarioByName(*scenario)
-		if !ok {
-			usagef("unknown scenario %q (have: %s)", *scenario, scenarioNames)
-		}
-		n, l := spec.Build()
-		net, err = core.NewNetwork(*seed, n, l, core.DefaultOptions())
-		if err != nil {
-			fatalf("%v", err)
-		}
-		label = "scenario " + spec.Name
-	}
-	fmt.Printf("%s, mode %v, traffic %s, seed %d\n", label, mode, *trafficName, *seed)
-	if len(net.Flows) <= 24 {
-		for _, f := range net.Flows {
-			fmt.Printf("  flow %d: node %d (%d ant) → node %d (%d ant), link SNR %.1f dB\n",
-				f.ID, f.Tx, f.TxAntennas, f.Rx, f.RxAntennas, net.Deployment.LinkSNRDB(f.Tx, f.Rx))
-		}
+		fmt.Printf("%s, mode %s, traffic %s, engine %s, seed %d\n",
+			dep, norm.Mode, norm.Traffic, norm.Engine, norm.SeedValue())
 	}
 
-	// Generated topologies and open-loop traffic run the event-driven
-	// protocol; saturated hand-built scenarios keep the faster
-	// epoch-based evaluation unless a trace was asked for.
-	if *topoName != "" || *trafficName != traffic.Saturated || *trace {
-		runProtocol(net, mode, *trafficName, *rate, *queueCap, *duration, *trace)
+	rep, tr, err := runspec.RunTraced(norm, *trace)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *jsonOut {
+		data, err := rep.JSON()
+		if err != nil {
+			fatalf("%v", err)
+		}
+		fmt.Println(string(data))
 		return
 	}
-
-	res, err := net.RunEpochs(mode, *epochs)
-	if err != nil {
-		fatalf("%v", err)
-	}
-	t := &stats.Table{Header: []string{"flow", "Mb/s", "wins", "joins", "loss", "SNR loss dB"}}
-	for _, id := range res.SortedFlowIDs() {
-		s := res.PerFlow[id]
-		t.AddRow(fmt.Sprint(id), stats.F(s.ThroughputMbps(res.Elapsed)),
-			fmt.Sprint(s.Wins), fmt.Sprint(s.Joins),
-			fmt.Sprintf("%.1f%%", 100*s.LossRate()),
-			stats.F(res.SNRLossDB[id]))
-	}
-	fmt.Println()
-	fmt.Print(t.String())
-	fmt.Printf("\ntotal: %.2f Mb/s over %.2f s of medium time\n", res.TotalThroughputMbps(), res.Elapsed)
-}
-
-// runProtocol executes the event-driven MAC under the chosen traffic
-// model and prints throughput, delay, drop, and fairness results.
-func runProtocol(net *core.Network, mode mac.Mode, model string, rate float64, queueCap int, duration float64, trace bool) {
-	perFlow, tr, err := net.RunTrafficProtocol(core.TrafficRun{
-		Mode:     mode,
-		Duration: duration,
-		Model:    model,
-		RatePPS:  rate,
-		QueueCap: queueCap,
-		Trace:    trace,
-	})
-	if err != nil {
-		fatalf("%v", err)
-	}
-	if trace {
+	if *trace && tr != nil {
 		fmt.Println("\nMAC trace:")
 		fmt.Print(tr.String())
 	}
-
-	ids := make([]int, 0, len(perFlow))
-	for id := range perFlow {
-		ids = append(ids, id)
-	}
-	sort.Ints(ids)
-	var tputs, delays []float64
-	var arrivals, drops, served, wins, joins int64
-	for _, id := range ids {
-		fs := perFlow[id]
-		tputs = append(tputs, fs.ThroughputMbps(duration))
-		delays = append(delays, fs.Delays...)
-		arrivals += fs.Arrivals
-		drops += fs.Drops
-		served += fs.Served
-		wins += fs.Wins
-		joins += fs.Joins
-	}
-
-	openLoop := model != traffic.Saturated
-	if len(ids) <= 24 {
-		header := []string{"flow", "Mb/s", "wins", "joins"}
-		if openLoop {
-			header = append(header, "served", "drop%", "p95 ms")
-		}
-		t := &stats.Table{Header: header}
-		for i, id := range ids {
-			fs := perFlow[id]
-			row := []string{fmt.Sprint(id), stats.F(tputs[i]), fmt.Sprint(fs.Wins), fmt.Sprint(fs.Joins)}
-			if openLoop {
-				row = append(row, fmt.Sprint(fs.Served),
-					fmt.Sprintf("%.1f%%", 100*fs.DropRate()),
-					stats.F(stats.SummarizeDelays(fs.Delays).P95*1e3))
-			}
-			t.AddRow(row...)
-		}
-		fmt.Println()
-		fmt.Print(t.String())
-	}
-
-	total := 0.0
-	for _, x := range tputs {
-		total += x
-	}
-	fmt.Printf("\ntotal: %.2f Mb/s over %.2f s (%d flows, %d wins, %d joins)\n",
-		total, duration, len(ids), wins, joins)
-	fmt.Printf("Jain fairness: %.3f\n", stats.JainFairness(tputs))
-	if openLoop {
-		fmt.Printf("delay: %v\n", stats.SummarizeDelays(delays))
-		if arrivals > 0 {
-			fmt.Printf("packets: %d offered, %d served, %d dropped (%.1f%%)\n",
-				arrivals, served, drops, 100*float64(drops)/float64(arrivals))
+	if len(rep.Flows) <= 24 {
+		for _, f := range rep.Flows {
+			fmt.Printf("  flow %d: node %d (%d ant) → node %d (%d ant), link SNR %.1f dB\n",
+				f.ID, f.Tx, f.TxAntennas, f.Rx, f.RxAntennas, f.LinkSNRDB)
 		}
 	}
+	fmt.Println()
+	fmt.Print(rep.Render())
 }
 
 func fatalf(format string, args ...any) {
@@ -227,8 +200,8 @@ func fatalf(format string, args ...any) {
 	os.Exit(1)
 }
 
-// usagef reports a bad flag value (unknown registry name) with the
-// usage exit code.
+// usagef reports a bad flag or spec combination with the usage exit
+// code.
 func usagef(format string, args ...any) {
 	fmt.Fprintf(os.Stderr, "npsim: "+format+"\n", args...)
 	os.Exit(2)

@@ -1,66 +1,48 @@
-// Quickstart: the paper's Fig. 2 in thirty lines of API.
+// Quickstart: the declarative runspec API in thirty lines.
 //
-// A single-antenna pair (tx1→rx1) occupies the medium. A two-antenna
-// pair (tx2→rx2) wants to transmit concurrently. tx2 computes a
-// pre-coding vector that nulls its signal at rx1 (so rx1 never
-// notices it) while remaining visible at rx2, which decodes it by
-// projecting orthogonal to tx1's interference.
+// One serializable Spec describes a complete run — deployment,
+// traffic, MAC mode, engine, seed — and runspec.Run returns a typed
+// Report. The same spec round-trips through JSON unchanged, which is
+// exactly what `npsim -spec file.json -json` does; equal specs always
+// produce byte-identical reports. (The signal-level walk through the
+// paper's Fig. 2 nulling/alignment math lives in
+// examples/carriersense and examples/heterogeneous.)
 //
 // Run: go run ./examples/quickstart
 package main
 
 import (
+	"encoding/json"
 	"fmt"
 	"log"
-	"math/rand"
 
-	"nplus/internal/channel"
-	"nplus/internal/cmplxmat"
-	"nplus/internal/mimo"
+	"nplus/internal/runspec"
 )
 
 func main() {
-	rng := rand.New(rand.NewSource(42))
+	// The paper's Fig. 3 trio — 1/2/3-antenna pairs contending under
+	// n+ — evaluated with the epoch methodology of §6.3.
+	spec := runspec.Spec{
+		Scenario: "trio",
+		Mode:     "nplus",
+		Epochs:   200,
+	}
 
-	// Draw the three channels that matter on one OFDM subcarrier:
-	// tx2→rx1 (1×2: must be nulled), tx2→rx2 (2×2: carries the new
-	// stream), tx1→rx2 (2×1: existing interference at rx2).
-	h21 := channel.NewRayleigh(rng, 1, 2, channel.FlatProfile, 1).FreqResponse(0, 64)
-	h22 := channel.NewRayleigh(rng, 2, 2, channel.FlatProfile, 1).FreqResponse(0, 64)
-	h12 := channel.NewRayleigh(rng, 2, 1, channel.FlatProfile, 1).FreqResponse(0, 64)
-
-	// tx2 solves Eq. 7: protect rx1 (nulling — it has no unwanted
-	// dimension), deliver one stream to rx2.
-	pre, err := mimo.ComputePrecoder(2,
-		[]mimo.OngoingReceiver{{H: h21}},
-		[]mimo.OwnReceiver{{H: h22, Streams: 1}},
-	)
+	report, err := runspec.Run(spec)
 	if err != nil {
 		log.Fatal(err)
 	}
-	v := pre.Vectors[0]
-	fmt.Printf("pre-coding vector: [%.3f%+.3fi, %.3f%+.3fi]\n",
-		real(v[0]), imag(v[0]), real(v[1]), imag(v[1]))
 
-	// The null at rx1 is exact:
-	residual := cmplxmat.Vector(h21.MulVec(v)).Norm()
-	fmt.Printf("interference at rx1: %.2e (nulled)\n", residual)
+	// The text view is derived from the structured report...
+	fmt.Print(report.Render())
 
-	// Simultaneously, p from tx1 and q from tx2 arrive at rx2:
-	p, q := complex(1, -0.5), complex(-0.7, 0.3)
-	effQ := cmplxmat.Vector(h22.MulVec(v)) // q's effective channel
-	y := h12.Col(0).Scale(p).Add(effQ.Scale(q))
-
-	// rx2 projects orthogonal to tx1's direction and decodes q.
-	_, uPerp := mimo.UnwantedSpace(2, []cmplxmat.Vector{h12.Col(0)})
-	dec, err := mimo.NewDecoder(2, uPerp, []cmplxmat.Vector{effQ})
-	if err != nil {
-		log.Fatal(err)
+	// ...and the structure itself is the API: every metric is typed.
+	for _, f := range report.Flows {
+		fmt.Printf("flow %d (%d×%d antennas): %.2f Mb/s, %d joins\n",
+			f.ID, f.TxAntennas, f.RxAntennas, f.ThroughputMbps, f.Joins)
 	}
-	got, err := dec.Decode(y)
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("rx2 sent q = %v, decoded %v\n", q, got[0])
-	fmt.Println("two concurrent transmissions, zero coordination — that is 802.11n+.")
+
+	// Specs serialize; this JSON is a valid `npsim -spec` input.
+	data, _ := json.MarshalIndent(report.Spec, "", "  ")
+	fmt.Printf("\nreproduce with npsim -spec <<EOF\n%s\nEOF\n", data)
 }

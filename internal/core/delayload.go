@@ -80,22 +80,22 @@ func (c DelayLoadConfig) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c DelayLoadConfig) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Placements > 0 {
+	if o.HasPlacements() {
 		c.Placements = o.Placements
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
-	if o.Topo != "" {
+	if o.HasTopo() {
 		c.Topo = o.Topo
 	}
-	if o.Traffic != "" {
+	if o.HasTraffic() {
 		c.Traffic = o.Traffic
 	}
-	if o.Nodes > 0 {
+	if o.HasNodes() {
 		c.Nodes = o.Nodes
 	}
-	if o.Duration > 0 {
+	if o.HasDuration() {
 		c.Duration = o.Duration
 	}
 	return c

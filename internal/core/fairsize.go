@@ -73,26 +73,26 @@ func (c FairSizeConfig) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c FairSizeConfig) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Placements > 0 {
+	if o.HasPlacements() {
 		c.Placements = o.Placements
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
-	if o.Topo != "" {
+	if o.HasTopo() {
 		c.Topo = o.Topo
 	}
-	if o.Traffic != "" {
+	if o.HasTraffic() {
 		c.Traffic = o.Traffic
 		if c.RatePPS == 0 {
 			c.RatePPS = 400
 		}
 	}
-	if o.Nodes > 0 {
+	if o.HasNodes() {
 		// A single explicit size replaces the sweep.
 		c.Sizes = []int{o.Nodes}
 	}
-	if o.Duration > 0 {
+	if o.HasDuration() {
 		c.Duration = o.Duration
 	}
 	return c

@@ -43,10 +43,10 @@ func (c Fig11Config) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c Fig11Config) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Placements > 0 {
+	if o.HasPlacements() {
 		c.Placements = o.Placements
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
 	return c

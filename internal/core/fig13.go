@@ -42,13 +42,13 @@ func (c Fig13Config) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c Fig13Config) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Placements > 0 {
+	if o.HasPlacements() {
 		c.Placements = o.Placements
 	}
-	if o.Epochs > 0 {
+	if o.HasEpochs() {
 		c.Epochs = o.Epochs
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
 	return c

@@ -52,10 +52,10 @@ func (c Fig9Config) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c Fig9Config) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Trials > 0 {
+	if o.HasTrials() {
 		c.Trials = o.Trials
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
 	return c

@@ -219,19 +219,31 @@ type TrafficRun struct {
 	Trace    bool    // attach a protocol trace
 }
 
-// RunTrafficProtocol runs the event-driven protocol under open-loop
-// traffic and returns the per-flow statistics (throughput, delays,
-// drops) plus the trace (nil unless requested). The scenario salt
-// matches RunProtocol's, so a saturated TrafficRun reproduces the
-// backlogged run bit-for-bit.
-func (n *Network) RunTrafficProtocol(r TrafficRun) (map[int]*mac.FlowStats, *sim.Trace, error) {
+// TrafficResult is the structured outcome of one protocol run: the
+// per-flow statistics plus the medium-occupancy split the Report
+// layer turns into airtime/overhead fractions.
+type TrafficResult struct {
+	PerFlow map[int]*mac.FlowStats
+	// DataTime / OverheadTime are virtual seconds of medium occupancy
+	// (data windows vs handshake+ACK phases) over the run duration.
+	DataTime     float64
+	OverheadTime float64
+	// Trace is non-nil only when the run requested one.
+	Trace *sim.Trace
+}
+
+// RunTraffic runs the event-driven protocol under the given traffic
+// model and returns the structured result. The scenario salt matches
+// RunProtocol's, so a saturated TrafficRun reproduces the backlogged
+// run bit-for-bit.
+func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 	spec, ok := traffic.ByName(r.Model)
 	if !ok {
-		return nil, nil, fmt.Errorf("core: unknown traffic model %q (have %v)", r.Model, traffic.Names())
+		return nil, fmt.Errorf("core: unknown traffic model %q (have %v)", r.Model, traffic.Names())
 	}
 	sc, err := n.Scenario(int64(r.Mode) + 29)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	eng := sim.NewEngine(n.seed + 31)
 	var tr *sim.Trace
@@ -241,7 +253,7 @@ func (n *Network) RunTrafficProtocol(r TrafficRun) (map[int]*mac.FlowStats, *sim
 	}
 	proto, err := mac.NewProtocol(eng, sc, n.Flows, mac.DefaultEpochConfig(r.Mode))
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	var srcErr error
 	proto.SetTraffic(func(f mac.Flow) traffic.Source {
@@ -252,10 +264,22 @@ func (n *Network) RunTrafficProtocol(r TrafficRun) (map[int]*mac.FlowStats, *sim
 		return src
 	}, r.QueueCap)
 	if srcErr != nil {
-		return nil, nil, fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
+		return nil, fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
 	}
 	proto.Run(r.Duration)
-	return proto.Stats(), tr, nil
+	res := &TrafficResult{PerFlow: proto.Stats(), Trace: tr}
+	res.DataTime, res.OverheadTime = proto.MediumTime()
+	return res, nil
+}
+
+// RunTrafficProtocol is the historical map-returning form of
+// RunTraffic, kept for callers that only need per-flow statistics.
+func (n *Network) RunTrafficProtocol(r TrafficRun) (map[int]*mac.FlowStats, *sim.Trace, error) {
+	res, err := n.RunTraffic(r)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res.PerFlow, res.Trace, nil
 }
 
 // MinLinkSNRDB returns the weakest flow SNR in the deployment —

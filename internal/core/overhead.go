@@ -47,10 +47,10 @@ func (c OverheadConfig) Validate() error {
 
 // WithOverrides implements exp.Configurable.
 func (c OverheadConfig) WithOverrides(o exp.Overrides) exp.Config {
-	if o.Trials > 0 {
+	if o.HasTrials() {
 		c.Trials = o.Trials
 	}
-	if o.Seed != 0 {
+	if o.HasSeed() {
 		c.Seed = o.Seed
 	}
 	return c

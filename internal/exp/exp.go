@@ -31,6 +31,13 @@ type Config interface {
 // Overrides carries the command-line scaling knobs shared by the
 // drivers. Zero fields leave the corresponding config field at its
 // default; experiments apply only the knobs they understand.
+//
+// Because the zero value doubles as "keep the default", an explicit
+// zero (notably -seed 0) is inexpressible through the values alone.
+// Drivers that know which flags the user actually passed (via
+// flag.Visit) set the matching Set bools; configs consult the Has*
+// helpers, which treat either an explicit mark or a nonzero value as
+// present.
 type Overrides struct {
 	Trials     int
 	Placements int
@@ -42,7 +49,49 @@ type Overrides struct {
 	Traffic  string  // arrival model name
 	Nodes    int     // generated topology size
 	Duration float64 // virtual seconds per protocol run
+
+	// Set marks fields explicitly provided by the user, making
+	// explicit zeros expressible. Constructing Overrides with plain
+	// nonzero values and no Set marks keeps working.
+	Set OverrideSet
 }
+
+// OverrideSet mirrors Overrides field-for-field with presence bools.
+type OverrideSet struct {
+	Trials     bool
+	Placements bool
+	Epochs     bool
+	Seed       bool
+	Topo       bool
+	Traffic    bool
+	Nodes      bool
+	Duration   bool
+}
+
+// HasTrials reports whether the trial-count override applies.
+func (o Overrides) HasTrials() bool { return o.Set.Trials || o.Trials > 0 }
+
+// HasPlacements reports whether the placement-count override applies.
+func (o Overrides) HasPlacements() bool { return o.Set.Placements || o.Placements > 0 }
+
+// HasEpochs reports whether the epoch-count override applies.
+func (o Overrides) HasEpochs() bool { return o.Set.Epochs || o.Epochs > 0 }
+
+// HasSeed reports whether the seed override applies — explicitly
+// marked, or nonzero for callers that never fill Set.
+func (o Overrides) HasSeed() bool { return o.Set.Seed || o.Seed != 0 }
+
+// HasTopo reports whether the topology-generator override applies.
+func (o Overrides) HasTopo() bool { return o.Set.Topo || o.Topo != "" }
+
+// HasTraffic reports whether the traffic-model override applies.
+func (o Overrides) HasTraffic() bool { return o.Set.Traffic || o.Traffic != "" }
+
+// HasNodes reports whether the topology-size override applies.
+func (o Overrides) HasNodes() bool { return o.Set.Nodes || o.Nodes > 0 }
+
+// HasDuration reports whether the run-duration override applies.
+func (o Overrides) HasDuration() bool { return o.Set.Duration || o.Duration > 0 }
 
 // Configurable is implemented by configs that can absorb Overrides,
 // letting drivers scale any registered experiment without knowing its

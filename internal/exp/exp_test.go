@@ -212,3 +212,26 @@ func TestRegistry(t *testing.T) {
 	}()
 	Register(named{name: "zz-test-a"})
 }
+
+// An explicit zero override (the -seed 0 case) must be distinguishable
+// from "not provided": the Set marks carry presence, and the nonzero
+// convention still works for callers that never fill them.
+func TestOverridePresence(t *testing.T) {
+	var o Overrides
+	if o.HasSeed() || o.HasTrials() || o.HasTopo() || o.HasDuration() {
+		t.Fatal("zero Overrides reports fields as present")
+	}
+	o.Seed = 7
+	if !o.HasSeed() {
+		t.Fatal("nonzero seed not reported present (legacy convention)")
+	}
+	var zero Overrides
+	zero.Set.Seed = true
+	if !zero.HasSeed() || zero.Seed != 0 {
+		t.Fatal("explicitly marked seed 0 not expressible")
+	}
+	zero.Set.Nodes = true
+	if !zero.HasNodes() {
+		t.Fatal("explicitly marked nodes not reported present")
+	}
+}

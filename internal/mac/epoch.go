@@ -34,6 +34,13 @@ func DefaultEpochConfig(mode Mode) EpochConfig {
 type EpochResult struct {
 	PerFlow map[int]*FlowStats
 	Elapsed float64 // total virtual time across epochs
+	// DataTime and OverheadTime decompose Elapsed into medium time
+	// carrying data payloads and everything else (DIFS, backoff,
+	// handshakes, SIFS+ACK) — the airtime-utilization split structured
+	// reports expose. DataTime counts the primary window once; joiners
+	// transmit concurrently inside it.
+	DataTime     float64
+	OverheadTime float64
 	// SNRLossDB records, per flow, the average delivery-vs-join SINR
 	// loss of its receiver's first stream in dB — the residual
 	// interference the paper measures in §6.2 (0.8 dB nulling /
@@ -195,6 +202,7 @@ func runOneEpoch(sc *Scenario, res *EpochResult, groups map[NodeID][]Flow, order
 		actives = append(actives, group...)
 	}
 	if len(actives) == 0 {
+		res.OverheadTime += t.DIFS + backoff
 		return t.DIFS + backoff, nil
 	}
 
@@ -237,6 +245,8 @@ func runOneEpoch(sc *Scenario, res *EpochResult, groups map[NodeID][]Flow, order
 
 	// Epoch wall time: prelude + data + ACK phase (concurrent ACKs).
 	total := prelude + primaryDuration + t.SIFS + t.AckBodyDuration + t.DIFS
+	res.DataTime += primaryDuration
+	res.OverheadTime += total - primaryDuration
 	return total, nil
 }
 

@@ -43,6 +43,17 @@ type Protocol struct {
 	// only has the window from its join to the joint end, so its air
 	// time (and byte credit) must not count the primary's head start.
 	startOf map[*Active]float64
+	// dataTime / overheadTime decompose medium occupancy: data is the
+	// primary transmission window (joiners overlap it), overhead is
+	// primary handshakes plus the SIFS+ACK phase. Each interval is
+	// booked only when the event that ends it fires, so a run cut off
+	// mid-transmission never counts the unfinished window and the
+	// accumulated time always fits inside the run duration.
+	dataTime     float64
+	overheadTime float64
+	// curData is the committed data window of the in-flight joint
+	// transmission, booked by finish().
+	curData float64
 }
 
 type station struct {
@@ -135,6 +146,15 @@ func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (
 
 // Stats returns the per-flow statistics collected so far.
 func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
+
+// MediumTime returns the accumulated medium-occupancy split: data is
+// virtual seconds spent in completed data-transmission windows,
+// overhead is handshake plus completed ACK-phase time. A window the
+// run cut off mid-flight is not counted, so data+overhead never
+// exceeds the run duration; idle/backoff time is whatever remains.
+func (p *Protocol) MediumTime() (data, overhead float64) {
+	return p.dataTime, p.overheadTime
+}
 
 // SetTraffic switches stations from the fully backlogged model to
 // open-loop arrivals: newSource is called once per flow (a nil return
@@ -330,6 +350,7 @@ func (p *Protocol) win(st *station) {
 		bps := rate.DataRateMbps(p.Cfg.BandwidthMHz) * 1e6
 		dataDur := float64(p.Cfg.PacketBytes*8) / (bps * float64(totalStreams))
 		p.jointEnd = p.Eng.Now() + t.HandshakeOverhead() + dataDur
+		p.curData = dataDur
 		p.endHandle = p.Eng.ScheduleAt(p.jointEnd, p.finish)
 		p.Eng.Tracef("station %d (tx %d) wins primary contention: %d stream(s) at %v", st.id, st.tx, totalStreams, rate)
 	} else {
@@ -474,6 +495,9 @@ func (p *Protocol) finish() {
 		}
 	}
 	p.Eng.Tracef("joint transmission ends; ACK phase")
+	p.dataTime += p.curData
+	p.overheadTime += t.HandshakeOverhead()
+	p.curData = 0
 	p.actives = nil
 	p.activeOf = make(map[*station][]*Active)
 	p.startOf = make(map[*Active]float64)
@@ -482,7 +506,9 @@ func (p *Protocol) finish() {
 	// ACK phase then a new contention round for every station that
 	// still wants the medium (the index is id-sorted, so the order —
 	// and any RNG the armed events later draw — is deterministic).
+	// The ACK window is booked as overhead only once it completes.
 	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
+		p.overheadTime += t.SIFS + t.AckBodyDuration
 		for _, st := range p.contenders {
 			p.armCountdown(st)
 		}

@@ -1,0 +1,248 @@
+package runspec
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+
+	"nplus/internal/core"
+	"nplus/internal/mac"
+	"nplus/internal/stats"
+	"nplus/internal/traffic"
+)
+
+// Report is the structured outcome of one Spec run: typed per-flow
+// metrics plus network totals, all JSON-marshalable with stable field
+// order (flows are sorted by id, no maps), so equal runs produce
+// byte-identical encodings. Render is a plain-text view over the same
+// data — the text report is derived from the structure, never the
+// other way around.
+type Report struct {
+	// Spec is the normalized spec that produced this report — the
+	// run is fully reproducible from it.
+	Spec Spec `json:"spec"`
+	// ElapsedS is the virtual time throughput is measured over: the
+	// accumulated medium time for the epoch engine, the run duration
+	// for the protocol engine.
+	ElapsedS float64      `json:"elapsed_s"`
+	Flows    []FlowReport `json:"flows"`
+	Totals   Totals       `json:"totals"`
+}
+
+// FlowReport is one flow's metrics.
+type FlowReport struct {
+	ID         int     `json:"id"`
+	Tx         int     `json:"tx"`
+	Rx         int     `json:"rx"`
+	TxAntennas int     `json:"tx_antennas"`
+	RxAntennas int     `json:"rx_antennas"`
+	LinkSNRDB  float64 `json:"link_snr_db"`
+
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	Wins           int64   `json:"wins"`
+	Joins          int64   `json:"joins"`
+	SentPackets    int64   `json:"sent_packets"`
+	LostPackets    int64   `json:"lost_packets"`
+	LossRate       float64 `json:"loss_rate"`
+	// AvgStreams is the mean stream count per transmission this flow
+	// took part in (0 when it never transmitted).
+	AvgStreams float64 `json:"avg_streams"`
+
+	// SNRLossDB is the delivery-vs-join SINR loss of §6.2, measured
+	// only by the epoch engine.
+	SNRLossDB *float64 `json:"snr_loss_db,omitempty"`
+
+	// Open-loop accounting, present only under an arrival process.
+	Arrivals int64        `json:"arrivals,omitempty"`
+	Drops    int64        `json:"drops,omitempty"`
+	Served   int64        `json:"served,omitempty"`
+	DropRate float64      `json:"drop_rate,omitempty"`
+	Delay    *DelayReport `json:"delay,omitempty"`
+}
+
+// DelayReport is the per-packet delay summary in milliseconds.
+type DelayReport struct {
+	N      int     `json:"n"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P95Ms  float64 `json:"p95_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// newDelayReport converts a stats summary (seconds) to the report's
+// millisecond view; nil when there are no samples.
+func newDelayReport(d stats.DelaySummary) *DelayReport {
+	if d.N == 0 {
+		return nil
+	}
+	return &DelayReport{
+		N:      d.N,
+		MeanMs: d.Mean * 1e3,
+		P50Ms:  d.P50 * 1e3,
+		P95Ms:  d.P95 * 1e3,
+		P99Ms:  d.P99 * 1e3,
+		MaxMs:  d.Max * 1e3,
+	}
+}
+
+// Totals aggregates the network-wide metrics.
+type Totals struct {
+	ThroughputMbps float64 `json:"throughput_mbps"`
+	JainFairness   float64 `json:"jain_fairness"`
+	Wins           int64   `json:"wins"`
+	Joins          int64   `json:"joins"`
+
+	// Medium-occupancy split over the elapsed time: fraction spent in
+	// data windows vs handshake/ACK/contention overhead.
+	AirtimeFrac  float64 `json:"airtime_frac"`
+	OverheadFrac float64 `json:"overhead_frac"`
+
+	// Open-loop accounting, pooled across flows.
+	Arrivals int64        `json:"arrivals,omitempty"`
+	Drops    int64        `json:"drops,omitempty"`
+	Served   int64        `json:"served,omitempty"`
+	DropRate float64      `json:"drop_rate,omitempty"`
+	Delay    *DelayReport `json:"delay,omitempty"`
+}
+
+// JSON encodes the report with stable indentation — the byte-level
+// contract the round-trip and flag-twin tests compare.
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// buildReport assembles a Report from per-flow stats in sorted flow-id
+// order. snrLoss may be nil (protocol engine); elapsed is the
+// throughput denominator; data/overhead are medium-time accumulators.
+func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
+	snrLoss map[int]float64, elapsed, dataTime, overheadTime float64) *Report {
+
+	flowDef := make(map[int]mac.Flow, len(net.Flows))
+	for _, f := range net.Flows {
+		flowDef[f.ID] = f
+	}
+	ids := make([]int, 0, len(perFlow))
+	for id := range perFlow {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+
+	rep := &Report{Spec: spec, ElapsedS: elapsed}
+	var tputs, pooledDelays []float64
+	openLoop := spec.Traffic != traffic.Saturated
+	for _, id := range ids {
+		fs := perFlow[id]
+		def := flowDef[id]
+		tput := fs.ThroughputMbps(elapsed)
+		tputs = append(tputs, tput)
+		fr := FlowReport{
+			ID:             id,
+			Tx:             int(def.Tx),
+			Rx:             int(def.Rx),
+			TxAntennas:     def.TxAntennas,
+			RxAntennas:     def.RxAntennas,
+			LinkSNRDB:      net.Deployment.LinkSNRDB(def.Tx, def.Rx),
+			ThroughputMbps: tput,
+			Wins:           fs.Wins,
+			Joins:          fs.Joins,
+			SentPackets:    fs.SentPackets,
+			LostPackets:    fs.LostPackets,
+			LossRate:       fs.LossRate(),
+		}
+		if n := fs.Wins + fs.Joins; n > 0 {
+			fr.AvgStreams = float64(fs.StreamSum) / float64(n)
+		}
+		if snrLoss != nil {
+			loss := snrLoss[id]
+			fr.SNRLossDB = &loss
+		}
+		if openLoop {
+			fr.Arrivals = fs.Arrivals
+			fr.Drops = fs.Drops
+			fr.Served = fs.Served
+			fr.DropRate = fs.DropRate()
+			fr.Delay = newDelayReport(stats.SummarizeDelays(fs.Delays))
+			pooledDelays = append(pooledDelays, fs.Delays...)
+		}
+		rep.Totals.ThroughputMbps += tput
+		rep.Totals.Wins += fs.Wins
+		rep.Totals.Joins += fs.Joins
+		rep.Totals.Arrivals += fs.Arrivals
+		rep.Totals.Drops += fs.Drops
+		rep.Totals.Served += fs.Served
+		rep.Flows = append(rep.Flows, fr)
+	}
+	rep.Totals.JainFairness = stats.JainFairness(tputs)
+	if elapsed > 0 {
+		rep.Totals.AirtimeFrac = dataTime / elapsed
+		rep.Totals.OverheadFrac = overheadTime / elapsed
+	}
+	if openLoop {
+		if rep.Totals.Arrivals > 0 {
+			rep.Totals.DropRate = float64(rep.Totals.Drops) / float64(rep.Totals.Arrivals)
+		}
+		rep.Totals.Delay = newDelayReport(stats.SummarizeDelays(pooledDelays))
+	}
+	return rep
+}
+
+// Render is the human view over the structured report: the per-flow
+// table plus totals, mirroring what npsim has always printed.
+func (r *Report) Render() string {
+	openLoop := r.Spec.Traffic != "" && r.Spec.Traffic != traffic.Saturated
+	epoch := r.Spec.Engine == EngineEpoch
+
+	out := ""
+	if len(r.Flows) <= 24 {
+		header := []string{"flow", "Mb/s", "wins", "joins", "loss"}
+		if epoch {
+			header = append(header, "SNR loss dB")
+		}
+		if openLoop {
+			header = append(header, "served", "drop%", "p95 ms")
+		}
+		t := &stats.Table{Header: header}
+		for _, f := range r.Flows {
+			row := []string{
+				fmt.Sprint(f.ID), stats.F(f.ThroughputMbps),
+				fmt.Sprint(f.Wins), fmt.Sprint(f.Joins),
+				fmt.Sprintf("%.1f%%", 100*f.LossRate),
+			}
+			if epoch {
+				loss := 0.0
+				if f.SNRLossDB != nil {
+					loss = *f.SNRLossDB
+				}
+				row = append(row, stats.F(loss))
+			}
+			if openLoop {
+				p95 := 0.0
+				if f.Delay != nil {
+					p95 = f.Delay.P95Ms
+				}
+				row = append(row, fmt.Sprint(f.Served),
+					fmt.Sprintf("%.1f%%", 100*f.DropRate), stats.F(p95))
+			}
+			t.AddRow(row...)
+		}
+		out += t.String()
+	}
+	out += fmt.Sprintf("\ntotal: %.2f Mb/s over %.2f s (%d flows, %d wins, %d joins)\n",
+		r.Totals.ThroughputMbps, r.ElapsedS, len(r.Flows), r.Totals.Wins, r.Totals.Joins)
+	out += fmt.Sprintf("Jain fairness: %.3f\n", r.Totals.JainFairness)
+	out += fmt.Sprintf("medium time: %.1f%% data, %.1f%% overhead\n",
+		100*r.Totals.AirtimeFrac, 100*r.Totals.OverheadFrac)
+	if openLoop {
+		if r.Totals.Delay != nil {
+			d := r.Totals.Delay
+			out += fmt.Sprintf("delay: n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+				d.N, d.MeanMs, d.P50Ms, d.P95Ms, d.P99Ms, d.MaxMs)
+		} else {
+			out += "delay: no served packets\n"
+		}
+		out += fmt.Sprintf("packets: %d offered, %d served, %d dropped (%.1f%%)\n",
+			r.Totals.Arrivals, r.Totals.Served, r.Totals.Drops, 100*r.Totals.DropRate)
+	}
+	return out
+}

@@ -1,0 +1,278 @@
+// Package runspec is the declarative run surface of the simulator:
+// one serializable Spec describes a complete scenario — deployment,
+// traffic, MAC mode, engine, seed, and core options — and one
+// entrypoint, Run, executes it and returns a typed, JSON-marshalable
+// Report. Sweep expands grid axes (rates × nodes × modes × seeds)
+// over a base Spec and fans the points through the exp parallel
+// runner, so batch evaluations inherit the engine's
+// bit-identical-at-any-worker-count contract.
+//
+// Specs decode strictly from JSON (unknown fields are errors) and
+// validate against the live registries — core scenarios, topo
+// generators, traffic models, mac modes — so a spec file is checked
+// against exactly what the binary can run. Every knob that is
+// meaningless for the resolved engine or traffic model is rejected,
+// not silently ignored.
+package runspec
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"nplus/internal/core"
+	"nplus/internal/mac"
+	"nplus/internal/topo"
+	"nplus/internal/traffic"
+)
+
+// Engines a Spec can select. Empty means auto: hand-built saturated
+// scenarios use the paper's fast epoch methodology (§6.3), everything
+// else runs the event-driven protocol.
+const (
+	EngineEpoch    = "epoch"
+	EngineProtocol = "protocol"
+)
+
+// Default knob values a Normalized spec fills in, mirroring the
+// historical npsim flag defaults so a zero Spec runs the Fig. 3 trio
+// exactly as `npsim` with no flags always has.
+const (
+	DefaultSeed     int64 = 4
+	DefaultEpochs         = 200
+	DefaultDuration       = 0.1
+	DefaultQueueCap       = 64
+	DefaultRatePPS        = 400
+	DefaultNodes          = 50
+	DefaultScenario       = "trio"
+	DefaultMode           = "nplus"
+)
+
+// Spec is one declarative simulation run. The zero value normalizes
+// to the default trio/epoch run; JSON field names are the stable
+// serialization contract.
+type Spec struct {
+	// Name is a free-form label echoed into the Report (useful to tag
+	// sweep points); it never affects execution.
+	Name string `json:"name,omitempty"`
+
+	// Scenario names a hand-built deployment from the core registry;
+	// Topo names a generator from the topo registry. Exactly one
+	// applies (both empty selects the default scenario).
+	Scenario string `json:"scenario,omitempty"`
+	Topo     string `json:"topo,omitempty"`
+	// Nodes sizes a generated topology (0 → 50). It is rejected for
+	// hand-built scenarios, which fix their own node sets.
+	Nodes int `json:"nodes,omitempty"`
+
+	// Traffic names an arrival model from the traffic registry
+	// (empty → saturated). RatePPS and QueueCap parameterize open-loop
+	// models and are rejected under saturated traffic, where they
+	// would otherwise be silently ignored.
+	Traffic  string  `json:"traffic,omitempty"`
+	RatePPS  float64 `json:"rate_pps,omitempty"`
+	QueueCap int     `json:"queue_cap,omitempty"`
+
+	// Mode is the MAC variant's CLI name (empty → nplus).
+	Mode string `json:"mode,omitempty"`
+
+	// Engine pins the execution path ("epoch" or "protocol"); empty
+	// resolves automatically. Epochs drives the epoch engine,
+	// DurationS the protocol engine; setting the one the resolved
+	// engine cannot use is an error.
+	Engine    string  `json:"engine,omitempty"`
+	Epochs    int     `json:"epochs,omitempty"`
+	DurationS float64 `json:"duration_s,omitempty"`
+
+	// Seed roots every RNG of the run. A pointer so an explicit seed
+	// of 0 is expressible; nil selects DefaultSeed.
+	Seed *int64 `json:"seed,omitempty"`
+
+	// Options overrides the calibrated core defaults. Pointer fields
+	// so explicit zeros (e.g. disabling the §4 admission threshold)
+	// survive serialization — core's NaN sentinel cannot.
+	Options *OptionsSpec `json:"options,omitempty"`
+}
+
+// OptionsSpec is the serializable view of core.Options' tunables. A
+// nil field keeps the calibrated default; a set field is taken as
+// given, including zero.
+type OptionsSpec struct {
+	// JoinThresholdDB is L of §4 (default 27); explicit ≤ 0 disables
+	// the admission check.
+	JoinThresholdDB *float64 `json:"join_threshold_db,omitempty"`
+	// AlignmentSpaceError is the advertised-U⊥ estimation error
+	// (default 0.05); explicit 0 means a perfectly advertised space.
+	AlignmentSpaceError *float64 `json:"alignment_space_error,omitempty"`
+	// PERWidth is the delivery waterfall width in dB (default 1);
+	// explicit 0 selects a hard threshold.
+	PERWidth *float64 `json:"per_width,omitempty"`
+}
+
+// coreOptions resolves the spec's option overrides over the
+// calibrated defaults.
+func (s Spec) coreOptions() core.Options {
+	opts := core.DefaultOptions()
+	if o := s.Options; o != nil {
+		if o.JoinThresholdDB != nil {
+			opts.JoinThresholdDB = *o.JoinThresholdDB
+		}
+		if o.AlignmentSpaceError != nil {
+			opts.AlignmentSpaceError = *o.AlignmentSpaceError
+		}
+		if o.PERWidth != nil {
+			opts.PERWidth = *o.PERWidth
+		}
+	}
+	return opts
+}
+
+// SeedValue returns the effective seed (DefaultSeed when unset).
+func (s Spec) SeedValue() int64 {
+	if s.Seed == nil {
+		return DefaultSeed
+	}
+	return *s.Seed
+}
+
+// Normalized resolves defaults, the execution engine, and validates
+// every field against the registries. The result is canonical: two
+// specs describing the same run normalize to identical structs, and
+// every knob the resolved engine cannot consume has been rejected
+// rather than dropped. Reports embed the normalized spec.
+func (s Spec) Normalized() (Spec, error) {
+	// Deployment.
+	if s.Scenario != "" && s.Topo != "" {
+		return s, fmt.Errorf("runspec: scenario %q and topo %q are mutually exclusive", s.Scenario, s.Topo)
+	}
+	if s.Scenario == "" && s.Topo == "" {
+		s.Scenario = DefaultScenario
+	}
+	if s.Topo != "" {
+		if _, ok := topo.ByName(s.Topo); !ok {
+			return s, fmt.Errorf("runspec: unknown topology generator %q (have %v)", s.Topo, topo.Names())
+		}
+		if s.Nodes == 0 {
+			s.Nodes = DefaultNodes
+		}
+		if s.Nodes < 2 {
+			return s, fmt.Errorf("runspec: %d nodes (need at least a pair)", s.Nodes)
+		}
+	} else {
+		if _, ok := core.ScenarioByName(s.Scenario); !ok {
+			return s, fmt.Errorf("runspec: unknown scenario %q (have %v)", s.Scenario, core.ScenarioNames())
+		}
+		if s.Nodes != 0 {
+			return s, fmt.Errorf("runspec: nodes is a generated-topology knob; scenario %q fixes its own node set", s.Scenario)
+		}
+	}
+
+	// Traffic.
+	if s.Traffic == "" {
+		s.Traffic = traffic.Saturated
+	}
+	if _, ok := traffic.ByName(s.Traffic); !ok {
+		return s, fmt.Errorf("runspec: unknown traffic model %q (have %v)", s.Traffic, traffic.Names())
+	}
+	openLoop := s.Traffic != traffic.Saturated
+	if openLoop {
+		if s.RatePPS == 0 {
+			s.RatePPS = DefaultRatePPS
+		}
+		if s.RatePPS < 0 {
+			return s, fmt.Errorf("runspec: rate %g pkt/s is not positive", s.RatePPS)
+		}
+		if s.QueueCap == 0 {
+			s.QueueCap = DefaultQueueCap
+		}
+		if s.QueueCap < 1 {
+			return s, fmt.Errorf("runspec: queue capacity %d is not positive", s.QueueCap)
+		}
+	} else {
+		// Reject rather than silently drop: these knobs only exist for
+		// open-loop arrival models.
+		if s.RatePPS != 0 {
+			return s, fmt.Errorf("runspec: rate_pps needs an open-loop traffic model, but traffic is saturated")
+		}
+		if s.QueueCap != 0 {
+			return s, fmt.Errorf("runspec: queue_cap needs an open-loop traffic model, but traffic is saturated")
+		}
+	}
+
+	// MAC mode.
+	if s.Mode == "" {
+		s.Mode = DefaultMode
+	}
+	if _, err := mac.ParseMode(s.Mode); err != nil {
+		return s, fmt.Errorf("runspec: %w", err)
+	}
+
+	// Engine resolution: generated topologies and open-loop traffic
+	// need the event-driven protocol; hand-built saturated scenarios
+	// default to the paper's epoch methodology.
+	switch s.Engine {
+	case "":
+		if s.Topo != "" || openLoop {
+			s.Engine = EngineProtocol
+		} else {
+			s.Engine = EngineEpoch
+		}
+	case EngineEpoch:
+		if openLoop {
+			return s, fmt.Errorf("runspec: traffic model %q needs the protocol engine, not epoch", s.Traffic)
+		}
+	case EngineProtocol:
+	default:
+		return s, fmt.Errorf("runspec: unknown engine %q (have %s, %s)", s.Engine, EngineEpoch, EngineProtocol)
+	}
+
+	// Engine-specific knobs: the one the engine cannot consume is an
+	// error, so no flag or spec field is ever silently ignored.
+	if s.Engine == EngineEpoch {
+		if s.DurationS != 0 {
+			return s, fmt.Errorf("runspec: duration_s is a protocol-engine knob; the epoch engine runs on epochs")
+		}
+		if s.Epochs == 0 {
+			s.Epochs = DefaultEpochs
+		}
+		if s.Epochs < 1 {
+			return s, fmt.Errorf("runspec: %d epochs is not positive", s.Epochs)
+		}
+	} else {
+		if s.Epochs != 0 {
+			return s, fmt.Errorf("runspec: epochs is an epoch-engine knob; the protocol engine runs on duration_s")
+		}
+		if s.DurationS == 0 {
+			s.DurationS = DefaultDuration
+		}
+		if s.DurationS <= 0 {
+			return s, fmt.Errorf("runspec: duration %g s is not positive", s.DurationS)
+		}
+	}
+
+	seed := s.SeedValue()
+	s.Seed = &seed
+	return s, nil
+}
+
+// DecodeSpec parses a single Spec from JSON, rejecting unknown fields
+// so typos fail loudly instead of silently running defaults.
+func DecodeSpec(data []byte) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("runspec: decode spec: %w", err)
+	}
+	return s, nil
+}
+
+// LoadSpec reads and decodes a Spec file.
+func LoadSpec(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("runspec: %w", err)
+	}
+	return DecodeSpec(data)
+}

@@ -1,0 +1,121 @@
+package runspec
+
+import (
+	"bytes"
+	"os"
+	"testing"
+)
+
+// testSweep is the acceptance-criterion grid: ≥3 loads × 2 MACs on a
+// generated deployment, small enough for the race detector.
+func testSweep() Sweep {
+	seed := int64(1)
+	return Sweep{
+		Base: Spec{
+			Topo:      "disk-adhoc",
+			Nodes:     10,
+			Traffic:   "poisson",
+			DurationS: 0.02,
+			Seed:      &seed,
+		},
+		Rates: []float64{200, 400, 800},
+		Modes: []string{"nplus", "80211n"},
+	}
+}
+
+func TestSweepExpansion(t *testing.T) {
+	specs, err := testSweep().Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(specs) != 6 {
+		t.Fatalf("expanded to %d specs, want 6 (3 rates × 2 modes)", len(specs))
+	}
+	// Deterministic order: rates outermost, modes inner.
+	wantRates := []float64{200, 200, 400, 400, 800, 800}
+	wantModes := []string{"nplus", "80211n", "nplus", "80211n", "nplus", "80211n"}
+	for i, s := range specs {
+		if s.RatePPS != wantRates[i] || s.Mode != wantModes[i] {
+			t.Fatalf("spec %d = rate %g mode %q, want %g/%q", i, s.RatePPS, s.Mode, wantRates[i], wantModes[i])
+		}
+		if s.SeedValue() != 1 {
+			t.Fatalf("spec %d seed = %d, want paired base seed 1", i, s.SeedValue())
+		}
+	}
+	// A bad grid point reports its coordinates.
+	bad := testSweep()
+	bad.Modes = []string{"nplus", "warp-drive"}
+	if _, err := bad.Expand(); err == nil {
+		t.Fatal("bad mode axis expanded without error")
+	}
+}
+
+// The acceptance criterion: a sweep over 3 loads × 2 MACs emits
+// byte-identical JSONL at 1, 4, and 8 workers.
+func TestSweepWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep in -short mode")
+	}
+	sw := testSweep()
+	var outputs [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := RunSweep(sw, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Reports) != 6 {
+			t.Fatalf("workers=%d: %d reports, want 6", workers, len(res.Reports))
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSONL(&buf); err != nil {
+			t.Fatalf("workers=%d: jsonl: %v", workers, err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) || !bytes.Equal(outputs[0], outputs[2]) {
+		t.Fatal("sweep JSONL differs across worker counts")
+	}
+	// The render view is a function of the same data, so it must be
+	// stable too — and non-empty.
+	res, err := RunSweep(sw, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Render()) == 0 {
+		t.Fatal("empty sweep render")
+	}
+}
+
+func TestLoadSweepPromotesSingleSpec(t *testing.T) {
+	sw, err := LoadSweep("../../examples/specs/trio.json")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(specs) != 1 || specs[0].Scenario != "trio" {
+		t.Fatalf("promoted spec = %+v", specs)
+	}
+}
+
+// An axes-only document (no "base" key) is still a sweep — over the
+// default base — not a typo'd single spec.
+func TestLoadSweepAxesOnly(t *testing.T) {
+	path := t.TempDir() + "/axes.json"
+	if err := os.WriteFile(path, []byte(`{"modes":["nplus","80211n"]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := LoadSweep(path)
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	specs, err := sw.Expand()
+	if err != nil {
+		t.Fatalf("expand: %v", err)
+	}
+	if len(specs) != 2 || specs[0].Scenario != DefaultScenario {
+		t.Fatalf("axes-only sweep expanded to %+v", specs)
+	}
+}

@@ -5,6 +5,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -42,7 +43,8 @@ func StdDev(xs []float64) float64 {
 func Median(xs []float64) float64 { return Percentile(xs, 50) }
 
 // Percentile returns the p-th percentile (linear interpolation,
-// p ∈ [0,100]).
+// p ∈ [0,100]). Empty input yields 0 — a NaN-safe zero, never a
+// panic — so downstream summaries serialize cleanly.
 func Percentile(xs []float64, p float64) float64 {
 	if len(xs) == 0 {
 		return 0
@@ -52,9 +54,14 @@ func Percentile(xs []float64, p float64) float64 {
 	return percentileSorted(sorted, p)
 }
 
-// percentileSorted is Percentile over an already-sorted non-empty
-// slice, for callers that take several percentiles of one sample set.
+// percentileSorted is Percentile over an already-sorted slice, for
+// callers that take several percentiles of one sample set. An empty
+// slice yields 0, never NaN or a panic, so summary structs built from
+// empty sample sets stay JSON-safe.
 func percentileSorted(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
 	if p <= 0 {
 		return sorted[0]
 	}
@@ -186,6 +193,36 @@ func (c *CDF) Max() float64 {
 
 // Mean returns the sample mean.
 func (c *CDF) Mean() float64 { return Mean(c.sorted) }
+
+// MarshalJSON serializes the CDF as its order-statistics summary
+// rather than the raw sample set, so experiment results that embed
+// CDFs stay compact and machine-readable when emitted as JSON.
+func (c *CDF) MarshalJSON() ([]byte, error) {
+	type summary struct {
+		N    int     `json:"n"`
+		Min  float64 `json:"min"`
+		P10  float64 `json:"p10"`
+		P25  float64 `json:"p25"`
+		P50  float64 `json:"p50"`
+		P75  float64 `json:"p75"`
+		P90  float64 `json:"p90"`
+		P95  float64 `json:"p95"`
+		Max  float64 `json:"max"`
+		Mean float64 `json:"mean"`
+	}
+	return json.Marshal(summary{
+		N:    len(c.sorted),
+		Min:  c.Min(),
+		P10:  percentileSorted(c.sorted, 10),
+		P25:  percentileSorted(c.sorted, 25),
+		P50:  percentileSorted(c.sorted, 50),
+		P75:  percentileSorted(c.sorted, 75),
+		P90:  percentileSorted(c.sorted, 90),
+		P95:  percentileSorted(c.sorted, 95),
+		Max:  c.Max(),
+		Mean: c.Mean(),
+	})
+}
 
 // Bin assigns samples of xs to histogram bands [edges[i], edges[i+1})
 // and returns per-band sample slices. Samples outside all bands are

@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"math/rand"
 	"strings"
@@ -189,5 +190,61 @@ func TestSummarizeDelays(t *testing.T) {
 	// Summarize must not mutate its input.
 	if xs[0] != 0.1 {
 		t.Fatal("input mutated")
+	}
+}
+
+// The empty-sample contract: every summary path returns a NaN-free,
+// JSON-safe zero instead of panicking or emitting NaN. runspec Reports
+// are built from arbitrary (possibly packet-free) runs, so this is
+// load-bearing for structured output.
+func TestEmptyInputSummaries(t *testing.T) {
+	if got := Percentile(nil, 95); got != 0 {
+		t.Fatalf("Percentile(nil, 95) = %g, want 0", got)
+	}
+	if got := Percentile([]float64{}, 50); got != 0 {
+		t.Fatalf("Percentile(empty, 50) = %g, want 0", got)
+	}
+	if got := percentileSorted(nil, 50); got != 0 {
+		t.Fatalf("percentileSorted(nil, 50) = %g, want 0", got)
+	}
+	d := SummarizeDelays(nil)
+	if d != (DelaySummary{}) {
+		t.Fatalf("SummarizeDelays(nil) = %+v, want zero summary", d)
+	}
+	for name, v := range map[string]float64{
+		"Mean": d.Mean, "P50": d.P50, "P95": d.P95, "P99": d.P99, "Max": d.Max,
+	} {
+		if math.IsNaN(v) {
+			t.Fatalf("SummarizeDelays(nil).%s is NaN", name)
+		}
+	}
+	if s := d.String(); s != "no delay samples" {
+		t.Fatalf("zero DelaySummary renders %q", s)
+	}
+	if got := JainFairness(nil); got != 0 {
+		t.Fatalf("JainFairness(nil) = %g, want 0", got)
+	}
+}
+
+func TestCDFMarshalJSON(t *testing.T) {
+	c := NewCDF([]float64{4, 1, 3, 2})
+	b, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var got map[string]float64
+	if err := json.Unmarshal(b, &got); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	for key, want := range map[string]float64{
+		"n": 4, "min": 1, "max": 4, "p50": 2.5, "mean": 2.5,
+	} {
+		if got[key] != want {
+			t.Fatalf("CDF JSON %s = %g, want %g (full: %s)", key, got[key], want, b)
+		}
+	}
+	// Empty CDFs must serialize too (experiments with zero samples).
+	if _, err := json.Marshal(NewCDF(nil)); err != nil {
+		t.Fatalf("marshal empty CDF: %v", err)
 	}
 }
