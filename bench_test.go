@@ -226,6 +226,70 @@ func BenchmarkProtocol200NodeSaturated(b *testing.B) {
 	}
 }
 
+// BenchmarkSpatialCampus1000 compares one cold, seeded,
+// end-to-end run (deployment construction + simulation, exactly what
+// runspec.Run pays) of the sharded spatial-reuse model against the
+// same 1,000 nodes forced into one clique — the historical
+// single-collision-domain model, which both serializes the whole
+// campus behind one contention domain AND must materialize every
+// pairwise channel, because under a global medium every planner
+// decision can touch any cross-pair (the sparse floor is only sound
+// when the hearing graph bounds who interacts). The clique carries
+// roughly an eighth of the load while paying full-network contention
+// and n² channel state, so the headline metric is wall-clock per
+// served packet (ms-per-served) — the only basis on which the two
+// runs carry comparable work. CI exports both as BENCH_spatial.json
+// and gates the sharded/clique ratio at ≥3×.
+func BenchmarkSpatialCampus1000(b *testing.B) {
+	for _, cfg := range []struct {
+		name  string
+		cs    float64
+		dense bool
+	}{
+		{"sharded", core.DefaultOptions().CSThresholdDB, false},
+		{"clique", -200, true}, // hear everything, model every channel
+	} {
+		b.Run(cfg.name, func(b *testing.B) {
+			b.ResetTimer()
+			var served int64
+			var res *core.TrafficResult
+			for i := 0; i < b.N; i++ {
+				layout, err := topo.Generate("campus",
+					topo.GenConfig{Nodes: 1000, Clusters: 8, InterClusterLossDB: topo.Auto},
+					rand.New(rand.NewSource(7)))
+				if err != nil {
+					b.Fatal(err)
+				}
+				opts := core.DefaultOptions()
+				opts.CSThresholdDB = cfg.cs
+				if cfg.dense {
+					opts.SparseSNRDB = 0 // historical dense draw
+				}
+				net, err := core.NewNetworkFromLayout(7, layout, opts)
+				if err != nil {
+					b.Fatal(err)
+				}
+				res, err = net.RunTraffic(core.TrafficRun{
+					Mode: mac.ModeNPlus, Duration: 0.03, Model: "poisson", RatePPS: 4000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = 0
+				for _, fs := range res.PerFlow {
+					served += fs.Served
+				}
+			}
+			b.ReportMetric(float64(res.Components), "components")
+			b.ReportMetric(float64(res.PeakBusyComponents), "peak-busy-comps")
+			b.ReportMetric(float64(served), "served-pkts")
+			if served > 0 {
+				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(served)/1e6, "ms-per-served")
+			}
+		})
+	}
+}
+
 // BenchmarkAblationJoinThreshold sweeps the §4 join threshold L: with
 // L far above practice (no power control) single-antenna incumbents
 // suffer more residual interference; with L too low joiners give up

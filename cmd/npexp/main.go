@@ -13,9 +13,11 @@
 //	npexp -list                 # names and descriptions
 //
 // With -spec, the shared knobs (-seed, -topo, -traffic, -nodes,
-// -duration, -epochs) override the sweep's base spec field-for-field
-// when explicitly passed; -trials/-placements have no spec
-// counterpart and are rejected.
+// -duration, -epochs) plus the spatial knobs (-clusters,
+// -cluster-loss, -cs-threshold) override the sweep's base spec
+// field-for-field when explicitly passed; -trials/-placements have no
+// spec counterpart and are rejected. The spatial knobs exist only on
+// the spec path — registry experiments reject them.
 //
 // -placements / -epochs / -trials / -seed scale the experiments (each
 // experiment applies the knobs it understands); the defaults
@@ -53,6 +55,9 @@ func main() {
 	trafficName := flag.String("traffic", "", "traffic model for workload experiments (empty = default)")
 	nodes := flag.Int("nodes", 0, "generated topology size (0 = default)")
 	duration := flag.Float64("duration", 0, "virtual seconds per protocol run (0 = default)")
+	clusters := flag.Int("clusters", 0, "spatial cells for clustered topologies (sweep base override)")
+	clusterLoss := flag.Float64("cluster-loss", 0, "inter-cluster attenuation in dB (sweep base override)")
+	csThreshold := flag.Float64("cs-threshold", 0, "carrier-sense hearing threshold in dB SNR (sweep base override)")
 	flag.Parse()
 
 	if *list {
@@ -102,8 +107,27 @@ func main() {
 		if set["seed"] {
 			sw.Base.Seed = seed
 		}
+		if set["clusters"] {
+			sw.Base.Clusters = *clusters
+		}
+		if set["cluster-loss"] {
+			sw.Base.InterClusterLossDB = clusterLoss
+		}
+		if set["cs-threshold"] {
+			if sw.Base.Options == nil {
+				sw.Base.Options = &runspec.OptionsSpec{}
+			}
+			sw.Base.Options.CSThresholdDB = csThreshold
+		}
 		runSweep(sw, *workers, *jsonOut)
 		return
+	}
+
+	if set["clusters"] || set["cluster-loss"] || set["cs-threshold"] {
+		// Spec-only knobs: the registry experiments would silently
+		// ignore them, so reject instead.
+		fmt.Fprintln(os.Stderr, "npexp: -clusters/-cluster-loss/-cs-threshold apply to -spec runs only")
+		os.Exit(2)
 	}
 
 	name := *expName

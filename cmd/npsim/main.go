@@ -26,6 +26,7 @@
 //	npsim -spec examples/specs/uplink200.json -json
 //	npsim -spec examples/specs/trio.json -mode 80211n
 //	npsim -topo disk-uplink -nodes 200 -traffic poisson -rate 100
+//	npsim -topo campus -nodes 1000 -clusters 8 -traffic poisson -rate 400
 //	npsim -list
 package main
 
@@ -38,6 +39,7 @@ import (
 	"nplus/internal/core"
 	"nplus/internal/mac"
 	"nplus/internal/runspec"
+	"nplus/internal/testbed"
 	"nplus/internal/topo"
 	"nplus/internal/traffic"
 )
@@ -52,6 +54,9 @@ func main() {
 	scenario := flag.String("scenario", runspec.DefaultScenario, "hand-built deployment, one of: "+scenarioNames)
 	topoName := flag.String("topo", "", "generated deployment instead of -scenario, one of: "+topoNames)
 	nodes := flag.Int("nodes", runspec.DefaultNodes, "generated topology size (with -topo)")
+	clusters := flag.Int("clusters", runspec.DefaultClusters, "spatial cells for clustered topologies (campus, multiroom)")
+	clusterLoss := flag.Float64("cluster-loss", 0, "inter-cluster attenuation in dB (clustered topologies; default: generator calibration)")
+	csThreshold := flag.Float64("cs-threshold", testbed.DefaultCSThresholdDB, "carrier-sense hearing threshold in dB SNR (very low forces one collision domain)")
 	trafficName := flag.String("traffic", traffic.Saturated, "arrival model, one of: "+trafficNames)
 	rate := flag.Float64("rate", runspec.DefaultRatePPS, "mean per-flow arrival rate, packets/s (open-loop models)")
 	queueCap := flag.Int("queue", runspec.DefaultQueueCap, "per-station packet queue bound (open-loop models)")
@@ -116,6 +121,18 @@ func main() {
 	}
 	if set["nodes"] {
 		spec.Nodes = *nodes
+	}
+	if set["clusters"] {
+		spec.Clusters = *clusters
+	}
+	if set["cluster-loss"] {
+		spec.InterClusterLossDB = clusterLoss
+	}
+	if set["cs-threshold"] {
+		if spec.Options == nil {
+			spec.Options = &runspec.OptionsSpec{}
+		}
+		spec.Options.CSThresholdDB = csThreshold
 	}
 	if set["traffic"] {
 		spec.Traffic = *trafficName

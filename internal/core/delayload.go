@@ -141,11 +141,13 @@ func (delayLoadExperiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sam
 	s := delayLoadSample{loadIdx: loadIdx, flows: len(net.Flows)}
 	for mi, mode := range delayLoadModes {
 		perFlow, _, err := net.RunTrafficProtocol(TrafficRun{
-			Mode:     mode,
-			Duration: c.Duration,
-			Model:    c.Traffic,
-			RatePPS:  c.LoadsPPS[loadIdx],
-			QueueCap: c.QueueCap,
+			Mode:       mode,
+			Duration:   c.Duration,
+			Model:      c.Traffic,
+			RatePPS:    c.LoadsPPS[loadIdx],
+			QueueCap:   c.QueueCap,
+			OnFraction: traffic.Auto,
+			CycleSec:   traffic.Auto,
 		})
 		if err != nil {
 			return nil, err

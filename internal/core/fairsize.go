@@ -129,11 +129,13 @@ func (fairSizeExperiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Samp
 	s := fairSizeSample{sizeIdx: sizeIdx, flows: len(net.Flows)}
 	for mi, mode := range delayLoadModes {
 		perFlow, _, err := net.RunTrafficProtocol(TrafficRun{
-			Mode:     mode,
-			Duration: c.Duration,
-			Model:    c.Traffic,
-			RatePPS:  c.RatePPS,
-			QueueCap: c.QueueCap,
+			Mode:       mode,
+			Duration:   c.Duration,
+			Model:      c.Traffic,
+			RatePPS:    c.RatePPS,
+			QueueCap:   c.QueueCap,
+			OnFraction: traffic.Auto,
+			CycleSec:   traffic.Auto,
 		})
 		if err != nil {
 			return nil, err

@@ -51,10 +51,32 @@ type Options struct {
 	// explicit 0 selects a hard delivery threshold (a step-function
 	// waterfall).
 	PERWidth float64
+	// CSThresholdDB is the carrier-sense decode threshold: a node
+	// hears a transmitter whose average link budget reaches it at or
+	// above this many dB SNR (Auto → testbed.DefaultCSThresholdDB =
+	// −30, calibrated so single-floor deployments stay one clique —
+	// the historical global medium). Raising it shrinks decode range:
+	// distant stations stop deferring to each other, hidden terminals
+	// appear, and disconnected components of the resulting hearing
+	// graph run as independent, sharded collision domains. An explicit
+	// very low value (e.g. −200) forces everything into one clique.
+	CSThresholdDB float64
 	// Positions optionally pins every node to an explicit location in
 	// meters (generated topologies carry their geometry here); nil
 	// selects random placement on the testbed floor plan.
 	Positions map[mac.NodeID]testbed.Point
+	// LinkExtraLossDB adds per-ordered-pair attenuation in dB on top
+	// of path loss (clustered topologies carry wall/shell loss here);
+	// nil means none. Must be symmetric.
+	LinkExtraLossDB func(a, b mac.NodeID) float64
+	// SparseSNRDB skips materializing channels for pairs whose link
+	// budget falls below it (see testbed.LinkModel). Auto (NaN)
+	// inherits the layout's recommendation (clustered layouts set one
+	// so an n-cluster deployment costs the sum of its clusters instead
+	// of n² channels; everything else is dense); an explicit 0 — the
+	// zero value — selects the historical dense draw even on a
+	// clustered layout.
+	SparseSNRDB float64
 }
 
 // Auto marks an Options float field as "use the calibrated default".
@@ -72,6 +94,8 @@ func DefaultOptions() Options {
 		JoinThresholdDB:     27,
 		AlignmentSpaceError: 0.05,
 		PERWidth:            1,
+		CSThresholdDB:       testbed.DefaultCSThresholdDB,
+		SparseSNRDB:         Auto,
 	}
 }
 
@@ -83,6 +107,7 @@ type Network struct {
 	Flows      []mac.Flow
 	opts       Options
 	seed       int64
+	hearing    *mac.HearingGraph
 }
 
 // NewNetwork creates a testbed from seed, places the nodes at random
@@ -94,6 +119,24 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 	}
 	if math.IsNaN(opts.PERWidth) {
 		opts.PERWidth = 1
+	}
+	if math.IsNaN(opts.CSThresholdDB) {
+		opts.CSThresholdDB = testbed.DefaultCSThresholdDB
+	}
+	if math.IsNaN(opts.SparseSNRDB) {
+		opts.SparseSNRDB = 0 // no layout recommendation: dense
+	}
+	if opts.SparseSNRDB != 0 &&
+		opts.CSThresholdDB > opts.SparseSNRDB && opts.CSThresholdDB < opts.SparseSNRDB+6 {
+		// Every audible pair should have a materialized channel (with
+		// margin): a carrier-sense threshold hovering just above the
+		// sparse floor would make stations defer to transmitters whose
+		// signals the synthesis rounds to zero. A threshold AT or BELOW
+		// the floor is allowed deliberately — that is the "force one
+		// global collision domain" regime, where deferral is the point
+		// and the sub-floor signals are genuinely negligible.
+		return nil, fmt.Errorf("core: carrier-sense threshold %g dB sits inside the 6 dB guard band above the sparse channel floor %g dB; raise it or force the global medium with a value at or below the floor",
+			opts.CSThresholdDB, opts.SparseSNRDB)
 	}
 	if opts.Testbed.NumLocations == 0 {
 		opts.Testbed = testbed.DefaultConfig()
@@ -120,7 +163,10 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 	depRNG := rand.New(rand.NewSource(seed + 1))
 	var dep *testbed.Deployment
 	if opts.Positions != nil {
-		dep, err = tb.DeployAt(depRNG, specs, opts.Positions)
+		dep, err = tb.DeployAtModel(depRNG, specs, opts.Positions, testbed.LinkModel{
+			ExtraLossDB: opts.LinkExtraLossDB,
+			SparseSNRDB: opts.SparseSNRDB,
+		})
 	} else {
 		dep, err = tb.Deploy(depRNG, specs)
 	}
@@ -150,11 +196,28 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 }
 
 // NewNetworkFromLayout deploys a generated topology: the layout's
-// nodes, links, and explicit positions run through the same channel
-// and MAC stack as the hand-built scenarios.
+// nodes, links, explicit positions, and link model (inter-cluster
+// attenuation, sparse channel floor) run through the same channel and
+// MAC stack as the hand-built scenarios.
 func NewNetworkFromLayout(seed int64, l *topo.Layout, opts Options) (*Network, error) {
 	opts.Positions = l.Positions
+	if opts.LinkExtraLossDB == nil {
+		opts.LinkExtraLossDB = l.ExtraLossDB()
+	}
+	if math.IsNaN(opts.SparseSNRDB) {
+		opts.SparseSNRDB = l.SparseSNRDB
+	}
 	return NewNetwork(seed, l.Nodes, l.Links, opts)
+}
+
+// HearingGraph returns (building once) the deployment's hearing graph
+// at the network's carrier-sense threshold — the medium model the
+// protocol engine runs under.
+func (n *Network) HearingGraph() *mac.HearingGraph {
+	if n.hearing == nil {
+		n.hearing = n.Deployment.HearingGraph(n.opts.CSThresholdDB)
+	}
+	return n.hearing
 }
 
 // Scenario builds the MAC scenario view of this network with a fresh
@@ -179,7 +242,19 @@ func (n *Network) Scenario(salt int64) (*mac.Scenario, error) {
 // methodology) over this network. All modes use the same scenario
 // salt so mode comparisons are paired: the same placements see the
 // same contention outcomes.
+//
+// The epoch methodology assumes one collision domain: every station
+// hears every contention outcome, joiners defer to all incumbents.
+// Deployments whose hearing graph is not a clique over the flow
+// endpoints (hidden terminals, separated cells) would be modeled
+// wrongly — epoch runs reject them instead of pretending.
 func (n *Network) RunEpochs(mode mac.Mode, epochs int) (*mac.EpochResult, error) {
+	if g := n.HearingGraph(); !g.CliqueOver(n.flowEndpoints()) {
+		return nil, fmt.Errorf("core: the epoch engine assumes a single collision domain (every station hears every other), "+
+			"but at carrier-sense threshold %g dB the hearing graph is not a clique over the flow endpoints "+
+			"(%d components across the deployment); run the event-driven protocol engine, or force a clique with a very low CSThresholdDB",
+			n.opts.CSThresholdDB, g.NumComponents())
+	}
 	sc, err := n.Scenario(13)
 	if err != nil {
 		return nil, err
@@ -187,6 +262,24 @@ func (n *Network) RunEpochs(mode mac.Mode, epochs int) (*mac.EpochResult, error)
 	cfg := mac.DefaultEpochConfig(mode)
 	cfg.Epochs = epochs
 	return mac.RunEpochs(sc, n.Flows, cfg)
+}
+
+// flowEndpoints returns the distinct transmitter and receiver ids of
+// the network's flows, in first-appearance order.
+func (n *Network) flowEndpoints() []mac.NodeID {
+	seen := make(map[mac.NodeID]bool, 2*len(n.Flows))
+	var out []mac.NodeID
+	for _, f := range n.Flows {
+		if !seen[f.Tx] {
+			seen[f.Tx] = true
+			out = append(out, f.Tx)
+		}
+		if !seen[f.Rx] {
+			seen[f.Rx] = true
+			out = append(out, f.Rx)
+		}
+	}
+	return out
 }
 
 // RunProtocol runs the full event-driven CSMA/CA protocol for the
@@ -204,6 +297,7 @@ func (n *Network) RunProtocol(mode mac.Mode, duration float64) (map[int]float64,
 	if err != nil {
 		return nil, nil, err
 	}
+	proto.SetHearing(n.HearingGraph())
 	return proto.Run(duration), tr, nil
 }
 
@@ -216,7 +310,15 @@ type TrafficRun struct {
 	Model    string  // traffic registry name; traffic.Saturated keeps stations backlogged
 	RatePPS  float64 // mean per-flow arrival rate, packets/second
 	QueueCap int     // per-station queue bound (0 = default 64)
-	Trace    bool    // attach a protocol trace
+	// OnFraction and CycleSec parameterize the bursty model (ignored
+	// by the others). They follow the traffic.Config sentinel rules:
+	// traffic.Auto (NaN) selects the calibrated defaults, explicit
+	// values are taken as given, and non-positive values — including
+	// the zero value — are rejected by the model rather than silently
+	// replaced.
+	OnFraction float64
+	CycleSec   float64
+	Trace      bool // attach a protocol trace
 }
 
 // TrafficResult is the structured outcome of one protocol run: the
@@ -225,9 +327,17 @@ type TrafficRun struct {
 type TrafficResult struct {
 	PerFlow map[int]*mac.FlowStats
 	// DataTime / OverheadTime are virtual seconds of medium occupancy
-	// (data windows vs handshake+ACK phases) over the run duration.
+	// (data windows vs handshake+ACK phases), summed over collision
+	// domains; with spatial reuse the sum can exceed the run duration.
 	DataTime     float64
 	OverheadTime float64
+	// Spatial-reuse summary: how many collision domains the hearing
+	// graph sharded the run into, and the peak number of concurrent
+	// joint transmissions / busy domains observed (both 1-bounded by
+	// definition under the historical single-domain model).
+	Components         int
+	PeakConcurrentTxns int
+	PeakBusyComponents int
 	// Trace is non-nil only when the run requested one.
 	Trace *sim.Trace
 }
@@ -255,9 +365,10 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 	if err != nil {
 		return nil, err
 	}
+	proto.SetHearing(n.HearingGraph())
 	var srcErr error
 	proto.SetTraffic(func(f mac.Flow) traffic.Source {
-		src, err := spec.New(traffic.Config{RatePPS: r.RatePPS})
+		src, err := spec.New(traffic.Config{RatePPS: r.RatePPS, OnFraction: r.OnFraction, CycleSec: r.CycleSec})
 		if err != nil && srcErr == nil {
 			srcErr = err
 		}
@@ -267,7 +378,13 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 		return nil, fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
 	}
 	proto.Run(r.Duration)
-	res := &TrafficResult{PerFlow: proto.Stats(), Trace: tr}
+	res := &TrafficResult{
+		PerFlow:            proto.Stats(),
+		Components:         proto.Components(),
+		PeakConcurrentTxns: proto.PeakConcurrentTxns(),
+		PeakBusyComponents: proto.PeakBusyComponents(),
+		Trace:              tr,
+	}
 	res.DataTime, res.OverheadTime = proto.MediumTime()
 	return res, nil
 }

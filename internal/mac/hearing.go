@@ -1,0 +1,157 @@
+package mac
+
+// HearingGraph records, per ordered node pair, whether a listener can
+// decode a speaker's light-weight handshakes. It is the protocol-level
+// medium model of §3.2 made explicit: carrier sense in n+ is
+// per-receiver — a station learns the occupied degrees of freedom from
+// the RTS/CTS exchanges *it can decode* — so two stations outside each
+// other's decode range contend (and transmit) independently, while a
+// receiver between them still collects both signals.
+//
+// The graph is static for a run (it derives from average link budgets,
+// not per-packet fades) and is consumed two ways by Protocol:
+//
+//   - Hears(listener, speaker) gates carrier sense, secondary-
+//     contention DoF accounting, and interference bookkeeping. It is a
+//     threshold on the pair's average SNR, so it also stands in for
+//     "this signal is non-negligible at the listener": transmissions
+//     below the decode threshold are treated as noise-floor residue.
+//   - Connected components (over the symmetric closure of Hears)
+//     shard the contention bookkeeping: nodes in different components
+//     interact in no way, so each component keeps its own contender
+//     index and in-flight transmissions, and a multi-building
+//     deployment costs the sum of its parts.
+//
+// A nil *HearingGraph is the historical global medium: every node
+// hears every other, one component.
+type HearingGraph struct {
+	nodes []NodeID
+	idx   map[NodeID]int
+	// hears[l*n+s] is true when node l decodes node s's handshakes.
+	hears   []bool
+	comp    []int
+	numComp int
+	clique  bool
+}
+
+// NewHearingGraph builds the relation over the given nodes by asking
+// hears(listener, speaker) for every ordered pair. The node order
+// fixes component numbering, so callers must pass a deterministic
+// order (testbed passes ids sorted ascending). Self-pairs are always
+// hearable and are not queried.
+func NewHearingGraph(nodes []NodeID, hears func(listener, speaker NodeID) bool) *HearingGraph {
+	n := len(nodes)
+	g := &HearingGraph{
+		nodes:  append([]NodeID(nil), nodes...),
+		idx:    make(map[NodeID]int, n),
+		hears:  make([]bool, n*n),
+		comp:   make([]int, n),
+		clique: true,
+	}
+	for i, id := range g.nodes {
+		g.idx[id] = i
+	}
+	for i, a := range g.nodes {
+		for j, b := range g.nodes {
+			if i == j {
+				g.hears[i*n+j] = true
+				continue
+			}
+			h := hears(a, b)
+			g.hears[i*n+j] = h
+			if !h {
+				g.clique = false
+			}
+		}
+	}
+	// Components over the symmetric closure: if either direction is
+	// audible the pair interacts (one of them at least defers or
+	// interferes), so they must share contention bookkeeping.
+	for i := range g.comp {
+		g.comp[i] = -1
+	}
+	var stack []int
+	for i := range g.nodes {
+		if g.comp[i] >= 0 {
+			continue
+		}
+		c := g.numComp
+		g.numComp++
+		g.comp[i] = c
+		stack = append(stack[:0], i)
+		for len(stack) > 0 {
+			u := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for v := range g.nodes {
+				if g.comp[v] < 0 && (g.hears[u*n+v] || g.hears[v*n+u]) {
+					g.comp[v] = c
+					stack = append(stack, v)
+				}
+			}
+		}
+	}
+	return g
+}
+
+// Hears reports whether listener can decode speaker's handshakes. A
+// nil graph is the global medium (always true); nodes the graph was
+// not built over are conservatively treated as globally audible.
+func (g *HearingGraph) Hears(listener, speaker NodeID) bool {
+	if g == nil || listener == speaker {
+		return true
+	}
+	i, ok := g.idx[listener]
+	if !ok {
+		return true
+	}
+	j, ok := g.idx[speaker]
+	if !ok {
+		return true
+	}
+	return g.hears[i*len(g.nodes)+j]
+}
+
+// ComponentOf returns the connected-component index of a node (0 for a
+// nil graph or an unregistered node).
+func (g *HearingGraph) ComponentOf(node NodeID) int {
+	if g == nil {
+		return 0
+	}
+	i, ok := g.idx[node]
+	if !ok {
+		return 0
+	}
+	return g.comp[i]
+}
+
+// NumComponents returns the number of connected components (1 for a
+// nil graph).
+func (g *HearingGraph) NumComponents() int {
+	if g == nil {
+		return 1
+	}
+	return g.numComp
+}
+
+// IsClique reports whether every node hears every other — the regime
+// in which the spatial model reduces exactly to the historical single
+// collision domain.
+func (g *HearingGraph) IsClique() bool { return g == nil || g.clique }
+
+// CliqueOver reports whether every ordered pair drawn from the given
+// nodes hears each other — the single-collision-domain assumption the
+// epoch engine needs, checked over just the nodes that matter (e.g.
+// the flow endpoints) rather than the whole deployment.
+func (g *HearingGraph) CliqueOver(nodes []NodeID) bool {
+	if g == nil {
+		return true
+	}
+	for _, a := range nodes {
+		for _, b := range nodes {
+			if !g.Hears(a, b) {
+				return false
+			}
+		}
+	}
+	return true
+}

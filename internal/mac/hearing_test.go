@@ -1,0 +1,129 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+
+	"nplus/internal/sim"
+)
+
+// graphFrom builds a HearingGraph from an explicit audible-pair set
+// (symmetric unless a one-way pair is listed).
+func graphFrom(nodes []NodeID, pairs map[[2]NodeID]bool) *HearingGraph {
+	return NewHearingGraph(nodes, func(l, s NodeID) bool { return pairs[[2]NodeID{l, s}] })
+}
+
+func sym(pairs ...[2]NodeID) map[[2]NodeID]bool {
+	m := map[[2]NodeID]bool{}
+	for _, p := range pairs {
+		m[p] = true
+		m[[2]NodeID{p[1], p[0]}] = true
+	}
+	return m
+}
+
+func TestHearingGraphNilIsGlobalMedium(t *testing.T) {
+	var g *HearingGraph
+	if !g.Hears(1, 2) || !g.IsClique() || g.NumComponents() != 1 || g.ComponentOf(7) != 0 {
+		t.Fatal("nil graph must behave as the global medium")
+	}
+	if !g.CliqueOver([]NodeID{1, 2, 3}) {
+		t.Fatal("nil graph must be a clique over any node set")
+	}
+}
+
+func TestHearingGraphComponentsAndClique(t *testing.T) {
+	// Two cells {1,2} and {3,4}, audible within, deaf across.
+	g := graphFrom([]NodeID{1, 2, 3, 4}, sym([2]NodeID{1, 2}, [2]NodeID{3, 4}))
+	if g.IsClique() {
+		t.Fatal("disconnected graph reported as clique")
+	}
+	if g.NumComponents() != 2 {
+		t.Fatalf("components = %d, want 2", g.NumComponents())
+	}
+	if g.ComponentOf(1) != g.ComponentOf(2) || g.ComponentOf(3) != g.ComponentOf(4) {
+		t.Fatal("cell members split across components")
+	}
+	if g.ComponentOf(1) == g.ComponentOf(3) {
+		t.Fatal("deaf cells merged into one component")
+	}
+	if !g.Hears(1, 2) || g.Hears(1, 3) || !g.Hears(1, 1) {
+		t.Fatal("hearing relation wrong")
+	}
+	if !g.CliqueOver([]NodeID{1, 2}) || g.CliqueOver([]NodeID{1, 2, 3}) {
+		t.Fatal("CliqueOver wrong")
+	}
+}
+
+func TestHearingGraphChainIsOneComponentNotClique(t *testing.T) {
+	// The hidden-terminal chain: A–B and B–C audible, A–C deaf. One
+	// component (B couples them), but not a clique — the regime where
+	// concurrent transmissions collide at B.
+	g := graphFrom([]NodeID{1, 2, 3}, sym([2]NodeID{1, 2}, [2]NodeID{2, 3}))
+	if g.NumComponents() != 1 {
+		t.Fatalf("chain components = %d, want 1", g.NumComponents())
+	}
+	if g.IsClique() {
+		t.Fatal("chain reported as clique")
+	}
+	if g.CliqueOver([]NodeID{1, 2, 3}) {
+		t.Fatal("chain CliqueOver must fail (A cannot hear C)")
+	}
+}
+
+func TestHearingGraphOneWayPairSharesComponent(t *testing.T) {
+	// Asymmetric audibility (1 hears 2, not vice versa) still couples
+	// the pair into one component: the deaf side's transmissions reach
+	// the hearing side regardless.
+	m := map[[2]NodeID]bool{{1, 2}: true}
+	g := graphFrom([]NodeID{1, 2}, m)
+	if g.NumComponents() != 1 {
+		t.Fatalf("one-way pair components = %d, want 1", g.NumComponents())
+	}
+	if g.IsClique() {
+		t.Fatal("one-way pair is not a clique")
+	}
+}
+
+// TestProtocolCliqueGraphMatchesNilGraph pins the backward-compat
+// contract of the spatial refactor: under a complete hearing graph
+// the protocol must reproduce the historical global-medium run
+// exactly — same wins, joins, deliveries, same RNG stream.
+func TestProtocolCliqueGraphMatchesNilGraph(t *testing.T) {
+	run := func(complete bool) map[int]float64 {
+		rng := rand.New(rand.NewSource(77))
+		flows, prov := trioProvider(rng, 20, 0)
+		eng := sim.NewEngine(177)
+		sc := newScenario(prov, 277)
+		proto, err := NewProtocol(eng, sc, flows, DefaultEpochConfig(ModeNPlus))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if complete {
+			var nodes []NodeID
+			seen := map[NodeID]bool{}
+			for _, f := range flows {
+				for _, id := range []NodeID{f.Tx, f.Rx} {
+					if !seen[id] {
+						seen[id] = true
+						nodes = append(nodes, id)
+					}
+				}
+			}
+			proto.SetHearing(NewHearingGraph(nodes, func(l, s NodeID) bool { return true }))
+			if proto.Components() != 1 {
+				t.Fatalf("complete graph sharded into %d domains", proto.Components())
+			}
+		}
+		return proto.Run(0.05)
+	}
+	a, b := run(false), run(true)
+	if len(a) != len(b) {
+		t.Fatalf("flow sets differ: %v vs %v", a, b)
+	}
+	for id, x := range a {
+		if b[id] != x {
+			t.Fatalf("flow %d: nil-graph throughput %g, clique-graph %g — clique must be bit-identical", id, x, b[id])
+		}
+	}
+}

@@ -21,44 +21,91 @@ import (
 // makes this possible is implemented and evaluated in package mimo /
 // Fig. 9). A station with more antennas than occupied DoF keeps
 // counting down its backoff; others freeze.
+//
+// Which handshakes a station decodes is governed by an optional
+// HearingGraph (SetHearing). Without one, every station hears every
+// transmission — the historical single collision domain, reproduced
+// bit-for-bit. With one, medium state is per-station: a station
+// senses only the transmissions it hears, so distant stations
+// transmit concurrently, hidden terminals collide at a shared
+// receiver, and secondary contention counts only locally heard DoF.
+// The hearing graph's connected components shard all contention
+// bookkeeping (contender index, in-flight transmissions, re-arm
+// fan-out), so a multi-building deployment costs the sum of its
+// parts: a medium transition touches only its own component.
 type Protocol struct {
 	Eng      *sim.Engine
 	Sc       *Scenario
 	Cfg      EpochConfig
 	stations []*station
-	// contenders indexes, sorted by station id, the stations that can
-	// currently contend for the medium: not transmitting, and (for
-	// open-loop stations) with a non-empty queue. Medium transitions
-	// touch only this set, so thousands of idle open-loop stations
-	// cost nothing — the previous all-stations rescan made every
-	// transition O(network size).
-	contenders []*station
-	// medium state
-	actives   []*Active
-	activeOf  map[*station][]*Active
-	jointEnd  float64 // when the current joint transmission ends
-	endHandle *sim.EventHandle
-	stats     map[int]*FlowStats
+	graph    *HearingGraph
+	// domains shard the medium: one per connected component of the
+	// hearing graph (a single domain when no graph is set), in order
+	// of each component's first station.
+	domains []*domain
+	stats   map[int]*FlowStats
 	// startOf records when each active entered the medium: a joiner
 	// only has the window from its join to the joint end, so its air
 	// time (and byte credit) must not count the primary's head start.
 	startOf map[*Active]float64
-	// dataTime / overheadTime decompose medium occupancy: data is the
-	// primary transmission window (joiners overlap it), overhead is
-	// primary handshakes plus the SIFS+ACK phase. Each interval is
-	// booked only when the event that ends it fires, so a run cut off
-	// mid-transmission never counts the unfinished window and the
-	// accumulated time always fits inside the run duration.
+	// dataTime / overheadTime decompose medium occupancy, summed over
+	// all collision domains: data is the primary transmission window
+	// (joiners overlap it), overhead is primary handshakes plus the
+	// SIFS+ACK phase. Each interval is booked only when the event that
+	// ends it fires, so a run cut off mid-transmission never counts
+	// the unfinished window. With several components transmitting
+	// concurrently the sum can exceed the run duration — that excess
+	// IS the spatial reuse.
 	dataTime     float64
 	overheadTime float64
-	// curData is the committed data window of the in-flight joint
-	// transmission, booked by finish().
-	curData float64
+	// Spatial concurrency gauges: how many transmissions (and how many
+	// distinct components) were in flight at once, at peak.
+	inFlight           int
+	busyDomains        int
+	peakConcurrent     int
+	peakBusyComponents int
+	started            bool
+}
+
+// domain is one collision domain: the contention bookkeeping of a
+// single connected component of the hearing graph. All state a medium
+// transition touches lives here, so transitions in one component
+// never scan another component's stations.
+type domain struct {
+	id int
+	// contenders indexes, sorted by station id, the stations of this
+	// domain that can currently contend for the medium: not
+	// transmitting, and (for open-loop stations) with a non-empty
+	// queue. Medium transitions touch only this set, so thousands of
+	// idle open-loop stations cost nothing.
+	contenders []*station
+	// txns are the in-flight joint transmissions of this domain, in
+	// start order. A clique domain holds at most one (everyone defers
+	// to it); with partial hearing, hidden terminals start concurrent
+	// ones.
+	txns []*transmission
+	wins int64
+}
+
+// transmission is one joint transmission: a primary winner plus any
+// secondary joiners, sharing a single end time (§3.1: joiners must
+// end with the first winner).
+type transmission struct {
+	dom *domain
+	// stations in join order; groups holds each one's Actives.
+	stations []*station
+	groups   map[*station][]*Active
+	// actives flattens the groups in join order — the incumbent list a
+	// later (fully hearing) joiner plans against.
+	actives []*Active
+	end     float64
+	dataDur float64
 }
 
 type station struct {
 	id      int // index into Protocol.stations
 	tx      NodeID
+	dom     *domain
 	flows   []Flow
 	backoff int // remaining slots
 	cw      int
@@ -66,7 +113,7 @@ type station struct {
 	// armedAt is when the pending countdown was armed: frozen-counter
 	// crediting measures consumed DIFS+slots from this instant.
 	armedAt float64
-	// contending mirrors membership in Protocol.contenders.
+	// contending mirrors membership in dom.contenders.
 	contending bool
 	// txActive true while this station transmits
 	txActive bool
@@ -97,42 +144,44 @@ func (st *station) wantsMedium() bool {
 	return !st.txActive && (!st.openLoop() || st.queue.Len() > 0)
 }
 
-// addContender inserts st into the id-sorted contender index.
+// addContender inserts st into its domain's id-sorted contender index.
 func (p *Protocol) addContender(st *station) {
 	if st.contending {
 		return
 	}
 	st.contending = true
-	i := sort.Search(len(p.contenders), func(i int) bool { return p.contenders[i].id >= st.id })
-	p.contenders = append(p.contenders, nil)
-	copy(p.contenders[i+1:], p.contenders[i:])
-	p.contenders[i] = st
+	d := st.dom
+	i := sort.Search(len(d.contenders), func(i int) bool { return d.contenders[i].id >= st.id })
+	d.contenders = append(d.contenders, nil)
+	copy(d.contenders[i+1:], d.contenders[i:])
+	d.contenders[i] = st
 }
 
-// removeContender drops st from the contender index.
+// removeContender drops st from its domain's contender index.
 func (p *Protocol) removeContender(st *station) {
 	if !st.contending {
 		return
 	}
 	st.contending = false
-	i := sort.Search(len(p.contenders), func(i int) bool { return p.contenders[i].id >= st.id })
-	p.contenders = append(p.contenders[:i], p.contenders[i+1:]...)
+	d := st.dom
+	i := sort.Search(len(d.contenders), func(i int) bool { return d.contenders[i].id >= st.id })
+	d.contenders = append(d.contenders[:i], d.contenders[i+1:]...)
 }
 
 // NewProtocol builds the event-driven MAC over the given flows
-// (grouped by transmitter) with a fully backlogged traffic model.
+// (grouped by transmitter) with a fully backlogged traffic model and
+// the global medium (call SetHearing to shard it).
 func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (*Protocol, error) {
 	if err := cfg.Timing.Validate(); err != nil {
 		return nil, err
 	}
 	groups, order := groupByTx(flows)
 	p := &Protocol{
-		Eng:      eng,
-		Sc:       sc,
-		Cfg:      cfg,
-		activeOf: make(map[*station][]*Active),
-		stats:    make(map[int]*FlowStats),
-		startOf:  make(map[*Active]float64),
+		Eng:     eng,
+		Sc:      sc,
+		Cfg:     cfg,
+		stats:   make(map[int]*FlowStats),
+		startOf: make(map[*Active]float64),
 	}
 	for i, tx := range order {
 		st := &station{id: i, tx: tx, flows: groups[tx], cw: cfg.Timing.CWMin}
@@ -141,7 +190,38 @@ func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (
 			p.stats[f.ID] = &FlowStats{}
 		}
 	}
+	p.buildDomains()
 	return p, nil
+}
+
+// SetHearing installs the hearing graph the protocol senses the
+// medium through and shards the contention bookkeeping along its
+// connected components. A nil graph restores the global medium. Must
+// be called before Start.
+func (p *Protocol) SetHearing(g *HearingGraph) {
+	if p.started {
+		panic("mac: SetHearing after Start")
+	}
+	p.graph = g
+	p.buildDomains()
+}
+
+// buildDomains partitions the stations into collision domains by the
+// hearing graph's components, numbering domains in order of their
+// first station so the layout is deterministic.
+func (p *Protocol) buildDomains() {
+	p.domains = nil
+	byComp := make(map[int]*domain)
+	for _, st := range p.stations {
+		c := p.graph.ComponentOf(st.tx)
+		d, ok := byComp[c]
+		if !ok {
+			d = &domain{id: len(p.domains)}
+			byComp[c] = d
+			p.domains = append(p.domains, d)
+		}
+		st.dom = d
+	}
 }
 
 // Stats returns the per-flow statistics collected so far.
@@ -149,11 +229,38 @@ func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
 
 // MediumTime returns the accumulated medium-occupancy split: data is
 // virtual seconds spent in completed data-transmission windows,
-// overhead is handshake plus completed ACK-phase time. A window the
-// run cut off mid-flight is not counted, so data+overhead never
-// exceeds the run duration; idle/backoff time is whatever remains.
+// overhead is handshake plus completed ACK-phase time, both summed
+// over all collision domains. A window the run cut off mid-flight is
+// not counted. In a single domain data+overhead never exceeds the run
+// duration; with spatial reuse the sum can exceed it (concurrent
+// components each occupy their own medium).
 func (p *Protocol) MediumTime() (data, overhead float64) {
 	return p.dataTime, p.overheadTime
+}
+
+// Components returns the number of collision domains the run is
+// sharded into (1 without a hearing graph).
+func (p *Protocol) Components() int { return len(p.domains) }
+
+// PeakConcurrentTxns returns the maximum number of joint transmissions
+// that were in flight simultaneously, across all domains. Values
+// above 1 are impossible under the historical global medium: they
+// require either sharded components or hidden terminals.
+func (p *Protocol) PeakConcurrentTxns() int { return p.peakConcurrent }
+
+// PeakBusyComponents returns the maximum number of distinct collision
+// domains that held an in-flight transmission at the same instant —
+// direct evidence of spatial reuse across components.
+func (p *Protocol) PeakBusyComponents() int { return p.peakBusyComponents }
+
+// DomainWins returns the number of primary contention wins per
+// collision domain, in domain order.
+func (p *Protocol) DomainWins() []int64 {
+	out := make([]int64, len(p.domains))
+	for i, d := range p.domains {
+		out[i] = d.wins
+	}
+	return out
 }
 
 // SetTraffic switches stations from the fully backlogged model to
@@ -194,6 +301,7 @@ func (p *Protocol) SetTraffic(newSource func(f Flow) traffic.Source, queueCap in
 // Start arms every station's first contention and, for open-loop
 // stations, primes each flow's arrival process.
 func (p *Protocol) Start() {
+	p.started = true
 	for _, st := range p.stations {
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
 		if st.wantsMedium() {
@@ -234,12 +342,66 @@ func (p *Protocol) arrive(st *station, fi int) {
 	p.scheduleArrival(st, fi)
 }
 
-// usedDoF returns the number of occupied degrees of freedom.
-func (p *Protocol) usedDoF() int { return totalConstraints(p.actives) }
+// heardState collects the medium as station st senses it: the total
+// degrees of freedom occupied by transmissions it can hear, the
+// in-flight transmissions it hears at least one member of, and the
+// heard incumbents themselves (in join order — the actives a plan may
+// protect; unheard members of a heard transmission stay invisible, a
+// joiner cannot null toward a handshake it never decoded). Under a
+// clique (or no graph) this is exactly the domain's full incumbent
+// set, reproducing the historical global medium state.
+func (p *Protocol) heardState(st *station) (k int, heard []*transmission, known []*Active) {
+	for _, txn := range st.dom.txns {
+		h := false
+		for _, ms := range txn.stations {
+			if p.graph.Hears(st.tx, ms.tx) {
+				h = true
+				for _, a := range txn.groups[ms] {
+					k += a.Streams
+					known = append(known, a)
+				}
+			}
+		}
+		if h {
+			heard = append(heard, txn)
+		}
+	}
+	return k, heard, known
+}
 
-// eligible reports whether a station may currently contend: medium
-// idle, or n+ secondary contention with spare antennas and enough
-// remaining air time to be useful.
+// heardCount is the allocation-free core of heardState for the hot
+// eligibility path: the heard DoF, the number of distinct heard
+// transmissions, and the one heard transmission (nil unless exactly
+// one). Every medium transition re-evaluates eligibility for each
+// contender that hears it, so this must not allocate — the full
+// slice-building heardState runs only in win().
+func (p *Protocol) heardCount(st *station) (k, heardTxns int, only *transmission) {
+	for _, txn := range st.dom.txns {
+		h := false
+		for _, ms := range txn.stations {
+			if p.graph.Hears(st.tx, ms.tx) {
+				h = true
+				for _, a := range txn.groups[ms] {
+					k += a.Streams
+				}
+			}
+		}
+		if h {
+			heardTxns++
+			only = txn
+		}
+	}
+	if heardTxns != 1 {
+		only = nil
+	}
+	return k, heardTxns, only
+}
+
+// eligible reports whether a station may currently contend: its local
+// medium idle, or n+ secondary contention with spare antennas beyond
+// the locally heard DoF and enough remaining air time to be useful. A
+// station hearing members of two distinct concurrent transmissions
+// stays frozen: there is no single joint end time to align with.
 func (p *Protocol) eligible(st *station) bool {
 	if st.txActive {
 		return false
@@ -247,23 +409,26 @@ func (p *Protocol) eligible(st *station) bool {
 	if st.openLoop() && st.queue.Len() == 0 {
 		return false // nothing to send: idle until the next arrival
 	}
-	k := p.usedDoF()
-	if k == 0 {
+	k, heardTxns, only := p.heardCount(st)
+	if heardTxns == 0 {
 		return true
 	}
 	if p.Cfg.Mode != ModeNPlus {
 		return false
 	}
+	if heardTxns > 1 {
+		return false
+	}
 	if st.flows[0].TxAntennas <= k {
 		return false
 	}
-	remaining := p.jointEnd - p.Eng.Now()
+	remaining := only.end - p.Eng.Now()
 	return remaining > p.Cfg.Timing.HandshakeOverhead()+p.Cfg.Timing.DIFS
 }
 
 // armCountdown schedules the end of a station's DIFS+backoff
 // countdown if it is eligible; ineligible stations stay frozen and
-// re-arm on the next medium transition.
+// re-arm on the next medium transition they hear.
 func (p *Protocol) armCountdown(st *station) {
 	if !p.eligible(st) {
 		return
@@ -296,8 +461,20 @@ func (p *Protocol) freeze(st *station) {
 	}
 }
 
-// win fires when a station's backoff expires: it transmits (primary)
-// or joins (secondary).
+// notePeak refreshes the spatial-concurrency gauges after a
+// transmission starts.
+func (p *Protocol) notePeak() {
+	if p.inFlight > p.peakConcurrent {
+		p.peakConcurrent = p.inFlight
+	}
+	if p.busyDomains > p.peakBusyComponents {
+		p.peakBusyComponents = p.busyDomains
+	}
+}
+
+// win fires when a station's backoff expires: it transmits (primary,
+// possibly concurrently with transmissions it cannot hear) or joins
+// the one transmission it hears (secondary).
 func (p *Protocol) win(st *station) {
 	dests := st.flows
 	if st.openLoop() {
@@ -314,20 +491,26 @@ func (p *Protocol) win(st *station) {
 			return // drained since arming; idle until the next arrival
 		}
 	}
+	k, heard, known := p.heardState(st)
+	isPrimary := len(heard) == 0
+	if !isPrimary && len(heard) > 1 {
+		// Ambiguous joint end (two concurrent transmissions audible):
+		// stay frozen until a transition re-arms us.
+		return
+	}
 	req := JoinRequest{Dests: dests}
-	isPrimary := len(p.actives) == 0
 	beamform := isPrimary && (p.Cfg.Mode == ModeBeamforming || len(req.Dests) > 1)
-	group, err := p.Sc.PlanBest(req, p.actives, beamform, isPrimary)
+	group, err := p.Sc.PlanBest(req, known, beamform, isPrimary)
 	if err != nil {
 		// Cannot transmit without harming incumbents: back off again
-		// and wait for the medium to clear. With a busy medium the
-		// finish() transition re-arms every station; with an empty one
-		// no transition will ever come, so re-arm directly — an
+		// and wait for the local medium to clear. With a busy medium
+		// the finish() transition re-arms every hearer; with an idle
+		// one no transition may ever come, so re-arm directly — an
 		// open-loop station could otherwise stall with a full queue
 		// until another station happens to transmit.
 		p.Eng.Tracef("station %d (tx %d) blocked: %v", st.id, st.tx, err)
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
-		if len(p.actives) == 0 {
+		if isPrimary {
 			p.armCountdown(st)
 		}
 		return
@@ -337,6 +520,7 @@ func (p *Protocol) win(st *station) {
 	st.backoff = p.Sc.RNG.Intn(st.cw + 1) // fresh draw for next round
 	t := p.Cfg.Timing
 
+	var txn *transmission
 	if isPrimary {
 		totalStreams := 0
 		rate := group[0].Rate
@@ -349,12 +533,24 @@ func (p *Protocol) win(st *station) {
 		}
 		bps := rate.DataRateMbps(p.Cfg.BandwidthMHz) * 1e6
 		dataDur := float64(p.Cfg.PacketBytes*8) / (bps * float64(totalStreams))
-		p.jointEnd = p.Eng.Now() + t.HandshakeOverhead() + dataDur
-		p.curData = dataDur
-		p.endHandle = p.Eng.ScheduleAt(p.jointEnd, p.finish)
+		txn = &transmission{
+			dom:     st.dom,
+			groups:  make(map[*station][]*Active),
+			end:     p.Eng.Now() + t.HandshakeOverhead() + dataDur,
+			dataDur: dataDur,
+		}
+		if len(st.dom.txns) == 0 {
+			p.busyDomains++
+		}
+		st.dom.txns = append(st.dom.txns, txn)
+		st.dom.wins++
+		p.inFlight++
+		p.notePeak()
+		p.Eng.ScheduleAt(txn.end, func() { p.finish(txn) })
 		p.Eng.Tracef("station %d (tx %d) wins primary contention: %d stream(s) at %v", st.id, st.tx, totalStreams, rate)
 	} else {
-		for _, inc := range p.actives {
+		txn = heard[0]
+		for _, inc := range known {
 			for _, a := range group {
 				p.Sc.NoteJoiner(inc, a)
 			}
@@ -364,19 +560,59 @@ func (p *Protocol) win(st *station) {
 			p.stats[a.Flow.ID].Joins++
 			n += a.Streams
 		}
-		p.Eng.Tracef("station %d (tx %d) joins with %d stream(s), DoF now %d", st.id, st.tx, n, p.usedDoF()+n)
+		p.Eng.Tracef("station %d (tx %d) joins with %d stream(s), DoF now %d", st.id, st.tx, n, k+n)
 	}
-	p.actives = append(p.actives, group...)
-	p.activeOf[st] = group
+	txn.stations = append(txn.stations, st)
+	txn.groups[st] = group
+	txn.actives = append(txn.actives, group...)
 	for _, a := range group {
 		p.startOf[a] = p.Eng.Now()
 	}
+	p.crossLeakage(st, group, known)
 
-	// Medium state changed: every station still contending
-	// re-evaluates (the winner itself just left the index).
-	for _, other := range p.contenders {
-		p.freeze(other)
-		p.armCountdown(other)
+	// Medium state changed for every contender that hears this
+	// transmitter: they re-evaluate (the winner itself just left the
+	// index). Contenders out of earshot keep counting down — that is
+	// the spatial reuse. Under a clique this touches every contender,
+	// in id order, exactly as the global medium did.
+	for _, other := range st.dom.contenders {
+		if p.graph.Hears(other.tx, st.tx) {
+			p.freeze(other)
+			p.armCountdown(other)
+		}
+	}
+}
+
+// crossLeakage wires the interference between a freshly started group
+// and every concurrent active the planner did NOT know about (hidden
+// terminals: members of other transmissions — or unheard members of
+// the joined one — whose handshakes st never decoded). Neither side's
+// precoder protects the other, so wherever a receiver can hear the
+// opposing transmitter the signal lands as uncancelled leakage and
+// degrades delivery SINR — the collision-at-the-shared-receiver that
+// the single-domain model could never produce. Signals below the
+// hearing threshold are treated as noise-floor residue and skipped.
+// Under a clique every active is known, so this is a no-op and the
+// historical behavior (and RNG stream) is untouched.
+func (p *Protocol) crossLeakage(st *station, group, known []*Active) {
+	knownSet := make(map[*Active]bool, len(known))
+	for _, a := range known {
+		knownSet[a] = true
+	}
+	for _, txn := range st.dom.txns {
+		for _, o := range txn.actives {
+			if knownSet[o] || o.Flow.Tx == st.tx {
+				continue
+			}
+			for _, a := range group {
+				if p.graph.Hears(o.Flow.Rx, st.tx) {
+					p.Sc.NoteJoiner(o, a) // victim's receiver collects our signal
+				}
+				if p.graph.Hears(a.Flow.Rx, o.Flow.Tx) {
+					p.Sc.NoteJoiner(a, o) // our receiver collects theirs
+				}
+			}
+		}
 	}
 }
 
@@ -402,24 +638,23 @@ func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
 	st.credit[flowID] = cr
 }
 
-// finish ends the joint transmission: concurrent ACKs, delivery
-// sampling, stats, and a fresh contention round.
-func (p *Protocol) finish() {
+// finish ends one joint transmission: concurrent ACKs, delivery
+// sampling, stats, and a fresh contention round for the stations that
+// heard it. Other transmissions — in other domains, or hidden in this
+// one — are untouched.
+func (p *Protocol) finish(txn *transmission) {
 	t := p.Cfg.Timing
-	// Stable station order: map iteration would randomize RNG draws.
+	// Stable station order: join order could differ from id order.
 	// (Insertion sort: at most a handful of concurrent transmitters,
 	// and sort.Slice's reflection swapper allocates per call.)
-	stations := make([]*station, 0, len(p.activeOf))
-	for st := range p.activeOf {
-		stations = append(stations, st)
-	}
+	stations := append([]*station(nil), txn.stations...)
 	for i := 1; i < len(stations); i++ {
 		for j := i; j > 0 && stations[j].id < stations[j-1].id; j-- {
 			stations[j], stations[j-1] = stations[j-1], stations[j]
 		}
 	}
 	for _, st := range stations {
-		group := p.activeOf[st]
+		group := txn.groups[st]
 		// One transmission, one verdict: a station's contention window
 		// reacts to whether ITS transmission survived, regardless of
 		// how many flows (Actives) it striped onto the medium.
@@ -437,7 +672,7 @@ func (p *Protocol) finish() {
 			// Air time this active actually had: from ITS join (not the
 			// primary's start) minus its handshake, so a late joiner is
 			// only credited for the window it really transmitted in.
-			air := p.jointEnd - p.startOf[a] - t.HandshakeOverhead()
+			air := txn.end - p.startOf[a] - t.HandshakeOverhead()
 			if air < 0 {
 				air = 0
 			}
@@ -495,24 +730,45 @@ func (p *Protocol) finish() {
 		}
 	}
 	p.Eng.Tracef("joint transmission ends; ACK phase")
-	p.dataTime += p.curData
+	p.dataTime += txn.dataDur
 	p.overheadTime += t.HandshakeOverhead()
-	p.curData = 0
-	p.actives = nil
-	p.activeOf = make(map[*station][]*Active)
-	p.startOf = make(map[*Active]float64)
-	p.jointEnd = 0
+	for _, a := range txn.actives {
+		delete(p.startOf, a)
+	}
+	dom := txn.dom
+	for i, other := range dom.txns {
+		if other == txn {
+			dom.txns = append(dom.txns[:i], dom.txns[i+1:]...)
+			break
+		}
+	}
+	p.inFlight--
+	if len(dom.txns) == 0 {
+		p.busyDomains--
+	}
 
-	// ACK phase then a new contention round for every station that
-	// still wants the medium (the index is id-sorted, so the order —
+	// ACK phase then a new contention round for every contender that
+	// heard this transmission (the index is id-sorted, so the order —
 	// and any RNG the armed events later draw — is deterministic).
 	// The ACK window is booked as overhead only once it completes.
 	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
 		p.overheadTime += t.SIFS + t.AckBodyDuration
-		for _, st := range p.contenders {
-			p.armCountdown(st)
+		for _, other := range dom.contenders {
+			if p.hearsAnyOf(other, stations) {
+				p.armCountdown(other)
+			}
 		}
 	})
+}
+
+// hearsAnyOf reports whether st hears any of the given transmitters.
+func (p *Protocol) hearsAnyOf(st *station, txers []*station) bool {
+	for _, o := range txers {
+		if p.graph.Hears(st.tx, o.tx) {
+			return true
+		}
+	}
+	return false
 }
 
 // Run executes the protocol for the given virtual duration and

@@ -93,8 +93,21 @@ type FlowStats struct {
 	Served   int64 // packets delivered and dequeued
 	// Delays holds each served packet's queueing+service delay in
 	// seconds: arrival at the station queue → end of the data
-	// transmission that delivered it.
+	// transmission that delivered it. Packets still queued (or mid-
+	// retransmission) at run cutoff contribute NO sample, so the
+	// distribution is right-censored: near saturation the longest
+	// would-be delays are exactly the missing ones and percentile
+	// summaries read low. Residual() counts the censored packets.
 	Delays []float64
+}
+
+// Residual returns the packets the queue accepted but the run never
+// served — still backlogged, or awaiting retransmission, when the
+// clock ran out. These packets are missing from Delays (censoring),
+// so a residual that is large relative to Served means the delay
+// percentiles understate the truth.
+func (s *FlowStats) Residual() int64 {
+	return s.Arrivals - s.Drops - s.Served
 }
 
 // ThroughputMbps converts delivered bytes over elapsed seconds.

@@ -27,6 +27,23 @@ type Report struct {
 	ElapsedS float64      `json:"elapsed_s"`
 	Flows    []FlowReport `json:"flows"`
 	Totals   Totals       `json:"totals"`
+	// Spatial summarizes the hearing-graph medium model of a
+	// protocol-engine run (absent under the epoch engine, which is
+	// guarded to a single clique domain).
+	Spatial *SpatialReport `json:"spatial,omitempty"`
+}
+
+// SpatialReport is the spatial-reuse summary of a protocol run.
+type SpatialReport struct {
+	// Components is the number of collision domains the hearing graph
+	// sharded the run into (1 = the historical global medium).
+	Components int `json:"components"`
+	// PeakConcurrentTxns is the maximum number of joint transmissions
+	// in flight at once (>1 requires sharded components or hidden
+	// terminals); PeakBusyComponents counts how many distinct domains
+	// were transmitting at that same instant.
+	PeakConcurrentTxns int `json:"peak_concurrent_txns"`
+	PeakBusyComponents int `json:"peak_busy_components"`
 }
 
 // FlowReport is one flow's metrics.
@@ -53,14 +70,25 @@ type FlowReport struct {
 	SNRLossDB *float64 `json:"snr_loss_db,omitempty"`
 
 	// Open-loop accounting, present only under an arrival process.
+	// Residual counts packets the queue accepted but the run never
+	// served — still queued, or mid-retransmission, when the clock ran
+	// out (Arrivals − Drops − Served). Delay percentiles cover served
+	// packets only, so they are right-censored: near or above
+	// saturation the unserved residual holds exactly the packets with
+	// the longest would-be delays, and p95/p99 read optimistic. A
+	// large Residual relative to Served is the signal to distrust the
+	// tail.
 	Arrivals int64        `json:"arrivals,omitempty"`
 	Drops    int64        `json:"drops,omitempty"`
 	Served   int64        `json:"served,omitempty"`
+	Residual int64        `json:"residual,omitempty"`
 	DropRate float64      `json:"drop_rate,omitempty"`
 	Delay    *DelayReport `json:"delay,omitempty"`
 }
 
-// DelayReport is the per-packet delay summary in milliseconds.
+// DelayReport is the per-packet delay summary in milliseconds. It
+// summarizes served packets only — see FlowReport.Residual for the
+// censoring caveat.
 type DelayReport struct {
 	N      int     `json:"n"`
 	MeanMs float64 `json:"mean_ms"`
@@ -98,10 +126,12 @@ type Totals struct {
 	AirtimeFrac  float64 `json:"airtime_frac"`
 	OverheadFrac float64 `json:"overhead_frac"`
 
-	// Open-loop accounting, pooled across flows.
+	// Open-loop accounting, pooled across flows. Residual carries the
+	// same censoring caveat as FlowReport.Residual.
 	Arrivals int64        `json:"arrivals,omitempty"`
 	Drops    int64        `json:"drops,omitempty"`
 	Served   int64        `json:"served,omitempty"`
+	Residual int64        `json:"residual,omitempty"`
 	DropRate float64      `json:"drop_rate,omitempty"`
 	Delay    *DelayReport `json:"delay,omitempty"`
 }
@@ -114,9 +144,11 @@ func (r *Report) JSON() ([]byte, error) {
 
 // buildReport assembles a Report from per-flow stats in sorted flow-id
 // order. snrLoss may be nil (protocol engine); elapsed is the
-// throughput denominator; data/overhead are medium-time accumulators.
+// throughput denominator; data/overhead are medium-time accumulators;
+// spatial is the protocol engine's medium-model summary (nil under
+// the epoch engine).
 func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
-	snrLoss map[int]float64, elapsed, dataTime, overheadTime float64) *Report {
+	snrLoss map[int]float64, elapsed, dataTime, overheadTime float64, spatial *SpatialReport) *Report {
 
 	flowDef := make(map[int]mac.Flow, len(net.Flows))
 	for _, f := range net.Flows {
@@ -128,7 +160,7 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 	}
 	sort.Ints(ids)
 
-	rep := &Report{Spec: spec, ElapsedS: elapsed}
+	rep := &Report{Spec: spec, ElapsedS: elapsed, Spatial: spatial}
 	var tputs, pooledDelays []float64
 	openLoop := spec.Traffic != traffic.Saturated
 	for _, id := range ids {
@@ -161,6 +193,7 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 			fr.Arrivals = fs.Arrivals
 			fr.Drops = fs.Drops
 			fr.Served = fs.Served
+			fr.Residual = fs.Residual()
 			fr.DropRate = fs.DropRate()
 			fr.Delay = newDelayReport(stats.SummarizeDelays(fs.Delays))
 			pooledDelays = append(pooledDelays, fs.Delays...)
@@ -171,6 +204,7 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 		rep.Totals.Arrivals += fs.Arrivals
 		rep.Totals.Drops += fs.Drops
 		rep.Totals.Served += fs.Served
+		rep.Totals.Residual += fs.Residual()
 		rep.Flows = append(rep.Flows, fr)
 	}
 	rep.Totals.JainFairness = stats.JainFairness(tputs)
@@ -233,16 +267,20 @@ func (r *Report) Render() string {
 	out += fmt.Sprintf("Jain fairness: %.3f\n", r.Totals.JainFairness)
 	out += fmt.Sprintf("medium time: %.1f%% data, %.1f%% overhead\n",
 		100*r.Totals.AirtimeFrac, 100*r.Totals.OverheadFrac)
+	if r.Spatial != nil && r.Spatial.Components > 1 {
+		out += fmt.Sprintf("spatial reuse: %d collision domains, peak %d concurrent transmissions in %d components\n",
+			r.Spatial.Components, r.Spatial.PeakConcurrentTxns, r.Spatial.PeakBusyComponents)
+	}
 	if openLoop {
 		if r.Totals.Delay != nil {
 			d := r.Totals.Delay
-			out += fmt.Sprintf("delay: n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms\n",
+			out += fmt.Sprintf("delay: n=%d mean=%.2fms p50=%.2fms p95=%.2fms p99=%.2fms max=%.2fms (served packets only)\n",
 				d.N, d.MeanMs, d.P50Ms, d.P95Ms, d.P99Ms, d.MaxMs)
 		} else {
 			out += "delay: no served packets\n"
 		}
-		out += fmt.Sprintf("packets: %d offered, %d served, %d dropped (%.1f%%)\n",
-			r.Totals.Arrivals, r.Totals.Served, r.Totals.Drops, 100*r.Totals.DropRate)
+		out += fmt.Sprintf("packets: %d offered, %d served, %d dropped (%.1f%%), %d residual at cutoff\n",
+			r.Totals.Arrivals, r.Totals.Served, r.Totals.Drops, 100*r.Totals.DropRate, r.Totals.Residual)
 	}
 	return out
 }

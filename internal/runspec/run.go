@@ -8,6 +8,7 @@ import (
 	"nplus/internal/mac"
 	"nplus/internal/sim"
 	"nplus/internal/topo"
+	"nplus/internal/traffic"
 )
 
 // Run normalizes and executes one Spec and returns its structured
@@ -43,22 +44,36 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		rep := buildReport(n, net, res.PerFlow, res.SNRLossDB, res.Elapsed, res.DataTime, res.OverheadTime)
+		rep := buildReport(n, net, res.PerFlow, res.SNRLossDB, res.Elapsed, res.DataTime, res.OverheadTime, nil)
 		return rep, nil, nil
 	}
 
+	onFraction, cycleSec := traffic.Auto, traffic.Auto
+	if n.OnFraction != nil {
+		onFraction = *n.OnFraction
+	}
+	if n.CycleSec != nil {
+		cycleSec = *n.CycleSec
+	}
 	res, err := net.RunTraffic(core.TrafficRun{
-		Mode:     mode,
-		Duration: n.DurationS,
-		Model:    n.Traffic,
-		RatePPS:  n.RatePPS,
-		QueueCap: n.QueueCap,
-		Trace:    trace,
+		Mode:       mode,
+		Duration:   n.DurationS,
+		Model:      n.Traffic,
+		RatePPS:    n.RatePPS,
+		QueueCap:   n.QueueCap,
+		OnFraction: onFraction,
+		CycleSec:   cycleSec,
+		Trace:      trace,
 	})
 	if err != nil {
 		return nil, nil, err
 	}
-	rep := buildReport(n, net, res.PerFlow, nil, n.DurationS, res.DataTime, res.OverheadTime)
+	spatial := &SpatialReport{
+		Components:         res.Components,
+		PeakConcurrentTxns: res.PeakConcurrentTxns,
+		PeakBusyComponents: res.PeakBusyComponents,
+	}
+	rep := buildReport(n, net, res.PerFlow, nil, n.DurationS, res.DataTime, res.OverheadTime, spatial)
 	return rep, res.Trace, nil
 }
 
@@ -70,7 +85,11 @@ func BuildNetwork(n Spec) (*core.Network, error) {
 	opts := n.coreOptions()
 	seed := n.SeedValue()
 	if n.Topo != "" {
-		layout, err := topo.Generate(n.Topo, topo.GenConfig{Nodes: n.Nodes}, rand.New(rand.NewSource(seed)))
+		gc := topo.GenConfig{Nodes: n.Nodes, Clusters: n.Clusters, InterClusterLossDB: topo.Auto}
+		if n.InterClusterLossDB != nil {
+			gc.InterClusterLossDB = *n.InterClusterLossDB
+		}
+		layout, err := topo.Generate(n.Topo, gc, rand.New(rand.NewSource(seed)))
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,169 @@
+package runspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// The spatial/cluster/bursty knobs follow the same strictness rule as
+// every other Spec field: a knob the resolved deployment or traffic
+// model cannot consume is rejected, never silently dropped — and an
+// explicit zero is a configuration error where zero is unusable, not
+// a default request.
+func TestNormalizeRejectsSpatialAndBurstyKnobs(t *testing.T) {
+	f := func(x float64) *float64 { return &x }
+	cases := map[string]Spec{
+		"clusters on plain topo":     {Topo: "disk-adhoc", Clusters: 4},
+		"cluster loss on plain topo": {Topo: "disk-adhoc", InterClusterLossDB: f(30)},
+		"clusters on scenario":       {Scenario: "trio", Clusters: 4},
+		"cluster loss on scenario":   {Scenario: "trio", InterClusterLossDB: f(30)},
+		"negative cluster loss":      {Topo: "campus", InterClusterLossDB: f(-3)},
+		"more clusters than pairs":   {Topo: "campus", Nodes: 10, Clusters: 8},
+		"on_fraction under poisson":  {Traffic: "poisson", OnFraction: f(0.5)},
+		"cycle_sec under saturated":  {Scenario: "trio", CycleSec: f(0.01)},
+		"explicit zero on_fraction":  {Traffic: BurstyModel, OnFraction: f(0)},
+		"on_fraction above one":      {Traffic: BurstyModel, OnFraction: f(1.5)},
+		"explicit zero cycle_sec":    {Traffic: BurstyModel, CycleSec: f(0)},
+		"negative cycle_sec":         {Traffic: BurstyModel, CycleSec: f(-1)},
+	}
+	for name, s := range cases {
+		if _, err := s.Normalized(); err == nil {
+			t.Errorf("%s: normalized without error", name)
+		}
+	}
+
+	// The happy paths: clustered topologies fill the cluster default,
+	// bursty accepts explicit in-range shape knobs.
+	n, err := Spec{Topo: "campus"}.Normalized()
+	if err != nil {
+		t.Fatalf("campus spec: %v", err)
+	}
+	if n.Clusters != DefaultClusters || n.Engine != EngineProtocol {
+		t.Fatalf("campus normalized to %d clusters engine %q", n.Clusters, n.Engine)
+	}
+	if _, err := (Spec{Traffic: BurstyModel, OnFraction: f(0.5), CycleSec: f(0.01)}).Normalized(); err != nil {
+		t.Fatalf("bursty shape knobs rejected: %v", err)
+	}
+}
+
+// The epoch engine refuses non-clique hearing: a campus pinned to the
+// epoch engine surfaces the core guard, while the same spec under the
+// protocol engine runs and reports its sharding.
+func TestEpochEngineRejectsShardedCampus(t *testing.T) {
+	spec := Spec{Topo: "campus", Nodes: 40, Clusters: 4, Engine: EngineEpoch, Epochs: 5}
+	if _, err := Run(spec); err == nil || !strings.Contains(err.Error(), "collision domain") {
+		t.Fatalf("epoch campus run: err = %v, want the collision-domain guard", err)
+	}
+	rep, err := Run(Spec{Topo: "campus", Nodes: 40, Clusters: 4, DurationS: 0.01,
+		Traffic: "poisson", RatePPS: 2000})
+	if err != nil {
+		t.Fatalf("protocol campus run: %v", err)
+	}
+	if rep.Spatial == nil || rep.Spatial.Components != 4 {
+		t.Fatalf("campus report spatial = %+v, want 4 components", rep.Spatial)
+	}
+	if rep.Spatial.PeakBusyComponents < 2 {
+		t.Fatalf("campus report peak busy components %d, want ≥ 2", rep.Spatial.PeakBusyComponents)
+	}
+	// Epoch reports carry no spatial block (the guard pins them to one
+	// clique domain).
+	erep, err := Run(Spec{Scenario: "trio", Epochs: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if erep.Spatial != nil {
+		t.Fatalf("epoch report carries spatial block %+v", erep.Spatial)
+	}
+}
+
+// Residual pins the delay-censoring exposure: at an offered load just
+// above capacity, packets still queued (or mid-retransmission) at the
+// cutoff are excluded from the delay samples — the report must say how
+// many, and the books must balance.
+func TestResidualExposesDelayCensoring(t *testing.T) {
+	rep, err := Run(Spec{Scenario: "downlink", Traffic: "poisson", RatePPS: 4000, DurationS: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tot := rep.Totals
+	if tot.Arrivals == 0 {
+		t.Fatal("no arrivals")
+	}
+	if tot.Residual <= 0 {
+		t.Fatalf("residual = %d above capacity, want > 0 (the censored backlog)", tot.Residual)
+	}
+	if tot.Residual != tot.Arrivals-tot.Drops-tot.Served {
+		t.Fatalf("residual %d ≠ arrivals %d − drops %d − served %d",
+			tot.Residual, tot.Arrivals, tot.Drops, tot.Served)
+	}
+	var perFlowResidual int64
+	for _, f := range rep.Flows {
+		perFlowResidual += f.Residual
+		if f.Residual != f.Arrivals-f.Drops-f.Served {
+			t.Fatalf("flow %d residual books don't balance: %+v", f.ID, f)
+		}
+		// Delay samples cover served packets only — the censoring the
+		// Residual field documents.
+		if f.Delay != nil && int64(f.Delay.N) != f.Served {
+			t.Fatalf("flow %d has %d delay samples for %d served packets", f.ID, f.Delay.N, f.Served)
+		}
+	}
+	if perFlowResidual != tot.Residual {
+		t.Fatalf("per-flow residuals sum to %d, totals say %d", perFlowResidual, tot.Residual)
+	}
+	if !bytes.Contains(mustJSON(t, rep), []byte(`"residual"`)) {
+		t.Fatal("report JSON missing the residual key")
+	}
+}
+
+func mustJSON(t *testing.T, rep *Report) []byte {
+	t.Helper()
+	data, err := rep.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// A sharded multi-component sweep stays bit-identical at any worker
+// count — the spatial path inherits the engine's determinism contract.
+func TestShardedSweepWorkerDeterminism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep in -short mode")
+	}
+	sw := Sweep{
+		Base: Spec{
+			Topo:      "campus",
+			Nodes:     64,
+			Clusters:  4,
+			Traffic:   "poisson",
+			DurationS: 0.01,
+		},
+		Rates: []float64{500, 2000},
+		Seeds: []int64{1, 2},
+	}
+	var outputs [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		res, err := RunSweep(sw, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Reports) != 4 {
+			t.Fatalf("workers=%d: %d reports, want 4", workers, len(res.Reports))
+		}
+		for _, rep := range res.Reports {
+			if rep.Spatial == nil || rep.Spatial.Components != 4 {
+				t.Fatalf("workers=%d: sweep point spatial = %+v, want 4 components", workers, rep.Spatial)
+			}
+		}
+		var buf bytes.Buffer
+		if err := res.WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		outputs = append(outputs, buf.Bytes())
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) || !bytes.Equal(outputs[0], outputs[2]) {
+		t.Fatal("sharded sweep JSONL differs across worker counts")
+	}
+}

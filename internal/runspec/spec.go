@@ -45,9 +45,14 @@ const (
 	DefaultQueueCap       = 64
 	DefaultRatePPS        = 400
 	DefaultNodes          = 50
+	DefaultClusters       = 4
 	DefaultScenario       = "trio"
 	DefaultMode           = "nplus"
 )
+
+// BurstyModel is the one traffic model the on_fraction/cycle_sec
+// knobs apply to.
+const BurstyModel = "bursty"
 
 // Spec is one declarative simulation run. The zero value normalizes
 // to the default trio/epoch run; JSON field names are the stable
@@ -65,14 +70,28 @@ type Spec struct {
 	// Nodes sizes a generated topology (0 → 50). It is rejected for
 	// hand-built scenarios, which fix their own node sets.
 	Nodes int `json:"nodes,omitempty"`
+	// Clusters and InterClusterLossDB shape clustered topologies
+	// (campus, multiroom): the number of spatial cells (0 →
+	// DefaultClusters) and the extra attenuation on links crossing
+	// cell boundaries (nil → the generator's calibrated default; an
+	// explicit 0 means geometry-only isolation). Both are rejected for
+	// generators without cluster structure, where they would otherwise
+	// be silently ignored.
+	Clusters           int      `json:"clusters,omitempty"`
+	InterClusterLossDB *float64 `json:"inter_cluster_loss_db,omitempty"`
 
 	// Traffic names an arrival model from the traffic registry
 	// (empty → saturated). RatePPS and QueueCap parameterize open-loop
 	// models and are rejected under saturated traffic, where they
-	// would otherwise be silently ignored.
-	Traffic  string  `json:"traffic,omitempty"`
-	RatePPS  float64 `json:"rate_pps,omitempty"`
-	QueueCap int     `json:"queue_cap,omitempty"`
+	// would otherwise be silently ignored. OnFraction and CycleSec
+	// parameterize the bursty model only (nil → calibrated defaults;
+	// explicit non-positive values are rejected, never silently
+	// replaced) and are rejected for every other model.
+	Traffic    string   `json:"traffic,omitempty"`
+	RatePPS    float64  `json:"rate_pps,omitempty"`
+	QueueCap   int      `json:"queue_cap,omitempty"`
+	OnFraction *float64 `json:"on_fraction,omitempty"`
+	CycleSec   *float64 `json:"cycle_sec,omitempty"`
 
 	// Mode is the MAC variant's CLI name (empty → nplus).
 	Mode string `json:"mode,omitempty"`
@@ -108,6 +127,12 @@ type OptionsSpec struct {
 	// PERWidth is the delivery waterfall width in dB (default 1);
 	// explicit 0 selects a hard threshold.
 	PERWidth *float64 `json:"per_width,omitempty"`
+	// CSThresholdDB is the carrier-sense decode threshold in dB SNR
+	// (default −30, keeping single-floor deployments one clique). A
+	// very low value (e.g. −200) forces the global single-domain
+	// medium; higher values shrink decode range, producing hidden
+	// terminals and sharded collision domains.
+	CSThresholdDB *float64 `json:"cs_threshold_db,omitempty"`
 }
 
 // coreOptions resolves the spec's option overrides over the
@@ -123,6 +148,9 @@ func (s Spec) coreOptions() core.Options {
 		}
 		if o.PERWidth != nil {
 			opts.PERWidth = *o.PERWidth
+		}
+		if o.CSThresholdDB != nil {
+			opts.CSThresholdDB = *o.CSThresholdDB
 		}
 	}
 	return opts
@@ -150,7 +178,8 @@ func (s Spec) Normalized() (Spec, error) {
 		s.Scenario = DefaultScenario
 	}
 	if s.Topo != "" {
-		if _, ok := topo.ByName(s.Topo); !ok {
+		gen, ok := topo.ByName(s.Topo)
+		if !ok {
 			return s, fmt.Errorf("runspec: unknown topology generator %q (have %v)", s.Topo, topo.Names())
 		}
 		if s.Nodes == 0 {
@@ -159,12 +188,36 @@ func (s Spec) Normalized() (Spec, error) {
 		if s.Nodes < 2 {
 			return s, fmt.Errorf("runspec: %d nodes (need at least a pair)", s.Nodes)
 		}
+		if gen.Clustered {
+			if s.Clusters == 0 {
+				s.Clusters = DefaultClusters
+			}
+			if s.Clusters < 1 {
+				return s, fmt.Errorf("runspec: %d clusters is not positive", s.Clusters)
+			}
+			if s.Nodes < 2*s.Clusters {
+				return s, fmt.Errorf("runspec: %d nodes across %d clusters (need at least a pair per cluster)", s.Nodes, s.Clusters)
+			}
+			if s.InterClusterLossDB != nil && *s.InterClusterLossDB < 0 {
+				return s, fmt.Errorf("runspec: inter-cluster loss %g dB is negative", *s.InterClusterLossDB)
+			}
+		} else {
+			if s.Clusters != 0 {
+				return s, fmt.Errorf("runspec: clusters is a clustered-topology knob; generator %q has no cell structure", s.Topo)
+			}
+			if s.InterClusterLossDB != nil {
+				return s, fmt.Errorf("runspec: inter_cluster_loss_db is a clustered-topology knob; generator %q has no cell structure", s.Topo)
+			}
+		}
 	} else {
 		if _, ok := core.ScenarioByName(s.Scenario); !ok {
 			return s, fmt.Errorf("runspec: unknown scenario %q (have %v)", s.Scenario, core.ScenarioNames())
 		}
 		if s.Nodes != 0 {
 			return s, fmt.Errorf("runspec: nodes is a generated-topology knob; scenario %q fixes its own node set", s.Scenario)
+		}
+		if s.Clusters != 0 || s.InterClusterLossDB != nil {
+			return s, fmt.Errorf("runspec: cluster geometry is a generated-topology knob; scenario %q fixes its own layout", s.Scenario)
 		}
 	}
 
@@ -197,6 +250,24 @@ func (s Spec) Normalized() (Spec, error) {
 		}
 		if s.QueueCap != 0 {
 			return s, fmt.Errorf("runspec: queue_cap needs an open-loop traffic model, but traffic is saturated")
+		}
+	}
+	if s.Traffic == BurstyModel {
+		// Explicit non-positive values are configuration errors, never
+		// silently replaced by defaults (the same zero-as-default trap
+		// core.Options purged).
+		if s.OnFraction != nil && (*s.OnFraction <= 0 || *s.OnFraction > 1) {
+			return s, fmt.Errorf("runspec: on_fraction %g outside (0, 1]", *s.OnFraction)
+		}
+		if s.CycleSec != nil && *s.CycleSec <= 0 {
+			return s, fmt.Errorf("runspec: cycle_sec %g s is not positive", *s.CycleSec)
+		}
+	} else {
+		if s.OnFraction != nil {
+			return s, fmt.Errorf("runspec: on_fraction is a bursty-model knob; traffic is %q", s.Traffic)
+		}
+		if s.CycleSec != nil {
+			return s, fmt.Errorf("runspec: cycle_sec is a bursty-model knob; traffic is %q", s.Traffic)
 		}
 	}
 

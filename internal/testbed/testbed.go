@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"nplus/internal/channel"
 	"nplus/internal/cmplxmat"
@@ -119,6 +120,36 @@ type NodeSpec struct {
 	Antennas int
 }
 
+// DefaultCSThresholdDB is the calibrated carrier-sense threshold: a
+// node hears (decodes the light-weight handshakes of) a transmitter
+// whose average link SNR reaches it at or above this many dB. The
+// default is deliberately conservative — well below the weakest link
+// any single-floor deployment produces — so every legacy scenario
+// remains one clique (the historical global medium) and only
+// deployments engineered for spatial separation (multi-building
+// campuses, wall-attenuated rooms) shard into components or grow
+// hidden terminals.
+const DefaultCSThresholdDB = -30
+
+// LinkModel tunes channel synthesis beyond pure geometry.
+type LinkModel struct {
+	// ExtraLossDB returns extra attenuation in dB applied on top of
+	// log-distance path loss for the ordered pair (a, b) — wall loss
+	// between rooms, building shells across a campus. nil means none.
+	// It must be symmetric (reciprocity ties the two directions).
+	ExtraLossDB func(a, b mac.NodeID) float64
+	// SparseSNRDB, when non-zero, skips materializing Rayleigh taps
+	// for pairs whose average path SNR (dB) falls below it: such links
+	// are indistinguishable from the noise floor, and on a clustered
+	// deployment they are the quadratic bulk — a 1,000-node campus
+	// stores the sum of its clusters instead of n² channels. Skipped
+	// pairs read as zero channels; their path gain is still recorded
+	// for the hearing graph. Zero selects the historical dense draw.
+	// Keep it comfortably below any carrier-sense threshold in use, so
+	// every audible pair has a real channel.
+	SparseSNRDB float64
+}
+
 // Deployment places nodes at distinct random locations and draws
 // every pairwise channel. It implements mac.ChannelProvider.
 type Deployment struct {
@@ -126,16 +157,30 @@ type Deployment struct {
 	Nodes    map[mac.NodeID]NodeSpec
 	Position map[mac.NodeID]Point
 	calib    *channel.Calibration
+	lm       LinkModel
 	// raw channel objects per ordered pair
 	chans map[[2]mac.NodeID]*channel.MIMO
 	// cached per-data-bin frequency responses
 	freq map[[2]mac.NodeID][]*cmplxmat.Matrix
+	// ids (ascending) and their dense index into gainDB.
+	ids []mac.NodeID
+	idx map[mac.NodeID]int
+	// gainDB[i*n+j] is the average path gain of the ordered pair
+	// (ids[i] → ids[j]) in dB — path loss, shadowing, and any extra
+	// link loss, without the Rayleigh realization. It is recorded for
+	// every pair, including sparse-skipped ones, and backs the hearing
+	// graph at O(1) per pair where the realized-channel LinkSNRDB
+	// would materialize 48 per-bin matrices.
+	gainDB []float32
+	// zero holds lazily built all-zero per-bin batches for
+	// sparse-skipped pairs, keyed by rx×tx shape.
+	zero map[[2]int][]*cmplxmat.Matrix
 }
 
 // newDeployment validates the node specs and builds the deployment
 // shell, drawing the calibration state from rng — the first RNG use,
 // an order pinned by the seeded figure outputs.
-func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error) {
+func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec, lm LinkModel) (*Deployment, error) {
 	maxAnt := 0
 	for _, n := range nodes {
 		if n.Antennas < 1 {
@@ -146,38 +191,84 @@ func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec) (*Deployment,
 		}
 	}
 	// Pre-size the pairwise maps: n·(n−1) ordered pairs would force
-	// repeated rehashing on large deployments.
+	// repeated rehashing on large deployments. Sparse deployments skip
+	// the quadratic bulk, so they start small and grow as needed.
 	pairs := len(nodes) * (len(nodes) - 1)
+	if lm.SparseSNRDB != 0 && pairs > 4*len(nodes) {
+		pairs = 4 * len(nodes)
+	}
+	ids := make([]mac.NodeID, 0, len(nodes))
+	for _, n := range nodes {
+		ids = append(ids, n.ID)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	idx := make(map[mac.NodeID]int, len(ids))
+	for i, id := range ids {
+		idx[id] = i
+	}
 	return &Deployment{
 		tb:       tb,
 		Nodes:    make(map[mac.NodeID]NodeSpec, len(nodes)),
 		Position: make(map[mac.NodeID]Point, len(nodes)),
 		calib:    channel.NewCalibration(rng, maxAnt, tb.Cfg.EstFloor),
+		lm:       lm,
 		chans:    make(map[[2]mac.NodeID]*channel.MIMO, pairs),
 		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix, pairs),
+		ids:      ids,
+		idx:      idx,
+		gainDB:   make([]float32, len(ids)*len(ids)),
 	}, nil
 }
 
 // drawChannels draws Rayleigh channels for every ordered node pair
 // (reciprocity ties the two directions together: the reverse is the
-// transpose).
+// transpose), recording each pair's average path gain for the hearing
+// graph. Pairs whose path SNR falls below the link model's sparse
+// floor keep only the gain: their taps are never drawn, which both
+// bounds memory to the sum of the clusters and — because the skipped
+// draws would otherwise advance the RNG — is only enabled on
+// deployments built for it (legacy dense deployments never skip, so
+// their seeded channel realizations are untouched).
 func (d *Deployment) drawChannels(rng *rand.Rand, nodes []NodeSpec) {
 	tb := d.tb
+	seen := make(map[[2]mac.NodeID]bool, len(nodes))
 	for _, a := range nodes {
 		for _, b := range nodes {
 			if a.ID == b.ID {
 				continue
 			}
-			if _, done := d.chans[[2]mac.NodeID{a.ID, b.ID}]; done {
+			if seen[[2]mac.NodeID{a.ID, b.ID}] {
 				continue
 			}
+			seen[[2]mac.NodeID{a.ID, b.ID}] = true
+			seen[[2]mac.NodeID{b.ID, a.ID}] = true
 			dist := d.Position[a.ID].Distance(d.Position[b.ID])
 			gain := channel.PathLoss(rng, dist, tb.Cfg.PathLossExp, channel.FromDB(tb.Cfg.RefGainDB), tb.Cfg.ShadowDB)
+			if d.lm.ExtraLossDB != nil {
+				if loss := d.lm.ExtraLossDB(a.ID, b.ID); loss != 0 {
+					gain *= channel.FromDB(-loss)
+				}
+			}
+			gdb := clampDB(channel.DB(gain))
+			d.gainDB[d.idx[a.ID]*len(d.ids)+d.idx[b.ID]] = float32(gdb)
+			d.gainDB[d.idx[b.ID]*len(d.ids)+d.idx[a.ID]] = float32(gdb)
+			if d.lm.SparseSNRDB != 0 && tb.Cfg.TxPowerDB+gdb < d.lm.SparseSNRDB {
+				continue // below the materialization floor: gain only
+			}
 			fwd := channel.NewRayleigh(rng, b.Antennas, a.Antennas, tb.Cfg.Profile, gain)
 			d.chans[[2]mac.NodeID{a.ID, b.ID}] = fwd
 			d.chans[[2]mac.NodeID{b.ID, a.ID}] = fwd.Reverse(nil)
 		}
 	}
+}
+
+// clampDB bounds a dB value away from ±Inf so gains stay finite (and
+// JSON-safe) even for a zero channel.
+func clampDB(x float64) float64 {
+	if x < -300 {
+		return -300
+	}
+	return x
 }
 
 // Deploy assigns the given nodes to random distinct testbed locations
@@ -186,7 +277,7 @@ func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error)
 	if len(nodes) > len(tb.Locations) {
 		return nil, fmt.Errorf("testbed: %d nodes for %d locations", len(nodes), len(tb.Locations))
 	}
-	d, err := tb.newDeployment(rng, nodes)
+	d, err := tb.newDeployment(rng, nodes, LinkModel{})
 	if err != nil {
 		return nil, err
 	}
@@ -208,7 +299,15 @@ func (tb *Testbed) Deploy(rng *rand.Rand, nodes []NodeSpec) (*Deployment, error)
 // draws channels exactly as Deploy does. Every node needs a position;
 // the testbed's own location set is ignored.
 func (tb *Testbed) DeployAt(rng *rand.Rand, nodes []NodeSpec, pos map[mac.NodeID]Point) (*Deployment, error) {
-	d, err := tb.newDeployment(rng, nodes)
+	return tb.DeployAtModel(rng, nodes, pos, LinkModel{})
+}
+
+// DeployAtModel is DeployAt under an explicit link model: clustered
+// generators pass inter-cluster attenuation and a sparse
+// materialization floor here. The zero LinkModel reproduces DeployAt
+// draw-for-draw.
+func (tb *Testbed) DeployAtModel(rng *rand.Rand, nodes []NodeSpec, pos map[mac.NodeID]Point, lm LinkModel) (*Deployment, error) {
+	d, err := tb.newDeployment(rng, nodes, lm)
 	if err != nil {
 		return nil, err
 	}
@@ -231,7 +330,10 @@ func (tb *Testbed) DeployAt(rng *rand.Rand, nodes []NodeSpec, pos map[mac.NodeID
 func (tb *Testbed) Params() *ofdm.Params { return tb.params }
 
 // Channel implements mac.ChannelProvider: the true per-data-bin
-// matrices from node `from` to node `to`.
+// matrices from node `from` to node `to`. A pair the sparse link
+// model skipped reads as an all-zero channel — by construction its
+// signal is far below the noise floor, so zero is the faithful (and
+// allocation-free, via a per-shape cache) stand-in.
 func (d *Deployment) Channel(from, to mac.NodeID) []*cmplxmat.Matrix {
 	key := [2]mac.NodeID{from, to}
 	if cached, ok := d.freq[key]; ok {
@@ -239,6 +341,20 @@ func (d *Deployment) Channel(from, to mac.NodeID) []*cmplxmat.Matrix {
 	}
 	ch, ok := d.chans[key]
 	if !ok {
+		fromSpec, okF := d.Nodes[from]
+		toSpec, okT := d.Nodes[to]
+		if d.lm.SparseSNRDB != 0 && okF && okT {
+			shape := [2]int{toSpec.Antennas, fromSpec.Antennas}
+			if d.zero == nil {
+				d.zero = make(map[[2]int][]*cmplxmat.Matrix)
+			}
+			z, ok := d.zero[shape]
+			if !ok {
+				z = cmplxmat.NewBatch(len(d.tb.params.DataBins()), shape[0], shape[1])
+				d.zero[shape] = z
+			}
+			return z
+		}
 		panic(fmt.Sprintf("testbed: no channel %d→%d", from, to))
 	}
 	bins := d.tb.params.DataBins()
@@ -285,9 +401,41 @@ func (d *Deployment) NoisePower() float64 { return 1 }
 
 // LinkSNRDB returns the average per-bin SNR of the from→to link at
 // the testbed's default transmit power — the quantity the paper's
-// experiments bin placements by.
+// experiments bin placements by. It averages the realized channel, so
+// it carries the (small) Rayleigh fluctuation around the pair's link
+// budget; HearingSNRDB is the budget itself.
 func (d *Deployment) LinkSNRDB(from, to mac.NodeID) float64 {
-	return d.tb.Cfg.TxPowerDB + channel.DB(meanGainOf(d.Channel(from, to)))
+	return clampDB(d.tb.Cfg.TxPowerDB + channel.DB(meanGainOf(d.Channel(from, to))))
+}
+
+// HearingSNRDB returns the average link budget of the from→to link in
+// dB SNR: transmit power plus the pair's recorded path gain (path
+// loss, shadowing, extra link loss), without the per-realization
+// Rayleigh fluctuation that LinkSNRDB averages over. This is the
+// quantity the carrier-sense comparator thresholds — it is O(1) per
+// pair where LinkSNRDB materializes the 48 per-bin matrices, which is
+// what makes an n²-pair hearing graph affordable — and the same
+// quantity LinkSNRDB estimates from the realized channel (the two
+// agree to within the fade average).
+func (d *Deployment) HearingSNRDB(from, to mac.NodeID) float64 {
+	i, okF := d.idx[from]
+	j, okT := d.idx[to]
+	if !okF || !okT || from == to {
+		return math.Inf(1)
+	}
+	return d.tb.Cfg.TxPowerDB + float64(d.gainDB[i*len(d.ids)+j])
+}
+
+// HearingGraph derives the per-ordered-pair hearing relation of the
+// deployment against a carrier-sense threshold: node l hears node s
+// when the s→l link budget reaches l at or above csThresholdDB (§3.2:
+// a station senses occupied DoF from the handshakes it can decode).
+// Nodes are enumerated in ascending id order, so equal deployments
+// yield identical graphs and component numbering.
+func (d *Deployment) HearingGraph(csThresholdDB float64) *mac.HearingGraph {
+	return mac.NewHearingGraph(d.ids, func(listener, speaker mac.NodeID) bool {
+		return d.HearingSNRDB(speaker, listener) >= csThresholdDB
+	})
 }
 
 // TxPower returns the default transmit power (linear).

@@ -181,3 +181,125 @@ func TestTxPower(t *testing.T) {
 		t.Fatal("params wrong")
 	}
 }
+
+// spatialFixture deploys a deterministic (shadowing-free) 4-node line
+// — two near pairs {1,2} and {3,4} separated by a wide gap with extra
+// wall loss — under a sparse link model.
+func spatialFixture(t *testing.T) *Deployment {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.ShadowDB = 0
+	tb, err := New(1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := []NodeSpec{{ID: 1, Antennas: 2}, {ID: 2, Antennas: 1}, {ID: 3, Antennas: 1}, {ID: 4, Antennas: 3}}
+	pos := map[mac.NodeID]Point{
+		1: {X: 0, Y: 0}, 2: {X: 4, Y: 0},
+		3: {X: 500, Y: 0}, 4: {X: 504, Y: 0},
+	}
+	cell := func(id mac.NodeID) int {
+		if id <= 2 {
+			return 0
+		}
+		return 1
+	}
+	d, err := tb.DeployAtModel(rand.New(rand.NewSource(5)), nodes, pos, LinkModel{
+		ExtraLossDB: func(a, b mac.NodeID) float64 {
+			if cell(a) == cell(b) {
+				return 0
+			}
+			return 40
+		},
+		SparseSNRDB: -40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLinkModelHearingAndSparseChannels(t *testing.T) {
+	d := spatialFixture(t)
+	// Link budgets: 4 m in-cell ≈ 81−40−18 = +23 dB; 500 m cross-cell
+	// ≈ 81−40−81−40(wall) ≈ −80 dB.
+	if s := d.HearingSNRDB(1, 2); s < 15 || s > 30 {
+		t.Fatalf("in-cell budget %.1f dB, want ≈23", s)
+	}
+	if s := d.HearingSNRDB(1, 3); s > -60 {
+		t.Fatalf("cross-cell budget %.1f dB, want far below noise (wall + distance)", s)
+	}
+	// Budgets are symmetric (one path-loss draw per unordered pair).
+	if d.HearingSNRDB(1, 3) != d.HearingSNRDB(3, 1) {
+		t.Fatal("asymmetric link budget")
+	}
+	// The hearing graph at the default threshold splits the cells.
+	g := d.HearingGraph(DefaultCSThresholdDB)
+	if g.NumComponents() != 2 || g.IsClique() {
+		t.Fatalf("components = %d (clique=%v), want 2 cells", g.NumComponents(), g.IsClique())
+	}
+	if !g.Hears(1, 2) || g.Hears(1, 3) {
+		t.Fatal("hearing relation wrong")
+	}
+	// Forcing the threshold below every budget restores one clique —
+	// the global-medium escape hatch.
+	if forced := d.HearingGraph(-200); !forced.IsClique() {
+		t.Fatal("threshold below every budget must produce a clique")
+	}
+	// In-cell channels are materialized; cross-cell ones read as zero
+	// (and so do their reciprocity estimates), never panic.
+	if meanGainOf(d.Channel(1, 2)) <= 0 {
+		t.Fatal("in-cell channel not materialized")
+	}
+	if meanGainOf(d.Channel(1, 3)) != 0 {
+		t.Fatal("sub-floor channel not zero")
+	}
+	est := d.Estimate(1, 3, rand.New(rand.NewSource(9)))
+	for _, m := range est {
+		for i := 0; i < m.Rows(); i++ {
+			for j := 0; j < m.Cols(); j++ {
+				if m.At(i, j) != 0 {
+					t.Fatal("estimate of a zero channel must be zero")
+				}
+			}
+		}
+	}
+	if s := d.LinkSNRDB(1, 3); s != -300 {
+		t.Fatalf("sub-floor LinkSNRDB %.1f, want the -300 dB clamp (JSON-safe, no -Inf)", s)
+	}
+}
+
+// The zero LinkModel must reproduce DeployAt draw-for-draw — the
+// seeded figure pipeline depends on the RNG stream.
+func TestDeployAtModelZeroModelIsDense(t *testing.T) {
+	cfg := DefaultConfig()
+	tb, _ := New(3, cfg)
+	nodes := []NodeSpec{{ID: 1, Antennas: 2}, {ID: 2, Antennas: 3}, {ID: 3, Antennas: 1}}
+	pos := map[mac.NodeID]Point{1: {X: 0, Y: 0}, 2: {X: 7, Y: 2}, 3: {X: 3, Y: 9}}
+	a, err := tb.DeployAt(rand.New(rand.NewSource(11)), nodes, pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb2, _ := New(3, cfg)
+	b, err := tb2.DeployAtModel(rand.New(rand.NewSource(11)), nodes, pos, LinkModel{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, from := range []mac.NodeID{1, 2, 3} {
+		for _, to := range []mac.NodeID{1, 2, 3} {
+			if from == to {
+				continue
+			}
+			ca, cb := a.Channel(from, to), b.Channel(from, to)
+			for k := range ca {
+				for i := 0; i < ca[k].Rows(); i++ {
+					for j := 0; j < ca[k].Cols(); j++ {
+						if ca[k].At(i, j) != cb[k].At(i, j) {
+							t.Fatalf("channel %d→%d bin %d differs under the zero link model", from, to, k)
+						}
+					}
+				}
+			}
+		}
+	}
+}

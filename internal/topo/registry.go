@@ -14,7 +14,11 @@ import (
 type Spec struct {
 	Name        string
 	Description string
-	Generate    func(cfg GenConfig, rng *rand.Rand) (*Layout, error)
+	// Clustered marks generators that understand the cluster-geometry
+	// knobs (Clusters, InterClusterLossDB, ClusterGapM); drivers
+	// reject those knobs for generators that would ignore them.
+	Clustered bool
+	Generate  func(cfg GenConfig, rng *rand.Rand) (*Layout, error)
 }
 
 var (
@@ -85,5 +89,27 @@ func init() {
 		Name:        "grid-uplink",
 		Description: "grid placement, clients uplink to their nearest multi-antenna AP",
 		Generate:    generate(placeGrid, pairUplink),
+	})
+	// Clustered cells: the spatial-reuse regime of the related work
+	// (MIMO random access with geometry-limited concurrency). Campus
+	// buildings sit far apart with heavy shells, so each building is
+	// its own collision domain and the event-driven run shards; rooms
+	// on one floor are close with light walls, so hearing is partial —
+	// hidden terminals — without necessarily splitting components.
+	Register(Spec{
+		Name:        "campus",
+		Description: "separated building cells, per-building AP uplink, 60 dB shells: sharded collision domains",
+		Clustered:   true,
+		Generate: generateClustered(pairUplink, clusterShape{
+			defLossDB: 60, gapFactor: 10, minGapM: 400, sparseSNRDB: -40,
+		}),
+	})
+	Register(Spec{
+		Name:        "multiroom",
+		Description: "adjacent room cells on one floor, ad-hoc pairs, 15 dB walls: partial hearing, hidden terminals",
+		Clustered:   true,
+		Generate: generateClustered(pairAdhoc, clusterShape{
+			defLossDB: 15, gapFactor: 2.4, minGapM: 0, sparseSNRDB: -40, evenCells: true,
+		}),
 	})
 }

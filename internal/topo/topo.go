@@ -36,11 +36,42 @@ type Link struct {
 // Layout is one generated deployment: the node/link description plus
 // explicit positions in meters. Positions are what make generated
 // topologies geometric — the testbed deploys them verbatim instead of
-// shuffling nodes onto its fixed floor plan.
+// shuffling nodes onto its fixed floor plan. Clustered generators
+// additionally record the cell structure and the link model the
+// deployment should be synthesized under.
 type Layout struct {
 	Nodes     []Node
 	Links     []Link
 	Positions map[mac.NodeID]testbed.Point
+
+	// Clusters is the number of spatial cells (0 for unclustered
+	// layouts); ClusterOf maps each node to its cell.
+	Clusters  int
+	ClusterOf map[mac.NodeID]int
+	// InterClusterLossDB is the resolved extra attenuation applied to
+	// every link crossing cell boundaries (walls, building shells).
+	InterClusterLossDB float64
+	// SparseSNRDB is the recommended channel-materialization floor for
+	// this layout (0 = dense): clustered deployments skip the
+	// quadratic bulk of far-below-noise cross-cell channels.
+	SparseSNRDB float64
+}
+
+// ExtraLossDB returns the layout's per-ordered-pair extra attenuation
+// function for the testbed link model, or nil when the layout has no
+// cluster structure or no loss.
+func (l *Layout) ExtraLossDB() func(a, b mac.NodeID) float64 {
+	if l.ClusterOf == nil || l.InterClusterLossDB == 0 {
+		return nil
+	}
+	loss := l.InterClusterLossDB
+	cells := l.ClusterOf
+	return func(a, b mac.NodeID) float64 {
+		if cells[a] == cells[b] {
+			return 0
+		}
+		return loss
+	}
 }
 
 // GenConfig parameterizes a generator. Zero values select calibrated
@@ -66,7 +97,30 @@ type GenConfig struct {
 	// (default 3 — the heterogeneity gradient the paper studies points
 	// from 1-antenna clients up to multi-antenna APs).
 	APAntennas int
+
+	// Clusters is the number of spatial cells for clustered generators
+	// (campus buildings, multiroom rooms); 0 selects 4. Non-clustered
+	// generators reject values above 1 rather than silently ignoring
+	// them.
+	Clusters int
+	// InterClusterLossDB is the extra attenuation in dB applied to
+	// every link crossing cell boundaries. Auto (NaN) selects the
+	// generator's calibrated default (60 for campus building shells,
+	// 15 for multiroom walls); explicit values — including 0, meaning
+	// geometry-only isolation — are taken as given. The zero value of
+	// GenConfig therefore means literally no extra loss, mirroring
+	// core.Options' sentinel convention.
+	InterClusterLossDB float64
+	// ClusterGapM is the spacing between adjacent cluster centers in
+	// meters; 0 derives it from the cluster radius (campus: far enough
+	// that buildings fall below any sane carrier-sense threshold on
+	// distance alone; multiroom: adjacent rooms).
+	ClusterGapM float64
 }
+
+// Auto marks a GenConfig float field as "use the generator's
+// calibrated default" (NaN, the same sentinel as core.Auto).
+var Auto = math.NaN()
 
 func (c GenConfig) withDefaults() GenConfig {
 	if c.Nodes == 0 {
@@ -107,6 +161,15 @@ func (c GenConfig) Validate() error {
 	}
 	if c.APAntennas < 1 {
 		return fmt.Errorf("topo: %d AP antennas", c.APAntennas)
+	}
+	if c.Clusters < 0 {
+		return fmt.Errorf("topo: %d clusters", c.Clusters)
+	}
+	if !math.IsNaN(c.InterClusterLossDB) && c.InterClusterLossDB < 0 {
+		return fmt.Errorf("topo: inter-cluster loss %g dB is negative (a cross-cell gain)", c.InterClusterLossDB)
+	}
+	if c.ClusterGapM < 0 {
+		return fmt.Errorf("topo: cluster gap %g m is negative", c.ClusterGapM)
 	}
 	return nil
 }
@@ -334,14 +397,171 @@ func chooseAPs(pts []testbed.Point, aps int) []bool {
 	return isAP
 }
 
-// generate composes a placement with a pairing.
+// generate composes a placement with a pairing (single-cell
+// generators; cluster knobs are rejected rather than silently
+// ignored).
 func generate(place func(*rand.Rand, GenConfig, int) []testbed.Point,
 	pair func(*rand.Rand, GenConfig, []testbed.Point) (*Layout, error)) func(GenConfig, *rand.Rand) (*Layout, error) {
 	return func(cfg GenConfig, rng *rand.Rand) (*Layout, error) {
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
+		if cfg.Clusters > 1 || cfg.ClusterGapM != 0 || (!math.IsNaN(cfg.InterClusterLossDB) && cfg.InterClusterLossDB != 0) {
+			return nil, fmt.Errorf("topo: cluster geometry is a clustered-generator knob (use campus or multiroom)")
+		}
 		cfg = cfg.withDefaults()
 		return pair(rng, cfg, place(rng, cfg, cfg.Nodes))
 	}
+}
+
+// clusterShape fixes one clustered generator's calibrated geometry:
+// its default wall/shell attenuation, how cluster centers space out
+// relative to the cluster radius, a spacing floor in meters, and the
+// channel-materialization floor its layouts recommend.
+type clusterShape struct {
+	defLossDB   float64
+	gapFactor   float64
+	minGapM     float64
+	sparseSNRDB float64
+	// evenCells rebalances cell sizes to even counts where possible:
+	// ad-hoc pairing drops an odd leftover per cell, so without this a
+	// 4-cell layout could silently shed up to 4 nodes.
+	evenCells bool
+}
+
+// generateClustered builds a clustered generator: Clusters cells laid
+// out on a grid of centers, each cell placed and paired independently
+// by the given pairing (ids and link ids offset per cell, so a
+// cluster is a self-contained copy of the single-cell generator), with
+// the shape's inter-cluster attenuation on every cross-cell link.
+func generateClustered(pair func(*rand.Rand, GenConfig, []testbed.Point) (*Layout, error),
+	shape clusterShape) func(GenConfig, *rand.Rand) (*Layout, error) {
+	return func(cfg GenConfig, rng *rand.Rand) (*Layout, error) {
+		if err := cfg.Validate(); err != nil {
+			return nil, err
+		}
+		cfg = cfg.withDefaults()
+		k := cfg.Clusters
+		if k == 0 {
+			k = 4
+		}
+		if cfg.Nodes < 2*k {
+			return nil, fmt.Errorf("topo: %d nodes across %d clusters (need at least a pair per cluster)", cfg.Nodes, k)
+		}
+		loss := cfg.InterClusterLossDB
+		if math.IsNaN(loss) {
+			loss = shape.defLossDB
+		}
+		// Cell sizes: spread the remainder over the first cells.
+		sizes := make([]int, k)
+		for c := range sizes {
+			sizes[c] = cfg.Nodes / k
+			if c < cfg.Nodes%k {
+				sizes[c]++
+			}
+		}
+		if shape.evenCells {
+			// Pair up odd cells, shifting one node between each pair, so
+			// at most one cell (only when Nodes is odd) drops a leftover.
+			// Every cell holds ≥2 nodes, so an odd cell holds ≥3 and the
+			// donor keeps a pair.
+			last := -1
+			for c, n := range sizes {
+				if n%2 == 0 {
+					continue
+				}
+				if last < 0 {
+					last = c
+				} else {
+					sizes[last]++
+					sizes[c]--
+					last = -1
+				}
+			}
+		}
+		maxPer := 0
+		for _, n := range sizes {
+			if n > maxPer {
+				maxPer = n
+			}
+		}
+		radius := math.Sqrt(cfg.AreaPerNode * float64(maxPer) / math.Pi)
+		gap := cfg.ClusterGapM
+		if gap == 0 {
+			gap = shape.gapFactor * radius
+			if gap < shape.minGapM {
+				gap = shape.minGapM
+			}
+		}
+		cols := int(math.Ceil(math.Sqrt(float64(k))))
+		out := &Layout{
+			Positions:          make(map[mac.NodeID]testbed.Point, cfg.Nodes),
+			Clusters:           k,
+			ClusterOf:          make(map[mac.NodeID]int, cfg.Nodes),
+			InterClusterLossDB: loss,
+			SparseSNRDB:        shape.sparseSNRDB,
+		}
+		idBase, linkBase := 0, 0
+		for c := 0; c < k; c++ {
+			n := sizes[c]
+			center := testbed.Point{
+				X: float64(c%cols) * gap,
+				Y: float64(c/cols) * gap,
+			}
+			cell, err := pair(rng, cfg, placeCell(rng, cfg, n, center, radius))
+			if err != nil {
+				return nil, fmt.Errorf("topo: cluster %d: %w", c, err)
+			}
+			for _, nd := range cell.Nodes {
+				id := nd.ID + mac.NodeID(idBase)
+				out.Nodes = append(out.Nodes, Node{ID: id, Antennas: nd.Antennas})
+				out.Positions[id] = cell.Positions[nd.ID]
+				out.ClusterOf[id] = c
+			}
+			for _, l := range cell.Links {
+				out.Links = append(out.Links, Link{
+					ID: l.ID + linkBase,
+					Tx: l.Tx + mac.NodeID(idBase),
+					Rx: l.Rx + mac.NodeID(idBase),
+				})
+			}
+			// Offsets advance by the requested cell size even when the
+			// pairing dropped an odd leftover, keeping id ranges disjoint.
+			idBase += n
+			linkBase += len(cell.Links)
+		}
+		if len(out.Links) == 0 {
+			return nil, fmt.Errorf("topo: clustered pairing produced no links from %d nodes", cfg.Nodes)
+		}
+		return out, nil
+	}
+}
+
+// placeCell samples n points uniformly in a disk of the given radius
+// around center, with the same MinSpacing rejection (and relaxation)
+// as placeDisk.
+func placeCell(rng *rand.Rand, cfg GenConfig, n int, center testbed.Point, radius float64) []testbed.Point {
+	pts := make([]testbed.Point, 0, n)
+	const maxTries = 200
+	for len(pts) < n {
+		var p testbed.Point
+		ok := false
+		for try := 0; try < maxTries; try++ {
+			r := radius * math.Sqrt(rng.Float64())
+			theta := 2 * math.Pi * rng.Float64()
+			p = testbed.Point{X: center.X + r*math.Cos(theta), Y: center.Y + r*math.Sin(theta)}
+			ok = true
+			for _, q := range pts {
+				if p.Distance(q) < cfg.MinSpacing {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				break
+			}
+		}
+		pts = append(pts, p) // spacing-relaxed point if the budget ran out
+	}
+	return pts
 }

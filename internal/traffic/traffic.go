@@ -14,6 +14,7 @@ package traffic
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 )
 
@@ -26,27 +27,43 @@ type Source interface {
 	Next(rng *rand.Rand) float64
 }
 
-// Config parameterizes a source built from the registry. Zero values
-// select calibrated defaults where one exists.
+// Config parameterizes a source built from the registry. The float
+// knobs follow the repository's sentinel convention (the same one
+// core.Options adopted when it purged the zero-as-default trap): Auto
+// (NaN) selects the calibrated default, every explicit value —
+// including zero — is taken as given, and models reject values they
+// cannot run with instead of silently substituting. An accidental
+// `OnFraction: 0` is therefore a loud validation error, not a silent
+// 0.25.
 type Config struct {
 	// RatePPS is the mean arrival rate in packets per second. It must
 	// be positive for every open-loop model.
 	RatePPS float64
 	// OnFraction is the fraction of time a bursty source spends in its
-	// ON state (default 0.25): a smaller fraction concentrates the
-	// same mean rate into sharper bursts.
+	// ON state, in (0, 1] (Auto → DefaultOnFraction): a smaller
+	// fraction concentrates the same mean rate into sharper bursts.
 	OnFraction float64
 	// CycleSec is a bursty source's mean ON+OFF cycle length in
-	// seconds (default 0.02).
+	// seconds, positive (Auto → DefaultCycleSec).
 	CycleSec float64
 }
 
+// Auto marks a Config float field as "use the calibrated default"
+// (NaN, the same sentinel as core.Auto).
+var Auto = math.NaN()
+
+// Calibrated defaults the Auto sentinel resolves to.
+const (
+	DefaultOnFraction = 0.25
+	DefaultCycleSec   = 0.02
+)
+
 func (c Config) withDefaults() Config {
-	if c.OnFraction == 0 {
-		c.OnFraction = 0.25
+	if math.IsNaN(c.OnFraction) {
+		c.OnFraction = DefaultOnFraction
 	}
-	if c.CycleSec == 0 {
-		c.CycleSec = 0.02
+	if math.IsNaN(c.CycleSec) {
+		c.CycleSec = DefaultCycleSec
 	}
 	return c
 }

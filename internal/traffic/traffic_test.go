@@ -65,7 +65,7 @@ func TestCBRIsExact(t *testing.T) {
 }
 
 func TestBurstyMeanRateAndBurstiness(t *testing.T) {
-	src, err := NewSource("bursty", Config{RatePPS: 400})
+	src, err := NewSource("bursty", Config{RatePPS: 400, OnFraction: Auto, CycleSec: Auto})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +131,7 @@ func TestRegistryNamesAndUnknown(t *testing.T) {
 func TestSourcesAreDeterministicPerSeed(t *testing.T) {
 	for _, name := range []string{"poisson", "cbr", "bursty"} {
 		mk := func() []float64 {
-			src, err := NewSource(name, Config{RatePPS: 500})
+			src, err := NewSource(name, Config{RatePPS: 500, OnFraction: Auto, CycleSec: Auto})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -224,16 +224,20 @@ func TestQueueCompactionKeepsOrder(t *testing.T) {
 
 func TestBurstyRejectsBadShape(t *testing.T) {
 	for _, cfg := range []Config{
-		{RatePPS: 100, OnFraction: 1.5},
-		{RatePPS: 100, OnFraction: -0.2},
-		{RatePPS: 100, CycleSec: -1},
+		{RatePPS: 100, OnFraction: 1.5, CycleSec: Auto},
+		{RatePPS: 100, OnFraction: -0.2, CycleSec: Auto},
+		{RatePPS: 100, OnFraction: Auto, CycleSec: -1},
+		// Explicit zeros are configuration errors, not default
+		// requests — the zero-as-default trap this repo keeps purging.
+		{RatePPS: 100, OnFraction: 0, CycleSec: Auto},
+		{RatePPS: 100, OnFraction: Auto, CycleSec: 0},
 	} {
 		if _, err := NewSource("bursty", cfg); err == nil {
 			t.Fatalf("bursty accepted bad shape %+v", cfg)
 		}
 	}
 	// OnFraction 1 degenerates to plain Poisson and must be accepted.
-	if _, err := NewSource("bursty", Config{RatePPS: 100, OnFraction: 1}); err != nil {
+	if _, err := NewSource("bursty", Config{RatePPS: 100, OnFraction: 1, CycleSec: Auto}); err != nil {
 		t.Fatalf("bursty rejected OnFraction=1: %v", err)
 	}
 }
