@@ -12,6 +12,7 @@
 package nplus_test
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
@@ -286,6 +287,103 @@ func BenchmarkSpatialCampus1000(b *testing.B) {
 			if served > 0 {
 				b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/float64(served)/1e6, "ms-per-served")
 			}
+		})
+	}
+}
+
+var (
+	parallelCampusOnce sync.Once
+	parallelCampusNet  *core.Network
+	parallelCampusErr  error
+)
+
+// parallelCampusSetup builds (once, outside every timer) the
+// 1,000-node, 8-cluster campus the parallel-execution benchmarks
+// share, so the sub-benchmarks measure pure simulation cost at each
+// worker count over the identical deployment.
+func parallelCampusSetup(b *testing.B) *core.Network {
+	b.Helper()
+	parallelCampusOnce.Do(func() {
+		layout, err := topo.Generate("campus",
+			topo.GenConfig{Nodes: 1000, Clusters: 8, InterClusterLossDB: topo.Auto},
+			rand.New(rand.NewSource(7)))
+		if err != nil {
+			parallelCampusErr = err
+			return
+		}
+		parallelCampusNet, parallelCampusErr = core.NewNetworkFromLayout(7, layout, core.DefaultOptions())
+	})
+	if parallelCampusErr != nil {
+		b.Fatal(parallelCampusErr)
+	}
+	return parallelCampusNet
+}
+
+// BenchmarkParallelCampus1000 measures the component-parallel
+// scheduler on an 8-component campus at 1, 2, and 4 workers — results
+// are bit-identical at every count, so the sub-benchmarks differ only
+// in wall clock. CI exports this as BENCH_parallel.json and gates the
+// workers1/workers4 ratio at ≥2× on its multi-core runners (a 1-CPU
+// box reports ratio ≈1: the pool cannot beat GOMAXPROCS).
+func BenchmarkParallelCampus1000(b *testing.B) {
+	net := parallelCampusSetup(b)
+	for _, w := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers%d", w), func(b *testing.B) {
+			var served int64
+			for i := 0; i < b.N; i++ {
+				res, err := net.RunTraffic(core.TrafficRun{
+					Mode: mac.ModeNPlus, Duration: 0.03, Model: "poisson", RatePPS: 4000,
+					Workers: w,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				served = 0
+				for _, fs := range res.PerFlow {
+					served += fs.Served
+				}
+			}
+			b.ReportMetric(float64(served), "served-pkts")
+		})
+	}
+}
+
+// BenchmarkStreamingDelayMemory pins the streaming-stats half of the
+// parallel redesign: doubling the horizon doubles served packets while
+// the quantile-sketch bucket count stays near-flat, because per-packet
+// delays land in a bounded log-bucket range — the retained-sample
+// design this replaced grew its footprint linearly here. The heavily
+// loaded trio drives thousands of served packets per flow, deep into
+// the regime where the sketch saturates. CI exports the horizon pair
+// in BENCH_parallel.json and gates bucket growth well below the
+// served-packet growth.
+func BenchmarkStreamingDelayMemory(b *testing.B) {
+	nodes, links := core.TrioNodes()
+	net, err := core.NewNetwork(21, nodes, links, core.DefaultOptions())
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, h := range []struct {
+		name string
+		dur  float64
+	}{{"horizon1x", 1.0}, {"horizon2x", 2.0}} {
+		b.Run(h.name, func(b *testing.B) {
+			var served, buckets int64
+			for i := 0; i < b.N; i++ {
+				res, err := net.RunTraffic(core.TrafficRun{
+					Mode: mac.ModeNPlus, Duration: h.dur, Model: "poisson", RatePPS: 3000,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				served, buckets = 0, 0
+				for _, fs := range res.PerFlow {
+					served += fs.Served
+					buckets += int64(fs.Delay.Footprint())
+				}
+			}
+			b.ReportMetric(float64(served), "served-pkts")
+			b.ReportMetric(float64(buckets), "delay-buckets")
 		})
 	}
 }

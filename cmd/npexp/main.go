@@ -25,6 +25,12 @@
 // user actually passed are applied, so an explicit -seed 0 really
 // runs seed 0. Results are bit-identical at any -workers value: trial
 // i always derives its RNG from hash(seed, i).
+//
+// -workers sizes the pool of *trials*; inside each protocol-engine
+// run, the spec's own "workers" field independently parallelizes the
+// hearing graph's collision-domain components with the same
+// guarantee — component c derives its RNG from hash(seed, c), so a
+// run's Report is byte-identical at any worker count.
 package main
 
 import (

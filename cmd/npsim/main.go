@@ -67,6 +67,7 @@ func main() {
 	epochs := flag.Int("epochs", runspec.DefaultEpochs, "contention rounds (epoch engine)")
 	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
 	duration := flag.Float64("duration", runspec.DefaultDuration, "virtual seconds (protocol engine)")
+	workers := flag.Int("workers", 0, "worker pool for component-parallel protocol runs, 0 = all CPUs (results are identical at any value)")
 	flag.Parse()
 
 	if *list {
@@ -157,6 +158,9 @@ func main() {
 	}
 	if set["duration"] {
 		spec.DurationS = *duration
+	}
+	if set["workers"] {
+		spec.Workers = *workers
 	}
 	if *trace && *jsonOut {
 		usagef("-trace and -json are mutually exclusive (the MAC trace is a text view)")

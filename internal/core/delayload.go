@@ -107,7 +107,7 @@ var delayLoadModes = [2]mac.Mode{mac.ModeNPlus, mac.Mode80211n}
 // delayLoadModeSample is one mode's pooled measurement on one
 // generated deployment.
 type delayLoadModeSample struct {
-	delays          []float64
+	delay           stats.Accumulator
 	arrivals, drops int64
 	bytes           int64
 }
@@ -156,7 +156,7 @@ func (delayLoadExperiment) Trial(cfg exp.Config, i int, rng *rand.Rand) (exp.Sam
 		// Pool flows in stable ID order so reduction is deterministic.
 		for _, id := range sortedIDs(perFlow) {
 			fs := perFlow[id]
-			ms.delays = append(ms.delays, fs.Delays...)
+			ms.delay.Merge(&fs.Delay)
 			ms.arrivals += fs.Arrivals
 			ms.drops += fs.Drops
 			ms.bytes += fs.DeliveredBytes
@@ -196,7 +196,7 @@ func (delayLoadExperiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Res
 	c := cfg.(DelayLoadConfig)
 	res := &DelayLoadResult{Placements: c.Placements}
 	for li, load := range c.LoadsPPS {
-		var pooled [2][]float64
+		var pooled [2]stats.Accumulator
 		var arrivals, drops [2]int64
 		var bytes [2]int64
 		n := 0
@@ -211,7 +211,7 @@ func (delayLoadExperiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Res
 			n++
 			res.Flows = s.flows
 			for mi := range delayLoadModes {
-				pooled[mi] = append(pooled[mi], s.modes[mi].delays...)
+				pooled[mi].Merge(&s.modes[mi].delay)
 				arrivals[mi] += s.modes[mi].arrivals
 				drops[mi] += s.modes[mi].drops
 				bytes[mi] += s.modes[mi].bytes
@@ -228,7 +228,7 @@ func (delayLoadExperiment) Reduce(cfg exp.Config, samples []exp.Sample) (exp.Res
 			OfferedMbps: load * float64(res.Flows) * float64(pktBytes) * 8 / 1e6,
 		}
 		for mi := range delayLoadModes {
-			pt.Delay[mi] = stats.SummarizeDelays(pooled[mi])
+			pt.Delay[mi] = pooled[mi].Summary()
 			if arrivals[mi] > 0 {
 				pt.DropRate[mi] = float64(drops[mi]) / float64(arrivals[mi])
 			}

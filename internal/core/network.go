@@ -14,6 +14,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
 
 	"nplus/internal/esnr"
 	"nplus/internal/mac"
@@ -223,14 +227,21 @@ func (n *Network) HearingGraph() *mac.HearingGraph {
 // Scenario builds the MAC scenario view of this network with a fresh
 // RNG derived from the network seed and the given salt.
 func (n *Network) Scenario(salt int64) (*mac.Scenario, error) {
+	return n.scenarioWith(n.Deployment, n.seed*7919+salt)
+}
+
+// scenarioWith is Scenario over an explicit channel provider and raw
+// RNG seed — the form sharded runs use to give each component its own
+// provider fork and derived RNG stream.
+func (n *Network) scenarioWith(provider mac.ChannelProvider, rngSeed int64) (*mac.Scenario, error) {
 	sel, err := esnr.NewSelector(nil)
 	if err != nil {
 		return nil, err
 	}
 	return &mac.Scenario{
-		Provider:            n.Deployment,
+		Provider:            provider,
 		Selector:            sel,
-		RNG:                 rand.New(rand.NewSource(n.seed*7919 + salt)),
+		RNG:                 rand.New(rand.NewSource(rngSeed)),
 		NumBins:             n.Testbed.Params().NumDataCarriers(),
 		JoinThresholdDB:     n.opts.JoinThresholdDB,
 		PERWidth:            n.opts.PERWidth,
@@ -319,6 +330,27 @@ type TrafficRun struct {
 	OnFraction float64
 	CycleSec   float64
 	Trace      bool // attach a protocol trace
+	// Workers bounds the worker pool a multi-component run executes
+	// on: each hearing-graph component runs the full protocol on its
+	// own event queue, contender index, and RNG streams derived
+	// splitmix64-style from (run seed, component id) — never from the
+	// schedule — so results are bit-identical at any Workers value.
+	// 0 or negative selects GOMAXPROCS. Single-component deployments
+	// always run the historical single-engine path.
+	Workers int
+}
+
+// ComponentStats is one collision domain's share of a protocol run,
+// in component order: which flows it held and its wins, served
+// packets, and medium-occupancy split. Σ(DataTime+OverheadTime) over
+// components can exceed the run duration — that excess is the spatial
+// reuse, now attributable per domain.
+type ComponentStats struct {
+	Flows        int
+	Wins         int64
+	Served       int64
+	DataTime     float64
+	OverheadTime float64
 }
 
 // TrafficResult is the structured outcome of one protocol run: the
@@ -334,10 +366,18 @@ type TrafficResult struct {
 	// Spatial-reuse summary: how many collision domains the hearing
 	// graph sharded the run into, and the peak number of concurrent
 	// joint transmissions / busy domains observed (both 1-bounded by
-	// definition under the historical single-domain model).
+	// definition under the historical single-domain model). On a
+	// component-parallel run the domains evolve on independent virtual
+	// clocks, so cross-component simultaneity is not observable:
+	// PeakConcurrentTxns is then the sum of each component's own peak
+	// and PeakBusyComponents counts components that transmitted at
+	// all. Single-component runs keep the exact instantaneous gauges.
 	Components         int
 	PeakConcurrentTxns int
 	PeakBusyComponents int
+	// PerComponent attributes wins, served packets, and busy time to
+	// each collision domain, in component order.
+	PerComponent []ComponentStats
 	// Trace is non-nil only when the run requested one.
 	Trace *sim.Trace
 }
@@ -346,11 +386,78 @@ type TrafficResult struct {
 // model and returns the structured result. The scenario salt matches
 // RunProtocol's, so a saturated TrafficRun reproduces the backlogged
 // run bit-for-bit.
+//
+// When the hearing graph splits the flow transmitters into several
+// components, each component runs the full protocol on its own event
+// queue and RNG streams, scheduled across a bounded worker pool
+// (r.Workers); results merge deterministically in component order, so
+// the outcome is bit-identical at any worker count. A single
+// component runs the historical single-engine path — seed for seed
+// the same as before sharding existed.
 func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 	spec, ok := traffic.ByName(r.Model)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown traffic model %q (have %v)", r.Model, traffic.Names())
 	}
+	shards := n.componentFlows()
+	if len(shards) <= 1 {
+		return n.runTrafficSingle(r, spec)
+	}
+	return n.runTrafficSharded(r, spec, shards)
+}
+
+// flowShard is one hearing-graph component's slice of the network:
+// the flows whose transmitters it holds, in network flow order.
+type flowShard struct {
+	comp  int // hearing-graph component index (the RNG stream id)
+	flows []mac.Flow
+}
+
+// componentFlows groups the network's flows by the hearing-graph
+// component of their transmitter, in ascending component order. The
+// component index — a function of the deployment alone, not of flow
+// order or scheduling — keys each shard's derived RNG streams.
+func (n *Network) componentFlows() []flowShard {
+	g := n.HearingGraph()
+	byComp := make(map[int][]mac.Flow)
+	for _, f := range n.Flows {
+		c := g.ComponentOf(f.Tx)
+		byComp[c] = append(byComp[c], f)
+	}
+	comps := make([]int, 0, len(byComp))
+	for c := range byComp {
+		comps = append(comps, c)
+	}
+	sort.Ints(comps)
+	shards := make([]flowShard, len(comps))
+	for i, c := range comps {
+		shards[i] = flowShard{comp: c, flows: byComp[c]}
+	}
+	return shards
+}
+
+// attachTraffic installs the run's arrival model on a protocol
+// instance, surfacing the first source-construction error.
+func attachTraffic(proto *mac.Protocol, spec traffic.Spec, r TrafficRun) error {
+	var srcErr error
+	proto.SetTraffic(func(f mac.Flow) traffic.Source {
+		src, err := spec.New(traffic.Config{RatePPS: r.RatePPS, OnFraction: r.OnFraction, CycleSec: r.CycleSec})
+		if err != nil && srcErr == nil {
+			srcErr = err
+		}
+		return src
+	}, r.QueueCap)
+	if srcErr != nil {
+		return fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
+	}
+	return nil
+}
+
+// runTrafficSingle is the historical single-engine path: one event
+// queue over all flows, exact instantaneous concurrency gauges, and
+// the engine/scenario seeds every pinned golden run was recorded
+// under.
+func (n *Network) runTrafficSingle(r TrafficRun, spec traffic.Spec) (*TrafficResult, error) {
 	sc, err := n.Scenario(int64(r.Mode) + 29)
 	if err != nil {
 		return nil, err
@@ -366,16 +473,8 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 		return nil, err
 	}
 	proto.SetHearing(n.HearingGraph())
-	var srcErr error
-	proto.SetTraffic(func(f mac.Flow) traffic.Source {
-		src, err := spec.New(traffic.Config{RatePPS: r.RatePPS, OnFraction: r.OnFraction, CycleSec: r.CycleSec})
-		if err != nil && srcErr == nil {
-			srcErr = err
-		}
-		return src
-	}, r.QueueCap)
-	if srcErr != nil {
-		return nil, fmt.Errorf("core: traffic model %q: %w", r.Model, srcErr)
+	if err := attachTraffic(proto, spec, r); err != nil {
+		return nil, err
 	}
 	proto.Run(r.Duration)
 	res := &TrafficResult{
@@ -385,7 +484,138 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 		PeakBusyComponents: proto.PeakBusyComponents(),
 		Trace:              tr,
 	}
+	for _, ds := range proto.DomainBreakdown() { // single path: ≤1 domain
+		res.PerComponent = append(res.PerComponent, ComponentStats{
+			Flows: len(n.Flows), Wins: ds.Wins, Served: ds.Served,
+			DataTime: ds.DataTime, OverheadTime: ds.OverheadTime,
+		})
+	}
 	res.DataTime, res.OverheadTime = proto.MediumTime()
+	return res, nil
+}
+
+// shardOutcome is one component's completed run, pending the
+// deterministic merge.
+type shardOutcome struct {
+	perFlow  map[int]*mac.FlowStats
+	domain   mac.DomainStats
+	data     float64
+	overhead float64
+	peak     int
+	busy     int
+	trace    *sim.Trace
+}
+
+// runShard executes one hearing-graph component as a self-contained
+// protocol run. Every seed below derives from (run seed, component
+// id) via sim.DeriveSeed — the same splitmix64 scheme internal/exp
+// uses for per-trial sweep seeds — so the component's randomness is
+// independent of its siblings and of which worker ran it. The
+// provider fork gives the shard private channel-response caches; the
+// underlying channel realizations are shared and immutable.
+func (n *Network) runShard(r TrafficRun, spec traffic.Spec, sh flowShard) (shardOutcome, error) {
+	stream := int64(sh.comp)
+	sc, err := n.scenarioWith(n.Deployment.Fork(), sim.DeriveSeed(n.seed*7919+int64(r.Mode)+29, stream))
+	if err != nil {
+		return shardOutcome{}, err
+	}
+	eng := sim.NewEngine(sim.DeriveSeed(n.seed+31, stream))
+	var tr *sim.Trace
+	if r.Trace {
+		tr = &sim.Trace{}
+		eng.SetTrace(tr)
+	}
+	proto, err := mac.NewProtocol(eng, sc, sh.flows, mac.DefaultEpochConfig(r.Mode))
+	if err != nil {
+		return shardOutcome{}, err
+	}
+	proto.SetHearing(n.HearingGraph())
+	if err := attachTraffic(proto, spec, r); err != nil {
+		return shardOutcome{}, err
+	}
+	proto.Run(r.Duration)
+	if c := proto.Components(); c != 1 {
+		return shardOutcome{}, fmt.Errorf("core: component %d sharded into %d domains (hearing graph inconsistent)", sh.comp, c)
+	}
+	out := shardOutcome{
+		perFlow: proto.Stats(),
+		domain:  proto.DomainBreakdown()[0],
+		peak:    proto.PeakConcurrentTxns(),
+		busy:    proto.PeakBusyComponents(),
+		trace:   tr,
+	}
+	out.data, out.overhead = proto.MediumTime()
+	return out, nil
+}
+
+// runTrafficSharded fans the components over a bounded worker pool
+// (the same atomic-counter pool as exp.Runner) and merges the
+// outcomes in ascending component order, so the result is a pure
+// function of (network, run) — workers only change wall-clock time.
+func (n *Network) runTrafficSharded(r TrafficRun, spec traffic.Spec, shards []flowShard) (*TrafficResult, error) {
+	n.HearingGraph() // force the lazy build before goroutines share it
+	workers := r.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(shards) {
+		workers = len(shards)
+	}
+	outs := make([]shardOutcome, len(shards))
+	errs := make([]error, len(shards))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(shards) {
+					return
+				}
+				outs[i], errs[i] = n.runShard(r, spec, shards[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("core: component %d: %w", shards[i].comp, err)
+		}
+	}
+
+	res := &TrafficResult{PerFlow: make(map[int]*mac.FlowStats)}
+	var trace *sim.Trace
+	if r.Trace {
+		trace = &sim.Trace{}
+	}
+	for i := range outs {
+		out := &outs[i]
+		for id, fs := range out.perFlow {
+			res.PerFlow[id] = fs // flow ids are unique across components
+		}
+		res.DataTime += out.data
+		res.OverheadTime += out.overhead
+		res.Components++
+		res.PeakConcurrentTxns += out.peak
+		res.PeakBusyComponents += out.busy
+		res.PerComponent = append(res.PerComponent, ComponentStats{
+			Flows: len(shards[i].flows), Wins: out.domain.Wins, Served: out.domain.Served,
+			DataTime: out.domain.DataTime, OverheadTime: out.domain.OverheadTime,
+		})
+		if trace != nil && out.trace != nil {
+			trace.Entries = append(trace.Entries, out.trace.Entries...)
+		}
+	}
+	if trace != nil {
+		// Interleave the per-component traces on the shared virtual
+		// clock; the stable sort keeps component order on ties.
+		sort.SliceStable(trace.Entries, func(i, j int) bool {
+			return trace.Entries[i].At < trace.Entries[j].At
+		})
+		res.Trace = trace
+	}
 	return res, nil
 }
 

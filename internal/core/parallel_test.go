@@ -1,0 +1,139 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"nplus/internal/mac"
+	"nplus/internal/topo"
+)
+
+// campusNet builds the 64-node, 4-cluster sharded fixture the worker
+// tests share.
+func campusNet(t *testing.T, seed int64) *Network {
+	t.Helper()
+	layout, err := topo.Generate("campus",
+		topo.GenConfig{Nodes: 64, Clusters: 4, InterClusterLossDB: topo.Auto},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetworkFromLayout(seed, layout, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+// TestShardedRunWorkerInvariance is the core determinism pin (and the
+// -race smoke target for the concurrent component scheduler): the same
+// sharded run must produce identical per-flow stats, medium accounting,
+// and per-component breakdowns at every worker-pool size, because each
+// component's RNG streams derive from (seed, component id) rather than
+// from goroutine scheduling.
+func TestShardedRunWorkerInvariance(t *testing.T) {
+	net := campusNet(t, 11)
+	run := func(workers int) *TrafficResult {
+		res, err := net.RunTraffic(TrafficRun{
+			Mode: mac.ModeNPlus, Duration: 0.01, Model: "poisson", RatePPS: 2000,
+			Workers: workers,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return res
+	}
+	base := run(1)
+	if base.Components != 4 || len(base.PerComponent) != 4 {
+		t.Fatalf("fixture sharded into %d components (%d entries), want 4",
+			base.Components, len(base.PerComponent))
+	}
+	for _, workers := range []int{4, 8, 0} {
+		got := run(workers)
+		if len(got.PerFlow) != len(base.PerFlow) {
+			t.Fatalf("workers=%d: %d flows vs %d", workers, len(got.PerFlow), len(base.PerFlow))
+		}
+		for id, want := range base.PerFlow {
+			fs := got.PerFlow[id]
+			if fs == nil {
+				t.Fatalf("workers=%d: flow %d missing", workers, id)
+			}
+			if fs.Served != want.Served || fs.Drops != want.Drops ||
+				fs.Arrivals != want.Arrivals || fs.Wins != want.Wins ||
+				fs.Joins != want.Joins || fs.DeliveredBytes != want.DeliveredBytes ||
+				fs.SentPackets != want.SentPackets || fs.LostPackets != want.LostPackets {
+				t.Fatalf("workers=%d: flow %d diverged: %+v vs %+v", workers, id, fs, want)
+			}
+			if fs.Delay.Summary() != want.Delay.Summary() {
+				t.Fatalf("workers=%d: flow %d delay summary diverged", workers, id)
+			}
+		}
+		if got.DataTime != base.DataTime || got.OverheadTime != base.OverheadTime {
+			t.Fatalf("workers=%d: medium time (%g, %g) vs (%g, %g)",
+				workers, got.DataTime, got.OverheadTime, base.DataTime, base.OverheadTime)
+		}
+		if got.PeakConcurrentTxns != base.PeakConcurrentTxns ||
+			got.PeakBusyComponents != base.PeakBusyComponents {
+			t.Fatalf("workers=%d: gauges (%d, %d) vs (%d, %d)", workers,
+				got.PeakConcurrentTxns, got.PeakBusyComponents,
+				base.PeakConcurrentTxns, base.PeakBusyComponents)
+		}
+		for i, want := range base.PerComponent {
+			if got.PerComponent[i] != want {
+				t.Fatalf("workers=%d: component %d diverged: %+v vs %+v",
+					workers, i, got.PerComponent[i], want)
+			}
+		}
+	}
+}
+
+// TestShardedTraceMergesInTimeOrder checks the merged trace of a
+// parallel run: entries from all components interleave in
+// non-decreasing virtual-time order, exactly as a single global
+// observer would have logged them.
+func TestShardedTraceMergesInTimeOrder(t *testing.T) {
+	net := campusNet(t, 13)
+	res, err := net.RunTraffic(TrafficRun{
+		Mode: mac.ModeNPlus, Duration: 0.005, Model: "poisson", RatePPS: 1500,
+		Trace: true, Workers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Entries) == 0 {
+		t.Fatal("sharded traced run produced no trace entries")
+	}
+	for i := 1; i < len(res.Trace.Entries); i++ {
+		if res.Trace.Entries[i].At < res.Trace.Entries[i-1].At {
+			t.Fatalf("trace entry %d at %g precedes entry %d at %g",
+				i, res.Trace.Entries[i].At, i-1, res.Trace.Entries[i-1].At)
+		}
+	}
+}
+
+// TestSingleComponentIgnoresWorkers pins the fallback: a one-component
+// deployment takes the exact historical single-engine path no matter
+// the worker count, so legacy golden results stay byte-identical.
+func TestSingleComponentIgnoresWorkers(t *testing.T) {
+	run := func(workers int) *TrafficResult {
+		net := chainNetwork(t, -30) // forced clique: one component
+		res, err := net.RunTraffic(TrafficRun{
+			Mode: mac.ModeNPlus, Duration: 0.02, Model: "saturated", Workers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(0), run(8)
+	if a.Components != 1 || b.Components != 1 {
+		t.Fatalf("clique chain sharded into %d/%d components", a.Components, b.Components)
+	}
+	for id, want := range a.PerFlow {
+		fs := b.PerFlow[id]
+		if fs.DeliveredBytes != want.DeliveredBytes || fs.Wins != want.Wins ||
+			fs.SentPackets != want.SentPackets {
+			t.Fatalf("flow %d diverged on the single-component path: %+v vs %+v", id, fs, want)
+		}
+	}
+}

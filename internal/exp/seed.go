@@ -1,19 +1,12 @@
 package exp
 
+import "nplus/internal/sim"
+
 // TrialSeed derives the RNG seed for trial i of an experiment rooted
-// at seed. It is the i-th output of a splitmix64 stream whose state
-// is the base seed: the golden-ratio increment walks the state and
-// the finalizer mixes it, so every (seed, trial) pair maps to a
-// well-mixed, practically collision-free 64-bit value. Trial RNGs are
-// therefore mutually independent, and a trial's stream never depends
-// on which worker ran it or on how earlier trials consumed
+// at seed — the i-th stream of sim.DeriveSeed's splitmix64 scheme.
+// Trial RNGs are mutually independent, and a trial's stream never
+// depends on which worker ran it or on how earlier trials consumed
 // randomness — the property the determinism tests pin down.
 func TrialSeed(seed int64, trial int) int64 {
-	z := uint64(seed) + (uint64(trial)+1)*0x9E3779B97F4A7C15
-	z ^= z >> 30
-	z *= 0xBF58476D1CE4E5B9
-	z ^= z >> 27
-	z *= 0x94D049BB133111EB
-	z ^= z >> 31
-	return int64(z)
+	return sim.DeriveSeed(seed, int64(trial))
 }

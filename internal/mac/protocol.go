@@ -48,16 +48,6 @@ type Protocol struct {
 	// only has the window from its join to the joint end, so its air
 	// time (and byte credit) must not count the primary's head start.
 	startOf map[*Active]float64
-	// dataTime / overheadTime decompose medium occupancy, summed over
-	// all collision domains: data is the primary transmission window
-	// (joiners overlap it), overhead is primary handshakes plus the
-	// SIFS+ACK phase. Each interval is booked only when the event that
-	// ends it fires, so a run cut off mid-transmission never counts
-	// the unfinished window. With several components transmitting
-	// concurrently the sum can exceed the run duration — that excess
-	// IS the spatial reuse.
-	dataTime     float64
-	overheadTime float64
 	// Spatial concurrency gauges: how many transmissions (and how many
 	// distinct components) were in flight at once, at peak.
 	inFlight           int
@@ -85,6 +75,19 @@ type domain struct {
 	// ones.
 	txns []*transmission
 	wins int64
+	// served counts the open-loop packets this domain's stations
+	// completed.
+	served int64
+	// dataTime / overheadTime decompose this domain's medium occupancy:
+	// data is the primary transmission window (joiners overlap it),
+	// overhead is primary handshakes plus the SIFS+ACK phase. Each
+	// interval is booked only when the event that ends it fires, so a
+	// run cut off mid-transmission never counts the unfinished window.
+	// Keeping the books per domain attributes spatial-reuse excess
+	// (Σ busy time > duration) to the component that earned it — and
+	// gives a sharded parallel run nothing to merge but a slice append.
+	dataTime     float64
+	overheadTime float64
 }
 
 // transmission is one joint transmission: a primary winner plus any
@@ -235,7 +238,11 @@ func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
 // duration; with spatial reuse the sum can exceed it (concurrent
 // components each occupy their own medium).
 func (p *Protocol) MediumTime() (data, overhead float64) {
-	return p.dataTime, p.overheadTime
+	for _, d := range p.domains {
+		data += d.dataTime
+		overhead += d.overheadTime
+	}
+	return data, overhead
 }
 
 // Components returns the number of collision domains the run is
@@ -259,6 +266,27 @@ func (p *Protocol) DomainWins() []int64 {
 	out := make([]int64, len(p.domains))
 	for i, d := range p.domains {
 		out[i] = d.wins
+	}
+	return out
+}
+
+// DomainStats is one collision domain's share of a run: contention
+// wins, open-loop packets served, and the medium-occupancy split. In a
+// sharded deployment Σ(DataTime+OverheadTime) over domains can exceed
+// the run duration — the per-domain breakdown attributes that
+// spatial-reuse excess to the component that earned it.
+type DomainStats struct {
+	Wins         int64
+	Served       int64
+	DataTime     float64
+	OverheadTime float64
+}
+
+// DomainBreakdown returns per-domain accounting, in domain order.
+func (p *Protocol) DomainBreakdown() []DomainStats {
+	out := make([]DomainStats, len(p.domains))
+	for i, d := range p.domains {
+		out[i] = DomainStats{Wins: d.wins, Served: d.served, DataTime: d.dataTime, OverheadTime: d.overheadTime}
 	}
 	return out
 }
@@ -629,7 +657,8 @@ func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
 			break
 		}
 		fs.Served++
-		fs.Delays = append(fs.Delays, p.Eng.Now()-pkt.ArrivedAt)
+		st.dom.served++
+		fs.Delay.Observe(p.Eng.Now() - pkt.ArrivedAt)
 		cr -= float64(pkt.Bytes)
 	}
 	if cr < 0 || st.queue.CountFlow(flowID) == 0 {
@@ -730,8 +759,8 @@ func (p *Protocol) finish(txn *transmission) {
 		}
 	}
 	p.Eng.Tracef("joint transmission ends; ACK phase")
-	p.dataTime += txn.dataDur
-	p.overheadTime += t.HandshakeOverhead()
+	txn.dom.dataTime += txn.dataDur
+	txn.dom.overheadTime += t.HandshakeOverhead()
 	for _, a := range txn.actives {
 		delete(p.startOf, a)
 	}
@@ -752,7 +781,7 @@ func (p *Protocol) finish(txn *transmission) {
 	// and any RNG the armed events later draw — is deterministic).
 	// The ACK window is booked as overhead only once it completes.
 	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
-		p.overheadTime += t.SIFS + t.AckBodyDuration
+		dom.overheadTime += t.SIFS + t.AckBodyDuration
 		for _, other := range dom.contenders {
 			if p.hearsAnyOf(other, stations) {
 				p.armCountdown(other)

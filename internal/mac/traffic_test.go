@@ -56,13 +56,11 @@ func TestTrafficProtocolDeliversAndRecordsDelay(t *testing.T) {
 		if fs.Served == 0 {
 			t.Fatalf("flow %d served nothing; trace:\n%s", id, tr.String())
 		}
-		if len(fs.Delays) != int(fs.Served) {
-			t.Fatalf("flow %d: %d delay samples for %d served packets", id, len(fs.Delays), fs.Served)
+		if fs.Delay.Count() != fs.Served {
+			t.Fatalf("flow %d: %d delay samples for %d served packets", id, fs.Delay.Count(), fs.Served)
 		}
-		for _, d := range fs.Delays {
-			if d <= 0 {
-				t.Fatalf("flow %d recorded non-positive delay %g", id, d)
-			}
+		if fs.Delay.Min() <= 0 {
+			t.Fatalf("flow %d recorded non-positive delay %g", id, fs.Delay.Min())
 		}
 		if fs.Served+fs.Drops > fs.Arrivals {
 			t.Fatalf("flow %d accounting broken: %d served + %d dropped > %d arrivals",
@@ -181,13 +179,12 @@ func TestTrafficProtocolDeterminism(t *testing.T) {
 	a, b := run(), run()
 	for id := 1; id <= 3; id++ {
 		if a[id].Served != b[id].Served || a[id].Drops != b[id].Drops ||
-			a[id].DeliveredBytes != b[id].DeliveredBytes || len(a[id].Delays) != len(b[id].Delays) {
+			a[id].DeliveredBytes != b[id].DeliveredBytes || a[id].Delay.Count() != b[id].Delay.Count() {
 			t.Fatalf("flow %d diverged: %+v vs %+v", id, a[id], b[id])
 		}
-		for i := range a[id].Delays {
-			if a[id].Delays[i] != b[id].Delays[i] {
-				t.Fatalf("flow %d delay %d diverged", id, i)
-			}
+		if a[id].Delay.Summary() != b[id].Delay.Summary() {
+			t.Fatalf("flow %d delay summaries diverged: %+v vs %+v",
+				id, a[id].Delay.Summary(), b[id].Delay.Summary())
 		}
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"strings"
 
 	"nplus/internal/cmplxmat"
+	"nplus/internal/stats"
 )
 
 // NodeID identifies a node within one scenario.
@@ -91,19 +92,22 @@ type FlowStats struct {
 	Arrivals int64 // packets offered by the arrival process
 	Drops    int64 // packets rejected at a full station queue
 	Served   int64 // packets delivered and dequeued
-	// Delays holds each served packet's queueing+service delay in
+	// Delay accumulates each served packet's queueing+service delay in
 	// seconds: arrival at the station queue → end of the data
-	// transmission that delivered it. Packets still queued (or mid-
-	// retransmission) at run cutoff contribute NO sample, so the
-	// distribution is right-censored: near saturation the longest
+	// transmission that delivered it. It is a streaming sketch
+	// (stats.Accumulator), so memory stays bounded no matter how many
+	// packets a run serves, and per-component accumulators merge
+	// exactly when a sharded run is reassembled. Packets still queued
+	// (or mid-retransmission) at run cutoff contribute NO sample, so
+	// the distribution is right-censored: near saturation the longest
 	// would-be delays are exactly the missing ones and percentile
 	// summaries read low. Residual() counts the censored packets.
-	Delays []float64
+	Delay stats.Accumulator
 }
 
 // Residual returns the packets the queue accepted but the run never
 // served — still backlogged, or awaiting retransmission, when the
-// clock ran out. These packets are missing from Delays (censoring),
+// clock ran out. These packets are missing from Delay (censoring),
 // so a residual that is large relative to Served means the delay
 // percentiles understate the truth.
 func (s *FlowStats) Residual() int64 {

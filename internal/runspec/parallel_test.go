@@ -1,0 +1,110 @@
+package runspec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// campusSpec is the sharded fixture the worker tests share: 4 hearing
+// components, open-loop traffic, short horizon.
+func campusSpec(workers int) Spec {
+	return Spec{
+		Topo:      "campus",
+		Nodes:     64,
+		Clusters:  4,
+		Traffic:   "poisson",
+		RatePPS:   2000,
+		DurationS: 0.01,
+		Workers:   workers,
+	}
+}
+
+// TestRunWorkerDeterminism pins the tentpole contract: one sharded
+// campus run produces a byte-identical JSON Report at every worker
+// count, because each component derives its RNG streams from
+// (seed, component id) rather than from scheduling order.
+func TestRunWorkerDeterminism(t *testing.T) {
+	var outputs [][]byte
+	for _, workers := range []int{1, 4, 8} {
+		rep, err := Run(campusSpec(workers))
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if rep.Spatial == nil || rep.Spatial.Components != 4 {
+			t.Fatalf("workers=%d: spatial = %+v, want 4 components", workers, rep.Spatial)
+		}
+		if len(rep.Spatial.PerComponent) != 4 {
+			t.Fatalf("workers=%d: %d per-component entries, want 4",
+				workers, len(rep.Spatial.PerComponent))
+		}
+		outputs = append(outputs, mustJSON(t, rep))
+	}
+	if !bytes.Equal(outputs[0], outputs[1]) || !bytes.Equal(outputs[0], outputs[2]) {
+		t.Fatal("report JSON differs across worker counts 1/4/8")
+	}
+	// workers is a scheduling knob, not a result dimension: the report's
+	// embedded spec must canonicalize it away so equal runs stay equal.
+	if bytes.Contains(outputs[0], []byte(`"workers"`)) {
+		t.Fatal("report JSON leaks the workers scheduling knob")
+	}
+}
+
+// TestPerComponentBreakdownBooksBalance checks the spatial gains
+// breakdown: component flow counts, wins, served packets, and busy
+// time must sum to the run-level totals.
+func TestPerComponentBreakdownBooksBalance(t *testing.T) {
+	rep, err := Run(campusSpec(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flows int
+	var wins, served int64
+	var busy float64
+	for _, c := range rep.Spatial.PerComponent {
+		flows += c.Flows
+		wins += c.Wins
+		served += c.Served
+		busy += c.DataTimeS + c.OverheadTimeS
+		if c.Component < 0 || c.Flows <= 0 {
+			t.Fatalf("malformed component entry %+v", c)
+		}
+	}
+	if flows != len(rep.Flows) {
+		t.Fatalf("component flow counts sum to %d, report has %d flows", flows, len(rep.Flows))
+	}
+	if served != rep.Totals.Served {
+		t.Fatalf("component served sums to %d, totals say %d", served, rep.Totals.Served)
+	}
+	if wins == 0 {
+		t.Fatal("no component recorded a contention win")
+	}
+	want := (rep.Totals.AirtimeFrac + rep.Totals.OverheadFrac) * rep.ElapsedS
+	if diff := busy - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("component busy time sums to %g, medium totals say %g", busy, want)
+	}
+}
+
+// Workers follows the Spec strictness rule: a value the resolved
+// engine cannot consume is rejected, never silently dropped.
+func TestWorkersValidation(t *testing.T) {
+	if _, err := (Spec{Topo: "campus", Workers: -1}).Normalized(); err == nil ||
+		!strings.Contains(err.Error(), "workers") {
+		t.Fatalf("negative workers: err = %v, want a workers error", err)
+	}
+	if _, err := (Spec{Scenario: "trio", Epochs: 5, Workers: 4}).Normalized(); err == nil ||
+		!strings.Contains(err.Error(), "epoch") {
+		t.Fatalf("epoch workers: err = %v, want the epoch rejection", err)
+	}
+	n, err := campusSpec(8).Normalized()
+	if err != nil {
+		t.Fatalf("protocol workers rejected: %v", err)
+	}
+	if n.Workers != 8 {
+		t.Fatalf("normalized workers = %d, want 8", n.Workers)
+	}
+	// Zero means "all CPUs" and normalizes clean everywhere.
+	if _, err := campusSpec(0).Normalized(); err != nil {
+		t.Fatalf("workers 0: %v", err)
+	}
+}

@@ -41,9 +41,28 @@ type SpatialReport struct {
 	// PeakConcurrentTxns is the maximum number of joint transmissions
 	// in flight at once (>1 requires sharded components or hidden
 	// terminals); PeakBusyComponents counts how many distinct domains
-	// were transmitting at that same instant.
+	// were transmitting at that same instant. On a component-parallel
+	// run (several domains, each on its own event queue) the gauges are
+	// per-component aggregates: PeakConcurrentTxns sums each domain's
+	// own peak and PeakBusyComponents counts domains that transmitted
+	// at all.
 	PeakConcurrentTxns int `json:"peak_concurrent_txns"`
 	PeakBusyComponents int `json:"peak_busy_components"`
+	// PerComponent attributes wins, served packets, and busy time to
+	// each collision domain, in domain order — so spatial-reuse excess
+	// (Σ busy time > run duration) is traceable to the component that
+	// earned it instead of only visible in aggregate.
+	PerComponent []ComponentReport `json:"per_component,omitempty"`
+}
+
+// ComponentReport is one collision domain's share of a protocol run.
+type ComponentReport struct {
+	Component     int     `json:"component"`
+	Flows         int     `json:"flows"`
+	Wins          int64   `json:"wins"`
+	Served        int64   `json:"served,omitempty"`
+	DataTimeS     float64 `json:"data_time_s"`
+	OverheadTimeS float64 `json:"overhead_time_s"`
 }
 
 // FlowReport is one flow's metrics.
@@ -160,8 +179,15 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 	}
 	sort.Ints(ids)
 
+	// Workers never changes results (per-component RNG streams are
+	// derived from the seed, not the schedule), so it is canonicalized
+	// out of the embedded spec: reports stay byte-identical at any
+	// worker count.
+	spec.Workers = 0
+
 	rep := &Report{Spec: spec, ElapsedS: elapsed, Spatial: spatial}
-	var tputs, pooledDelays []float64
+	var tputs []float64
+	var pooledDelay stats.Accumulator
 	openLoop := spec.Traffic != traffic.Saturated
 	for _, id := range ids {
 		fs := perFlow[id]
@@ -195,8 +221,8 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 			fr.Served = fs.Served
 			fr.Residual = fs.Residual()
 			fr.DropRate = fs.DropRate()
-			fr.Delay = newDelayReport(stats.SummarizeDelays(fs.Delays))
-			pooledDelays = append(pooledDelays, fs.Delays...)
+			fr.Delay = newDelayReport(fs.Delay.Summary())
+			pooledDelay.Merge(&fs.Delay) // sorted-id order: deterministic
 		}
 		rep.Totals.ThroughputMbps += tput
 		rep.Totals.Wins += fs.Wins
@@ -216,7 +242,7 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 		if rep.Totals.Arrivals > 0 {
 			rep.Totals.DropRate = float64(rep.Totals.Drops) / float64(rep.Totals.Arrivals)
 		}
-		rep.Totals.Delay = newDelayReport(stats.SummarizeDelays(pooledDelays))
+		rep.Totals.Delay = newDelayReport(pooledDelay.Summary())
 	}
 	return rep
 }
@@ -270,6 +296,12 @@ func (r *Report) Render() string {
 	if r.Spatial != nil && r.Spatial.Components > 1 {
 		out += fmt.Sprintf("spatial reuse: %d collision domains, peak %d concurrent transmissions in %d components\n",
 			r.Spatial.Components, r.Spatial.PeakConcurrentTxns, r.Spatial.PeakBusyComponents)
+		if pc := r.Spatial.PerComponent; len(pc) > 1 && len(pc) <= 24 {
+			for _, c := range pc {
+				out += fmt.Sprintf("  component %d: %d flows, %d wins, %d served, busy %.1f%% of run\n",
+					c.Component, c.Flows, c.Wins, c.Served, 100*(c.DataTimeS+c.OverheadTimeS)/r.ElapsedS)
+			}
+		}
 	}
 	if openLoop {
 		if r.Totals.Delay != nil {

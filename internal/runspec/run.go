@@ -64,6 +64,7 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		OnFraction: onFraction,
 		CycleSec:   cycleSec,
 		Trace:      trace,
+		Workers:    n.Workers,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -72,6 +73,12 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		Components:         res.Components,
 		PeakConcurrentTxns: res.PeakConcurrentTxns,
 		PeakBusyComponents: res.PeakBusyComponents,
+	}
+	for i, cs := range res.PerComponent {
+		spatial.PerComponent = append(spatial.PerComponent, ComponentReport{
+			Component: i, Flows: cs.Flows, Wins: cs.Wins, Served: cs.Served,
+			DataTimeS: cs.DataTime, OverheadTimeS: cs.OverheadTime,
+		})
 	}
 	rep := buildReport(n, net, res.PerFlow, nil, n.DurationS, res.DataTime, res.OverheadTime, spatial)
 	return rep, res.Trace, nil

@@ -104,6 +104,15 @@ type Spec struct {
 	Epochs    int     `json:"epochs,omitempty"`
 	DurationS float64 `json:"duration_s,omitempty"`
 
+	// Workers bounds the worker pool a protocol run executes its
+	// hearing-graph components on (0 = all CPUs). It is a scheduling
+	// knob only — per-component RNG streams derive from (seed,
+	// component id), so results are bit-identical at any value, and
+	// Reports canonicalize it away. The epoch engine runs a single
+	// clique domain and cannot shard: a non-zero Workers there is an
+	// error, consistent with the no-silent-drop rule.
+	Workers int `json:"workers,omitempty"`
+
 	// Seed roots every RNG of the run. A pointer so an explicit seed
 	// of 0 is expressible; nil selects DefaultSeed.
 	Seed *int64 `json:"seed,omitempty"`
@@ -300,7 +309,13 @@ func (s Spec) Normalized() (Spec, error) {
 
 	// Engine-specific knobs: the one the engine cannot consume is an
 	// error, so no flag or spec field is ever silently ignored.
+	if s.Workers < 0 {
+		return s, fmt.Errorf("runspec: workers %d is negative (0 selects all CPUs)", s.Workers)
+	}
 	if s.Engine == EngineEpoch {
+		if s.Workers != 0 {
+			return s, fmt.Errorf("runspec: workers is a protocol-engine knob; the epoch engine cannot shard its single collision domain")
+		}
 		if s.DurationS != 0 {
 			return s, fmt.Errorf("runspec: duration_s is a protocol-engine knob; the epoch engine runs on epochs")
 		}

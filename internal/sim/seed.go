@@ -1,0 +1,22 @@
+package sim
+
+// DeriveSeed derives the RNG seed for numbered stream `stream` of a
+// computation rooted at `seed`. It is the stream-th output of a
+// splitmix64 sequence whose state is the base seed: the golden-ratio
+// increment walks the state and the finalizer mixes it, so every
+// (seed, stream) pair maps to a well-mixed, practically
+// collision-free 64-bit value. Derived streams are therefore mutually
+// independent, and a stream's randomness never depends on which
+// worker consumed it or on how sibling streams drew — the property
+// both the per-trial sweep seeds (internal/exp) and the per-component
+// engine seeds of parallel protocol runs (internal/core) rely on for
+// worker-count-invariant results.
+func DeriveSeed(seed, stream int64) int64 {
+	z := uint64(seed) + (uint64(stream)+1)*0x9E3779B97F4A7C15
+	z ^= z >> 30
+	z *= 0xBF58476D1CE4E5B9
+	z ^= z >> 27
+	z *= 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z)
+}

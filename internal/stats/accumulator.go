@@ -1,0 +1,182 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Bucket geometry of the Accumulator's quantile sketch. Buckets are
+// logarithmically spaced: bucket i covers [gamma^i, gamma^(i+1)), so
+// any sample is represented with relative error at most
+// (gamma-1)/2 ≈ 0.2% — an order of magnitude inside the 1% accuracy
+// the sketch tests pin. Over the simulator's delay range (sub-µs slot
+// times up to multi-second saturation backlogs) that is ~2000-6000
+// distinct buckets at most, independent of how many samples land in
+// them: memory stops scaling with served packets.
+const (
+	accGamma = 1.004
+	// accTiny floors the indexable domain; anything at or below it
+	// (including the zero delays an instantaneous service would
+	// produce) shares one underflow bucket represented exactly by the
+	// tracked minimum.
+	accTiny = 1e-12
+)
+
+var accInvLogGamma = 1 / math.Log(accGamma)
+
+// accUnderflow marks the underflow bucket for samples ≤ accTiny. It
+// sorts below every index reachable from the log map (|log(accTiny)| ·
+// invLogGamma ≈ 6.9e3), so the cumulative quantile walk visits it
+// first.
+const accUnderflow = math.MinInt32
+
+// Accumulator is a streaming, mergeable summary of a sample set: it
+// tracks exact count, sum, min, and max, plus a log-bucketed sketch of
+// the distribution for percentile queries. Observe is O(1), memory is
+// bounded by the dynamic range of the samples (not their number), and
+// Merge is exact bucket addition — merging per-component accumulators
+// in a fixed order reproduces the single-stream result bit-for-bit,
+// which is what keeps parallel runs' reports byte-identical at any
+// worker count. The zero value is an empty accumulator ready for use.
+type Accumulator struct {
+	n       int64
+	sum     float64
+	min     float64
+	max     float64
+	buckets map[int]int64
+}
+
+func accIndex(x float64) int {
+	if x <= accTiny {
+		return accUnderflow
+	}
+	return int(math.Floor(math.Log(x) * accInvLogGamma))
+}
+
+// Observe adds one sample.
+func (a *Accumulator) Observe(x float64) {
+	if a.n == 0 || x < a.min {
+		a.min = x
+	}
+	if a.n == 0 || x > a.max {
+		a.max = x
+	}
+	a.n++
+	a.sum += x
+	if a.buckets == nil {
+		a.buckets = make(map[int]int64)
+	}
+	a.buckets[accIndex(x)]++
+}
+
+// Merge folds b into a. Bucket counts add exactly, so the result is
+// independent of how the samples were partitioned; the floating-point
+// sum (hence the mean) depends only on merge order, which callers keep
+// deterministic by merging in component-id order.
+func (a *Accumulator) Merge(b *Accumulator) {
+	if b == nil || b.n == 0 {
+		return
+	}
+	if a.n == 0 || b.min < a.min {
+		a.min = b.min
+	}
+	if a.n == 0 || b.max > a.max {
+		a.max = b.max
+	}
+	a.n += b.n
+	a.sum += b.sum
+	if a.buckets == nil {
+		a.buckets = make(map[int]int64, len(b.buckets))
+	}
+	for idx, c := range b.buckets {
+		a.buckets[idx] += c
+	}
+}
+
+// Count returns the number of samples observed.
+func (a *Accumulator) Count() int64 { return a.n }
+
+// Min returns the smallest sample (0 when empty).
+func (a *Accumulator) Min() float64 { return a.min }
+
+// Max returns the largest sample (0 when empty).
+func (a *Accumulator) Max() float64 { return a.max }
+
+// Mean returns the arithmetic mean (0 when empty).
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Footprint returns the number of occupied sketch buckets — the
+// quantity that stays flat as served-packet count grows, which the
+// parallel benchmark reports as its memory gauge.
+func (a *Accumulator) Footprint() int { return len(a.buckets) }
+
+// Quantile returns the p-th percentile (p ∈ [0,100]) from the sketch,
+// clamped to the exact [min, max]. Empty input yields 0, matching
+// Percentile's NaN-safe convention.
+func (a *Accumulator) Quantile(p float64) float64 {
+	if a.n == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return a.min
+	}
+	if p >= 100 {
+		return a.max
+	}
+	// Rank of the target sample under the same convention as
+	// percentileSorted: position p/100·(n-1) in the sorted order.
+	target := int64(math.Ceil(p / 100 * float64(a.n-1)))
+	idxs := make([]int, 0, len(a.buckets))
+	for idx := range a.buckets {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var cum int64
+	for _, idx := range idxs {
+		cum += a.buckets[idx]
+		if cum > target {
+			return a.clamp(accMid(idx))
+		}
+	}
+	return a.max
+}
+
+// accMid returns the representative value of bucket idx: the midpoint
+// of its [gamma^idx, gamma^(idx+1)) span.
+func accMid(idx int) float64 {
+	if idx == accUnderflow {
+		return 0
+	}
+	return math.Pow(accGamma, float64(idx)) * (1 + accGamma) / 2
+}
+
+func (a *Accumulator) clamp(x float64) float64 {
+	if x < a.min {
+		return a.min
+	}
+	if x > a.max {
+		return a.max
+	}
+	return x
+}
+
+// Summary condenses the accumulator into the order-statistics summary
+// delay experiments report (zero-valued when empty).
+func (a *Accumulator) Summary() DelaySummary {
+	if a.n == 0 {
+		return DelaySummary{}
+	}
+	return DelaySummary{
+		N:    int(a.n),
+		Mean: a.Mean(),
+		P50:  a.Quantile(50),
+		P95:  a.Quantile(95),
+		P99:  a.Quantile(99),
+		Max:  a.max,
+	}
+}

@@ -1,0 +1,164 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// The sketch must land p50/p95/p99 within 1% of the exact order
+// statistics on a large heavy-tailed sample — the accuracy contract
+// that lets reports drop retained per-packet delay slices.
+func TestAccumulatorQuantileAccuracy1M(t *testing.T) {
+	const n = 1_000_000
+	rng := rand.New(rand.NewSource(42))
+	samples := make([]float64, n)
+	var a Accumulator
+	for i := range samples {
+		// Exponential delays (mean 20 ms) with a lognormal-ish tail —
+		// the shape saturated queue delays take.
+		x := rng.ExpFloat64() * 0.02
+		if rng.Intn(100) == 0 {
+			x *= 10
+		}
+		samples[i] = x
+		a.Observe(x)
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	for _, p := range []float64{50, 95, 99} {
+		exact := percentileSorted(sorted, p)
+		got := a.Quantile(p)
+		if rel := math.Abs(got-exact) / exact; rel > 0.01 {
+			t.Errorf("p%g: sketch %.6g vs exact %.6g (relative error %.4f > 1%%)", p, got, exact, rel)
+		}
+	}
+	if a.Count() != n {
+		t.Fatalf("count = %d, want %d", a.Count(), n)
+	}
+	if got, exact := a.Mean(), Mean(samples); math.Abs(got-exact)/exact > 1e-9 {
+		t.Errorf("mean = %g, want %g (exact)", got, exact)
+	}
+	if a.Max() != sorted[n-1] || a.Min() != sorted[0] {
+		t.Errorf("min/max = %g/%g, want exact %g/%g", a.Min(), a.Max(), sorted[0], sorted[n-1])
+	}
+}
+
+// Memory is bounded by dynamic range, not sample count: doubling the
+// number of observations must not grow the bucket footprint.
+func TestAccumulatorBoundedFootprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	var a Accumulator
+	observe := func(k int) {
+		for i := 0; i < k; i++ {
+			a.Observe(rng.ExpFloat64() * 0.02)
+		}
+	}
+	observe(500_000)
+	half := a.Footprint()
+	observe(500_000)
+	full := a.Footprint()
+	if full > 8000 {
+		t.Errorf("footprint = %d buckets after 1M samples, want bounded (< 8000)", full)
+	}
+	if growth := full - half; growth > half/10+64 {
+		t.Errorf("footprint grew %d→%d across the second 500k samples; memory is not flat in sample count", half, full)
+	}
+}
+
+// Merging per-shard accumulators must reproduce the single-stream
+// sketch: bucket addition is exact, so every quantile matches
+// bit-for-bit and the mean agrees to float tolerance.
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	samples := make([]float64, 40_000)
+	for i := range samples {
+		samples[i] = rng.ExpFloat64() * 0.01
+	}
+	var whole Accumulator
+	for _, s := range samples {
+		whole.Observe(s)
+	}
+	var merged Accumulator
+	const parts = 4
+	for p := 0; p < parts; p++ {
+		var shard Accumulator
+		for i := p * len(samples) / parts; i < (p+1)*len(samples)/parts; i++ {
+			shard.Observe(samples[i])
+		}
+		merged.Merge(&shard)
+	}
+	if merged.Count() != whole.Count() || merged.Min() != whole.Min() || merged.Max() != whole.Max() {
+		t.Fatalf("merged n/min/max = %d/%g/%g, want %d/%g/%g",
+			merged.Count(), merged.Min(), merged.Max(), whole.Count(), whole.Min(), whole.Max())
+	}
+	for _, p := range []float64{1, 25, 50, 90, 95, 99, 99.9} {
+		if m, w := merged.Quantile(p), whole.Quantile(p); m != w {
+			t.Errorf("p%g: merged %g != sequential %g (bucket addition should be exact)", p, m, w)
+		}
+	}
+	if m, w := merged.Mean(), whole.Mean(); math.Abs(m-w) > 1e-12 {
+		t.Errorf("merged mean %g vs sequential %g", m, w)
+	}
+	// Merging in a fixed order is deterministic: repeat and compare.
+	var again Accumulator
+	for p := 0; p < parts; p++ {
+		var shard Accumulator
+		for i := p * len(samples) / parts; i < (p+1)*len(samples)/parts; i++ {
+			shard.Observe(samples[i])
+		}
+		again.Merge(&shard)
+	}
+	if again.Summary() != merged.Summary() {
+		t.Error("identical merge orders produced different summaries")
+	}
+}
+
+func TestAccumulatorEdgeCases(t *testing.T) {
+	var empty Accumulator
+	if s := empty.Summary(); s != (DelaySummary{}) {
+		t.Errorf("empty summary = %+v, want zero", s)
+	}
+	if empty.Quantile(50) != 0 || empty.Mean() != 0 {
+		t.Error("empty accumulator quantile/mean not 0")
+	}
+
+	var one Accumulator
+	one.Observe(0.005)
+	s := one.Summary()
+	if s.N != 1 || s.P50 != 0.005 || s.P99 != 0.005 || s.Max != 0.005 {
+		t.Errorf("single-sample summary = %+v, want all 0.005", s)
+	}
+
+	// Zero samples (instantaneous service) land in the underflow
+	// bucket and clamp to the exact min.
+	var z Accumulator
+	z.Observe(0)
+	z.Observe(0)
+	z.Observe(1)
+	if got := z.Quantile(50); got != 0 {
+		t.Errorf("median of {0,0,1} = %g, want 0", got)
+	}
+
+	// Quantiles are monotone in p.
+	rng := rand.New(rand.NewSource(9))
+	var a Accumulator
+	for i := 0; i < 10_000; i++ {
+		a.Observe(rng.Float64())
+	}
+	sum := a.Summary()
+	if !(sum.P50 <= sum.P95 && sum.P95 <= sum.P99 && sum.P99 <= sum.Max) {
+		t.Errorf("non-monotone summary: %+v", sum)
+	}
+
+	// SummarizeDelays is the accumulator behind a slice API.
+	xs := []float64{0.004, 0.001, 0.002, 0.003}
+	var b Accumulator
+	for _, x := range xs {
+		b.Observe(x)
+	}
+	if SummarizeDelays(xs) != b.Summary() {
+		t.Error("SummarizeDelays disagrees with its accumulator")
+	}
+}

@@ -105,21 +105,15 @@ type DelaySummary struct {
 }
 
 // SummarizeDelays computes a DelaySummary (zero-valued for an empty
-// sample set).
+// sample set). It is a thin wrapper over the streaming Accumulator —
+// callers that already hold samples one at a time should Observe them
+// directly instead of materializing a slice.
 func SummarizeDelays(samples []float64) DelaySummary {
-	if len(samples) == 0 {
-		return DelaySummary{}
+	var a Accumulator
+	for _, s := range samples {
+		a.Observe(s)
 	}
-	sorted := append([]float64(nil), samples...)
-	sort.Float64s(sorted)
-	return DelaySummary{
-		N:    len(sorted),
-		Mean: Mean(sorted),
-		P50:  percentileSorted(sorted, 50),
-		P95:  percentileSorted(sorted, 95),
-		P99:  percentileSorted(sorted, 99),
-		Max:  sorted[len(sorted)-1],
-	}
+	return a.Summary()
 }
 
 // String renders the summary in milliseconds (delays throughout the

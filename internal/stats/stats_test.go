@@ -166,22 +166,24 @@ func TestSummarizeDelays(t *testing.T) {
 	if s := SummarizeDelays(nil); s.N != 0 || s.String() != "no delay samples" {
 		t.Fatalf("empty summary: %+v %q", s, s.String())
 	}
-	// 1..100 ms: exact percentiles under linear interpolation.
+	// 1..100 ms: count, mean, and max are exact; percentiles come from
+	// the streaming sketch, whose bucket width bounds the relative
+	// error well inside 1% of the interpolated order statistics.
 	xs := make([]float64, 100)
 	for i := range xs {
-		xs[i] = float64(100-i) / 1e3 // reversed: summary must sort
+		xs[i] = float64(100-i) / 1e3 // reversed: order must not matter
 	}
 	s := SummarizeDelays(xs)
 	if s.N != 100 || math.Abs(s.Mean-0.0505) > 1e-9 || math.Abs(s.Max-0.1) > 1e-12 {
 		t.Fatalf("summary %+v", s)
 	}
-	if math.Abs(s.P50-0.0505) > 1e-9 {
+	if math.Abs(s.P50-0.0505) > 0.01*0.0505 {
 		t.Fatalf("p50 %g", s.P50)
 	}
-	if math.Abs(s.P95-0.09505) > 1e-9 {
+	if math.Abs(s.P95-0.09505) > 0.01*0.09505 {
 		t.Fatalf("p95 %g", s.P95)
 	}
-	if math.Abs(s.P99-0.09901) > 1e-9 {
+	if math.Abs(s.P99-0.09901) > 0.01*0.09901 {
 		t.Fatalf("p99 %g", s.P99)
 	}
 	if !strings.Contains(s.String(), "p99=") {

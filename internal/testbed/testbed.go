@@ -399,6 +399,25 @@ func meanGainOf(h []*cmplxmat.Matrix) float64 {
 // NoisePower implements mac.ChannelProvider (unit reference floor).
 func (d *Deployment) NoisePower() float64 { return 1 }
 
+// Fork returns a view of the deployment safe for use from another
+// goroutine alongside the original and its other forks. The channel
+// realizations, gains, positions, and node specs are shared (they are
+// immutable after construction); only the lazily built per-bin
+// response caches (freq, zero) are private, because Channel populates
+// them on demand — the one mutation a concurrent reader could race
+// on. A fork therefore answers every query identically to its parent,
+// at the cost of re-deriving cached frequency responses it has not
+// seen yet.
+func (d *Deployment) Fork() *Deployment {
+	cp := *d
+	cp.freq = make(map[[2]mac.NodeID][]*cmplxmat.Matrix, len(d.freq))
+	for k, v := range d.freq {
+		cp.freq[k] = v // built batches are read-only: share them
+	}
+	cp.zero = nil
+	return &cp
+}
+
 // LinkSNRDB returns the average per-bin SNR of the from→to link at
 // the testbed's default transmit power — the quantity the paper's
 // experiments bin placements by. It averages the realized channel, so
