@@ -14,10 +14,16 @@
 //
 // With -spec, the shared knobs (-seed, -topo, -traffic, -nodes,
 // -duration, -epochs) plus the spatial knobs (-clusters,
-// -cluster-loss, -cs-threshold) override the sweep's base spec
-// field-for-field when explicitly passed; -trials/-placements have no
-// spec counterpart and are rejected. The spatial knobs exist only on
-// the spec path — registry experiments reject them.
+// -cluster-loss, -cs-threshold) and the observability knobs (-events,
+// -metrics, -probe) override the sweep's base spec field-for-field
+// when explicitly passed; -trials/-placements have no spec
+// counterpart and are rejected. The spatial and observability knobs
+// exist only on the spec path — registry experiments reject them.
+// -events needs a single-point sweep (each point would clobber the
+// same file); -metrics adds a metrics section to every point's
+// Report. -pprof profiles either path: <prefix>.cpu.pprof,
+// <prefix>.heap.pprof, and a runtime/metrics snapshot
+// <prefix>.runtime.json.
 //
 // -placements / -epochs / -trials / -seed scale the experiments (each
 // experiment applies the knobs it understands); the defaults
@@ -42,6 +48,7 @@ import (
 
 	_ "nplus/internal/core" // registers the paper's experiments
 	"nplus/internal/exp"
+	"nplus/internal/obs"
 	"nplus/internal/runspec"
 )
 
@@ -64,6 +71,10 @@ func main() {
 	clusters := flag.Int("clusters", 0, "spatial cells for clustered topologies (sweep base override)")
 	clusterLoss := flag.Float64("cluster-loss", 0, "inter-cluster attenuation in dB (sweep base override)")
 	csThreshold := flag.Float64("cs-threshold", 0, "carrier-sense hearing threshold in dB SNR (sweep base override)")
+	eventsPath := flag.String("events", "", "write the typed event stream as JSONL (single-point -spec runs only)")
+	metricsSel := flag.String("metrics", "", "comma-separated metrics for each report's metrics section, or \"all\" (sweep base override)")
+	probe := flag.Float64("probe", 0, "time-series probe cadence in virtual seconds (sweep base override, 0 = off)")
+	pprofPrefix := flag.String("pprof", "", "profile the run: <prefix>.cpu.pprof, <prefix>.heap.pprof, and a Go runtime/metrics snapshot <prefix>.runtime.json")
 	flag.Parse()
 
 	if *list {
@@ -125,7 +136,34 @@ func main() {
 			}
 			sw.Base.Options.CSThresholdDB = csThreshold
 		}
+		if set["events"] || set["metrics"] || set["probe"] {
+			// Observe flags override the base spec's observe block
+			// field-for-field, exactly as npsim treats them. Sweep
+			// expansion rejects an events path on a multi-point grid.
+			if sw.Base.Observe == nil {
+				sw.Base.Observe = &runspec.ObserveSpec{}
+			}
+			if set["events"] {
+				sw.Base.Observe.Events = *eventsPath
+			}
+			if set["metrics"] {
+				sw.Base.Observe.Metrics = splitList(*metricsSel)
+			}
+			if set["probe"] {
+				sw.Base.Observe.ProbeIntervalS = *probe
+			}
+		}
+		if o := sw.Base.Observe; o != nil && sw.Base.Engine == "" &&
+			(o.Events != "" || o.ProbeIntervalS != 0 || len(o.Metrics) > 0) {
+			// The observability block only exists on the event-driven
+			// path; auto-select it exactly as npsim does for -trace. An
+			// explicitly pinned epoch engine still gets normalization's
+			// contradiction error.
+			sw.Base.Engine = runspec.EngineProtocol
+		}
+		prof := startProfile(*pprofPrefix)
 		runSweep(sw, *workers, *jsonOut)
+		stopProfile(prof)
 		return
 	}
 
@@ -133,6 +171,12 @@ func main() {
 		// Spec-only knobs: the registry experiments would silently
 		// ignore them, so reject instead.
 		fmt.Fprintln(os.Stderr, "npexp: -clusters/-cluster-loss/-cs-threshold apply to -spec runs only")
+		os.Exit(2)
+	}
+	if set["events"] || set["metrics"] || set["probe"] {
+		// The observability block lives on the protocol engine's spec
+		// path; registry experiments have no event stream to tap.
+		fmt.Fprintln(os.Stderr, "npexp: -events/-metrics/-probe apply to -spec runs only")
 		os.Exit(2)
 	}
 
@@ -175,6 +219,8 @@ func main() {
 		},
 	}
 	runner := &exp.Runner{Workers: *workers}
+	prof := startProfile(*pprofPrefix)
+	defer stopProfile(prof)
 	for _, e := range selected {
 		if !*jsonOut {
 			fmt.Printf("==== %s: %s ====\n", e.Name(), e.Description())
@@ -205,6 +251,43 @@ func main() {
 		}
 		fmt.Println(res.Render())
 	}
+}
+
+// startProfile begins CPU profiling when a -pprof prefix was given.
+func startProfile(prefix string) *obs.Profile {
+	if prefix == "" {
+		return nil
+	}
+	prof, err := obs.StartProfile(prefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "npexp: %v\n", err)
+		os.Exit(1)
+	}
+	return prof
+}
+
+// stopProfile flushes the CPU profile and writes the heap profile and
+// runtime/metrics snapshot.
+func stopProfile(prof *obs.Profile) {
+	if prof == nil {
+		return
+	}
+	if err := prof.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "npexp: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// splitList parses a comma-separated flag value, dropping empty
+// elements so "-metrics wins," and "-metrics ”" behave sensibly.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 // runSweep executes a declarative sweep through the parallel runner:

@@ -20,6 +20,14 @@
 // which also reports per-packet delay percentiles, queue drops, and
 // Jain's fairness.
 //
+// Observability (protocol engine): -events writes the typed event
+// stream as JSONL, -metrics adds a metrics section to the report,
+// -probe samples per-domain queue/in-flight/CW time series, and
+// -pprof captures CPU+heap profiles plus a Go runtime/metrics
+// snapshot. -trace -json embeds the rendered trace and the typed
+// events it derives from in the JSON report. All of it is off by
+// default and costs nothing when disabled.
+//
 // Usage:
 //
 //	npsim -scenario trio -mode nplus -seed 4
@@ -27,6 +35,7 @@
 //	npsim -spec examples/specs/trio.json -mode 80211n
 //	npsim -topo disk-uplink -nodes 200 -traffic poisson -rate 100
 //	npsim -topo campus -nodes 1000 -clusters 8 -traffic poisson -rate 400
+//	npsim -spec examples/specs/observe.json -events events.jsonl -metrics all
 //	npsim -list
 package main
 
@@ -38,6 +47,7 @@ import (
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/runspec"
 	"nplus/internal/testbed"
 	"nplus/internal/topo"
@@ -68,6 +78,10 @@ func main() {
 	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
 	duration := flag.Float64("duration", runspec.DefaultDuration, "virtual seconds (protocol engine)")
 	workers := flag.Int("workers", 0, "worker pool for component-parallel protocol runs, 0 = all CPUs (results are identical at any value)")
+	eventsPath := flag.String("events", "", "write the typed protocol event stream to this file as JSONL (protocol engine)")
+	metricsSel := flag.String("metrics", "", "comma-separated metrics for the report's metrics section, or \"all\" (protocol engine)")
+	probe := flag.Float64("probe", 0, "time-series probe cadence in virtual seconds: per-domain queue depth, in-flight transmissions, CW distribution (protocol engine, 0 = off)")
+	pprofPrefix := flag.String("pprof", "", "profile the run: <prefix>.cpu.pprof, <prefix>.heap.pprof, and a Go runtime/metrics snapshot <prefix>.runtime.json")
 	flag.Parse()
 
 	if *list {
@@ -162,13 +176,29 @@ func main() {
 	if set["workers"] {
 		spec.Workers = *workers
 	}
-	if *trace && *jsonOut {
-		usagef("-trace and -json are mutually exclusive (the MAC trace is a text view)")
+	if set["events"] || set["metrics"] || set["probe"] {
+		// Observe flags override the spec's observe block
+		// field-for-field, exactly like every other knob.
+		if spec.Observe == nil {
+			spec.Observe = &runspec.ObserveSpec{}
+		}
+		if set["events"] {
+			spec.Observe.Events = *eventsPath
+		}
+		if set["metrics"] {
+			spec.Observe.Metrics = splitList(*metricsSel)
+		}
+		if set["probe"] {
+			spec.Observe.ProbeIntervalS = *probe
+		}
 	}
-	if *trace && spec.Engine == "" {
-		// The MAC trace only exists on the event-driven path; an
-		// explicitly requested epoch engine is a contradiction that
-		// RunTraced rejects rather than silently overriding.
+	observing := spec.Observe != nil &&
+		(spec.Observe.Events != "" || spec.Observe.ProbeIntervalS != 0 || len(spec.Observe.Metrics) > 0)
+	if (*trace || observing) && spec.Engine == "" {
+		// The MAC trace and the observability block only exist on the
+		// event-driven path; an explicitly requested epoch engine is a
+		// contradiction that normalization rejects rather than
+		// silently overriding.
 		spec.Engine = runspec.EngineProtocol
 	}
 
@@ -189,7 +219,19 @@ func main() {
 			dep, norm.Mode, norm.Traffic, norm.Engine, norm.SeedValue())
 	}
 
+	var prof *obs.Profile
+	if *pprofPrefix != "" {
+		prof, err = obs.StartProfile(*pprofPrefix)
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	rep, tr, err := runspec.RunTraced(norm, *trace)
+	if prof != nil {
+		if perr := prof.Stop(); perr != nil && err == nil {
+			err = perr
+		}
+	}
 	if err != nil {
 		fatalf("%v", err)
 	}
@@ -214,6 +256,18 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(rep.Render())
+}
+
+// splitList parses a comma-separated flag value, dropping empty
+// elements so "-metrics wins," and "-metrics ”" behave sensibly.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if p := strings.TrimSpace(part); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatalf(format string, args ...any) {

@@ -21,6 +21,7 @@ import (
 
 	"nplus/internal/esnr"
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/sim"
 	"nplus/internal/testbed"
 	"nplus/internal/topo"
@@ -330,6 +331,14 @@ type TrafficRun struct {
 	OnFraction float64
 	CycleSec   float64
 	Trace      bool // attach a protocol trace
+	// Obs selects observability: the typed event stream, the metrics
+	// registry, and the probe cadence. The zero value observes nothing
+	// and the protocol's emit paths reduce to nil checks. Like every
+	// other result, the event stream and merged metrics are
+	// bit-identical at any Workers value: each component's stream is a
+	// function of (run seed, component id) and the merge key
+	// (time, domain, sequence) is a total order.
+	Obs obs.Config
 	// Workers bounds the worker pool a multi-component run executes
 	// on: each hearing-graph component runs the full protocol on its
 	// own event queue, contender index, and RNG streams derived
@@ -380,6 +389,11 @@ type TrafficResult struct {
 	PerComponent []ComponentStats
 	// Trace is non-nil only when the run requested one.
 	Trace *sim.Trace
+	// Events is the typed event stream (Obs.Events), merged across
+	// components by (time, domain, sequence).
+	Events []obs.Event
+	// Metrics is the merged metrics registry (Obs.Metrics).
+	Metrics *obs.Metrics
 }
 
 // RunTraffic runs the event-driven protocol under the given traffic
@@ -410,7 +424,29 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 // the flows whose transmitters it holds, in network flow order.
 type flowShard struct {
 	comp  int // hearing-graph component index (the RNG stream id)
+	idx   int // dense shard index — the run's global domain label
 	flows []mac.Flow
+}
+
+// attachObserve installs the run's observability sinks on a protocol
+// instance and returns them for collection after the run. It always
+// runs — domainBase labels the engine's domains (and trace entries)
+// with the run-global component index even on trace-only runs; with
+// everything else nil/zero the protocol's emit paths stay nil checks.
+func attachObserve(proto *mac.Protocol, c obs.Config, domainBase int) (*obs.Recorder, *obs.Metrics) {
+	var rec *obs.Recorder
+	var met *obs.Metrics
+	if c.Events {
+		rec = &obs.Recorder{}
+	}
+	if c.Metrics {
+		met = obs.NewMetrics()
+	}
+	proto.SetObserve(mac.ObserveConfig{
+		Recorder: rec, Metrics: met,
+		ProbeIntervalS: c.ProbeIntervalS, DomainBase: domainBase,
+	})
+	return rec, met
 }
 
 // componentFlows groups the network's flows by the hearing-graph
@@ -431,7 +467,7 @@ func (n *Network) componentFlows() []flowShard {
 	sort.Ints(comps)
 	shards := make([]flowShard, len(comps))
 	for i, c := range comps {
-		shards[i] = flowShard{comp: c, flows: byComp[c]}
+		shards[i] = flowShard{comp: c, idx: i, flows: byComp[c]}
 	}
 	return shards
 }
@@ -476,6 +512,7 @@ func (n *Network) runTrafficSingle(r TrafficRun, spec traffic.Spec) (*TrafficRes
 	if err := attachTraffic(proto, spec, r); err != nil {
 		return nil, err
 	}
+	rec, met := attachObserve(proto, r.Obs, 0)
 	proto.Run(r.Duration)
 	res := &TrafficResult{
 		PerFlow:            proto.Stats(),
@@ -483,6 +520,10 @@ func (n *Network) runTrafficSingle(r TrafficRun, spec traffic.Spec) (*TrafficRes
 		PeakConcurrentTxns: proto.PeakConcurrentTxns(),
 		PeakBusyComponents: proto.PeakBusyComponents(),
 		Trace:              tr,
+		Metrics:            met,
+	}
+	if rec != nil {
+		res.Events = rec.Events
 	}
 	for _, ds := range proto.DomainBreakdown() { // single path: ≤1 domain
 		res.PerComponent = append(res.PerComponent, ComponentStats{
@@ -504,6 +545,8 @@ type shardOutcome struct {
 	peak     int
 	busy     int
 	trace    *sim.Trace
+	events   []obs.Event
+	metrics  *obs.Metrics
 }
 
 // runShard executes one hearing-graph component as a self-contained
@@ -533,6 +576,7 @@ func (n *Network) runShard(r TrafficRun, spec traffic.Spec, sh flowShard) (shard
 	if err := attachTraffic(proto, spec, r); err != nil {
 		return shardOutcome{}, err
 	}
+	rec, met := attachObserve(proto, r.Obs, sh.idx)
 	proto.Run(r.Duration)
 	if c := proto.Components(); c != 1 {
 		return shardOutcome{}, fmt.Errorf("core: component %d sharded into %d domains (hearing graph inconsistent)", sh.comp, c)
@@ -543,6 +587,10 @@ func (n *Network) runShard(r TrafficRun, spec traffic.Spec, sh flowShard) (shard
 		peak:    proto.PeakConcurrentTxns(),
 		busy:    proto.PeakBusyComponents(),
 		trace:   tr,
+		metrics: met,
+	}
+	if rec != nil {
+		out.events = rec.Events
 	}
 	out.data, out.overhead = proto.MediumTime()
 	return out, nil
@@ -590,6 +638,9 @@ func (n *Network) runTrafficSharded(r TrafficRun, spec traffic.Spec, shards []fl
 	if r.Trace {
 		trace = &sim.Trace{}
 	}
+	if r.Obs.Metrics {
+		res.Metrics = obs.NewMetrics()
+	}
 	for i := range outs {
 		out := &outs[i]
 		for id, fs := range out.perFlow {
@@ -607,12 +658,26 @@ func (n *Network) runTrafficSharded(r TrafficRun, spec traffic.Spec, shards []fl
 		if trace != nil && out.trace != nil {
 			trace.Entries = append(trace.Entries, out.trace.Entries...)
 		}
+		res.Events = append(res.Events, out.events...)
+		if res.Metrics != nil {
+			res.Metrics.Merge(out.metrics) // ascending component order
+		}
 	}
+	obs.SortEvents(res.Events)
 	if trace != nil {
 		// Interleave the per-component traces on the shared virtual
-		// clock; the stable sort keeps component order on ties.
-		sort.SliceStable(trace.Entries, func(i, j int) bool {
-			return trace.Entries[i].At < trace.Entries[j].At
+		// clock. Time ties break by (component, per-engine sequence) —
+		// a pinned total order, so the merged trace is byte-identical
+		// at any worker count instead of merely time-sorted.
+		sort.Slice(trace.Entries, func(i, j int) bool {
+			a, b := trace.Entries[i], trace.Entries[j]
+			if a.At != b.At {
+				return a.At < b.At
+			}
+			if a.Comp != b.Comp {
+				return a.Comp < b.Comp
+			}
+			return a.Seq < b.Seq
 		})
 		res.Trace = trace
 	}

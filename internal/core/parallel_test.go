@@ -1,10 +1,13 @@
 package core
 
 import (
+	"bytes"
+	"encoding/json"
 	"math/rand"
 	"testing"
 
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/topo"
 )
 
@@ -107,6 +110,71 @@ func TestShardedTraceMergesInTimeOrder(t *testing.T) {
 		if res.Trace.Entries[i].At < res.Trace.Entries[i-1].At {
 			t.Fatalf("trace entry %d at %g precedes entry %d at %g",
 				i, res.Trace.Entries[i].At, i-1, res.Trace.Entries[i-1].At)
+		}
+	}
+}
+
+// TestObservedRunWorkerInvariance pins the observability merge
+// contract: the typed event stream (JSONL bytes), the rendered trace,
+// and the merged metrics snapshot of a sharded run are byte-identical
+// at 1, 4, and 8 workers. Events carry global domain labels and merge
+// on the total order (time, domain, sequence); metrics merge by exact
+// counter addition and bucket addition, so nothing depends on
+// goroutine scheduling.
+func TestObservedRunWorkerInvariance(t *testing.T) {
+	net := campusNet(t, 17)
+	type snap struct {
+		events  []byte
+		trace   string
+		metrics string
+	}
+	run := func(workers int) snap {
+		res, err := net.RunTraffic(TrafficRun{
+			Mode: mac.ModeNPlus, Duration: 0.005, Model: "poisson", RatePPS: 1500,
+			Trace: true, Workers: workers,
+			Obs: obs.Config{Events: true, Metrics: true, ProbeIntervalS: 0.001},
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(res.Events) == 0 {
+			t.Fatalf("workers=%d: observed run produced no events", workers)
+		}
+		var buf bytes.Buffer
+		if err := obs.EncodeJSONL(&buf, res.Events); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		ms, err := json.Marshal(res.Metrics.Snapshot())
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		return snap{events: buf.Bytes(), trace: res.Trace.String(), metrics: string(ms)}
+	}
+	base := run(1)
+	seen := map[int]bool{}
+	for _, line := range bytes.Split(base.events, []byte("\n")) {
+		if len(line) == 0 {
+			continue
+		}
+		var ev obs.Event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Fatalf("bad JSONL line %q: %v", line, err)
+		}
+		seen[ev.Domain] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("fixture exercised %d collision domains, want ≥ 2 for a real merge", len(seen))
+	}
+	for _, workers := range []int{4, 8} {
+		got := run(workers)
+		if !bytes.Equal(got.events, base.events) {
+			t.Errorf("workers=%d: event stream diverged from workers=1", workers)
+		}
+		if got.trace != base.trace {
+			t.Errorf("workers=%d: rendered trace diverged from workers=1", workers)
+		}
+		if got.metrics != base.metrics {
+			t.Errorf("workers=%d: merged metrics snapshot diverged from workers=1", workers)
 		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"nplus/internal/obs"
 	"nplus/internal/sim"
 	"nplus/internal/traffic"
 )
@@ -55,6 +56,20 @@ type Protocol struct {
 	peakConcurrent     int
 	peakBusyComponents int
 	started            bool
+
+	// Observability sinks (SetObserve). All nil/zero by default: the
+	// disabled path is a nil check per call site, no event structs, no
+	// formatting, no allocation.
+	rec        *obs.Recorder
+	met        *obs.Metrics
+	probeEvery float64
+	// domainBase offsets local domain ids into the global component
+	// numbering, so events from sharded engines carry globally
+	// meaningful domain labels.
+	domainBase int
+	// domQueue tracks each domain's total queued packets (metrics
+	// only — maintained solely when a registry is attached).
+	domQueue []int
 }
 
 // domain is one collision domain: the contention bookkeeping of a
@@ -227,6 +242,100 @@ func (p *Protocol) buildDomains() {
 	}
 }
 
+// ObserveConfig attaches observability sinks to a protocol run. Any
+// subset may be nil/zero; the zero value observes nothing.
+type ObserveConfig struct {
+	// Recorder collects the typed event stream.
+	Recorder *obs.Recorder
+	// Metrics receives counters, gauges, and (when probing) histograms.
+	Metrics *obs.Metrics
+	// ProbeIntervalS samples each domain's queue depth, in-flight
+	// transmissions, and CW distribution every interval of virtual
+	// time. 0 disables probes. Probes read protocol state only — they
+	// never draw from the RNG or mutate the MAC, so enabling them
+	// leaves the simulated behavior bit-identical.
+	ProbeIntervalS float64
+	// DomainBase offsets this engine's local domain ids into the
+	// global component numbering (a sharded engine passes its
+	// component id; a whole-network engine passes 0).
+	DomainBase int
+}
+
+// SetObserve installs observability sinks. Must be called before
+// Start.
+func (p *Protocol) SetObserve(cfg ObserveConfig) {
+	if p.started {
+		panic("mac: SetObserve after Start")
+	}
+	p.rec = cfg.Recorder
+	p.met = cfg.Metrics
+	p.probeEvery = cfg.ProbeIntervalS
+	p.domainBase = cfg.DomainBase
+	if p.met != nil {
+		p.domQueue = make([]int, len(p.domains))
+	}
+}
+
+// emitting reports whether anything consumes typed events — the guard
+// call sites use before building an Event (and any strings it needs).
+func (p *Protocol) emitting() bool { return p.rec != nil || p.Eng.Tracing() }
+
+// emit stamps an event with the current virtual time and the global
+// domain id, records it, and renders it onto the text trace — the
+// trace is a derived view of the same stream.
+func (p *Protocol) emit(ev obs.Event) {
+	ev.At = p.Eng.Now()
+	ev.Domain += p.domainBase
+	if p.rec != nil {
+		p.rec.Emit(ev)
+	}
+	if p.Eng.Tracing() {
+		p.Eng.TraceText(ev.Domain, ev.Render())
+	}
+}
+
+// gdom maps a domain to its global component id.
+func (p *Protocol) gdom(d *domain) int { return d.id + p.domainBase }
+
+// probe samples every domain's queue depth, in-flight transmissions,
+// and contention windows, emits one probe event per domain, feeds the
+// histograms, and re-arms itself. One pass over the stations serves
+// all domains.
+func (p *Protocol) probe() {
+	queues := make([]int, len(p.domains))
+	cwSum := make([]int, len(p.domains))
+	nSt := make([]int, len(p.domains))
+	for _, st := range p.stations {
+		d := st.dom.id
+		if st.openLoop() {
+			queues[d] += st.queue.Len()
+		}
+		cwSum[d] += st.cw
+		nSt[d]++
+		if p.met != nil {
+			p.met.Observe(obs.MetricCW, p.gdom(st.dom), float64(st.cw))
+		}
+	}
+	for _, d := range p.domains {
+		mean := 0.0
+		if nSt[d.id] > 0 {
+			mean = float64(cwSum[d.id]) / float64(nSt[d.id])
+		}
+		if p.met != nil {
+			g := p.gdom(d)
+			p.met.Observe(obs.MetricQueueDepth, g, float64(queues[d.id]))
+			p.met.Observe(obs.MetricInFlight, g, float64(len(d.txns)))
+		}
+		if p.emitting() {
+			p.emit(obs.Event{
+				Domain: d.id, Kind: obs.KindProbe, Station: -1, Node: -1,
+				Probe: &obs.ProbeSample{Queue: queues[d.id], InFlight: len(d.txns), CWMean: mean},
+			})
+		}
+	}
+	p.Eng.Schedule(p.probeEvery, p.probe)
+}
+
 // Stats returns the per-flow statistics collected so far.
 func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
 
@@ -330,6 +439,9 @@ func (p *Protocol) SetTraffic(newSource func(f Flow) traffic.Source, queueCap in
 // stations, primes each flow's arrival process.
 func (p *Protocol) Start() {
 	p.started = true
+	if p.probeEvery > 0 && (p.met != nil || p.emitting()) {
+		p.Eng.Schedule(p.probeEvery, p.probe)
+	}
 	for _, st := range p.stations {
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
 		if st.wantsMedium() {
@@ -359,13 +471,28 @@ func (p *Protocol) arrive(st *station, fi int) {
 	f := st.flows[fi]
 	fs := p.stats[f.ID]
 	fs.Arrivals++
+	if p.met != nil {
+		p.met.Count(obs.MetricArrivals, p.gdom(st.dom), 1)
+	}
 	wasEmpty := st.queue.Len() == 0
 	if !st.queue.Enqueue(traffic.Packet{Flow: f.ID, Bytes: p.Cfg.PacketBytes, ArrivedAt: p.Eng.Now()}) {
 		fs.Drops++
-		p.Eng.Tracef("station %d (tx %d) drops a flow-%d packet: queue full", st.id, st.tx, f.ID)
-	} else if wasEmpty && !st.txActive {
-		p.addContender(st)
-		p.armCountdown(st)
+		if p.met != nil {
+			p.met.Count(obs.MetricDrops, p.gdom(st.dom), 1)
+		}
+		if p.emitting() {
+			p.emit(obs.Event{Domain: st.dom.id, Kind: obs.KindDrop, Station: st.id, Node: int(st.tx), Flow: f.ID})
+		}
+	} else {
+		if p.met != nil {
+			d := st.dom.id
+			p.domQueue[d]++
+			p.met.GaugeMax(obs.MetricPeakQueue, p.gdom(st.dom), float64(p.domQueue[d]))
+		}
+		if wasEmpty && !st.txActive {
+			p.addContender(st)
+			p.armCountdown(st)
+		}
 	}
 	p.scheduleArrival(st, fi)
 }
@@ -478,6 +605,12 @@ func (p *Protocol) freeze(st *station) {
 	if !st.pending.Live() {
 		return
 	}
+	if p.met != nil {
+		p.met.Count(obs.MetricFreezes, p.gdom(st.dom), 1)
+	}
+	if p.emitting() {
+		p.emit(obs.Event{Domain: st.dom.id, Kind: obs.KindFreeze, Station: st.id, Node: int(st.tx)})
+	}
 	p.Eng.Cancel(st.pending)
 	elapsed := p.Eng.Now() - st.armedAt - p.Cfg.Timing.DIFS
 	if elapsed > 0 {
@@ -536,7 +669,12 @@ func (p *Protocol) win(st *station) {
 		// one no transition may ever come, so re-arm directly — an
 		// open-loop station could otherwise stall with a full queue
 		// until another station happens to transmit.
-		p.Eng.Tracef("station %d (tx %d) blocked: %v", st.id, st.tx, err)
+		if p.met != nil {
+			p.met.Count(obs.MetricBlocked, p.gdom(st.dom), 1)
+		}
+		if p.emitting() {
+			p.emit(obs.Event{Domain: st.dom.id, Kind: obs.KindBlocked, Station: st.id, Node: int(st.tx), Detail: err.Error()})
+		}
 		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
 		if isPrimary {
 			p.armCountdown(st)
@@ -575,7 +713,17 @@ func (p *Protocol) win(st *station) {
 		p.inFlight++
 		p.notePeak()
 		p.Eng.ScheduleAt(txn.end, func() { p.finish(txn) })
-		p.Eng.Tracef("station %d (tx %d) wins primary contention: %d stream(s) at %v", st.id, st.tx, totalStreams, rate)
+		if p.met != nil {
+			g := p.gdom(st.dom)
+			p.met.Count(obs.MetricWins, g, 1)
+			p.met.GaugeMax(obs.MetricPeakInFlight, g, float64(len(st.dom.txns)))
+		}
+		if p.emitting() {
+			p.emit(obs.Event{
+				Domain: st.dom.id, Kind: obs.KindContentionWin, Station: st.id, Node: int(st.tx),
+				Flows: flowIDs(group), Streams: totalStreams, Rate: rate.String(),
+			})
+		}
 	} else {
 		txn = heard[0]
 		for _, inc := range known {
@@ -588,7 +736,15 @@ func (p *Protocol) win(st *station) {
 			p.stats[a.Flow.ID].Joins++
 			n += a.Streams
 		}
-		p.Eng.Tracef("station %d (tx %d) joins with %d stream(s), DoF now %d", st.id, st.tx, n, k+n)
+		if p.met != nil {
+			p.met.Count(obs.MetricJoins, p.gdom(st.dom), 1)
+		}
+		if p.emitting() {
+			p.emit(obs.Event{
+				Domain: st.dom.id, Kind: obs.KindJoin, Station: st.id, Node: int(st.tx),
+				Flows: flowIDs(group), Streams: n, DoF: k + n,
+			})
+		}
 	}
 	txn.stations = append(txn.stations, st)
 	txn.groups[st] = group
@@ -609,6 +765,15 @@ func (p *Protocol) win(st *station) {
 			p.armCountdown(other)
 		}
 	}
+}
+
+// flowIDs lists a planned group's flow ids, for event payloads.
+func flowIDs(group []*Active) []int {
+	ids := make([]int, len(group))
+	for i, a := range group {
+		ids[i] = a.Flow.ID
+	}
+	return ids
 }
 
 // crossLeakage wires the interference between a freshly started group
@@ -658,6 +823,10 @@ func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
 		}
 		fs.Served++
 		st.dom.served++
+		if p.met != nil {
+			p.met.Count(obs.MetricServed, p.gdom(st.dom), 1)
+			p.domQueue[st.dom.id]--
+		}
 		fs.Delay.Observe(p.Eng.Now() - pkt.ArrivedAt)
 		cr -= float64(pkt.Bytes)
 	}
@@ -724,6 +893,7 @@ func (p *Protocol) finish(txn *transmission) {
 				exactPerStream = m
 			}
 			delivered := 0.0
+			lost := 0
 			for s := 0; s < a.Streams; s++ {
 				if bytesPerStream <= 0 {
 					continue
@@ -734,7 +904,19 @@ func (p *Protocol) finish(txn *transmission) {
 					delivered += exactPerStream
 				} else {
 					fs.LostPackets++
+					lost++
 					stOK = false
+				}
+			}
+			if lost > 0 {
+				if p.met != nil {
+					p.met.Count(obs.MetricStreamLosses, p.gdom(st.dom), int64(lost))
+				}
+				if p.emitting() {
+					p.emit(obs.Event{
+						Domain: st.dom.id, Kind: obs.KindCollision, Station: st.id, Node: int(st.tx),
+						Flow: a.Flow.ID, Streams: lost,
+					})
 				}
 			}
 			if st.openLoop() {
@@ -758,7 +940,12 @@ func (p *Protocol) finish(txn *transmission) {
 			p.addContender(st)
 		}
 	}
-	p.Eng.Tracef("joint transmission ends; ACK phase")
+	if p.met != nil {
+		p.met.Count(obs.MetricTxns, p.gdom(txn.dom), 1)
+	}
+	if p.emitting() {
+		p.emit(obs.Event{Domain: txn.dom.id, Kind: obs.KindTxnEnd, Station: -1, Node: -1})
+	}
 	txn.dom.dataTime += txn.dataDur
 	txn.dom.overheadTime += t.HandshakeOverhead()
 	for _, a := range txn.actives {

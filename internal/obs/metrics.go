@@ -1,0 +1,224 @@
+package obs
+
+import (
+	"fmt"
+	"sort"
+
+	"nplus/internal/stats"
+)
+
+// Metric names the protocol maintains. Counters count protocol
+// occurrences, gauges track per-run peaks, and histograms are
+// stats.Accumulator sketches over sampled distributions.
+const (
+	// Counters.
+	MetricArrivals     = "arrivals"      // packets offered by traffic sources
+	MetricBlocked      = "blocked"       // contention wins the planner vetoed
+	MetricDrops        = "drops"         // packets rejected at full queues
+	MetricFreezes      = "freezes"       // backoff countdowns frozen by a busy medium
+	MetricJoins        = "joins"         // secondary-contention joins
+	MetricServed       = "served"        // packets delivered to receivers
+	MetricStreamLosses = "stream_losses" // streams lost to collisions
+	MetricTxns         = "txns"          // joint transmissions completed
+	MetricWins         = "wins"          // primary-contention wins
+
+	// Gauges (per-run peaks).
+	MetricPeakInFlight = "peak_inflight" // peak concurrent transmissions in a domain
+	MetricPeakQueue    = "peak_queue"    // peak total queued packets in a domain
+
+	// Histograms (probe-sampled distributions; empty unless probing).
+	MetricCW         = "cw"          // contention-window sizes across stations
+	MetricInFlight   = "in_flight"   // in-flight transmissions per probe tick
+	MetricQueueDepth = "queue_depth" // total queued packets per probe tick
+)
+
+// metricClass tells the registry (and spec validation) what each name
+// is.
+var metricClass = map[string]string{
+	MetricArrivals:     "counter",
+	MetricBlocked:      "counter",
+	MetricDrops:        "counter",
+	MetricFreezes:      "counter",
+	MetricJoins:        "counter",
+	MetricServed:       "counter",
+	MetricStreamLosses: "counter",
+	MetricTxns:         "counter",
+	MetricWins:         "counter",
+	MetricPeakInFlight: "gauge",
+	MetricPeakQueue:    "gauge",
+	MetricCW:           "histogram",
+	MetricInFlight:     "histogram",
+	MetricQueueDepth:   "histogram",
+}
+
+// MetricNames returns every registered metric name, sorted — the
+// vocabulary the runspec observe block validates selections against.
+func MetricNames() []string {
+	names := make([]string, 0, len(metricClass))
+	for n := range metricClass {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ValidMetric reports whether name is a registered metric.
+func ValidMetric(name string) bool {
+	_, ok := metricClass[name]
+	return ok
+}
+
+// metricKey labels a series: a metric name scoped to one global
+// collision-domain id.
+type metricKey struct {
+	name   string
+	domain int
+}
+
+// Metrics is a per-engine registry of counters, gauges, and
+// histograms, each labeled by collision domain. It is not safe for
+// concurrent use — in sharded runs each worker owns its registry and
+// the results merge deterministically afterwards, the same
+// own-then-merge discipline the per-flow stats use.
+type Metrics struct {
+	counters map[metricKey]int64
+	gauges   map[metricKey]float64
+	hists    map[metricKey]*stats.Accumulator
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		counters: map[metricKey]int64{},
+		gauges:   map[metricKey]float64{},
+		hists:    map[metricKey]*stats.Accumulator{},
+	}
+}
+
+// Count adds delta to a domain-labeled counter.
+func (m *Metrics) Count(name string, domain int, delta int64) {
+	m.counters[metricKey{name, domain}] += delta
+}
+
+// GaugeMax raises a domain-labeled gauge to v if v exceeds it. Gauges
+// here record per-run peaks, so merge (across shards) is max too.
+func (m *Metrics) GaugeMax(name string, domain int, v float64) {
+	k := metricKey{name, domain}
+	if cur, ok := m.gauges[k]; !ok || v > cur {
+		m.gauges[k] = v
+	}
+}
+
+// Observe adds a sample to a domain-labeled histogram.
+func (m *Metrics) Observe(name string, domain int, v float64) {
+	k := metricKey{name, domain}
+	h := m.hists[k]
+	if h == nil {
+		h = &stats.Accumulator{}
+		m.hists[k] = h
+	}
+	h.Observe(v)
+}
+
+// Merge folds other into m. Counter merge is integer addition, gauge
+// merge is max, histogram merge is the Accumulator's exact
+// bucket-addition — all order-independent, so sharded runs merge in
+// ascending component order purely for discipline and the result is
+// identical at any worker count.
+func (m *Metrics) Merge(other *Metrics) {
+	if other == nil {
+		return
+	}
+	for k, v := range other.counters {
+		m.counters[k] += v
+	}
+	for k, v := range other.gauges {
+		if cur, ok := m.gauges[k]; !ok || v > cur {
+			m.gauges[k] = v
+		}
+	}
+	for k, h := range other.hists {
+		dst := m.hists[k]
+		if dst == nil {
+			dst = &stats.Accumulator{}
+			m.hists[k] = dst
+		}
+		dst.Merge(h)
+	}
+}
+
+// Series is one labeled series in a Snapshot. Exactly one of Value
+// (counter/gauge) or Hist (histogram summary) is meaningful, keyed by
+// Class.
+type Series struct {
+	Name   string `json:"name"`
+	Domain int    `json:"domain"`
+	// Class is "counter", "gauge", or "histogram".
+	Class string              `json:"class"`
+	Value float64             `json:"value,omitempty"`
+	Hist  *stats.DelaySummary `json:"hist,omitempty"`
+}
+
+// Snapshot is the registry rendered to a deterministic, serializable
+// form: series sorted by (name, domain).
+type Snapshot struct {
+	Series []Series `json:"series"`
+}
+
+// Snapshot renders the registry. Histogram series carry the sketch's
+// summary (count, mean, quantiles, max), not raw buckets.
+func (m *Metrics) Snapshot() *Snapshot {
+	var out []Series
+	for k, v := range m.counters {
+		out = append(out, Series{Name: k.name, Domain: k.domain, Class: "counter", Value: float64(v)})
+	}
+	for k, v := range m.gauges {
+		out = append(out, Series{Name: k.name, Domain: k.domain, Class: "gauge", Value: v})
+	}
+	for k, h := range m.hists {
+		s := h.Summary()
+		out = append(out, Series{Name: k.name, Domain: k.domain, Class: "histogram", Hist: &s})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Name != out[j].Name {
+			return out[i].Name < out[j].Name
+		}
+		return out[i].Domain < out[j].Domain
+	})
+	return &Snapshot{Series: out}
+}
+
+// Filter returns the snapshot restricted to the named metrics
+// (preserving order). An empty selection keeps everything.
+func (s *Snapshot) Filter(names []string) *Snapshot {
+	if len(names) == 0 {
+		return s
+	}
+	keep := map[string]bool{}
+	for _, n := range names {
+		keep[n] = true
+	}
+	out := &Snapshot{}
+	for _, sr := range s.Series {
+		if keep[sr.Name] {
+			out.Series = append(out.Series, sr)
+		}
+	}
+	return out
+}
+
+// Render is the human view: one aligned line per series.
+func (s *Snapshot) Render() string {
+	var b []byte
+	for _, sr := range s.Series {
+		switch sr.Class {
+		case "histogram":
+			h := sr.Hist
+			b = append(b, fmt.Sprintf("%-14s dom %-3d n=%-8d mean=%.4g p50=%.4g p95=%.4g p99=%.4g max=%.4g\n",
+				sr.Name, sr.Domain, h.N, h.Mean, h.P50, h.P95, h.P99, h.Max)...)
+		default:
+			b = append(b, fmt.Sprintf("%-14s dom %-3d %g\n", sr.Name, sr.Domain, sr.Value)...)
+		}
+	}
+	return string(b)
+}

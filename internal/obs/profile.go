@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/metrics"
+	"runtime/pprof"
+)
+
+// Profile is a live profiling session started by StartProfile.
+type Profile struct {
+	prefix string
+	cpu    *os.File
+}
+
+// StartProfile begins CPU profiling to <prefix>.cpu.pprof. Stop later
+// writes <prefix>.heap.pprof plus <prefix>.runtime.json (a Go
+// runtime/metrics snapshot), giving long simulator runs the standard
+// pprof toolchain with one flag.
+func StartProfile(prefix string) (*Profile, error) {
+	f, err := os.Create(prefix + ".cpu.pprof")
+	if err != nil {
+		return nil, fmt.Errorf("obs: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("obs: start cpu profile: %w", err)
+	}
+	return &Profile{prefix: prefix, cpu: f}, nil
+}
+
+// Stop ends the CPU profile and writes the heap profile and the
+// runtime/metrics snapshot.
+func (p *Profile) Stop() error {
+	pprof.StopCPUProfile()
+	if err := p.cpu.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	hf, err := os.Create(p.prefix + ".heap.pprof")
+	if err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	runtime.GC() // settle the heap so the profile reflects live objects
+	if err := pprof.WriteHeapProfile(hf); err != nil {
+		hf.Close()
+		return fmt.Errorf("obs: heap profile: %w", err)
+	}
+	if err := hf.Close(); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	snap, err := json.MarshalIndent(RuntimeSnapshot(), "", "  ")
+	if err != nil {
+		return fmt.Errorf("obs: runtime snapshot: %w", err)
+	}
+	if err := os.WriteFile(p.prefix+".runtime.json", append(snap, '\n'), 0o644); err != nil {
+		return fmt.Errorf("obs: %w", err)
+	}
+	return nil
+}
+
+// RuntimeSnapshot samples every runtime/metrics series, flattening
+// scalars to numbers and histograms to their total sample count — a
+// cheap, dependency-free health snapshot for long runs.
+func RuntimeSnapshot() map[string]any {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+	// Unreadable kinds are skipped, so the snapshot is all-numeric;
+	// json marshals map keys sorted, keeping the file diffable.
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = s.Value.Float64()
+		case metrics.KindFloat64Histogram:
+			var n uint64
+			for _, c := range s.Value.Float64Histogram().Counts {
+				n += c
+			}
+			out[s.Name] = n
+		}
+	}
+	return out
+}

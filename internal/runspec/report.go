@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"strings"
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/stats"
 	"nplus/internal/traffic"
 )
@@ -31,6 +33,17 @@ type Report struct {
 	// protocol-engine run (absent under the epoch engine, which is
 	// guarded to a single clique domain).
 	Spatial *SpatialReport `json:"spatial,omitempty"`
+	// Metrics is the run's metrics registry, filtered to the spec's
+	// observe.metrics selection (absent when none were selected).
+	// Series are sorted by (name, domain) and merged exactly across
+	// parallel workers, so the section is byte-identical at any worker
+	// count.
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
+	// Trace and Events are present only on traced runs: the rendered
+	// text trace (one line per entry) and the typed event stream it is
+	// derived from, merged by (time, domain, sequence).
+	Trace  []string    `json:"trace,omitempty"`
+	Events []obs.Event `json:"events,omitempty"`
 }
 
 // SpatialReport is the spatial-reuse summary of a protocol run.
@@ -301,6 +314,12 @@ func (r *Report) Render() string {
 				out += fmt.Sprintf("  component %d: %d flows, %d wins, %d served, busy %.1f%% of run\n",
 					c.Component, c.Flows, c.Wins, c.Served, 100*(c.DataTimeS+c.OverheadTimeS)/r.ElapsedS)
 			}
+		}
+	}
+	if r.Metrics != nil && len(r.Metrics.Series) > 0 {
+		out += "metrics:\n"
+		for _, line := range strings.Split(strings.TrimRight(r.Metrics.Render(), "\n"), "\n") {
+			out += "  " + line + "\n"
 		}
 	}
 	if openLoop {

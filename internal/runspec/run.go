@@ -6,6 +6,7 @@ import (
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/sim"
 	"nplus/internal/topo"
 	"nplus/internal/traffic"
@@ -21,7 +22,11 @@ func Run(s Spec) (*Report, error) {
 }
 
 // RunTraced is Run with an optional protocol trace (protocol engine
-// only; the epoch engine has no event trace and returns nil).
+// only; the epoch engine has no event trace and returns nil). A
+// traced run also collects the typed event stream the trace text is
+// rendered from and embeds both in the Report, so structured output
+// keeps what the text view shows. When the spec's observe block names
+// an events path, the stream is additionally written there as JSONL.
 func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 	n, err := s.Normalized()
 	if err != nil {
@@ -55,6 +60,17 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 	if n.CycleSec != nil {
 		cycleSec = *n.CycleSec
 	}
+	obsCfg := obs.Config{}
+	if o := n.Observe; o != nil {
+		obsCfg.Events = o.Events != ""
+		obsCfg.Metrics = len(o.Metrics) > 0
+		obsCfg.ProbeIntervalS = o.ProbeIntervalS
+	}
+	if trace {
+		// The trace is a rendered view over typed events; a traced run
+		// collects the stream so the Report can carry both.
+		obsCfg.Events = true
+	}
 	res, err := net.RunTraffic(core.TrafficRun{
 		Mode:       mode,
 		Duration:   n.DurationS,
@@ -65,6 +81,7 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		CycleSec:   cycleSec,
 		Trace:      trace,
 		Workers:    n.Workers,
+		Obs:        obsCfg,
 	})
 	if err != nil {
 		return nil, nil, err
@@ -81,6 +98,18 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		})
 	}
 	rep := buildReport(n, net, res.PerFlow, nil, n.DurationS, res.DataTime, res.OverheadTime, spatial)
+	if res.Metrics != nil && n.Observe != nil {
+		rep.Metrics = res.Metrics.Snapshot().Filter(n.Observe.Metrics)
+	}
+	if trace {
+		rep.Trace = res.Trace.Lines()
+		rep.Events = res.Events
+	}
+	if o := n.Observe; o != nil && o.Events != "" {
+		if err := obs.WriteEventsFile(o.Events, res.Events); err != nil {
+			return nil, nil, err
+		}
+	}
 	return rep, res.Trace, nil
 }
 

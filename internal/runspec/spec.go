@@ -23,6 +23,7 @@ import (
 
 	"nplus/internal/core"
 	"nplus/internal/mac"
+	"nplus/internal/obs"
 	"nplus/internal/topo"
 	"nplus/internal/traffic"
 )
@@ -117,6 +118,13 @@ type Spec struct {
 	// of 0 is expressible; nil selects DefaultSeed.
 	Seed *int64 `json:"seed,omitempty"`
 
+	// Observe selects observability for a protocol-engine run: the
+	// typed event stream, report metrics, and probe cadence. Nil (or a
+	// zero block, which normalizes to nil) observes nothing — the
+	// simulator's disabled fast path. The epoch engine has no event
+	// stream; an observe block there is an error.
+	Observe *ObserveSpec `json:"observe,omitempty"`
+
 	// Options overrides the calibrated core defaults. Pointer fields
 	// so explicit zeros (e.g. disabling the §4 admission threshold)
 	// survive serialization — core's NaN sentinel cannot.
@@ -142,6 +150,32 @@ type OptionsSpec struct {
 	// medium; higher values shrink decode range, producing hidden
 	// terminals and sharded collision domains.
 	CSThresholdDB *float64 `json:"cs_threshold_db,omitempty"`
+}
+
+// ObserveSpec is the spec's observability block. Observation never
+// changes simulated behavior: probes read protocol state without
+// touching any RNG, and the event stream — like every other result —
+// is byte-identical at any worker count (merged by time, domain,
+// sequence).
+type ObserveSpec struct {
+	// Events is a path the typed event stream is written to as JSONL,
+	// one event per line. Empty collects no stream (unless the run is
+	// traced, which derives its text from the same events).
+	Events string `json:"events,omitempty"`
+	// ProbeIntervalS samples every collision domain's queue depth,
+	// in-flight transmissions, and CW distribution each interval of
+	// virtual time, feeding probe events and the distribution
+	// histograms. 0 disables probes; negative is an error.
+	ProbeIntervalS float64 `json:"probe_interval_s,omitempty"`
+	// Metrics selects registry metrics for the report's metrics
+	// section, validated against the obs registry. The single entry
+	// "all" expands to every registered metric. Empty collects none.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// zero reports whether the block requests nothing.
+func (o *ObserveSpec) zero() bool {
+	return o == nil || (o.Events == "" && o.ProbeIntervalS == 0 && len(o.Metrics) == 0)
 }
 
 // coreOptions resolves the spec's option overrides over the
@@ -335,6 +369,32 @@ func (s Spec) Normalized() (Spec, error) {
 		if s.DurationS <= 0 {
 			return s, fmt.Errorf("runspec: duration %g s is not positive", s.DurationS)
 		}
+	}
+
+	// Observability: protocol engine only (the epoch methodology has
+	// no event stream), strictly validated, canonicalized — a zero
+	// block normalizes to nil and the "all" metric selection expands
+	// to the registry's sorted vocabulary.
+	if s.Observe.zero() {
+		s.Observe = nil
+	} else {
+		if s.Engine != EngineProtocol {
+			return s, fmt.Errorf("runspec: observe is a protocol-engine block; the epoch engine has no event stream")
+		}
+		o := *s.Observe
+		if o.ProbeIntervalS < 0 {
+			return s, fmt.Errorf("runspec: probe interval %g s is negative", o.ProbeIntervalS)
+		}
+		if len(o.Metrics) == 1 && o.Metrics[0] == "all" {
+			o.Metrics = obs.MetricNames()
+		} else {
+			for _, name := range o.Metrics {
+				if !obs.ValidMetric(name) {
+					return s, fmt.Errorf("runspec: unknown metric %q (have all, %v)", name, obs.MetricNames())
+				}
+			}
+		}
+		s.Observe = &o
 	}
 
 	seed := s.SeedValue()

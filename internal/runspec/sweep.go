@@ -79,6 +79,12 @@ func (sw Sweep) Expand() ([]Spec, error) {
 			}
 		}
 	}
+	// A per-point events file makes no sense on a grid: every point
+	// would clobber the same path. Reject instead of letting the last
+	// writer win silently.
+	if len(specs) > 1 && sw.Base.Observe != nil && sw.Base.Observe.Events != "" {
+		return nil, fmt.Errorf("runspec: observe.events names one output file but the sweep expands to %d points; drop the events path or run the point as a single spec", len(specs))
+	}
 	return specs, nil
 }
 

@@ -115,6 +115,49 @@ func TestAccumulatorMergeMatchesSequential(t *testing.T) {
 	}
 }
 
+// TestAccumulatorMergeEmptyOperands pins Merge's degenerate cases:
+// an empty or nil operand is a no-op (it must not drag min toward its
+// zero value), and merging into an empty accumulator reproduces the
+// operand exactly. Parallel shards hit all of these — an idle
+// collision domain contributes an empty accumulator.
+func TestAccumulatorMergeEmptyOperands(t *testing.T) {
+	var full Accumulator
+	for _, x := range []float64{0.004, 0.001, 0.009} {
+		full.Observe(x)
+	}
+	want := full.Summary()
+
+	var empty Accumulator
+	full.Merge(&empty)
+	if got := full.Summary(); got != want {
+		t.Errorf("merge with empty operand changed summary: %+v vs %+v", got, want)
+	}
+	if full.Min() != 0.001 || full.Max() != 0.009 {
+		t.Errorf("merge with empty operand moved min/max: %g/%g", full.Min(), full.Max())
+	}
+
+	full.Merge(nil)
+	if got := full.Summary(); got != want {
+		t.Errorf("merge with nil operand changed summary: %+v vs %+v", got, want)
+	}
+
+	var into Accumulator
+	into.Merge(&full)
+	if got := into.Summary(); got != want {
+		t.Errorf("merge into empty accumulator: %+v, want operand's %+v", got, want)
+	}
+	if into.Count() != 3 || into.Min() != 0.001 || into.Max() != 0.009 {
+		t.Errorf("merge into empty accumulator: n=%d min=%g max=%g",
+			into.Count(), into.Min(), into.Max())
+	}
+
+	var a, b Accumulator
+	a.Merge(&b)
+	if a.Summary() != (DelaySummary{}) || a.Count() != 0 {
+		t.Errorf("empty-empty merge not empty: %+v", a.Summary())
+	}
+}
+
 func TestAccumulatorEdgeCases(t *testing.T) {
 	var empty Accumulator
 	if s := empty.Summary(); s != (DelaySummary{}) {
