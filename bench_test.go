@@ -388,6 +388,78 @@ func BenchmarkStreamingDelayMemory(b *testing.B) {
 	}
 }
 
+// BenchmarkChurnGraphMaintenance measures hearing-graph maintenance
+// under a dynamic population on the 1,000-node campus: a stream of
+// membership and movement events (depart, re-arrive, move), each
+// followed by a component query — the exact sequence the churn
+// controller drives. "incremental" applies each event in place with
+// AddNode/RemoveNode/UpdateNode (O(n) edge re-probes per event);
+// "rebuild" reconstructs the whole graph from the live set per event
+// (the O(n²) alternative an incremental structure exists to avoid).
+// CI exports the pair as BENCH_churn.json and gates the ratio at ≥5×.
+func BenchmarkChurnGraphMaintenance(b *testing.B) {
+	net := parallelCampusSetup(b)
+	hears := net.Deployment.HearsFunc(core.DefaultOptions().CSThresholdDB)
+	ids := net.Deployment.LiveIDs()
+	const events = 60
+
+	// churnStep applies event i to the graph via the incremental API:
+	// cycle a victim node through depart → re-arrive → move.
+	churnStep := func(g *mac.HearingGraph, i int) {
+		victim := ids[((i/3)*37)%len(ids)]
+		switch i % 3 {
+		case 0:
+			g.RemoveNode(victim)
+		case 1:
+			g.AddNode(victim, hears)
+		default:
+			g.UpdateNode(victim, hears)
+		}
+	}
+
+	b.Run("incremental", func(b *testing.B) {
+		var comps int
+		for i := 0; i < b.N; i++ {
+			g := net.Deployment.HearingGraph(core.DefaultOptions().CSThresholdDB)
+			for e := 0; e < events; e++ {
+				// Keep the stream add-before-remove consistent: event
+				// 3k removes the node event 3k+1 restores.
+				churnStep(g, e)
+				comps = g.NumComponents()
+			}
+		}
+		b.ReportMetric(float64(comps), "components")
+		b.ReportMetric(events, "events-per-op")
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		var comps int
+		for i := 0; i < b.N; i++ {
+			live := make(map[mac.NodeID]bool, len(ids))
+			for _, id := range ids {
+				live[id] = true
+			}
+			for e := 0; e < events; e++ {
+				victim := ids[((e/3)*37)%len(ids)]
+				switch e % 3 {
+				case 0:
+					live[victim] = false
+				case 1:
+					live[victim] = true
+				}
+				cur := make([]mac.NodeID, 0, len(ids))
+				for _, id := range ids {
+					if live[id] {
+						cur = append(cur, id)
+					}
+				}
+				comps = mac.NewHearingGraph(cur, hears).NumComponents()
+			}
+		}
+		b.ReportMetric(float64(comps), "components")
+		b.ReportMetric(events, "events-per-op")
+	})
+}
+
 // BenchmarkAblationJoinThreshold sweeps the §4 join threshold L: with
 // L far above practice (no power control) single-antenna incumbents
 // suffer more residual interference; with L too low joiners give up

@@ -71,6 +71,11 @@ func main() {
 	clusters := flag.Int("clusters", 0, "spatial cells for clustered topologies (sweep base override)")
 	clusterLoss := flag.Float64("cluster-loss", 0, "inter-cluster attenuation in dB (sweep base override)")
 	csThreshold := flag.Float64("cs-threshold", 0, "carrier-sense hearing threshold in dB SNR (sweep base override)")
+	churnRate := flag.Float64("churn-rate", 0, "station arrival rate, stations/s (sweep base override; dynamic population)")
+	session := flag.Float64("session", 0, "mean station session length in virtual seconds (sweep base override)")
+	mobility := flag.String("mobility", "", "station mobility model (sweep base override)")
+	speed := flag.Float64("speed", 0, "station speed in m/s (sweep base override)")
+	assocPolicy := flag.String("assoc", "", "association policy for dynamic runs (sweep base override)")
 	eventsPath := flag.String("events", "", "write the typed event stream as JSONL (single-point -spec runs only)")
 	metricsSel := flag.String("metrics", "", "comma-separated metrics for each report's metrics section, or \"all\" (sweep base override)")
 	probe := flag.Float64("probe", 0, "time-series probe cadence in virtual seconds (sweep base override, 0 = off)")
@@ -136,6 +141,34 @@ func main() {
 			}
 			sw.Base.Options.CSThresholdDB = csThreshold
 		}
+		if set["churn-rate"] || set["session"] {
+			if sw.Base.Churn == nil {
+				sw.Base.Churn = &runspec.ChurnSpec{}
+			}
+			if set["churn-rate"] {
+				sw.Base.Churn.ArrivalPerS = *churnRate
+			}
+			if set["session"] {
+				sw.Base.Churn.MeanSessionS = *session
+			}
+		}
+		if set["mobility"] || set["speed"] {
+			if sw.Base.Mobility == nil {
+				sw.Base.Mobility = &runspec.MobilitySpec{}
+			}
+			if set["mobility"] {
+				sw.Base.Mobility.Model = *mobility
+			}
+			if set["speed"] {
+				sw.Base.Mobility.SpeedMPS = *speed
+			}
+		}
+		if set["assoc"] {
+			if sw.Base.Association == nil {
+				sw.Base.Association = &runspec.AssociationSpec{}
+			}
+			sw.Base.Association.Policy = *assocPolicy
+		}
 		if set["events"] || set["metrics"] || set["probe"] {
 			// Observe flags override the base spec's observe block
 			// field-for-field, exactly as npsim treats them. Sweep
@@ -177,6 +210,12 @@ func main() {
 		// The observability block lives on the protocol engine's spec
 		// path; registry experiments have no event stream to tap.
 		fmt.Fprintln(os.Stderr, "npexp: -events/-metrics/-probe apply to -spec runs only")
+		os.Exit(2)
+	}
+	if set["churn-rate"] || set["session"] || set["mobility"] || set["speed"] || set["assoc"] {
+		// Dynamic-population knobs are spec fields; the registry
+		// experiments run fixed populations.
+		fmt.Fprintln(os.Stderr, "npexp: -churn-rate/-session/-mobility/-speed/-assoc apply to -spec runs only")
 		os.Exit(2)
 	}
 

@@ -45,6 +45,7 @@ import (
 	"os"
 	"strings"
 
+	"nplus/internal/assoc"
 	"nplus/internal/core"
 	"nplus/internal/mac"
 	"nplus/internal/obs"
@@ -78,6 +79,13 @@ func main() {
 	trace := flag.Bool("trace", false, "run the event-driven protocol and print the MAC trace")
 	duration := flag.Float64("duration", runspec.DefaultDuration, "virtual seconds (protocol engine)")
 	workers := flag.Int("workers", 0, "worker pool for component-parallel protocol runs, 0 = all CPUs (results are identical at any value)")
+	churnRate := flag.Float64("churn-rate", 0, "station arrival rate, stations/s — switches to a dynamic population (generated uplink topologies)")
+	session := flag.Float64("session", 0, "mean station session length in virtual seconds (with -churn-rate)")
+	mobility := flag.String("mobility", "", "station mobility model, one of: "+strings.Join(topo.MobilityNames(), ", "))
+	speed := flag.Float64("speed", 0, "station speed in m/s (with -mobility)")
+	moveInterval := flag.Float64("move-interval", 0, "position-update cadence in virtual seconds (with -mobility; 0 = 1 s)")
+	assocPolicy := flag.String("assoc", "", "association policy for dynamic runs, one of: "+strings.Join(assoc.Names(), ", "))
+	assocBias := flag.Float64("assoc-bias", 0, "biased-sinr bias in dB per AP antenna beyond the first (with -assoc biased-sinr)")
 	eventsPath := flag.String("events", "", "write the typed protocol event stream to this file as JSONL (protocol engine)")
 	metricsSel := flag.String("metrics", "", "comma-separated metrics for the report's metrics section, or \"all\" (protocol engine)")
 	probe := flag.Float64("probe", 0, "time-series probe cadence in virtual seconds: per-domain queue depth, in-flight transmissions, CW distribution (protocol engine, 0 = off)")
@@ -175,6 +183,42 @@ func main() {
 	}
 	if set["workers"] {
 		spec.Workers = *workers
+	}
+	if set["churn-rate"] || set["session"] {
+		if spec.Churn == nil {
+			spec.Churn = &runspec.ChurnSpec{}
+		}
+		if set["churn-rate"] {
+			spec.Churn.ArrivalPerS = *churnRate
+		}
+		if set["session"] {
+			spec.Churn.MeanSessionS = *session
+		}
+	}
+	if set["mobility"] || set["speed"] || set["move-interval"] {
+		if spec.Mobility == nil {
+			spec.Mobility = &runspec.MobilitySpec{}
+		}
+		if set["mobility"] {
+			spec.Mobility.Model = *mobility
+		}
+		if set["speed"] {
+			spec.Mobility.SpeedMPS = *speed
+		}
+		if set["move-interval"] {
+			spec.Mobility.IntervalS = *moveInterval
+		}
+	}
+	if set["assoc"] || set["assoc-bias"] {
+		if spec.Association == nil {
+			spec.Association = &runspec.AssociationSpec{}
+		}
+		if set["assoc"] {
+			spec.Association.Policy = *assocPolicy
+		}
+		if set["assoc-bias"] {
+			spec.Association.BiasDBPerAntenna = assocBias
+		}
 	}
 	if set["events"] || set["metrics"] || set["probe"] {
 		// Observe flags override the spec's observe block

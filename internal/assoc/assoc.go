@@ -1,0 +1,203 @@
+// Package assoc decides which access point a client attaches to — on
+// arrival, and again whenever mobility moves it. Policies are small
+// pure functions over the candidate AP list (distances, link budgets,
+// antenna counts), registered by name so a run spec can swap the
+// association rule without touching the MAC: the classic nearest-AP
+// and max-SNR rules, plus the biased-association family of
+// arXiv:1507.04271, whose per-tier bias (cell-range expansion) pushes
+// clients toward better-provisioned APs even when a closer one is
+// louder.
+package assoc
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"nplus/internal/knob"
+	"nplus/internal/mac"
+)
+
+// Candidate is one AP a client could attach to, as the client hears
+// it: the average link budget (not a realized fade) and the AP's
+// provisioning. Callers pass candidates in ascending AP id order so
+// score ties break identically everywhere.
+type Candidate struct {
+	AP        mac.NodeID
+	Antennas  int
+	DistanceM float64
+	SNRDB     float64
+}
+
+// Config tunes a policy. Float fields follow the knob sentinel rules:
+// knob.Auto selects the calibrated default, explicit values are taken
+// as given, and policies reject knobs they cannot consume.
+type Config struct {
+	// BiasDBPerAntenna is the biased-SINR policy's cell-range-expansion
+	// bias: each AP's score gains this many dB per antenna beyond the
+	// first (Auto → DefaultBiasDBPerAntenna). Only biased-sinr consumes
+	// it; other policies reject an explicit value.
+	BiasDBPerAntenna float64
+}
+
+// DefaultBiasDBPerAntenna is the calibrated tier bias — a 3-antenna
+// AP gets +6 dB over a single-antenna one, enough to absorb clients
+// from a nearer but lean AP without drowning geometry entirely.
+const DefaultBiasDBPerAntenna = 3
+
+// DefaultPolicy is the policy a dynamic run falls back to when none
+// is selected: the same nearest-AP rule the static uplink generators
+// pair with, so adding churn without an association block changes
+// nothing about how stations pick their AP.
+const DefaultPolicy = "nearest"
+
+// Policy picks an AP from a non-empty candidate list. Implementations
+// are deterministic: equal candidate lists yield equal choices.
+type Policy interface {
+	Choose(cands []Candidate) mac.NodeID
+}
+
+// Spec names one association policy drivers can select per run.
+type Spec struct {
+	Name        string
+	Description string
+	New         func(cfg Config) (Policy, error)
+}
+
+var (
+	registryMu sync.RWMutex
+	registry   = map[string]Spec{}
+)
+
+// Register adds s to the policy registry (init-time only; duplicates
+// and incomplete specs panic).
+func Register(s Spec) {
+	if s.Name == "" || s.New == nil {
+		panic("assoc: Register with empty name or nil New")
+	}
+	registryMu.Lock()
+	defer registryMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("assoc: duplicate policy %q", s.Name))
+	}
+	registry[s.Name] = s
+}
+
+// ByName returns the policy registered under name.
+func ByName(name string) (Spec, bool) {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names returns every registered policy name, sorted.
+func Names() []string {
+	registryMu.RLock()
+	defer registryMu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// New builds the named policy.
+func New(name string, cfg Config) (Policy, error) {
+	spec, ok := ByName(name)
+	if !ok {
+		return nil, fmt.Errorf("assoc: unknown policy %q (have %v)", name, Names())
+	}
+	return spec.New(cfg)
+}
+
+// rejectBias is the shared validation for policies that have no bias
+// knob.
+func rejectBias(name string, cfg Config) error {
+	if !knob.IsAuto(cfg.BiasDBPerAntenna) {
+		return fmt.Errorf("assoc: policy %q has no bias knob (bias_db_per_antenna is biased-sinr only)", name)
+	}
+	return nil
+}
+
+// argBest returns the AP maximizing score; ties break toward the
+// earlier candidate — ascending AP id, by the Candidate ordering
+// contract.
+func argBest(cands []Candidate, score func(i int) float64) mac.NodeID {
+	best, bestScore := 0, math.Inf(-1)
+	for i := range cands {
+		if s := score(i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return cands[best].AP
+}
+
+type nearest struct{}
+
+func (nearest) Choose(cands []Candidate) mac.NodeID {
+	return argBest(cands, func(i int) float64 { return -cands[i].DistanceM })
+}
+
+type maxSNR struct{}
+
+func (maxSNR) Choose(cands []Candidate) mac.NodeID {
+	return argBest(cands, func(i int) float64 { return cands[i].SNRDB })
+}
+
+// biasedSINR scores each AP by the SINR a client would see from it —
+// its budget over noise plus every *other* AP's signal treated as
+// interference — plus the per-antenna tier bias of arXiv:1507.04271.
+// Against bare max-SNR this deloads dominant APs: a candidate close
+// to a loud rival scores poorly even if its own budget is decent,
+// and the bias lets well-provisioned APs win cell-edge clients.
+type biasedSINR struct{ biasDB float64 }
+
+func (p biasedSINR) Choose(cands []Candidate) mac.NodeID {
+	var total float64 // Σ linear budgets, relative to unit noise
+	lin := make([]float64, len(cands))
+	for i, c := range cands {
+		lin[i] = math.Pow(10, c.SNRDB/10)
+		total += lin[i]
+	}
+	return argBest(cands, func(i int) float64 {
+		sinr := 10 * math.Log10(lin[i]/(1+total-lin[i]))
+		return sinr + p.biasDB*float64(cands[i].Antennas-1)
+	})
+}
+
+func init() {
+	Register(Spec{
+		Name:        "nearest",
+		Description: "attach to the geometrically nearest AP (the legacy uplink pairing rule)",
+		New: func(cfg Config) (Policy, error) {
+			if err := rejectBias("nearest", cfg); err != nil {
+				return nil, err
+			}
+			return nearest{}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "max-snr",
+		Description: "attach to the AP with the strongest average link budget",
+		New: func(cfg Config) (Policy, error) {
+			if err := rejectBias("max-snr", cfg); err != nil {
+				return nil, err
+			}
+			return maxSNR{}, nil
+		},
+	})
+	Register(Spec{
+		Name:        "biased-sinr",
+		Description: "attach by SINR (other APs as interference) plus a per-antenna tier bias (arXiv:1507.04271)",
+		New: func(cfg Config) (Policy, error) {
+			bias := knob.Or(cfg.BiasDBPerAntenna, DefaultBiasDBPerAntenna)
+			if bias < 0 {
+				return nil, fmt.Errorf("assoc: bias %g dB/antenna is negative (a tier penalty)", bias)
+			}
+			return biasedSINR{biasDB: bias}, nil
+		},
+	})
+}

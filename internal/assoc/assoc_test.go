@@ -1,0 +1,76 @@
+package assoc
+
+import (
+	"testing"
+
+	"nplus/internal/knob"
+)
+
+func auto() Config { return Config{BiasDBPerAntenna: knob.Auto} }
+
+func mustPolicy(t *testing.T, name string, cfg Config) Policy {
+	t.Helper()
+	p, err := New(name, cfg)
+	if err != nil {
+		t.Fatalf("New(%q): %v", name, err)
+	}
+	return p
+}
+
+func TestNearestAndMaxSNR(t *testing.T) {
+	cands := []Candidate{
+		{AP: 1, Antennas: 1, DistanceM: 50, SNRDB: 20},
+		{AP: 2, Antennas: 3, DistanceM: 10, SNRDB: 12},
+		{AP: 3, Antennas: 2, DistanceM: 30, SNRDB: 25},
+	}
+	if got := mustPolicy(t, "nearest", auto()).Choose(cands); got != 2 {
+		t.Fatalf("nearest chose %d, want 2", got)
+	}
+	if got := mustPolicy(t, "max-snr", auto()).Choose(cands); got != 3 {
+		t.Fatalf("max-snr chose %d, want 3", got)
+	}
+}
+
+func TestTiesBreakTowardLowerAPID(t *testing.T) {
+	cands := []Candidate{
+		{AP: 4, Antennas: 1, DistanceM: 10, SNRDB: 20},
+		{AP: 7, Antennas: 1, DistanceM: 10, SNRDB: 20},
+	}
+	for _, name := range []string{"nearest", "max-snr"} {
+		if got := mustPolicy(t, name, auto()).Choose(cands); got != 4 {
+			t.Fatalf("%s tie chose %d, want 4", name, got)
+		}
+	}
+	if got := mustPolicy(t, "biased-sinr", auto()).Choose(cands); got != 4 {
+		t.Fatalf("biased-sinr tie chose %d, want 4", got)
+	}
+}
+
+func TestBiasedSINRTierBias(t *testing.T) {
+	// AP 1 is marginally louder; AP 2 carries three antennas. With
+	// zero bias the louder AP wins; the default bias flips the choice.
+	cands := []Candidate{
+		{AP: 1, Antennas: 1, DistanceM: 10, SNRDB: 21},
+		{AP: 2, Antennas: 3, DistanceM: 20, SNRDB: 20},
+	}
+	if got := mustPolicy(t, "biased-sinr", Config{BiasDBPerAntenna: 0}).Choose(cands); got != 1 {
+		t.Fatalf("unbiased SINR chose %d, want 1", got)
+	}
+	if got := mustPolicy(t, "biased-sinr", auto()).Choose(cands); got != 2 {
+		t.Fatalf("default bias chose %d, want 2 (tier bias should win)", got)
+	}
+}
+
+func TestBiasKnobRejectedWherePolicyHasNone(t *testing.T) {
+	for _, name := range []string{"nearest", "max-snr"} {
+		if _, err := New(name, Config{BiasDBPerAntenna: 3}); err == nil {
+			t.Fatalf("%s accepted a bias knob it cannot consume", name)
+		}
+	}
+	if _, err := New("biased-sinr", Config{BiasDBPerAntenna: -2}); err == nil {
+		t.Fatal("negative bias accepted")
+	}
+	if _, err := New("no-such-policy", auto()); err == nil {
+		t.Fatal("unknown policy lookup succeeded")
+	}
+}

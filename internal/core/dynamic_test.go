@@ -1,0 +1,196 @@
+package core
+
+import (
+	"bytes"
+	"encoding/json"
+	"math/rand"
+	"testing"
+
+	"nplus/internal/knob"
+	"nplus/internal/mac"
+	"nplus/internal/obs"
+	"nplus/internal/topo"
+)
+
+// churnRun is the shared dynamic fixture: a churning, mobile campus
+// run under the biased-SINR association policy. Dynamic runs mutate
+// their Network, so every invocation deploys a fresh one from the same
+// seed.
+func churnRun(t *testing.T, seed int64, workers int) *TrafficResult {
+	t.Helper()
+	layout, err := topo.Generate("campus",
+		topo.GenConfig{Nodes: 64, Clusters: 4, InterClusterLossDB: topo.Auto},
+		rand.New(rand.NewSource(seed)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, err := NewNetworkFromLayout(seed, layout, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := net.RunTraffic(TrafficRun{
+		Mode: mac.ModeNPlus, Duration: 0.05, Model: "poisson", RatePPS: 2000,
+		Workers:  workers,
+		Churn:    &ChurnConfig{ArrivalPerS: 400, MeanSessionS: 0.02},
+		Mobility: &MobilityConfig{Model: "cluster-hop", SpeedMPS: 120, IntervalS: 0.005},
+		Assoc:    &AssocConfig{Policy: "biased-sinr", BiasDBPerAntenna: knob.Auto},
+		Obs:      obs.Config{Events: true, Metrics: true, ProbeIntervalS: 0.01},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestChurnRunLifecycle checks the dynamic controller end to end:
+// stations arrive and depart, the churn accounting balances, every
+// flow the run ever carried has a definition, and the event stream
+// carries the typed churn kinds.
+func TestChurnRunLifecycle(t *testing.T) {
+	res := churnRun(t, 21, 1)
+	cs := res.Churn
+	if cs == nil {
+		t.Fatal("dynamic run returned no churn stats")
+	}
+	if cs.Arrivals == 0 || cs.Departures == 0 {
+		t.Fatalf("fixture produced no churn: %+v", cs)
+	}
+	// Initial clients = campus flows; conservation over the run.
+	initial := 0
+	for _, f := range res.FlowDefs {
+		if f.ID < cs.Arrivals {
+			_ = f
+		}
+	}
+	initial = len(res.FlowDefs) - cs.Arrivals
+	if got := initial + cs.Arrivals - cs.Departures; got != cs.FinalStations {
+		t.Fatalf("population does not balance: %d initial + %d arrivals - %d departures = %d, final %d",
+			initial, cs.Arrivals, cs.Departures, got, cs.FinalStations)
+	}
+	if cs.PeakStations < cs.FinalStations || cs.PeakStations < initial {
+		t.Fatalf("peak %d below final %d or initial %d", cs.PeakStations, cs.FinalStations, initial)
+	}
+	for id := range res.PerFlow {
+		if _, ok := res.FlowDefs[id]; !ok {
+			t.Fatalf("flow %d has stats but no definition", id)
+		}
+	}
+	kinds := map[obs.Kind]int{}
+	for _, ev := range res.Events {
+		kinds[ev.Kind]++
+	}
+	if kinds[obs.KindArrive] != cs.Arrivals {
+		t.Fatalf("%d arrive events, churn stats say %d", kinds[obs.KindArrive], cs.Arrivals)
+	}
+	if kinds[obs.KindDepart] != cs.Departures {
+		t.Fatalf("%d depart events, churn stats say %d", kinds[obs.KindDepart], cs.Departures)
+	}
+	if kinds[obs.KindHandoff] != cs.Handoffs || kinds[obs.KindHandoffReject] != cs.HandoffRejects {
+		t.Fatalf("handoff events (%d ok, %d rejected) disagree with stats (%d, %d)",
+			kinds[obs.KindHandoff], kinds[obs.KindHandoffReject], cs.Handoffs, cs.HandoffRejects)
+	}
+	// The mobile fixture should actually exercise the handoff path.
+	if cs.Handoffs == 0 {
+		t.Fatal("mobile fixture produced no handoffs")
+	}
+	if res.DataTime <= 0 {
+		t.Fatal("dynamic run booked no data time")
+	}
+}
+
+// TestChurnRunWorkerInvariance extends the worker-invariance pin to
+// dynamic populations: a churning, mobile run must be byte-identical
+// at 1, 4, and 8 workers — trivially so, because membership changes
+// force the single-engine path, but the contract is what CI pins.
+func TestChurnRunWorkerInvariance(t *testing.T) {
+	type snap struct {
+		perFlow []byte
+		events  []byte
+		metrics []byte
+		churn   ChurnStats
+	}
+	take := func(workers int) snap {
+		res := churnRun(t, 23, workers)
+		pf, err := json.Marshal(res.PerFlow)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := obs.EncodeJSONL(&buf, res.Events); err != nil {
+			t.Fatal(err)
+		}
+		ms, err := json.Marshal(res.Metrics.Snapshot())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap{perFlow: pf, events: buf.Bytes(), metrics: ms, churn: *res.Churn}
+	}
+	base := take(1)
+	for _, workers := range []int{4, 8} {
+		got := take(workers)
+		if !bytes.Equal(got.perFlow, base.perFlow) {
+			t.Errorf("workers=%d: per-flow stats diverged", workers)
+		}
+		if !bytes.Equal(got.events, base.events) {
+			t.Errorf("workers=%d: event stream diverged", workers)
+		}
+		if !bytes.Equal(got.metrics, base.metrics) {
+			t.Errorf("workers=%d: metrics snapshot diverged", workers)
+		}
+		if got.churn != base.churn {
+			t.Errorf("workers=%d: churn stats diverged: %+v vs %+v", workers, got.churn, base.churn)
+		}
+	}
+}
+
+// TestDynamicRunValidation pins the dynamic knobs' error surface:
+// association without churn or mobility is meaningless, churn needs
+// positive rates, mobility needs a registered model and positive
+// speed, and hand-built (layout-less) networks cannot churn.
+func TestDynamicRunValidation(t *testing.T) {
+	layout, err := topo.Generate("campus",
+		topo.GenConfig{Nodes: 24, Clusters: 2, InterClusterLossDB: topo.Auto},
+		rand.New(rand.NewSource(5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := func() *Network {
+		net, err := NewNetworkFromLayout(5, layout, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return net
+	}
+	base := TrafficRun{Mode: mac.ModeNPlus, Duration: 0.01, Model: "poisson", RatePPS: 500}
+
+	r := base
+	r.Assoc = &AssocConfig{Policy: "nearest", BiasDBPerAntenna: knob.Auto}
+	if _, err := fresh().RunTraffic(r); err == nil {
+		t.Fatal("association without churn/mobility accepted")
+	}
+	r = base
+	r.Churn = &ChurnConfig{ArrivalPerS: 0, MeanSessionS: 1}
+	if _, err := fresh().RunTraffic(r); err == nil {
+		t.Fatal("zero arrival rate accepted")
+	}
+	r = base
+	r.Mobility = &MobilityConfig{Model: "no-such-model", SpeedMPS: 1}
+	if _, err := fresh().RunTraffic(r); err == nil {
+		t.Fatal("unknown mobility model accepted")
+	}
+	r = base
+	r.Mobility = &MobilityConfig{Model: "waypoint", SpeedMPS: 0}
+	if _, err := fresh().RunTraffic(r); err == nil {
+		t.Fatal("zero speed accepted")
+	}
+	r = base
+	r.Churn = &ChurnConfig{ArrivalPerS: 10, MeanSessionS: 1}
+	nodes, links := TrioNodes()
+	handBuilt, err := NewNetwork(1, nodes, links, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := handBuilt.RunTraffic(r); err == nil {
+		t.Fatal("churn on a hand-built network accepted")
+	}
+}

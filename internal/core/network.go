@@ -20,6 +20,7 @@ import (
 	"sync/atomic"
 
 	"nplus/internal/esnr"
+	"nplus/internal/knob"
 	"nplus/internal/mac"
 	"nplus/internal/obs"
 	"nplus/internal/sim"
@@ -85,11 +86,11 @@ type Options struct {
 }
 
 // Auto marks an Options float field as "use the calibrated default".
-// It is NaN, so the zero value of Options does NOT select defaults
-// for JoinThresholdDB and PERWidth — zero there now means literal
-// zero. Use DefaultOptions (or assign Auto explicitly) for the §6
-// calibration.
-var Auto = math.NaN()
+// It is knob.Auto (NaN), so the zero value of Options does NOT select
+// defaults for JoinThresholdDB and PERWidth — zero there now means
+// literal zero. Use DefaultOptions (or assign Auto explicitly) for
+// the §6 calibration.
+var Auto = knob.Auto
 
 // DefaultOptions returns the calibrated defaults used throughout the
 // evaluation.
@@ -113,24 +114,20 @@ type Network struct {
 	opts       Options
 	seed       int64
 	hearing    *mac.HearingGraph
+	// layout is retained for networks deployed from a generated
+	// topology — dynamic (churn/mobility) runs need its cells and
+	// cluster map to place arrivals and steer movement.
+	layout *topo.Layout
 }
 
 // NewNetwork creates a testbed from seed, places the nodes at random
 // distinct locations, draws every pairwise channel, and registers the
 // links as backlogged flows.
 func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network, error) {
-	if math.IsNaN(opts.JoinThresholdDB) {
-		opts.JoinThresholdDB = 27
-	}
-	if math.IsNaN(opts.PERWidth) {
-		opts.PERWidth = 1
-	}
-	if math.IsNaN(opts.CSThresholdDB) {
-		opts.CSThresholdDB = testbed.DefaultCSThresholdDB
-	}
-	if math.IsNaN(opts.SparseSNRDB) {
-		opts.SparseSNRDB = 0 // no layout recommendation: dense
-	}
+	opts.JoinThresholdDB = knob.Or(opts.JoinThresholdDB, 27)
+	opts.PERWidth = knob.Or(opts.PERWidth, 1)
+	opts.CSThresholdDB = knob.Or(opts.CSThresholdDB, testbed.DefaultCSThresholdDB)
+	opts.SparseSNRDB = knob.Or(opts.SparseSNRDB, 0) // no layout recommendation: dense
 	if opts.SparseSNRDB != 0 &&
 		opts.CSThresholdDB > opts.SparseSNRDB && opts.CSThresholdDB < opts.SparseSNRDB+6 {
 		// Every audible pair should have a materialized channel (with
@@ -209,10 +206,15 @@ func NewNetworkFromLayout(seed int64, l *topo.Layout, opts Options) (*Network, e
 	if opts.LinkExtraLossDB == nil {
 		opts.LinkExtraLossDB = l.ExtraLossDB()
 	}
-	if math.IsNaN(opts.SparseSNRDB) {
+	if knob.IsAuto(opts.SparseSNRDB) {
 		opts.SparseSNRDB = l.SparseSNRDB
 	}
-	return NewNetwork(seed, l.Nodes, l.Links, opts)
+	net, err := NewNetwork(seed, l.Nodes, l.Links, opts)
+	if err != nil {
+		return nil, err
+	}
+	net.layout = l
+	return net, nil
 }
 
 // HearingGraph returns (building once) the deployment's hearing graph
@@ -347,6 +349,16 @@ type TrafficRun struct {
 	// 0 or negative selects GOMAXPROCS. Single-component deployments
 	// always run the historical single-engine path.
 	Workers int
+	// Churn / Mobility / Assoc make the population dynamic (see
+	// dynamic.go). Any of them non-nil routes the run through the
+	// single-engine dynamic controller (Workers becomes inert — results
+	// are byte-identical at any worker count by construction); all nil
+	// preserves the static paths untouched, seed for seed. Assoc alone
+	// is rejected: an association policy only acts on arrival or
+	// movement.
+	Churn    *ChurnConfig
+	Mobility *MobilityConfig
+	Assoc    *AssocConfig
 }
 
 // ComponentStats is one collision domain's share of a protocol run,
@@ -394,6 +406,13 @@ type TrafficResult struct {
 	Events []obs.Event
 	// Metrics is the merged metrics registry (Obs.Metrics).
 	Metrics *obs.Metrics
+	// FlowDefs maps every flow the run ever carried — including flows
+	// of departed stations and post-handoff receivers — to its final
+	// definition. Nil on static runs (the Network's Flows are then the
+	// authoritative list).
+	FlowDefs map[int]mac.Flow
+	// Churn is the dynamic-population accounting; nil on static runs.
+	Churn *ChurnStats
 }
 
 // RunTraffic runs the event-driven protocol under the given traffic
@@ -412,6 +431,12 @@ func (n *Network) RunTraffic(r TrafficRun) (*TrafficResult, error) {
 	spec, ok := traffic.ByName(r.Model)
 	if !ok {
 		return nil, fmt.Errorf("core: unknown traffic model %q (have %v)", r.Model, traffic.Names())
+	}
+	if r.Churn != nil || r.Mobility != nil {
+		return n.runTrafficDynamic(r, spec)
+	}
+	if r.Assoc != nil {
+		return nil, fmt.Errorf("core: an association policy requires churn or mobility (it only acts on arrival or movement)")
 	}
 	shards := n.componentFlows()
 	if len(shards) <= 1 {

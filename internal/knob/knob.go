@@ -1,0 +1,28 @@
+// Package knob holds the one shared "use the calibrated default"
+// sentinel for float configuration fields. Three packages (core,
+// topo, traffic) independently grew the same convention — Auto is
+// NaN, so the zero value of a config struct means literal zero and an
+// explicit 0 stays expressible — and each carried its own copy of the
+// sentinel plus its own IsNaN checks. This package is the single
+// definition, so the next knob family (churn, mobility, association)
+// never writes a fourth copy.
+package knob
+
+import "math"
+
+// Auto marks a float config field as "use the calibrated default".
+// It is NaN: the zero value of a config struct therefore does NOT
+// select defaults — zero means literal zero.
+var Auto = math.NaN()
+
+// IsAuto reports whether x is the Auto sentinel.
+func IsAuto(x float64) bool { return math.IsNaN(x) }
+
+// Or resolves x against its calibrated default: Auto selects def,
+// every explicit value — including zero — is taken as given.
+func Or(x, def float64) float64 {
+	if IsAuto(x) {
+		return def
+	}
+	return x
+}

@@ -1,0 +1,376 @@
+package mac
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nplus/internal/obs"
+	"nplus/internal/traffic"
+)
+
+// Dynamic populations: stations may arrive, move, and depart while the
+// protocol runs. The contract with the run controller is:
+//
+//   - Before AddStation, the controller has already added the node to
+//     the hearing graph (and drawn its channels), so the new station's
+//     component — and therefore its collision domain — is defined.
+//   - RemoveStation detaches an idle station immediately; a station
+//     mid-transmission drains first (its in-flight transmission
+//     completes normally) and detaches from finish(). Either way the
+//     controller's OnDetach callback fires on a zero-delay event, after
+//     the current event completes, so it may safely remove the node
+//     from the graph/deployment and call SyncDomains.
+//   - After any hearing-graph mutation (arrival, departure, movement),
+//     the controller calls SyncDomains to reconcile the collision
+//     domains with the graph's components.
+//
+// Domains are keyed by their component's anchor (the earliest-inserted
+// live member, a stable label the incremental graph maintains), so a
+// component that merely gains or loses members keeps its domain — and
+// its accumulated accounting — across the change. On a merge the
+// absorbed domain's accumulators fold into the survivor; on a split
+// the anchor's side keeps the domain and the other side gets a fresh
+// one. A domain whose stations all departed retires into
+// Protocol.retired so MediumTime never loses booked air time.
+
+// StationConfig describes one station arriving mid-run. All flows must
+// share a transmitter. Sources/ArrSeeds parallel Flows: a nil source
+// means that flow receives no arrivals (all nil → fully backlogged).
+// Arrival RNG seeds come from the caller so churned runs stay
+// deterministic regardless of when the station arrives.
+type StationConfig struct {
+	Flows    []Flow
+	Sources  []traffic.Source
+	ArrSeeds []int64
+	QueueCap int
+}
+
+// SetOnDetach installs the controller callback fired (on a zero-delay
+// event) when a removed station has fully detached.
+func (p *Protocol) SetOnDetach(fn func(NodeID)) { p.onDetach = fn }
+
+// AddStation adds a station to a running protocol. The transmitter
+// must already be in the hearing graph. Emits an arrive event carrying
+// the AP the association policy chose (the first flow's receiver).
+func (p *Protocol) AddStation(cfg StationConfig) error {
+	if len(cfg.Flows) == 0 {
+		return fmt.Errorf("mac: AddStation with no flows")
+	}
+	tx := cfg.Flows[0].Tx
+	for _, f := range cfg.Flows {
+		if f.Tx != tx {
+			return fmt.Errorf("mac: AddStation flows span transmitters %d and %d", tx, f.Tx)
+		}
+		if _, dup := p.stats[f.ID]; dup {
+			return fmt.Errorf("mac: AddStation reuses flow id %d", f.ID)
+		}
+	}
+	if p.byTx[tx] != nil {
+		return fmt.Errorf("mac: AddStation duplicate transmitter %d", tx)
+	}
+	st := &station{
+		id:    len(p.stations),
+		tx:    tx,
+		flows: append([]Flow(nil), cfg.Flows...),
+		cw:    p.Cfg.Timing.CWMin,
+	}
+	if len(cfg.Sources) > 0 {
+		qc := cfg.QueueCap
+		if qc < 1 {
+			qc = 64
+		}
+		srcs := make([]traffic.Source, len(st.flows))
+		rngs := make([]*rand.Rand, len(st.flows))
+		any := false
+		for i := range st.flows {
+			if i < len(cfg.Sources) {
+				srcs[i] = cfg.Sources[i]
+			}
+			var seed int64
+			if i < len(cfg.ArrSeeds) {
+				seed = cfg.ArrSeeds[i]
+			}
+			rngs[i] = rand.New(rand.NewSource(seed))
+			if srcs[i] != nil {
+				any = true
+			}
+		}
+		if any {
+			st.queue = traffic.NewQueue(qc)
+			st.srcs = srcs
+			st.arrRNGs = rngs
+			st.credit = make(map[int]float64, len(st.flows))
+		}
+	}
+	p.stations = append(p.stations, st)
+	p.byTx[tx] = st
+	for fi, f := range st.flows {
+		p.stats[f.ID] = &FlowStats{}
+		p.flowAt[f.ID] = flowRef{st: st, fi: fi}
+	}
+	p.SyncDomains()
+	if p.met != nil {
+		p.met.Count(obs.MetricStationArrivals, p.gdom(st.dom), 1)
+	}
+	if p.emitting() {
+		p.emit(obs.Event{
+			Domain: st.dom.id, Kind: obs.KindArrive, Station: st.id, Node: int(st.tx),
+			AP: int(st.flows[0].Rx),
+		})
+	}
+	if p.started {
+		st.backoff = p.Sc.RNG.Intn(st.cw + 1)
+		if st.wantsMedium() {
+			p.addContender(st)
+			p.armCountdown(st)
+		}
+		if st.openLoop() {
+			for fi, src := range st.srcs {
+				if src != nil {
+					p.scheduleArrival(st, fi)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// RemoveStation begins a station's departure. An idle station detaches
+// immediately; one mid-transmission drains (the in-flight transmission
+// completes, then finish() detaches it). Arrivals stop either way.
+func (p *Protocol) RemoveStation(tx NodeID) error {
+	st := p.byTx[tx]
+	if st == nil {
+		return fmt.Errorf("mac: RemoveStation unknown transmitter %d", tx)
+	}
+	if st.departing || st.gone {
+		return fmt.Errorf("mac: RemoveStation %d already departing", tx)
+	}
+	st.departing = true
+	if st.txActive {
+		return nil // drains: finish() completes the departure
+	}
+	p.Eng.Cancel(st.pending)
+	p.removeContender(st)
+	p.detach(st)
+	return nil
+}
+
+// detach finalizes a departure: the station leaves every protocol
+// index (its accumulated flow stats remain in Stats()), the depart
+// event fires, and the controller's OnDetach runs on a zero-delay
+// event so graph/deployment surgery never interleaves with the event
+// that triggered the detach.
+func (p *Protocol) detach(st *station) {
+	st.gone = true
+	delete(p.byTx, st.tx)
+	if p.met != nil {
+		p.met.Count(obs.MetricStationDepartures, p.gdom(st.dom), 1)
+		if st.openLoop() {
+			p.domQueue[st.dom] -= st.queue.Len() // residual backlog leaves the gauge
+		}
+	}
+	if p.emitting() {
+		p.emit(obs.Event{Domain: st.dom.id, Kind: obs.KindDepart, Station: st.id, Node: int(st.tx)})
+	}
+	if p.onDetach != nil {
+		tx := st.tx
+		p.Eng.Schedule(0, func() { p.onDetach(tx) })
+	}
+}
+
+// Rehome re-associates one flow to a new receiver (an AP handoff).
+// Mid-transmission stations defer: the handoff is rejected (emitting
+// handoff_reject) and the caller retries on a later mobility tick.
+// Returns whether the handoff took effect; a no-op handoff (same AP)
+// reports true without emitting anything.
+func (p *Protocol) Rehome(flowID int, newRx NodeID, rxAntennas int) (bool, error) {
+	ref, ok := p.flowAt[flowID]
+	if !ok {
+		return false, fmt.Errorf("mac: Rehome unknown flow %d", flowID)
+	}
+	st := ref.st
+	prev := st.flows[ref.fi].Rx
+	if st.gone || st.departing {
+		return false, fmt.Errorf("mac: Rehome flow %d of departing station %d", flowID, st.tx)
+	}
+	if newRx == prev && rxAntennas == st.flows[ref.fi].RxAntennas {
+		return true, nil
+	}
+	if st.txActive {
+		if p.met != nil {
+			p.met.Count(obs.MetricHandoffRejects, p.gdom(st.dom), 1)
+		}
+		if p.emitting() {
+			p.emit(obs.Event{
+				Domain: st.dom.id, Kind: obs.KindHandoffReject, Station: st.id, Node: int(st.tx),
+				Flow: flowID, AP: int(newRx), PrevAP: int(prev),
+			})
+		}
+		return false, nil
+	}
+	st.flows[ref.fi].Rx = newRx
+	st.flows[ref.fi].RxAntennas = rxAntennas
+	if p.met != nil {
+		p.met.Count(obs.MetricHandoffs, p.gdom(st.dom), 1)
+	}
+	if p.emitting() {
+		p.emit(obs.Event{
+			Domain: st.dom.id, Kind: obs.KindHandoff, Station: st.id, Node: int(st.tx),
+			Flow: flowID, AP: int(newRx), PrevAP: int(prev),
+		})
+	}
+	return true, nil
+}
+
+// SyncDomains reconciles the collision domains with the hearing
+// graph's current components. Domains are matched to components by
+// anchor: a component whose anchor already owns a domain keeps it
+// (accumulators intact); a new anchor gets a fresh domain with the
+// next id. Old domains left without their anchor fold their
+// accumulators into the domain now holding their lowest-id station —
+// or into the retired bucket if every station departed. Contender
+// indexes are rebuilt id-sorted, in-flight transmissions follow their
+// primary station, and stations whose countdown vanished in the
+// reshuffle are re-armed so nobody stalls across a membership change.
+func (p *Protocol) SyncDomains() {
+	if p.graph == nil {
+		return
+	}
+	// Group live stations by component anchor, in station-id order, so
+	// group order — and the contender order derived from it — is
+	// deterministic.
+	var order []NodeID
+	groups := make(map[NodeID][]*station)
+	prev := make(map[*station]*domain, len(p.stations))
+	for _, st := range p.stations {
+		if st.gone {
+			continue
+		}
+		a := p.graph.ComponentAnchor(st.tx)
+		if _, seen := groups[a]; !seen {
+			order = append(order, a)
+		}
+		groups[a] = append(groups[a], st)
+		prev[st] = st.dom
+	}
+
+	// Collect in-flight transmissions before clearing the old domains'
+	// lists; they re-home to their primary station's new domain below.
+	oldDomains := p.domains
+	var inFlight []*transmission
+	for _, d := range oldDomains {
+		inFlight = append(inFlight, d.txns...)
+		d.txns = nil
+		d.contenders = d.contenders[:0]
+	}
+
+	reused := make(map[*domain]bool, len(order))
+	p.domains = make([]*domain, 0, len(order))
+	newOf := make(map[NodeID]*domain, len(order))
+	for _, a := range order {
+		d := p.domainOf[a]
+		if d == nil {
+			d = &domain{id: p.domainSeq}
+			p.domainSeq++
+		} else {
+			reused[d] = true
+		}
+		newOf[a] = d
+		p.domains = append(p.domains, d)
+		for _, st := range groups[a] {
+			st.dom = d
+			if st.contending {
+				d.contenders = append(d.contenders, st) // id-sorted: groups follow station order
+			}
+		}
+	}
+	p.domainOf = newOf
+
+	// Fold vanished domains: accumulators follow the lowest-id station
+	// that lived there, or retire if the domain emptied out.
+	for _, d := range oldDomains {
+		if reused[d] {
+			continue
+		}
+		d.dead = true
+		var heir *domain
+		for _, st := range p.stations {
+			if !st.gone && prev[st] == d {
+				heir = st.dom
+				break
+			}
+		}
+		if heir != nil {
+			heir.wins += d.wins
+			heir.served += d.served
+			heir.dataTime += d.dataTime
+			heir.overheadTime += d.overheadTime
+		} else {
+			p.retired.Wins += d.wins
+			p.retired.Served += d.served
+			p.retired.DataTime += d.dataTime
+			p.retired.OverheadTime += d.overheadTime
+		}
+	}
+
+	for _, txn := range inFlight {
+		d := txn.stations[0].dom
+		txn.dom = d
+		d.txns = append(d.txns, txn)
+	}
+	p.busyDomains = 0
+	for _, d := range p.domains {
+		if len(d.txns) > 0 {
+			p.busyDomains++
+		}
+	}
+
+	// Rebuild the queue-depth gauge bookkeeping under the new domains.
+	if p.met != nil {
+		p.domQueue = make(map[*domain]int, len(p.domains))
+		for _, st := range p.stations {
+			if !st.gone && st.openLoop() {
+				p.domQueue[st.dom] += st.queue.Len()
+			}
+		}
+	}
+
+	// A station waiting on a transition from its old domain may never
+	// hear one in its new domain — re-arm every contender without a
+	// live countdown (armCountdown no-ops for the ineligible, and
+	// leaves live countdowns untouched).
+	if p.started {
+		for _, d := range p.domains {
+			for _, st := range d.contenders {
+				if !st.pending.Live() {
+					p.armCountdown(st)
+				}
+			}
+		}
+	}
+}
+
+// MediumTimeRetired returns the medium-occupancy booked to domains
+// that have since retired (every station departed). MediumTime
+// includes it.
+func (p *Protocol) MediumTimeRetired() (data, overhead float64) {
+	return p.retired.DataTime, p.retired.OverheadTime
+}
+
+// DomainFlowCounts returns, in domain order, the number of flows the
+// live stations of each domain currently hold — the dynamic-population
+// counterpart of "flows per component".
+func (p *Protocol) DomainFlowCounts() []int {
+	pos := make(map[*domain]int, len(p.domains))
+	for i, d := range p.domains {
+		pos[d] = i
+	}
+	counts := make([]int, len(p.domains))
+	for _, st := range p.stations {
+		if !st.gone {
+			counts[pos[st.dom]] += len(st.flows)
+		}
+	}
+	return counts
+}

@@ -1,5 +1,7 @@
 package mac
 
+import "fmt"
+
 // HearingGraph records, per ordered node pair, whether a listener can
 // decode a speaker's light-weight handshakes. It is the protocol-level
 // medium model of §3.2 made explicit: carrier sense in n+ is
@@ -8,8 +10,12 @@ package mac
 // other's decode range contend (and transmit) independently, while a
 // receiver between them still collects both signals.
 //
-// The graph is static for a run (it derives from average link budgets,
-// not per-packet fades) and is consumed two ways by Protocol:
+// The graph derives from average link budgets, not per-packet fades,
+// but it is no longer frozen for a run: stations arrive, move, and
+// depart, and the graph absorbs each membership event incrementally —
+// adding or removing a vertex, or rewriting one vertex's edges, costs
+// work proportional to the touched component rather than a full
+// reconstruction. It is consumed two ways by Protocol:
 //
 //   - Hears(listener, speaker) gates carrier sense, secondary-
 //     contention DoF accounting, and interference bookkeeping. It is a
@@ -22,16 +28,45 @@ package mac
 //     index and in-flight transmissions, and a multi-building
 //     deployment costs the sum of its parts.
 //
+// Internally the graph is slot-based: each node owns a slot in an
+// n×n adjacency matrix (slots are recycled on removal, the matrix
+// doubles on growth), and connected components are maintained eagerly
+// as internal labels — an edge or vertex change merges labels in O(1)
+// amortized or re-runs a traversal bounded to the touched component's
+// members. The *canonical* component numbering (the one ComponentOf
+// exposes, matching what a from-scratch build over the live nodes in
+// insertion order would produce) is recomputed lazily on first query
+// after a mutation, in O(n log n).
+//
 // A nil *HearingGraph is the historical global medium: every node
 // hears every other, one component.
 type HearingGraph struct {
-	nodes []NodeID
+	slots []NodeID // slot → node id (stale for free slots)
+	live  []bool   // slot → occupied
+	free  []int    // recycled slot indexes (LIFO)
 	idx   map[NodeID]int
-	// hears[l*n+s] is true when node l decodes node s's handshakes.
-	hears   []bool
-	comp    []int
-	numComp int
-	clique  bool
+	seq   []int64 // slot → insertion sequence, fixes canonical order
+	next  int64
+	n     int // slot capacity; the matrix stride
+
+	// hears[l*n+s] is true when the node in slot l decodes the node in
+	// slot s. Rows/columns of free slots are garbage; every pair is
+	// rewritten when a slot is (re)occupied.
+	hears []bool
+	// deaf counts ordered live pairs (l≠s) with hears false — the
+	// graph is a clique iff deaf is zero.
+	deaf int
+
+	// Eager component labels over the symmetric closure. Labels are
+	// arbitrary internal ids; members maps each to its live slots.
+	label   []int
+	members map[int][]int
+	nextLab int
+
+	// Lazy canonical view, rebuilt on demand after mutations.
+	dirty bool
+	canon []int // slot → canonical component index
+	comps [][]NodeID
 }
 
 // NewHearingGraph builds the relation over the given nodes by asking
@@ -42,60 +77,302 @@ type HearingGraph struct {
 func NewHearingGraph(nodes []NodeID, hears func(listener, speaker NodeID) bool) *HearingGraph {
 	n := len(nodes)
 	g := &HearingGraph{
-		nodes:  append([]NodeID(nil), nodes...),
-		idx:    make(map[NodeID]int, n),
-		hears:  make([]bool, n*n),
-		comp:   make([]int, n),
-		clique: true,
+		idx:     make(map[NodeID]int, n),
+		members: make(map[int][]int, n),
 	}
-	for i, id := range g.nodes {
-		g.idx[id] = i
-	}
-	for i, a := range g.nodes {
-		for j, b := range g.nodes {
-			if i == j {
-				g.hears[i*n+j] = true
-				continue
-			}
-			h := hears(a, b)
-			g.hears[i*n+j] = h
-			if !h {
-				g.clique = false
-			}
-		}
-	}
-	// Components over the symmetric closure: if either direction is
-	// audible the pair interacts (one of them at least defers or
-	// interferes), so they must share contention bookkeeping.
-	for i := range g.comp {
-		g.comp[i] = -1
-	}
-	var stack []int
-	for i := range g.nodes {
-		if g.comp[i] >= 0 {
-			continue
-		}
-		c := g.numComp
-		g.numComp++
-		g.comp[i] = c
-		stack = append(stack[:0], i)
-		for len(stack) > 0 {
-			u := stack[len(stack)-1]
-			stack = stack[:len(stack)-1]
-			for v := range g.nodes {
-				if g.comp[v] < 0 && (g.hears[u*n+v] || g.hears[v*n+u]) {
-					g.comp[v] = c
-					stack = append(stack, v)
-				}
-			}
-		}
+	g.grow(n)
+	for _, id := range nodes {
+		g.AddNode(id, hears)
 	}
 	return g
 }
 
+// grow ensures capacity for at least want slots, recopying the
+// adjacency matrix row by row onto the wider stride.
+func (g *HearingGraph) grow(want int) {
+	if want <= g.n {
+		return
+	}
+	nn := g.n * 2
+	if nn < want {
+		nn = want
+	}
+	hears := make([]bool, nn*nn)
+	for i := 0; i < g.n; i++ {
+		copy(hears[i*nn:i*nn+g.n], g.hears[i*g.n:(i+1)*g.n])
+	}
+	g.hears = hears
+	g.slots = append(g.slots, make([]NodeID, nn-g.n)...)
+	g.live = append(g.live, make([]bool, nn-g.n)...)
+	g.seq = append(g.seq, make([]int64, nn-g.n)...)
+	g.label = append(g.label, make([]int, nn-g.n)...)
+	g.canon = append(g.canon, make([]int, nn-g.n)...)
+	g.n = nn
+}
+
+// AddNode inserts a node, querying hears(listener, speaker) against
+// every live node in both directions, and merges it into the
+// components of everything it now interacts with. Panics on a
+// duplicate id — membership is the caller's state machine.
+func (g *HearingGraph) AddNode(id NodeID, hears func(listener, speaker NodeID) bool) {
+	if _, ok := g.idx[id]; ok {
+		panic(fmt.Sprintf("mac: AddNode(%d): node already present", id))
+	}
+	var s int
+	if len(g.free) > 0 {
+		s = g.free[len(g.free)-1]
+		g.free = g.free[:len(g.free)-1]
+	} else {
+		g.grow(len(g.idx) + 1)
+		s = len(g.idx)
+	}
+	g.slots[s] = id
+	g.live[s] = true
+	g.idx[id] = s
+	g.seq[s] = g.next
+	g.next++
+	n := g.n
+	g.hears[s*n+s] = true
+	var neigh []int
+	for j := 0; j < n; j++ {
+		if !g.live[j] || j == s {
+			continue
+		}
+		a := hears(id, g.slots[j])
+		b := hears(g.slots[j], id)
+		g.hears[s*n+j] = a
+		g.hears[j*n+s] = b
+		if !a {
+			g.deaf++
+		}
+		if !b {
+			g.deaf++
+		}
+		if a || b {
+			neigh = append(neigh, j)
+		}
+	}
+	lab := g.nextLab
+	g.nextLab++
+	g.label[s] = lab
+	g.members[lab] = append(g.members[lab][:0], s)
+	for _, j := range neigh {
+		g.mergeLabels(g.label[s], g.label[j])
+	}
+	g.dirty = true
+}
+
+// RemoveNode deletes a node and its edges; the component it belonged
+// to is re-traversed locally (removal can split it). Panics on an
+// unknown id.
+func (g *HearingGraph) RemoveNode(id NodeID) {
+	s, ok := g.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("mac: RemoveNode(%d): node not present", id))
+	}
+	n := g.n
+	for j := 0; j < n; j++ {
+		if !g.live[j] || j == s {
+			continue
+		}
+		if !g.hears[s*n+j] {
+			g.deaf--
+		}
+		if !g.hears[j*n+s] {
+			g.deaf--
+		}
+	}
+	lab := g.label[s]
+	mem := g.members[lab]
+	delete(g.members, lab)
+	delete(g.idx, id)
+	g.live[s] = false
+	g.free = append(g.free, s)
+	rest := mem[:0]
+	for _, u := range mem {
+		if u != s {
+			rest = append(rest, u)
+		}
+	}
+	g.relabel(rest)
+	g.dirty = true
+}
+
+// UpdateNode rewrites one node's full row and column (the node moved:
+// every budget touching it changed), then re-derives the component
+// structure around everything it used to or now does interact with.
+// Panics on an unknown id.
+func (g *HearingGraph) UpdateNode(id NodeID, hears func(listener, speaker NodeID) bool) {
+	s, ok := g.idx[id]
+	if !ok {
+		panic(fmt.Sprintf("mac: UpdateNode(%d): node not present", id))
+	}
+	n := g.n
+	// The affected region is the union of full components: the node's
+	// own (holds every old neighbor, by the component invariant) plus
+	// each new neighbor's.
+	labs := []int{g.label[s]}
+	seen := map[int]bool{g.label[s]: true}
+	for j := 0; j < n; j++ {
+		if !g.live[j] || j == s {
+			continue
+		}
+		a := hears(id, g.slots[j])
+		b := hears(g.slots[j], id)
+		if g.hears[s*n+j] != a {
+			if a {
+				g.deaf--
+			} else {
+				g.deaf++
+			}
+			g.hears[s*n+j] = a
+		}
+		if g.hears[j*n+s] != b {
+			if b {
+				g.deaf--
+			} else {
+				g.deaf++
+			}
+			g.hears[j*n+s] = b
+		}
+		if (a || b) && !seen[g.label[j]] {
+			seen[g.label[j]] = true
+			labs = append(labs, g.label[j])
+		}
+	}
+	var set []int
+	for _, l := range labs {
+		set = append(set, g.members[l]...)
+		delete(g.members, l)
+	}
+	g.relabel(set)
+	g.dirty = true
+}
+
+// SetEdge overrides one ordered hears pair (a targeted fade or wall,
+// without re-deriving the whole row). Panics on unknown ids or a
+// self-pair.
+func (g *HearingGraph) SetEdge(listener, speaker NodeID, v bool) {
+	i, ok := g.idx[listener]
+	if !ok {
+		panic(fmt.Sprintf("mac: SetEdge(%d, %d): listener not present", listener, speaker))
+	}
+	j, ok := g.idx[speaker]
+	if !ok {
+		panic(fmt.Sprintf("mac: SetEdge(%d, %d): speaker not present", listener, speaker))
+	}
+	if i == j {
+		panic(fmt.Sprintf("mac: SetEdge(%d, %d): self-pairs are always hearable", listener, speaker))
+	}
+	n := g.n
+	if g.hears[i*n+j] == v {
+		return
+	}
+	g.hears[i*n+j] = v
+	if v {
+		g.deaf--
+		g.mergeLabels(g.label[i], g.label[j])
+	} else {
+		g.deaf++
+		if !g.hears[j*n+i] && g.label[i] == g.label[j] {
+			// The closure edge vanished inside one component: it may
+			// have been the bridge.
+			lab := g.label[i]
+			mem := g.members[lab]
+			delete(g.members, lab)
+			g.relabel(mem)
+		}
+	}
+	g.dirty = true
+}
+
+// mergeLabels unifies two component labels, relabeling the smaller
+// member list into the larger.
+func (g *HearingGraph) mergeLabels(a, b int) {
+	if a == b {
+		return
+	}
+	if len(g.members[a]) < len(g.members[b]) {
+		a, b = b, a
+	}
+	for _, s := range g.members[b] {
+		g.label[s] = a
+	}
+	g.members[a] = append(g.members[a], g.members[b]...)
+	delete(g.members, b)
+}
+
+// relabel re-derives component labels over a closed slot set (a union
+// of former components: no edge leaves it) by traversal over the
+// symmetric closure, restricted to the set.
+func (g *HearingGraph) relabel(set []int) {
+	n := g.n
+	done := make(map[int]bool, len(set))
+	var stack []int
+	for _, u := range set {
+		if done[u] {
+			continue
+		}
+		lab := g.nextLab
+		g.nextLab++
+		mem := make([]int, 0, len(set))
+		done[u] = true
+		stack = append(stack[:0], u)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			g.label[x] = lab
+			mem = append(mem, x)
+			for _, v := range set {
+				if !done[v] && (g.hears[x*n+v] || g.hears[v*n+x]) {
+					done[v] = true
+					stack = append(stack, v)
+				}
+			}
+		}
+		g.members[lab] = mem
+	}
+}
+
+// canonicalize rebuilds the exposed component numbering: components
+// ordered by their earliest-inserted member, members listed in
+// insertion order — exactly the numbering a from-scratch build over
+// the live nodes in insertion order produces.
+func (g *HearingGraph) canonicalize() {
+	if !g.dirty {
+		return
+	}
+	order := make([]int, 0, len(g.idx))
+	for s := 0; s < g.n; s++ {
+		if g.live[s] {
+			order = append(order, s)
+		}
+	}
+	// Insertion sort by insertion sequence: slot order is already
+	// nearly sorted (slots recycle LIFO), and n is small.
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.seq[order[j]] < g.seq[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	g.comps = g.comps[:0]
+	num := make(map[int]int, len(g.members))
+	for _, s := range order {
+		c, ok := num[g.label[s]]
+		if !ok {
+			c = len(g.comps)
+			num[g.label[s]] = c
+			g.comps = append(g.comps, nil)
+		}
+		g.canon[s] = c
+		g.comps[c] = append(g.comps[c], g.slots[s])
+	}
+	g.dirty = false
+}
+
 // Hears reports whether listener can decode speaker's handshakes. A
-// nil graph is the global medium (always true); nodes the graph was
-// not built over are conservatively treated as globally audible.
+// nil graph is the global medium (always true); nodes the graph does
+// not hold are conservatively treated as globally audible.
 func (g *HearingGraph) Hears(listener, speaker NodeID) bool {
 	if g == nil || listener == speaker {
 		return true
@@ -108,7 +385,7 @@ func (g *HearingGraph) Hears(listener, speaker NodeID) bool {
 	if !ok {
 		return true
 	}
-	return g.hears[i*len(g.nodes)+j]
+	return g.hears[i*g.n+j]
 }
 
 // ComponentOf returns the connected-component index of a node (0 for a
@@ -121,7 +398,8 @@ func (g *HearingGraph) ComponentOf(node NodeID) int {
 	if !ok {
 		return 0
 	}
-	return g.comp[i]
+	g.canonicalize()
+	return g.canon[i]
 }
 
 // NumComponents returns the number of connected components (1 for a
@@ -130,13 +408,77 @@ func (g *HearingGraph) NumComponents() int {
 	if g == nil {
 		return 1
 	}
-	return g.numComp
+	g.canonicalize()
+	return len(g.comps)
+}
+
+// Components returns each component's members — components ordered by
+// earliest-inserted member, members in insertion order. The returned
+// slices are the graph's own view: read-only, valid until the next
+// mutation.
+func (g *HearingGraph) Components() [][]NodeID {
+	if g == nil {
+		return nil
+	}
+	g.canonicalize()
+	return g.comps
+}
+
+// ComponentAnchor returns the earliest-inserted live member of the
+// node's component — a stable identity for the component that
+// survives renumbering as other components split, merge, or drain
+// (canonical indexes shift; the anchor only changes when the anchor
+// node itself departs or the component merges into an older one).
+// Returns the node itself for a nil graph or an unregistered node.
+func (g *HearingGraph) ComponentAnchor(node NodeID) NodeID {
+	if g == nil {
+		return node
+	}
+	i, ok := g.idx[node]
+	if !ok {
+		return node
+	}
+	g.canonicalize()
+	return g.comps[g.canon[i]][0]
+}
+
+// Nodes returns the live node ids in insertion order — the order a
+// from-scratch rebuild must use to reproduce this graph's component
+// numbering.
+func (g *HearingGraph) Nodes() []NodeID {
+	if g == nil {
+		return nil
+	}
+	order := make([]int, 0, len(g.idx))
+	for s := 0; s < g.n; s++ {
+		if g.live[s] {
+			order = append(order, s)
+		}
+	}
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && g.seq[order[j]] < g.seq[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]NodeID, len(order))
+	for i, s := range order {
+		out[i] = g.slots[s]
+	}
+	return out
+}
+
+// NumNodes returns the live node count.
+func (g *HearingGraph) NumNodes() int {
+	if g == nil {
+		return 0
+	}
+	return len(g.idx)
 }
 
 // IsClique reports whether every node hears every other — the regime
 // in which the spatial model reduces exactly to the historical single
 // collision domain.
-func (g *HearingGraph) IsClique() bool { return g == nil || g.clique }
+func (g *HearingGraph) IsClique() bool { return g == nil || g.deaf == 0 }
 
 // CliqueOver reports whether every ordered pair drawn from the given
 // nodes hears each other — the single-collision-domain assumption the

@@ -1,0 +1,179 @@
+package mac
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// refModel is the brute-force mirror of an incremental HearingGraph:
+// live nodes in insertion order plus the ordered-pair hears relation,
+// rebuilt from scratch for every comparison.
+type refModel struct {
+	nodes []NodeID
+	edges map[[2]NodeID]bool
+}
+
+func (m *refModel) hears(l, s NodeID) bool { return m.edges[[2]NodeID{l, s}] }
+
+func (m *refModel) rebuild() *HearingGraph {
+	return NewHearingGraph(m.nodes, m.hears)
+}
+
+func (m *refModel) remove(id NodeID) {
+	kept := m.nodes[:0]
+	for _, n := range m.nodes {
+		if n != id {
+			kept = append(kept, n)
+		}
+	}
+	m.nodes = kept
+	for k := range m.edges {
+		if k[0] == id || k[1] == id {
+			delete(m.edges, k)
+		}
+	}
+}
+
+// compareGraphs checks every exposed view of the incremental graph
+// against a from-scratch rebuild: hears relation, clique flag,
+// component count, per-node component index, per-component membership
+// and iteration order, anchors, and the live node order itself.
+func compareGraphs(t *testing.T, step int, g *HearingGraph, m *refModel) {
+	t.Helper()
+	want := m.rebuild()
+	if got := g.NumNodes(); got != len(m.nodes) {
+		t.Fatalf("step %d: NumNodes = %d, want %d", step, got, len(m.nodes))
+	}
+	gotNodes := g.Nodes()
+	if len(gotNodes) != len(m.nodes) {
+		t.Fatalf("step %d: Nodes() = %v, want %v", step, gotNodes, m.nodes)
+	}
+	for i, id := range m.nodes {
+		if gotNodes[i] != id {
+			t.Fatalf("step %d: Nodes()[%d] = %d, want %d (insertion order broken)", step, i, gotNodes[i], id)
+		}
+	}
+	for _, a := range m.nodes {
+		for _, b := range m.nodes {
+			if g.Hears(a, b) != want.Hears(a, b) {
+				t.Fatalf("step %d: Hears(%d, %d) = %v, want %v", step, a, b, g.Hears(a, b), want.Hears(a, b))
+			}
+		}
+	}
+	if g.IsClique() != want.IsClique() {
+		t.Fatalf("step %d: IsClique = %v, want %v", step, g.IsClique(), want.IsClique())
+	}
+	if g.NumComponents() != want.NumComponents() {
+		t.Fatalf("step %d: NumComponents = %d, want %d", step, g.NumComponents(), want.NumComponents())
+	}
+	for _, id := range m.nodes {
+		if g.ComponentOf(id) != want.ComponentOf(id) {
+			t.Fatalf("step %d: ComponentOf(%d) = %d, want %d", step, id, g.ComponentOf(id), want.ComponentOf(id))
+		}
+	}
+	gotComps, wantComps := g.Components(), want.Components()
+	if len(gotComps) != len(wantComps) {
+		t.Fatalf("step %d: %d components, want %d", step, len(gotComps), len(wantComps))
+	}
+	for c := range gotComps {
+		if len(gotComps[c]) != len(wantComps[c]) {
+			t.Fatalf("step %d: component %d has %d members, want %d", step, c, len(gotComps[c]), len(wantComps[c]))
+		}
+		for i := range gotComps[c] {
+			if gotComps[c][i] != wantComps[c][i] {
+				t.Fatalf("step %d: component %d member %d = %d, want %d (iteration order broken)",
+					step, c, i, gotComps[c][i], wantComps[c][i])
+			}
+		}
+		for _, id := range gotComps[c] {
+			if a := g.ComponentAnchor(id); a != wantComps[c][0] {
+				t.Fatalf("step %d: ComponentAnchor(%d) = %d, want %d", step, id, a, wantComps[c][0])
+			}
+		}
+	}
+}
+
+// TestIncrementalHearingGraphMatchesRebuild drives random sequences of
+// vertex adds/removes, full-row updates, and single-edge toggles
+// through an incremental graph and checks after every step that it is
+// indistinguishable from a from-scratch build over the live nodes in
+// insertion order — components, membership, per-component iteration
+// order, anchors, and the hears relation itself.
+func TestIncrementalHearingGraphMatchesRebuild(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		seed := seed
+		t.Run("", func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			m := &refModel{edges: make(map[[2]NodeID]bool)}
+			g := NewHearingGraph(nil, nil)
+			nextID := NodeID(1)
+			// Sparse-ish random relation: ~30% of ordered pairs audible
+			// keeps several components alive at typical sizes.
+			randomRow := func(id NodeID) {
+				for _, other := range m.nodes {
+					if other == id {
+						continue
+					}
+					m.edges[[2]NodeID{id, other}] = rng.Float64() < 0.3
+					m.edges[[2]NodeID{other, id}] = rng.Float64() < 0.3
+				}
+			}
+			for step := 0; step < 400; step++ {
+				switch op := rng.Intn(10); {
+				case op < 3 || len(m.nodes) < 2: // add
+					id := nextID
+					nextID++
+					randomRow(id)
+					m.nodes = append(m.nodes, id)
+					g.AddNode(id, m.hears)
+				case op < 5: // remove
+					id := m.nodes[rng.Intn(len(m.nodes))]
+					m.remove(id)
+					g.RemoveNode(id)
+				case op < 7: // full-row update (a move)
+					id := m.nodes[rng.Intn(len(m.nodes))]
+					randomRow(id)
+					g.UpdateNode(id, m.hears)
+				default: // single-edge toggle
+					a := m.nodes[rng.Intn(len(m.nodes))]
+					b := m.nodes[rng.Intn(len(m.nodes))]
+					if a == b {
+						continue
+					}
+					v := !m.edges[[2]NodeID{a, b}]
+					m.edges[[2]NodeID{a, b}] = v
+					g.SetEdge(a, b, v)
+				}
+				compareGraphs(t, step, g, m)
+			}
+		})
+	}
+}
+
+// TestIncrementalHearingGraphSlotReuse pins that removing and
+// re-adding nodes recycles matrix slots without leaking stale edges:
+// a node re-added deaf to everyone must not inherit its earlier
+// audible row.
+func TestIncrementalHearingGraphSlotReuse(t *testing.T) {
+	all := func(l, s NodeID) bool { return true }
+	none := func(l, s NodeID) bool { return false }
+	g := NewHearingGraph([]NodeID{1, 2, 3}, all)
+	if !g.IsClique() || g.NumComponents() != 1 {
+		t.Fatalf("seed graph: clique %v, components %d", g.IsClique(), g.NumComponents())
+	}
+	g.RemoveNode(2)
+	g.AddNode(2, none)
+	if g.Hears(2, 1) || g.Hears(1, 2) {
+		t.Fatalf("re-added node inherited stale edges")
+	}
+	if got := g.NumComponents(); got != 2 {
+		t.Fatalf("components = %d, want 2 ({1,3} clique + isolated 2)", got)
+	}
+	// Insertion order is 1, 3, 2 now: component 0 anchors at 1.
+	if a := g.ComponentAnchor(3); a != 1 {
+		t.Fatalf("ComponentAnchor(3) = %d, want 1", a)
+	}
+	if a := g.ComponentAnchor(2); a != 2 {
+		t.Fatalf("ComponentAnchor(2) = %d, want 2", a)
+	}
+}

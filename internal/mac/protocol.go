@@ -69,7 +69,27 @@ type Protocol struct {
 	domainBase int
 	// domQueue tracks each domain's total queued packets (metrics
 	// only — maintained solely when a registry is attached).
-	domQueue []int
+	domQueue map[*domain]int
+
+	// Dynamic-population state (see dynamic.go). byTx and flowAt index
+	// the live stations; domainOf keys each domain by its component
+	// anchor so domains survive renumbering across membership changes;
+	// domainSeq hands out ids to domains born mid-run; retired absorbs
+	// the accounting of domains whose stations all departed; onDetach
+	// lets the run controller unwind a departed station's node from
+	// the graph and deployment.
+	byTx      map[NodeID]*station
+	flowAt    map[int]flowRef
+	domainOf  map[NodeID]*domain
+	domainSeq int
+	retired   DomainStats
+	onDetach  func(NodeID)
+}
+
+// flowRef locates one flow inside its owning station.
+type flowRef struct {
+	st *station
+	fi int
 }
 
 // domain is one collision domain: the contention bookkeeping of a
@@ -93,6 +113,10 @@ type domain struct {
 	// served counts the open-loop packets this domain's stations
 	// completed.
 	served int64
+	// dead marks a domain SyncDomains retired (its stations merged
+	// elsewhere or departed); late bookings (an in-flight ACK window)
+	// fall through to Protocol.retired.
+	dead bool
 	// dataTime / overheadTime decompose this domain's medium occupancy:
 	// data is the primary transmission window (joiners overlap it),
 	// overhead is primary handshakes plus the SIFS+ACK phase. Each
@@ -136,6 +160,12 @@ type station struct {
 	// txActive true while this station transmits
 	txActive bool
 	retries  int
+	// departing is set by RemoveStation: the station finishes any
+	// in-flight transmission, then detaches. gone marks a fully
+	// detached station — it holds no protocol state beyond its
+	// accumulated flow stats.
+	departing bool
+	gone      bool
 
 	// Open-loop traffic state (nil queue = fully backlogged, the
 	// seed behavior). srcs and arrRNGs parallel flows; a nil source
@@ -200,12 +230,16 @@ func NewProtocol(eng *sim.Engine, sc *Scenario, flows []Flow, cfg EpochConfig) (
 		Cfg:     cfg,
 		stats:   make(map[int]*FlowStats),
 		startOf: make(map[*Active]float64),
+		byTx:    make(map[NodeID]*station),
+		flowAt:  make(map[int]flowRef),
 	}
 	for i, tx := range order {
 		st := &station{id: i, tx: tx, flows: groups[tx], cw: cfg.Timing.CWMin}
 		p.stations = append(p.stations, st)
-		for _, f := range groups[tx] {
+		p.byTx[tx] = st
+		for fi, f := range groups[tx] {
 			p.stats[f.ID] = &FlowStats{}
+			p.flowAt[f.ID] = flowRef{st: st, fi: fi}
 		}
 	}
 	p.buildDomains()
@@ -229,6 +263,7 @@ func (p *Protocol) SetHearing(g *HearingGraph) {
 // first station so the layout is deterministic.
 func (p *Protocol) buildDomains() {
 	p.domains = nil
+	p.domainOf = make(map[NodeID]*domain)
 	byComp := make(map[int]*domain)
 	for _, st := range p.stations {
 		c := p.graph.ComponentOf(st.tx)
@@ -237,9 +272,13 @@ func (p *Protocol) buildDomains() {
 			d = &domain{id: len(p.domains)}
 			byComp[c] = d
 			p.domains = append(p.domains, d)
+			if p.graph != nil {
+				p.domainOf[p.graph.ComponentAnchor(st.tx)] = d
+			}
 		}
 		st.dom = d
 	}
+	p.domainSeq = len(p.domains)
 }
 
 // ObserveConfig attaches observability sinks to a protocol run. Any
@@ -272,7 +311,7 @@ func (p *Protocol) SetObserve(cfg ObserveConfig) {
 	p.probeEvery = cfg.ProbeIntervalS
 	p.domainBase = cfg.DomainBase
 	if p.met != nil {
-		p.domQueue = make([]int, len(p.domains))
+		p.domQueue = make(map[*domain]int, len(p.domains))
 	}
 }
 
@@ -302,34 +341,43 @@ func (p *Protocol) gdom(d *domain) int { return d.id + p.domainBase }
 // histograms, and re-arms itself. One pass over the stations serves
 // all domains.
 func (p *Protocol) probe() {
+	// Domains are visited in p.domains order but indexed by position,
+	// not id: domains born mid-run carry ids beyond the slice length.
+	pos := make(map[*domain]int, len(p.domains))
+	for i, d := range p.domains {
+		pos[d] = i
+	}
 	queues := make([]int, len(p.domains))
 	cwSum := make([]int, len(p.domains))
 	nSt := make([]int, len(p.domains))
 	for _, st := range p.stations {
-		d := st.dom.id
-		if st.openLoop() {
-			queues[d] += st.queue.Len()
+		if st.gone {
+			continue
 		}
-		cwSum[d] += st.cw
-		nSt[d]++
+		i := pos[st.dom]
+		if st.openLoop() {
+			queues[i] += st.queue.Len()
+		}
+		cwSum[i] += st.cw
+		nSt[i]++
 		if p.met != nil {
 			p.met.Observe(obs.MetricCW, p.gdom(st.dom), float64(st.cw))
 		}
 	}
-	for _, d := range p.domains {
+	for i, d := range p.domains {
 		mean := 0.0
-		if nSt[d.id] > 0 {
-			mean = float64(cwSum[d.id]) / float64(nSt[d.id])
+		if nSt[i] > 0 {
+			mean = float64(cwSum[i]) / float64(nSt[i])
 		}
 		if p.met != nil {
 			g := p.gdom(d)
-			p.met.Observe(obs.MetricQueueDepth, g, float64(queues[d.id]))
+			p.met.Observe(obs.MetricQueueDepth, g, float64(queues[i]))
 			p.met.Observe(obs.MetricInFlight, g, float64(len(d.txns)))
 		}
 		if p.emitting() {
 			p.emit(obs.Event{
 				Domain: d.id, Kind: obs.KindProbe, Station: -1, Node: -1,
-				Probe: &obs.ProbeSample{Queue: queues[d.id], InFlight: len(d.txns), CWMean: mean},
+				Probe: &obs.ProbeSample{Queue: queues[i], InFlight: len(d.txns), CWMean: mean},
 			})
 		}
 	}
@@ -347,6 +395,7 @@ func (p *Protocol) Stats() map[int]*FlowStats { return p.stats }
 // duration; with spatial reuse the sum can exceed it (concurrent
 // components each occupy their own medium).
 func (p *Protocol) MediumTime() (data, overhead float64) {
+	data, overhead = p.retired.DataTime, p.retired.OverheadTime
 	for _, d := range p.domains {
 		data += d.dataTime
 		overhead += d.overheadTime
@@ -468,6 +517,9 @@ func (p *Protocol) scheduleArrival(st *station, fi int) {
 // (empty queue), it begins contending immediately — the open-loop
 // counterpart of "always backlogged".
 func (p *Protocol) arrive(st *station, fi int) {
+	if st.gone || st.departing {
+		return // departed (or draining out): stop the arrival process
+	}
 	f := st.flows[fi]
 	fs := p.stats[f.ID]
 	fs.Arrivals++
@@ -485,9 +537,8 @@ func (p *Protocol) arrive(st *station, fi int) {
 		}
 	} else {
 		if p.met != nil {
-			d := st.dom.id
-			p.domQueue[d]++
-			p.met.GaugeMax(obs.MetricPeakQueue, p.gdom(st.dom), float64(p.domQueue[d]))
+			p.domQueue[st.dom]++
+			p.met.GaugeMax(obs.MetricPeakQueue, p.gdom(st.dom), float64(p.domQueue[st.dom]))
 		}
 		if wasEmpty && !st.txActive {
 			p.addContender(st)
@@ -825,7 +876,7 @@ func (p *Protocol) serveCredit(st *station, flowID int, delivered float64) {
 		st.dom.served++
 		if p.met != nil {
 			p.met.Count(obs.MetricServed, p.gdom(st.dom), 1)
-			p.domQueue[st.dom.id]--
+			p.domQueue[st.dom]--
 		}
 		fs.Delay.Observe(p.Eng.Now() - pkt.ArrivedAt)
 		cr -= float64(pkt.Bytes)
@@ -936,7 +987,9 @@ func (p *Protocol) finish(txn *transmission) {
 			st.retries++
 		}
 		st.txActive = false
-		if st.wantsMedium() {
+		if st.departing {
+			p.detach(st) // drained: complete the deferred departure
+		} else if st.wantsMedium() {
 			p.addContender(st)
 		}
 	}
@@ -966,15 +1019,27 @@ func (p *Protocol) finish(txn *transmission) {
 	// ACK phase then a new contention round for every contender that
 	// heard this transmission (the index is id-sorted, so the order —
 	// and any RNG the armed events later draw — is deterministic).
-	// The ACK window is booked as overhead only once it completes.
+	// The ACK window is booked as overhead only once it completes — via
+	// bookOverhead, because a churn event inside the ACK window can
+	// retire dom before the booking fires.
 	p.Eng.Schedule(t.SIFS+t.AckBodyDuration, func() {
-		dom.overheadTime += t.SIFS + t.AckBodyDuration
+		p.bookOverhead(dom, t.SIFS+t.AckBodyDuration)
 		for _, other := range dom.contenders {
 			if p.hearsAnyOf(other, stations) {
 				p.armCountdown(other)
 			}
 		}
 	})
+}
+
+// bookOverhead adds completed ACK/handshake time to a domain, or to
+// the retired bucket if SyncDomains has since folded the domain away.
+func (p *Protocol) bookOverhead(d *domain, x float64) {
+	if d.dead {
+		p.retired.OverheadTime += x
+		return
+	}
+	d.overheadTime += x
 }
 
 // hearsAnyOf reports whether st hears any of the given transmitters.

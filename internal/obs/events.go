@@ -55,6 +55,19 @@ const (
 	// windows (see ProbeSample). Emitted only when a probe cadence is
 	// configured.
 	KindProbe Kind = "probe"
+	// KindArrive: a station joined the population mid-run and attached
+	// to the AP the association policy chose (Event.AP).
+	KindArrive Kind = "arrive"
+	// KindDepart: a station left the population (after draining any
+	// in-flight transmission).
+	KindDepart Kind = "depart"
+	// KindHandoff: mobility re-associated a station's flow from
+	// Event.PrevAP to Event.AP.
+	KindHandoff Kind = "handoff"
+	// KindHandoffReject: the policy wanted a handoff but the station
+	// was mid-transmission; the flow stays on Event.PrevAP until a
+	// later tick.
+	KindHandoffReject Kind = "handoff_reject"
 )
 
 // Event is one typed protocol event. Station and Node are -1 for
@@ -88,6 +101,11 @@ type Event struct {
 	// Detail carries free-form context (the planner error of a blocked
 	// event).
 	Detail string `json:"detail,omitempty"`
+	// AP and PrevAP are the association endpoints of churn events: the
+	// AP attached on arrive/handoff, and the AP a handoff (or rejected
+	// handoff) moved away from.
+	AP     int `json:"ap,omitempty"`
+	PrevAP int `json:"prev_ap,omitempty"`
 	// Probe is present exactly on KindProbe events.
 	Probe *ProbeSample `json:"probe,omitempty"`
 }
@@ -128,6 +146,14 @@ func (e Event) Render() string {
 		return fmt.Sprintf("station %d (tx %d) blocked: %s", e.Station, e.Node, e.Detail)
 	case KindTxnEnd:
 		return "joint transmission ends; ACK phase"
+	case KindArrive:
+		return fmt.Sprintf("station %d (tx %d) arrives, associates with AP %d", e.Station, e.Node, e.AP)
+	case KindDepart:
+		return fmt.Sprintf("station %d (tx %d) departs", e.Station, e.Node)
+	case KindHandoff:
+		return fmt.Sprintf("station %d (tx %d) hands off AP %d → AP %d", e.Station, e.Node, e.PrevAP, e.AP)
+	case KindHandoffReject:
+		return fmt.Sprintf("station %d (tx %d) handoff to AP %d deferred: mid-transmission", e.Station, e.Node, e.AP)
 	case KindProbe:
 		if e.Probe == nil {
 			return fmt.Sprintf("domain %d probe", e.Domain)

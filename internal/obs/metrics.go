@@ -22,6 +22,12 @@ const (
 	MetricTxns         = "txns"          // joint transmissions completed
 	MetricWins         = "wins"          // primary-contention wins
 
+	// Churn counters (zero on static runs).
+	MetricStationArrivals   = "station_arrivals"   // stations that joined mid-run
+	MetricStationDepartures = "station_departures" // stations that left mid-run
+	MetricHandoffs          = "handoffs"           // flows re-associated by mobility
+	MetricHandoffRejects    = "handoff_rejects"    // handoffs deferred mid-transmission
+
 	// Gauges (per-run peaks).
 	MetricPeakInFlight = "peak_inflight" // peak concurrent transmissions in a domain
 	MetricPeakQueue    = "peak_queue"    // peak total queued packets in a domain
@@ -44,11 +50,16 @@ var metricClass = map[string]string{
 	MetricStreamLosses: "counter",
 	MetricTxns:         "counter",
 	MetricWins:         "counter",
-	MetricPeakInFlight: "gauge",
-	MetricPeakQueue:    "gauge",
-	MetricCW:           "histogram",
-	MetricInFlight:     "histogram",
-	MetricQueueDepth:   "histogram",
+
+	MetricStationArrivals:   "counter",
+	MetricStationDepartures: "counter",
+	MetricHandoffs:          "counter",
+	MetricHandoffRejects:    "counter",
+	MetricPeakInFlight:      "gauge",
+	MetricPeakQueue:         "gauge",
+	MetricCW:                "histogram",
+	MetricInFlight:          "histogram",
+	MetricQueueDepth:        "histogram",
 }
 
 // MetricNames returns every registered metric name, sorted — the

@@ -33,6 +33,9 @@ type Report struct {
 	// protocol-engine run (absent under the epoch engine, which is
 	// guarded to a single clique domain).
 	Spatial *SpatialReport `json:"spatial,omitempty"`
+	// Churn is the dynamic-population accounting of a churning or
+	// mobile run (absent on static runs).
+	Churn *core.ChurnStats `json:"churn,omitempty"`
 	// Metrics is the run's metrics registry, filtered to the spec's
 	// observe.metrics selection (absent when none were selected).
 	// Series are sorted by (name, domain) and merged exactly across
@@ -175,16 +178,21 @@ func (r *Report) JSON() ([]byte, error) {
 }
 
 // buildReport assembles a Report from per-flow stats in sorted flow-id
-// order. snrLoss may be nil (protocol engine); elapsed is the
-// throughput denominator; data/overhead are medium-time accumulators;
-// spatial is the protocol engine's medium-model summary (nil under
-// the epoch engine).
-func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
+// order. defs overrides the network's static flow set (a dynamic
+// run's own definitions, carrying churned arrivals and post-handoff
+// receivers); nil uses net.Flows. snrLoss may be nil (protocol
+// engine); elapsed is the throughput denominator; data/overhead are
+// medium-time accumulators; spatial is the protocol engine's
+// medium-model summary (nil under the epoch engine).
+func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats, defs map[int]mac.Flow,
 	snrLoss map[int]float64, elapsed, dataTime, overheadTime float64, spatial *SpatialReport) *Report {
 
-	flowDef := make(map[int]mac.Flow, len(net.Flows))
-	for _, f := range net.Flows {
-		flowDef[f.ID] = f
+	flowDef := defs
+	if flowDef == nil {
+		flowDef = make(map[int]mac.Flow, len(net.Flows))
+		for _, f := range net.Flows {
+			flowDef[f.ID] = f
+		}
 	}
 	ids := make([]int, 0, len(perFlow))
 	for id := range perFlow {
@@ -207,13 +215,19 @@ func buildReport(spec Spec, net *core.Network, perFlow map[int]*mac.FlowStats,
 		def := flowDef[id]
 		tput := fs.ThroughputMbps(elapsed)
 		tputs = append(tputs, tput)
+		linkSNR := 0.0
+		if _, live := net.Deployment.Nodes[def.Tx]; live {
+			// Departed stations leave the deployment mid-run; their
+			// channels are gone, so their final link SNR reads 0.
+			linkSNR = net.Deployment.LinkSNRDB(def.Tx, def.Rx)
+		}
 		fr := FlowReport{
 			ID:             id,
 			Tx:             int(def.Tx),
 			Rx:             int(def.Rx),
 			TxAntennas:     def.TxAntennas,
 			RxAntennas:     def.RxAntennas,
-			LinkSNRDB:      net.Deployment.LinkSNRDB(def.Tx, def.Rx),
+			LinkSNRDB:      linkSNR,
 			ThroughputMbps: tput,
 			Wins:           fs.Wins,
 			Joins:          fs.Joins,
@@ -315,6 +329,10 @@ func (r *Report) Render() string {
 					c.Component, c.Flows, c.Wins, c.Served, 100*(c.DataTimeS+c.OverheadTimeS)/r.ElapsedS)
 			}
 		}
+	}
+	if c := r.Churn; c != nil {
+		out += fmt.Sprintf("churn: %d arrivals, %d departures, %d handoffs (%d deferred mid-transmission), peak %d stations, %d at end\n",
+			c.Arrivals, c.Departures, c.Handoffs, c.HandoffRejects, c.PeakStations, c.FinalStations)
 	}
 	if r.Metrics != nil && len(r.Metrics.Series) > 0 {
 		out += "metrics:\n"

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 
 	"nplus/internal/core"
+	"nplus/internal/knob"
 	"nplus/internal/mac"
 	"nplus/internal/obs"
 	"nplus/internal/sim"
@@ -49,7 +50,7 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		if err != nil {
 			return nil, nil, err
 		}
-		rep := buildReport(n, net, res.PerFlow, res.SNRLossDB, res.Elapsed, res.DataTime, res.OverheadTime, nil)
+		rep := buildReport(n, net, res.PerFlow, nil, res.SNRLossDB, res.Elapsed, res.DataTime, res.OverheadTime, nil)
 		return rep, nil, nil
 	}
 
@@ -71,7 +72,7 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		// collects the stream so the Report can carry both.
 		obsCfg.Events = true
 	}
-	res, err := net.RunTraffic(core.TrafficRun{
+	run := core.TrafficRun{
 		Mode:       mode,
 		Duration:   n.DurationS,
 		Model:      n.Traffic,
@@ -82,7 +83,22 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 		Trace:      trace,
 		Workers:    n.Workers,
 		Obs:        obsCfg,
-	})
+	}
+	if n.Churn != nil {
+		run.Churn = &core.ChurnConfig{ArrivalPerS: n.Churn.ArrivalPerS, MeanSessionS: n.Churn.MeanSessionS}
+	}
+	if n.Mobility != nil {
+		run.Mobility = &core.MobilityConfig{Model: n.Mobility.Model, SpeedMPS: n.Mobility.SpeedMPS, IntervalS: n.Mobility.IntervalS}
+	}
+	if a := n.Association; a != nil {
+		// Normalized guarantees the block only survives on dynamic runs.
+		cfg := &core.AssocConfig{Policy: a.Policy, BiasDBPerAntenna: knob.Auto}
+		if a.BiasDBPerAntenna != nil {
+			cfg.BiasDBPerAntenna = *a.BiasDBPerAntenna
+		}
+		run.Assoc = cfg
+	}
+	res, err := net.RunTraffic(run)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -97,7 +113,8 @@ func RunTraced(s Spec, trace bool) (*Report, *sim.Trace, error) {
 			DataTimeS: cs.DataTime, OverheadTimeS: cs.OverheadTime,
 		})
 	}
-	rep := buildReport(n, net, res.PerFlow, nil, n.DurationS, res.DataTime, res.OverheadTime, spatial)
+	rep := buildReport(n, net, res.PerFlow, res.FlowDefs, nil, n.DurationS, res.DataTime, res.OverheadTime, spatial)
+	rep.Churn = res.Churn
 	if res.Metrics != nil && n.Observe != nil {
 		rep.Metrics = res.Metrics.Snapshot().Filter(n.Observe.Metrics)
 	}

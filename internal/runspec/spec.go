@@ -21,7 +21,9 @@ import (
 	"fmt"
 	"os"
 
+	"nplus/internal/assoc"
 	"nplus/internal/core"
+	"nplus/internal/knob"
 	"nplus/internal/mac"
 	"nplus/internal/obs"
 	"nplus/internal/topo"
@@ -118,6 +120,18 @@ type Spec struct {
 	// of 0 is expressible; nil selects DefaultSeed.
 	Seed *int64 `json:"seed,omitempty"`
 
+	// Churn and Mobility switch the run to a dynamic population:
+	// stations arrive, move, and depart mid-run. Both are
+	// protocol-engine knobs over a generated uplink topology (the
+	// population model needs AP structure to attach arrivals to).
+	// Association selects the policy deciding AP attachment on arrival
+	// and handoff on movement; it defaults to "nearest" when churn or
+	// mobility is active and is rejected on its own — a static
+	// population never re-decides attachment.
+	Churn       *ChurnSpec       `json:"churn,omitempty"`
+	Mobility    *MobilitySpec    `json:"mobility,omitempty"`
+	Association *AssociationSpec `json:"association,omitempty"`
+
 	// Observe selects observability for a protocol-engine run: the
 	// typed event stream, report metrics, and probe cadence. Nil (or a
 	// zero block, which normalizes to nil) observes nothing — the
@@ -176,6 +190,44 @@ type ObserveSpec struct {
 // zero reports whether the block requests nothing.
 func (o *ObserveSpec) zero() bool {
 	return o == nil || (o.Events == "" && o.ProbeIntervalS == 0 && len(o.Metrics) == 0)
+}
+
+// ChurnSpec is the spec's dynamic-population block: stations arrive
+// as a Poisson process and hold exponentially distributed sessions.
+// Both rates are required — a churn block that cannot churn is a
+// configuration error, not a no-op.
+type ChurnSpec struct {
+	// ArrivalPerS is the mean station arrival rate in stations per
+	// virtual second.
+	ArrivalPerS float64 `json:"arrival_per_s"`
+	// MeanSessionS is the mean station session length in virtual
+	// seconds (applies to initial stations too, so the population
+	// converges to the arrival_per_s·mean_session_s steady state).
+	MeanSessionS float64 `json:"mean_session_s"`
+}
+
+// MobilitySpec is the spec's station-movement block, validated
+// against the topo mobility registry.
+type MobilitySpec struct {
+	// Model names a registered mobility model (topo.MobilityNames).
+	Model string `json:"model"`
+	// SpeedMPS is the station speed in meters per virtual second.
+	SpeedMPS float64 `json:"speed_mps"`
+	// IntervalS is the position-update cadence in virtual seconds
+	// (0 → 1 s, made explicit by normalization).
+	IntervalS float64 `json:"interval_s,omitempty"`
+}
+
+// AssociationSpec selects the AP-attachment policy of a dynamic run,
+// validated against the assoc registry.
+type AssociationSpec struct {
+	// Policy names a registered association policy (empty → "nearest",
+	// made explicit by normalization).
+	Policy string `json:"policy,omitempty"`
+	// BiasDBPerAntenna tilts the biased-sinr policy toward
+	// multi-antenna APs (nil → the calibrated default). It is rejected
+	// for every other policy, which would silently ignore it.
+	BiasDBPerAntenna *float64 `json:"bias_db_per_antenna,omitempty"`
 }
 
 // coreOptions resolves the spec's option overrides over the
@@ -369,6 +421,64 @@ func (s Spec) Normalized() (Spec, error) {
 		if s.DurationS <= 0 {
 			return s, fmt.Errorf("runspec: duration %g s is not positive", s.DurationS)
 		}
+	}
+
+	// Dynamic population: churn and mobility need the protocol engine
+	// (the epoch methodology has a fixed population) over a generated
+	// uplink topology (arrivals attach to APs; hand-built scenarios and
+	// ad-hoc generators have none to attach to). The association block
+	// is canonicalized for dynamic runs — absent → the "nearest"
+	// default, bias knob resolved against the registry — and rejected
+	// for static ones, where no attachment decision ever happens.
+	dynamic := s.Churn != nil || s.Mobility != nil
+	if dynamic {
+		if s.Engine != EngineProtocol {
+			return s, fmt.Errorf("runspec: churn and mobility are protocol-engine knobs; the epoch engine has a fixed population")
+		}
+		if gen, ok := topo.ByName(s.Topo); s.Topo == "" || !ok || !gen.Uplink {
+			return s, fmt.Errorf("runspec: a dynamic population needs a generated uplink topology (arriving stations associate with APs)")
+		}
+		if c := s.Churn; c != nil {
+			if c.ArrivalPerS <= 0 {
+				return s, fmt.Errorf("runspec: churn arrival rate %g stations/s is not positive", c.ArrivalPerS)
+			}
+			if c.MeanSessionS <= 0 {
+				return s, fmt.Errorf("runspec: churn mean session %g s is not positive", c.MeanSessionS)
+			}
+		}
+		if m := s.Mobility; m != nil {
+			mob := *m
+			if _, ok := topo.MobilityByName(mob.Model); !ok {
+				return s, fmt.Errorf("runspec: unknown mobility model %q (have %v)", mob.Model, topo.MobilityNames())
+			}
+			if mob.SpeedMPS <= 0 {
+				return s, fmt.Errorf("runspec: mobility speed %g m/s is not positive", mob.SpeedMPS)
+			}
+			if mob.IntervalS < 0 {
+				return s, fmt.Errorf("runspec: mobility interval %g s is negative", mob.IntervalS)
+			}
+			if mob.IntervalS == 0 {
+				mob.IntervalS = 1
+			}
+			s.Mobility = &mob
+		}
+		a := AssociationSpec{Policy: assoc.DefaultPolicy}
+		if s.Association != nil {
+			a = *s.Association
+			if a.Policy == "" {
+				a.Policy = assoc.DefaultPolicy
+			}
+		}
+		cfg := assoc.Config{BiasDBPerAntenna: knob.Auto}
+		if a.BiasDBPerAntenna != nil {
+			cfg.BiasDBPerAntenna = *a.BiasDBPerAntenna
+		}
+		if _, err := assoc.New(a.Policy, cfg); err != nil {
+			return s, fmt.Errorf("runspec: %w", err)
+		}
+		s.Association = &a
+	} else if s.Association != nil {
+		return s, fmt.Errorf("runspec: association is a dynamic-population knob; it needs churn or mobility to have a decision to make")
 	}
 
 	// Observability: protocol engine only (the epoch methodology has

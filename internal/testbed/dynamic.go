@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"nplus/internal/channel"
+	"nplus/internal/mac"
+)
+
+// This file holds the dynamic-population mutators: a deployment built
+// once can absorb arrivals, moves, and departures without re-drawing
+// the channels of untouched pairs. Each mutator recomputes exactly the
+// link budgets and lazily-cached channel state incident to the one
+// node it names — O(n) work against the n live peers, preserving the
+// sparse campus-scale memory profile (below-floor pairs still skip
+// their Rayleigh taps) where a rebuild would pay the full n² draw.
+//
+// Determinism: every random draw comes from the rng the caller passes,
+// in live-peer ascending-id order, so a given membership/mobility
+// schedule replays bit-identically from an equal-seeded stream.
+
+// drawPair derives the a→b link budget (path loss, shadowing, extra
+// link loss) from rng, records it in both matrix directions, and — if
+// it clears the sparse floor — draws the pair's Rayleigh channel. Any
+// stale channel state for the pair must already be gone.
+func (d *Deployment) drawPair(rng *rand.Rand, a, b NodeSpec) {
+	tb := d.tb
+	dist := d.Position[a.ID].Distance(d.Position[b.ID])
+	gain := channel.PathLoss(rng, dist, tb.Cfg.PathLossExp, channel.FromDB(tb.Cfg.RefGainDB), tb.Cfg.ShadowDB)
+	if d.lm.ExtraLossDB != nil {
+		if loss := d.lm.ExtraLossDB(a.ID, b.ID); loss != 0 {
+			gain *= channel.FromDB(-loss)
+		}
+	}
+	gdb := clampDB(channel.DB(gain))
+	d.gainDB[d.idx[a.ID]*d.stride+d.idx[b.ID]] = float32(gdb)
+	d.gainDB[d.idx[b.ID]*d.stride+d.idx[a.ID]] = float32(gdb)
+	if d.lm.SparseSNRDB != 0 && tb.Cfg.TxPowerDB+gdb < d.lm.SparseSNRDB {
+		return // below the materialization floor: gain only
+	}
+	fwd := channel.NewRayleigh(rng, b.Antennas, a.Antennas, tb.Cfg.Profile, gain)
+	d.chans[[2]mac.NodeID{a.ID, b.ID}] = fwd
+	d.chans[[2]mac.NodeID{b.ID, a.ID}] = fwd.Reverse(nil)
+}
+
+// dropPairState deletes both directions of a pair's realized channel
+// and cached frequency responses.
+func (d *Deployment) dropPairState(a, b mac.NodeID) {
+	delete(d.chans, [2]mac.NodeID{a, b})
+	delete(d.chans, [2]mac.NodeID{b, a})
+	delete(d.freq, [2]mac.NodeID{a, b})
+	delete(d.freq, [2]mac.NodeID{b, a})
+}
+
+// livePeers returns the live node specs other than id, ascending by
+// id — the fixed order every mutator draws against.
+func (d *Deployment) livePeers(id mac.NodeID) []NodeSpec {
+	out := make([]NodeSpec, 0, len(d.idx))
+	for _, other := range d.LiveIDs() {
+		if other != id {
+			out = append(out, d.Nodes[other])
+		}
+	}
+	return out
+}
+
+// AddNodeAt deploys one more node at the given position, drawing its
+// link budgets (and above-floor channels) against every live node in
+// ascending id order. Freed matrix slots are recycled; a full matrix
+// doubles its stride.
+func (d *Deployment) AddNodeAt(rng *rand.Rand, spec NodeSpec, pos Point) error {
+	if _, dup := d.Nodes[spec.ID]; dup {
+		return fmt.Errorf("testbed: AddNodeAt: duplicate node id %d", spec.ID)
+	}
+	if spec.Antennas < 1 {
+		return fmt.Errorf("testbed: node %d has %d antennas", spec.ID, spec.Antennas)
+	}
+	if spec.Antennas > d.maxAnt {
+		return fmt.Errorf("testbed: node %d has %d antennas but the calibration state was drawn for at most %d; deploy with a max-antenna node present",
+			spec.ID, spec.Antennas, d.maxAnt)
+	}
+	var s int
+	if n := len(d.freeSlots); n > 0 {
+		s = d.freeSlots[n-1]
+		d.freeSlots = d.freeSlots[:n-1]
+		d.ids[s] = spec.ID
+	} else {
+		s = len(d.ids)
+		d.ids = append(d.ids, spec.ID)
+		if len(d.ids) > d.stride {
+			d.growMatrix(len(d.ids))
+		}
+	}
+	d.idx[spec.ID] = s
+	d.Nodes[spec.ID] = spec
+	d.Position[spec.ID] = pos
+	for _, b := range d.livePeers(spec.ID) {
+		d.drawPair(rng, spec, b)
+	}
+	return nil
+}
+
+// growMatrix widens the gain matrix to at least want slots (doubling),
+// recopying each live row onto the new stride.
+func (d *Deployment) growMatrix(want int) {
+	ns := d.stride * 2
+	if ns < want {
+		ns = want
+	}
+	g := make([]float32, ns*ns)
+	for i := 0; i < d.stride; i++ {
+		copy(g[i*ns:i*ns+d.stride], d.gainDB[i*d.stride:(i+1)*d.stride])
+	}
+	d.gainDB = g
+	d.stride = ns
+}
+
+// MoveNode relocates a node, re-deriving every link budget and
+// channel that touches it (in live-peer ascending-id order) and
+// invalidating only those pairs' cached responses.
+func (d *Deployment) MoveNode(rng *rand.Rand, id mac.NodeID, pos Point) error {
+	spec, ok := d.Nodes[id]
+	if !ok {
+		return fmt.Errorf("testbed: MoveNode: unknown node %d", id)
+	}
+	d.Position[id] = pos
+	for _, b := range d.livePeers(id) {
+		d.dropPairState(id, b.ID)
+		d.drawPair(rng, spec, b)
+	}
+	return nil
+}
+
+// RemoveNode undeploys a node, dropping its channel state and
+// recycling its matrix slot. The pair gains it leaves in the matrix
+// are garbage until the slot is reused (liveness is tracked through
+// idx, never through the matrix).
+func (d *Deployment) RemoveNode(id mac.NodeID) error {
+	s, ok := d.idx[id]
+	if !ok {
+		return fmt.Errorf("testbed: RemoveNode: unknown node %d", id)
+	}
+	for _, b := range d.livePeers(id) {
+		d.dropPairState(id, b.ID)
+	}
+	delete(d.idx, id)
+	delete(d.Nodes, id)
+	delete(d.Position, id)
+	d.freeSlots = append(d.freeSlots, s)
+	return nil
+}
+
+// NumLive returns the number of deployed nodes.
+func (d *Deployment) NumLive() int { return len(d.idx) }
+
+// MaxAntennas is the calibration antenna ceiling — arriving nodes must
+// fit under it (the calibration state was drawn for this shape).
+func (d *Deployment) MaxAntennas() int { return d.maxAnt }

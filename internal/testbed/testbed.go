@@ -162,10 +162,21 @@ type Deployment struct {
 	chans map[[2]mac.NodeID]*channel.MIMO
 	// cached per-data-bin frequency responses
 	freq map[[2]mac.NodeID][]*cmplxmat.Matrix
-	// ids (ascending) and their dense index into gainDB.
+	// ids is the slot table of the dense gain matrix: ids[s] is the
+	// node occupying slot s (stale for freed slots — liveness is
+	// idx[ids[s]] == s). A static deployment fills slots in ascending
+	// id order and never frees one; dynamic populations recycle freed
+	// slots and double the matrix when full.
 	ids []mac.NodeID
 	idx map[mac.NodeID]int
-	// gainDB[i*n+j] is the average path gain of the ordered pair
+	// freeSlots holds recycled slot indexes (LIFO).
+	freeSlots []int
+	// stride is the matrix row length (the slot capacity).
+	stride int
+	// maxAnt is the antenna count the calibration state was drawn for —
+	// arriving nodes must fit under it.
+	maxAnt int
+	// gainDB[i*stride+j] is the average path gain of the ordered pair
 	// (ids[i] → ids[j]) in dB — path loss, shadowing, and any extra
 	// link loss, without the Rayleigh realization. It is recorded for
 	// every pair, including sparse-skipped ones, and backs the hearing
@@ -216,6 +227,8 @@ func (tb *Testbed) newDeployment(rng *rand.Rand, nodes []NodeSpec, lm LinkModel)
 		freq:     make(map[[2]mac.NodeID][]*cmplxmat.Matrix, pairs),
 		ids:      ids,
 		idx:      idx,
+		stride:   len(ids),
+		maxAnt:   maxAnt,
 		gainDB:   make([]float32, len(ids)*len(ids)),
 	}, nil
 }
@@ -250,8 +263,8 @@ func (d *Deployment) drawChannels(rng *rand.Rand, nodes []NodeSpec) {
 				}
 			}
 			gdb := clampDB(channel.DB(gain))
-			d.gainDB[d.idx[a.ID]*len(d.ids)+d.idx[b.ID]] = float32(gdb)
-			d.gainDB[d.idx[b.ID]*len(d.ids)+d.idx[a.ID]] = float32(gdb)
+			d.gainDB[d.idx[a.ID]*d.stride+d.idx[b.ID]] = float32(gdb)
+			d.gainDB[d.idx[b.ID]*d.stride+d.idx[a.ID]] = float32(gdb)
 			if d.lm.SparseSNRDB != 0 && tb.Cfg.TxPowerDB+gdb < d.lm.SparseSNRDB {
 				continue // below the materialization floor: gain only
 			}
@@ -442,7 +455,7 @@ func (d *Deployment) HearingSNRDB(from, to mac.NodeID) float64 {
 	if !okF || !okT || from == to {
 		return math.Inf(1)
 	}
-	return d.tb.Cfg.TxPowerDB + float64(d.gainDB[i*len(d.ids)+j])
+	return d.tb.Cfg.TxPowerDB + float64(d.gainDB[i*d.stride+j])
 }
 
 // HearingGraph derives the per-ordered-pair hearing relation of the
@@ -452,9 +465,34 @@ func (d *Deployment) HearingSNRDB(from, to mac.NodeID) float64 {
 // Nodes are enumerated in ascending id order, so equal deployments
 // yield identical graphs and component numbering.
 func (d *Deployment) HearingGraph(csThresholdDB float64) *mac.HearingGraph {
-	return mac.NewHearingGraph(d.ids, func(listener, speaker mac.NodeID) bool {
+	return mac.NewHearingGraph(d.LiveIDs(), d.HearsFunc(csThresholdDB))
+}
+
+// HearsFunc returns the per-ordered-pair hearing predicate at the
+// given carrier-sense threshold — the closure incremental
+// HearingGraph updates re-query after a node arrives or moves.
+func (d *Deployment) HearsFunc(csThresholdDB float64) func(listener, speaker mac.NodeID) bool {
+	return func(listener, speaker mac.NodeID) bool {
 		return d.HearingSNRDB(speaker, listener) >= csThresholdDB
-	})
+	}
+}
+
+// LiveIDs returns the deployed node ids in ascending order. On a
+// static deployment this is exactly the slot table; dynamic
+// populations skip freed slots and re-sort (arrivals may reuse the
+// slot of a departed higher id).
+func (d *Deployment) LiveIDs() []mac.NodeID {
+	if len(d.freeSlots) == 0 && len(d.ids) == len(d.idx) {
+		return d.ids
+	}
+	out := make([]mac.NodeID, 0, len(d.idx))
+	for s, id := range d.ids {
+		if j, ok := d.idx[id]; ok && j == s {
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
 }
 
 // TxPower returns the default transmit power (linear).

@@ -1,0 +1,143 @@
+package topo
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+
+	"nplus/internal/mac"
+	"nplus/internal/testbed"
+)
+
+// Mobility is one station's movement process. Step advances the
+// station from pos by up to speedMPS·dt meters, drawing every random
+// choice from rng (a per-station stream, so motion is independent of
+// event interleaving), and returns the new position plus the index of
+// the layout cell the station now belongs to. Instances carry
+// per-station state (the current waypoint), so each station gets its
+// own from the spec's New.
+type Mobility interface {
+	Step(rng *rand.Rand, l *Layout, id mac.NodeID, pos testbed.Point, speedMPS, dt float64) (testbed.Point, int)
+}
+
+// MobilitySpec names one mobility model drivers can select per run.
+type MobilitySpec struct {
+	Name        string
+	Description string
+	New         func() Mobility
+}
+
+var (
+	mobilityMu  sync.RWMutex
+	mobilityReg = map[string]MobilitySpec{}
+)
+
+// RegisterMobility adds s to the mobility registry (init-time only;
+// duplicates and incomplete specs panic).
+func RegisterMobility(s MobilitySpec) {
+	if s.Name == "" || s.New == nil {
+		panic("topo: RegisterMobility with empty name or nil New")
+	}
+	mobilityMu.Lock()
+	defer mobilityMu.Unlock()
+	if _, dup := mobilityReg[s.Name]; dup {
+		panic(fmt.Sprintf("topo: duplicate mobility model %q", s.Name))
+	}
+	mobilityReg[s.Name] = s
+}
+
+// MobilityByName returns the mobility model registered under name.
+func MobilityByName(name string) (MobilitySpec, bool) {
+	mobilityMu.RLock()
+	defer mobilityMu.RUnlock()
+	s, ok := mobilityReg[name]
+	return s, ok
+}
+
+// MobilityNames returns every registered mobility model name, sorted.
+func MobilityNames() []string {
+	mobilityMu.RLock()
+	defer mobilityMu.RUnlock()
+	names := make([]string, 0, len(mobilityReg))
+	for n := range mobilityReg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// waypoint is the classic random-waypoint model confined to the
+// station's cell: walk straight toward a uniform target in the cell,
+// pick a new one on arrival. Targets are drawn in the cell nearest
+// the station's current position, so a station never leaves its cell.
+type waypoint struct {
+	target    testbed.Point
+	hasTarget bool
+}
+
+func (w *waypoint) Step(rng *rand.Rand, l *Layout, id mac.NodeID, pos testbed.Point, speedMPS, dt float64) (testbed.Point, int) {
+	if !w.hasTarget {
+		w.target = l.Cells[l.NearestCell(pos)].UniformIn(rng)
+		w.hasTarget = true
+	}
+	pos = moveToward(pos, w.target, speedMPS*dt, &w.hasTarget)
+	return pos, l.NearestCell(pos)
+}
+
+// clusterHop is waypoint with occasional migrations: most new targets
+// stay in the current cell, but with probability hopProb the target
+// is drawn in a uniformly random other cell, and the station walks
+// there (re-homing when it crosses the midpoint between cell
+// centers). On single-cell layouts it degenerates to waypoint.
+type clusterHop struct {
+	target    testbed.Point
+	hasTarget bool
+}
+
+// hopProb is the chance each completed leg continues into another
+// cell rather than staying home.
+const hopProb = 0.3
+
+func (c *clusterHop) Step(rng *rand.Rand, l *Layout, id mac.NodeID, pos testbed.Point, speedMPS, dt float64) (testbed.Point, int) {
+	if !c.hasTarget {
+		cell := l.NearestCell(pos)
+		if len(l.Cells) > 1 && rng.Float64() < hopProb {
+			// A uniformly random *other* cell.
+			pick := rng.Intn(len(l.Cells) - 1)
+			if pick >= cell {
+				pick++
+			}
+			cell = pick
+		}
+		c.target = l.Cells[cell].UniformIn(rng)
+		c.hasTarget = true
+	}
+	pos = moveToward(pos, c.target, speedMPS*dt, &c.hasTarget)
+	return pos, l.NearestCell(pos)
+}
+
+// moveToward advances pos up to step meters straight at target,
+// clearing *hasTarget on arrival.
+func moveToward(pos, target testbed.Point, step float64, hasTarget *bool) testbed.Point {
+	d := pos.Distance(target)
+	if d <= step {
+		*hasTarget = false
+		return target
+	}
+	f := step / d
+	return testbed.Point{X: pos.X + (target.X-pos.X)*f, Y: pos.Y + (target.Y-pos.Y)*f}
+}
+
+func init() {
+	RegisterMobility(MobilitySpec{
+		Name:        "waypoint",
+		Description: "random waypoint confined to the station's cell: straight legs to uniform targets",
+		New:         func() Mobility { return &waypoint{} },
+	})
+	RegisterMobility(MobilitySpec{
+		Name:        "cluster-hop",
+		Description: "random waypoint with occasional legs into another cell (roaming between buildings)",
+		New:         func() Mobility { return &clusterHop{} },
+	})
+}

@@ -18,7 +18,12 @@ type Spec struct {
 	// knobs (Clusters, InterClusterLossDB, ClusterGapM); drivers
 	// reject those knobs for generators that would ignore them.
 	Clustered bool
-	Generate  func(cfg GenConfig, rng *rand.Rand) (*Layout, error)
+	// Uplink marks generators whose layouts have AP structure (every
+	// link terminates at an access point) — the shape churn and
+	// association policies require: an arriving client must have APs
+	// to attach to.
+	Uplink   bool
+	Generate func(cfg GenConfig, rng *rand.Rand) (*Layout, error)
 }
 
 var (
@@ -78,6 +83,7 @@ func init() {
 	Register(Spec{
 		Name:        "disk-uplink",
 		Description: "uniform-disk placement, clients uplink to their nearest multi-antenna AP",
+		Uplink:      true,
 		Generate:    generate(placeDisk, pairUplink),
 	})
 	Register(Spec{
@@ -88,6 +94,7 @@ func init() {
 	Register(Spec{
 		Name:        "grid-uplink",
 		Description: "grid placement, clients uplink to their nearest multi-antenna AP",
+		Uplink:      true,
 		Generate:    generate(placeGrid, pairUplink),
 	})
 	// Clustered cells: the spatial-reuse regime of the related work
@@ -100,6 +107,7 @@ func init() {
 		Name:        "campus",
 		Description: "separated building cells, per-building AP uplink, 60 dB shells: sharded collision domains",
 		Clustered:   true,
+		Uplink:      true,
 		Generate: generateClustered(pairUplink, clusterShape{
 			defLossDB: 60, gapFactor: 10, minGapM: 400, sparseSNRDB: -40,
 		}),

@@ -15,6 +15,7 @@ import (
 	"math"
 	"math/rand"
 
+	"nplus/internal/knob"
 	"nplus/internal/mac"
 	"nplus/internal/testbed"
 )
@@ -55,6 +56,38 @@ type Layout struct {
 	// this layout (0 = dense): clustered deployments skip the
 	// quadratic bulk of far-below-noise cross-cell channels.
 	SparseSNRDB float64
+
+	// Cells records the geometry of each spatial cell — the disk a
+	// mobility model confines or hops between, and the region dynamic
+	// arrivals are placed in. Clustered generators emit one per
+	// cluster (indexed like ClusterOf); single-cell generators emit
+	// one covering disk.
+	Cells []Cell
+}
+
+// Cell is one spatial cell's covering disk.
+type Cell struct {
+	Center  testbed.Point
+	RadiusM float64
+}
+
+// UniformIn samples a uniform point in the cell's disk.
+func (c Cell) UniformIn(rng *rand.Rand) testbed.Point {
+	r := c.RadiusM * math.Sqrt(rng.Float64())
+	theta := 2 * math.Pi * rng.Float64()
+	return testbed.Point{X: c.Center.X + r*math.Cos(theta), Y: c.Center.Y + r*math.Sin(theta)}
+}
+
+// NearestCell returns the index of the cell whose center is closest
+// to p (0 when the layout records no cells).
+func (l *Layout) NearestCell(p testbed.Point) int {
+	best, bestDist := 0, math.Inf(1)
+	for i, c := range l.Cells {
+		if d := p.Distance(c.Center); d < bestDist {
+			best, bestDist = i, d
+		}
+	}
+	return best
 }
 
 // ExtraLossDB returns the layout's per-ordered-pair extra attenuation
@@ -119,8 +152,8 @@ type GenConfig struct {
 }
 
 // Auto marks a GenConfig float field as "use the generator's
-// calibrated default" (NaN, the same sentinel as core.Auto).
-var Auto = math.NaN()
+// calibrated default" (knob.Auto — the one shared NaN sentinel).
+var Auto = knob.Auto
 
 func (c GenConfig) withDefaults() GenConfig {
 	if c.Nodes == 0 {
@@ -165,7 +198,7 @@ func (c GenConfig) Validate() error {
 	if c.Clusters < 0 {
 		return fmt.Errorf("topo: %d clusters", c.Clusters)
 	}
-	if !math.IsNaN(c.InterClusterLossDB) && c.InterClusterLossDB < 0 {
+	if !knob.IsAuto(c.InterClusterLossDB) && c.InterClusterLossDB < 0 {
 		return fmt.Errorf("topo: inter-cluster loss %g dB is negative (a cross-cell gain)", c.InterClusterLossDB)
 	}
 	if c.ClusterGapM < 0 {
@@ -406,12 +439,38 @@ func generate(place func(*rand.Rand, GenConfig, int) []testbed.Point,
 		if err := cfg.Validate(); err != nil {
 			return nil, err
 		}
-		if cfg.Clusters > 1 || cfg.ClusterGapM != 0 || (!math.IsNaN(cfg.InterClusterLossDB) && cfg.InterClusterLossDB != 0) {
+		if cfg.Clusters > 1 || cfg.ClusterGapM != 0 || (!knob.IsAuto(cfg.InterClusterLossDB) && cfg.InterClusterLossDB != 0) {
 			return nil, fmt.Errorf("topo: cluster geometry is a clustered-generator knob (use campus or multiroom)")
 		}
 		cfg = cfg.withDefaults()
-		return pair(rng, cfg, place(rng, cfg, cfg.Nodes))
+		l, err := pair(rng, cfg, place(rng, cfg, cfg.Nodes))
+		if err != nil {
+			return nil, err
+		}
+		l.Cells = []Cell{coveringCell(l)}
+		return l, nil
 	}
+}
+
+// coveringCell returns the smallest centroid-centered disk holding
+// every position (with a 1 m floor so degenerate layouts still give
+// mobility room to move). It accumulates in node order — float sums
+// are order-sensitive, and layouts must be bit-deterministic per seed.
+func coveringCell(l *Layout) Cell {
+	var cx, cy float64
+	for _, nd := range l.Nodes {
+		p := l.Positions[nd.ID]
+		cx += p.X
+		cy += p.Y
+	}
+	n := float64(len(l.Nodes))
+	c := Cell{Center: testbed.Point{X: cx / n, Y: cy / n}, RadiusM: 1}
+	for _, nd := range l.Nodes {
+		if d := l.Positions[nd.ID].Distance(c.Center); d > c.RadiusM {
+			c.RadiusM = d
+		}
+	}
+	return c
 }
 
 // clusterShape fixes one clustered generator's calibrated geometry:
@@ -448,10 +507,7 @@ func generateClustered(pair func(*rand.Rand, GenConfig, []testbed.Point) (*Layou
 		if cfg.Nodes < 2*k {
 			return nil, fmt.Errorf("topo: %d nodes across %d clusters (need at least a pair per cluster)", cfg.Nodes, k)
 		}
-		loss := cfg.InterClusterLossDB
-		if math.IsNaN(loss) {
-			loss = shape.defLossDB
-		}
+		loss := knob.Or(cfg.InterClusterLossDB, shape.defLossDB)
 		// Cell sizes: spread the remainder over the first cells.
 		sizes := make([]int, k)
 		for c := range sizes {
@@ -512,6 +568,7 @@ func generateClustered(pair func(*rand.Rand, GenConfig, []testbed.Point) (*Layou
 			if err != nil {
 				return nil, fmt.Errorf("topo: cluster %d: %w", c, err)
 			}
+			out.Cells = append(out.Cells, Cell{Center: center, RadiusM: radius})
 			for _, nd := range cell.Nodes {
 				id := nd.ID + mac.NodeID(idBase)
 				out.Nodes = append(out.Nodes, Node{ID: id, Antennas: nd.Antennas})

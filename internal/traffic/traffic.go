@@ -14,8 +14,9 @@ package traffic
 
 import (
 	"fmt"
-	"math"
 	"math/rand"
+
+	"nplus/internal/knob"
 )
 
 // Source generates one flow's packet arrival process. Next returns
@@ -49,8 +50,8 @@ type Config struct {
 }
 
 // Auto marks a Config float field as "use the calibrated default"
-// (NaN, the same sentinel as core.Auto).
-var Auto = math.NaN()
+// (knob.Auto — the one shared NaN sentinel).
+var Auto = knob.Auto
 
 // Calibrated defaults the Auto sentinel resolves to.
 const (
@@ -59,12 +60,8 @@ const (
 )
 
 func (c Config) withDefaults() Config {
-	if math.IsNaN(c.OnFraction) {
-		c.OnFraction = DefaultOnFraction
-	}
-	if math.IsNaN(c.CycleSec) {
-		c.CycleSec = DefaultCycleSec
-	}
+	c.OnFraction = knob.Or(c.OnFraction, DefaultOnFraction)
+	c.CycleSec = knob.Or(c.CycleSec, DefaultCycleSec)
 	return c
 }
 
