@@ -56,7 +56,7 @@ func main() {
 	names := strings.Join(exp.Names(), ", ")
 	expName := flag.String("exp", "all", "experiment to run: all, or one of: "+names)
 	fig := flag.String("fig", "", "deprecated alias for -exp (accepts 9 for fig9, etc.)")
-	specPath := flag.String("spec", "", "runspec file (single spec or sweep): run it through the parallel engine")
+	specPath := flag.String("spec", "", "runspec file (single spec or sweep, or - for stdin): run it through the parallel engine")
 	jsonOut := flag.Bool("json", false, "emit structured results as JSON (JSONL for -spec sweeps)")
 	list := flag.Bool("list", false, "list registered experiments and exit")
 	workers := flag.Int("workers", 0, "trial worker pool size (0 = GOMAXPROCS)")

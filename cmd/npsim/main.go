@@ -28,6 +28,12 @@
 // events it derives from in the JSON report. All of it is off by
 // default and costs nothing when disabled.
 //
+// With -serve-url, the spec is not computed locally: npsim normalizes
+// it, POSTs it to a running npserve, and prints the served Report —
+// with -json, byte-identical to what the same spec produces locally,
+// since the server runs the identical runspec path and memoizes by
+// canonical-spec hash.
+//
 // Usage:
 //
 //	npsim -scenario trio -mode nplus -seed 4
@@ -36,12 +42,18 @@
 //	npsim -topo disk-uplink -nodes 200 -traffic poisson -rate 100
 //	npsim -topo campus -nodes 1000 -clusters 8 -traffic poisson -rate 400
 //	npsim -spec examples/specs/observe.json -events events.jsonl -metrics all
+//	npsim -spec - -json < spec.json
+//	npsim -spec examples/specs/uplink200.json -serve-url http://127.0.0.1:9070 -json
 //	npsim -list
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strings"
 
@@ -60,7 +72,8 @@ func main() {
 	topoNames := strings.Join(topo.Names(), ", ")
 	trafficNames := strings.Join(traffic.Names(), ", ")
 	modeNames := strings.Join(mac.ModeNames(), ", ")
-	specPath := flag.String("spec", "", "declarative run spec (JSON file); other flags override its fields")
+	specPath := flag.String("spec", "", "declarative run spec (JSON file, or - for stdin); other flags override its fields")
+	serveURL := flag.String("serve-url", "", "POST the spec to a running npserve at this base URL instead of computing locally (memoized server-side; -json output is byte-identical to a local run)")
 	jsonOut := flag.Bool("json", false, "emit the structured Report as JSON instead of the text view")
 	scenario := flag.String("scenario", runspec.DefaultScenario, "hand-built deployment, one of: "+scenarioNames)
 	topoName := flag.String("topo", "", "generated deployment instead of -scenario, one of: "+topoNames)
@@ -263,6 +276,29 @@ func main() {
 			dep, norm.Mode, norm.Traffic, norm.Engine, norm.SeedValue())
 	}
 
+	if *serveURL != "" {
+		// Client mode: the normalized spec is computed by a warm
+		// npserve (memoized by canonical hash) instead of locally. The
+		// server returns the exact bytes a local -json run prints, so
+		// piped output stays byte-identical either way.
+		if *trace {
+			usagef("-trace needs a local run; -serve-url has no trace stream")
+		}
+		if *pprofPrefix != "" {
+			usagef("-pprof profiles a local run; it cannot profile the server")
+		}
+		if norm.Observe != nil && norm.Observe.Events != "" {
+			usagef("-events writes a local file; the server rejects server-side event paths")
+		}
+		rep, body := runRemote(*serveURL, norm)
+		if *jsonOut {
+			os.Stdout.Write(body)
+			return
+		}
+		printHuman(rep)
+		return
+	}
+
 	var prof *obs.Profile
 	if *pprofPrefix != "" {
 		prof, err = obs.StartProfile(*pprofPrefix)
@@ -292,6 +328,12 @@ func main() {
 		fmt.Println("\nMAC trace:")
 		fmt.Print(tr.String())
 	}
+	printHuman(rep)
+}
+
+// printHuman writes the flow list and rendered report — the shared
+// text view for local and served runs.
+func printHuman(rep *runspec.Report) {
 	if len(rep.Flows) <= 24 {
 		for _, f := range rep.Flows {
 			fmt.Printf("  flow %d: node %d (%d ant) → node %d (%d ant), link SNR %.1f dB\n",
@@ -300,6 +342,34 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(rep.Render())
+}
+
+// runRemote POSTs the normalized spec to an npserve /run endpoint and
+// returns the decoded Report along with the server's exact response
+// bytes.
+func runRemote(baseURL string, n runspec.Spec) (*runspec.Report, []byte) {
+	body, err := json.Marshal(n)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	url := strings.TrimRight(baseURL, "/") + "/run"
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		fatalf("read %s: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		fatalf("server %s: %s: %s", url, resp.Status, strings.TrimSpace(string(data)))
+	}
+	var rep runspec.Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		fatalf("decode server report: %v", err)
+	}
+	return &rep, data
 }
 
 // splitList parses a comma-separated flag value, dropping empty

@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# serve-demo.sh — walk the npserve lifecycle end-to-end:
+#
+#   1. start the daemon and wait for /healthz
+#   2. POST a spec to /run and diff the served bytes against the
+#      local CLI (`npsim -spec … -json`) — byte-identical
+#   3. re-POST the same spec and show the cache hit on /metrics
+#   4. run npsim in client mode (-serve-url) against the daemon
+#   5. stream a 6-point sweep from /sweep and diff it against
+#      `npexp -spec … -json`
+#   6. SIGTERM the daemon and confirm a clean drain (exit 0)
+#
+# Run from the repository root:
+#
+#   ./examples/specs/serve-demo.sh
+#
+# Needs only the go toolchain, curl, and python3 (for metrics JSON).
+set -euo pipefail
+
+cd "$(dirname "$0")/../.."
+ADDR="${NPSERVE_ADDR:-127.0.0.1:9070}"
+URL="http://$ADDR"
+WORK="$(mktemp -d)"
+SRV=""
+cleanup() {
+  [ -n "$SRV" ] && kill "$SRV" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+metric() {
+  curl -sf "$URL/metrics" | python3 -c "import json,sys; s=json.load(sys.stdin)['series']; print(int(sum(x.get('value',0) for x in s if x['name']=='$1')))"
+}
+
+echo "== build and start npserve on $ADDR"
+go build -o "$WORK/npserve" ./cmd/npserve
+"$WORK/npserve" -addr "$ADDR" 2> "$WORK/npserve.log" &
+SRV=$!
+for _ in $(seq 1 50); do
+  curl -sf "$URL/healthz" > /dev/null && break
+  sleep 0.1
+done
+curl -sf "$URL/healthz" > /dev/null || { cat "$WORK/npserve.log" >&2; exit 1; }
+
+echo "== POST /run: served Report is byte-identical to the local CLI"
+go run ./cmd/npsim -spec examples/specs/uplink200.json -json > "$WORK/local.json"
+curl -sf -X POST --data-binary @examples/specs/uplink200.json "$URL/run" > "$WORK/served.json"
+cmp "$WORK/local.json" "$WORK/served.json" && echo "   byte-identical ✓"
+
+echo "== re-POST: served from cache, nothing re-executes"
+before=$(metric cache_hits)
+curl -sf -D "$WORK/headers" -X POST --data-binary @examples/specs/uplink200.json "$URL/run" > "$WORK/served2.json"
+cmp "$WORK/served.json" "$WORK/served2.json"
+grep -i 'x-cache' "$WORK/headers" | tr -d '\r' | sed 's/^/   /'
+echo "   cache_hits $before -> $(metric cache_hits), runs_executed $(metric runs_executed)"
+
+echo "== npsim client mode (-serve-url): same bytes, daemon executes"
+go run ./cmd/npsim -spec examples/specs/uplink200.json -serve-url "$URL" -json > "$WORK/client.json"
+cmp "$WORK/local.json" "$WORK/client.json" && echo "   byte-identical ✓"
+
+echo "== POST /sweep: 6 JSONL rows stream as grid points complete"
+go run ./cmd/npexp -spec examples/specs/delay-sweep.json -json > "$WORK/sweep-local.jsonl"
+curl -sfN -X POST --data-binary @examples/specs/delay-sweep.json "$URL/sweep" > "$WORK/sweep-served.jsonl"
+cmp "$WORK/sweep-local.jsonl" "$WORK/sweep-served.jsonl" && echo "   $(wc -l < "$WORK/sweep-served.jsonl") rows, byte-identical to npexp ✓"
+
+echo "== /metrics snapshot"
+curl -sf "$URL/metrics" | python3 -c "import json,sys; [print('  ', x['name'], '=', int(x.get('value',0))) for x in json.load(sys.stdin)['series'] if x['class'] in ('counter','gauge')]"
+
+echo "== SIGTERM: drain and exit 0"
+kill -TERM "$SRV"
+wait "$SRV"
+SRV=""
+sed 's/^/   /' "$WORK/npserve.log"
+echo "demo complete"

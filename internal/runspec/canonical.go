@@ -1,0 +1,60 @@
+package runspec
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Canonical is the public normalization seam: it resolves every
+// default, validates each field against the live registries, and
+// returns the spec in canonical form. Canonicalization is idempotent —
+// Canonical(Canonical(s)) == Canonical(s) — which is what makes the
+// canonical form usable as an identity: two specs describing the same
+// run canonicalize to the same struct, whatever mix of defaults and
+// explicit values they spelled it with.
+func (s Spec) Canonical() (Spec, error) {
+	return s.Normalized()
+}
+
+// Validate checks the spec without materializing the canonical form:
+// nil means Canonical (and Run) will accept it.
+func (s Spec) Validate() error {
+	_, err := s.Normalized()
+	return err
+}
+
+// CanonicalJSON is the byte encoding CanonicalHash digests: the
+// canonical spec marshaled compactly with Workers zeroed. Workers is a
+// scheduling knob — per-component RNG streams derive from the seed, so
+// Reports are byte-identical at any worker count and two specs
+// differing only in workers MUST share a hash, or a memoizing server
+// would recompute results it already holds.
+func (s Spec) CanonicalJSON() ([]byte, error) {
+	n, err := s.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	n.Workers = 0
+	data, err := json.Marshal(n)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: canonical encode: %w", err)
+	}
+	return data, nil
+}
+
+// CanonicalHash is the spec's execution identity: the hex SHA-256 of
+// CanonicalJSON. Equal hashes mean equal Reports — every RNG in a run
+// derives from the spec's seed and Reports embed no timestamps — so
+// the hash is a sound memoization key: a serving cache can return the
+// stored bytes for a repeated spec, and in-flight duplicates can
+// coalesce onto one execution.
+func (s Spec) CanonicalHash() (string, error) {
+	data, err := s.CanonicalJSON()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

@@ -1,0 +1,151 @@
+package runspec
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// exampleSpecs loads every checked-in example spec, expanding sweep
+// documents to their grid points, so the canonicalization pins cover
+// the full spec vocabulary that ships with the repo (static, spatial,
+// observed, churning, swept).
+func exampleSpecs(t *testing.T) map[string]Spec {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "specs", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no example specs found")
+	}
+	specs := map[string]Spec{}
+	for _, path := range paths {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sw, err := DecodeSweepOrSpec(data)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		points, err := sw.Expand()
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		for i, p := range points {
+			specs[fmt.Sprintf("%s#%d", filepath.Base(path), i)] = p
+		}
+	}
+	return specs
+}
+
+// TestCanonicalIdempotent pins the property the canonical-hash cache
+// key rests on: canonicalizing a canonical spec is the identity, both
+// structurally and at the byte level.
+func TestCanonicalIdempotent(t *testing.T) {
+	for name, s := range exampleSpecs(t) {
+		c1, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("%s: Canonical: %v", name, err)
+		}
+		c2, err := c1.Canonical()
+		if err != nil {
+			t.Fatalf("%s: Canonical(Canonical): %v", name, err)
+		}
+		if !reflect.DeepEqual(c1, c2) {
+			t.Errorf("%s: canonicalization not idempotent:\n first: %+v\nsecond: %+v", name, c1, c2)
+		}
+		j1, err := s.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: CanonicalJSON: %v", name, err)
+		}
+		j2, err := c1.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("%s: CanonicalJSON(canonical): %v", name, err)
+		}
+		if string(j1) != string(j2) {
+			t.Errorf("%s: canonical JSON drifted across canonicalization:\n first: %s\nsecond: %s", name, j1, j2)
+		}
+	}
+}
+
+// TestCanonicalHashIdentity pins the hash semantics the serving cache
+// depends on: stable across repeated calls, equal for a spec and its
+// canonical form, invariant under the workers scheduling knob, and
+// distinct across distinct runs.
+func TestCanonicalHashIdentity(t *testing.T) {
+	seen := map[string]string{}
+	for name, s := range exampleSpecs(t) {
+		h1, err := s.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		h2, err := s.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if h1 != h2 {
+			t.Errorf("%s: hash not stable: %s vs %s", name, h1, h2)
+		}
+		c, err := s.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		hc, err := c.CanonicalHash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if hc != h1 {
+			t.Errorf("%s: canonical form hashes differently: %s vs %s", name, hc, h1)
+		}
+		if c.Engine == EngineProtocol {
+			w := c
+			w.Workers = 4
+			hw, err := w.CanonicalHash()
+			if err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			if hw != h1 {
+				t.Errorf("%s: workers leaked into the hash: %s vs %s", name, hw, h1)
+			}
+		}
+		if prev, dup := seen[h1]; dup {
+			// Distinct example grid points must not collide — a collision
+			// here means two different runs would share a cache line.
+			t.Errorf("%s and %s share hash %s", name, prev, h1)
+		}
+		seen[h1] = name
+	}
+
+	// A knob that changes the run must change the hash.
+	base := Spec{Topo: "disk-uplink", Nodes: 16, Traffic: "poisson", DurationS: 0.01}
+	h1, err := base.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bumped := base
+	bumped.RatePPS = 123
+	h2, err := bumped.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("rate change did not change the canonical hash")
+	}
+
+	// Validate is the check-only seam over the same normalization.
+	if err := base.Validate(); err != nil {
+		t.Errorf("Validate rejected a good spec: %v", err)
+	}
+	bad := base
+	bad.Mode = "no-such-mode"
+	if bad.Validate() == nil {
+		t.Error("Validate accepted an unknown mode")
+	}
+	if _, err := bad.CanonicalHash(); err == nil {
+		t.Error("CanonicalHash accepted an unknown mode")
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 
 	"nplus/internal/assoc"
@@ -524,11 +525,30 @@ func DecodeSpec(data []byte) (Spec, error) {
 	return s, nil
 }
 
-// LoadSpec reads and decodes a Spec file.
+// LoadSpec reads and decodes a Spec file. The path "-" reads the spec
+// from standard input, so specs pipe between tools without a temp
+// file.
 func LoadSpec(path string) (Spec, error) {
-	data, err := os.ReadFile(path)
+	data, err := readInput(path)
 	if err != nil {
-		return Spec{}, fmt.Errorf("runspec: %w", err)
+		return Spec{}, err
 	}
 	return DecodeSpec(data)
+}
+
+// readInput reads a spec document from a file, or from stdin when the
+// path is the conventional "-".
+func readInput(path string) ([]byte, error) {
+	if path == "-" {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			return nil, fmt.Errorf("runspec: read stdin: %w", err)
+		}
+		return data, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("runspec: %w", err)
+	}
+	return data, nil
 }

@@ -6,7 +6,6 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
-	"os"
 
 	"nplus/internal/exp"
 	"nplus/internal/stats"
@@ -205,17 +204,25 @@ func DecodeSweep(data []byte) (Sweep, error) {
 
 // LoadSweep reads a sweep file; a file holding a single Spec is
 // promoted to a one-point sweep, so every spec file is also a valid
-// batch input. A file is a sweep when it carries a "base" object or
-// any sweep axis — including an axes-only file like
-// {"modes": ["nplus", "80211n"]}, which sweeps over the default base.
+// batch input. The path "-" reads from standard input. A file is a
+// sweep when it carries a "base" object or any sweep axis — including
+// an axes-only file like {"modes": ["nplus", "80211n"]}, which sweeps
+// over the default base.
 func LoadSweep(path string) (Sweep, error) {
-	data, err := os.ReadFile(path)
+	data, err := readInput(path)
 	if err != nil {
-		return Sweep{}, fmt.Errorf("runspec: %w", err)
+		return Sweep{}, err
 	}
+	return DecodeSweepOrSpec(data)
+}
+
+// DecodeSweepOrSpec parses a sweep document, promoting a single-spec
+// document to a one-point sweep — the shared grammar of every batch
+// input surface (npexp -spec files, npserve POST /sweep bodies).
+func DecodeSweepOrSpec(data []byte) (Sweep, error) {
 	var probe map[string]json.RawMessage
 	if err := json.Unmarshal(data, &probe); err != nil {
-		return Sweep{}, fmt.Errorf("runspec: decode %s: %w", path, err)
+		return Sweep{}, fmt.Errorf("runspec: decode sweep: %w", err)
 	}
 	if looksLikeSweep(probe) {
 		return DecodeSweep(data)

@@ -1,0 +1,264 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+
+	"nplus/internal/obs"
+	"nplus/internal/runspec"
+)
+
+// maxBodyBytes bounds a request body: specs and sweeps are small
+// declarative documents, never bulk data.
+const maxBodyBytes = 1 << 20
+
+// Handler returns the server's HTTP surface:
+//
+//	POST /run      one spec → its Report (application/json)
+//	POST /sweep    sweep (or single spec) → one Report per grid point,
+//	               streamed as JSONL rows as points complete
+//	GET  /metrics  serving-metrics snapshot (obs Series schema)
+//	GET  /healthz  liveness
+//
+// withPprof additionally mounts net/http/pprof under /debug/pprof/.
+func (s *Server) Handler(withPprof bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /run", s.handleRun)
+	mux.HandleFunc("POST /sweep", s.handleSweep)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// readBody drains a bounded request body.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+}
+
+// rejectServerSideOutputs refuses specs whose execution would write
+// files on the server: the events path is a local-run feature, and a
+// remote client has no business naming server-side paths.
+func rejectServerSideOutputs(n runspec.Spec) error {
+	if n.Observe != nil && n.Observe.Events != "" {
+		return fmt.Errorf("observe.events writes a server-local file; drop the events path or run the spec locally")
+	}
+	return nil
+}
+
+// admitError maps an attach failure to its HTTP response.
+func (s *Server) admitError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, ErrBusy):
+		s.count(MetricRejectedBusy, 1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.Is(err, ErrDraining):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	default:
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// handleRun serves one spec: normalize, hash, memoize/coalesce, and
+// answer with the Report bytes — the exact bytes `npsim -spec … -json`
+// prints, so a served response diffs clean against a local run.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	s.count(MetricRequestsRun, 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	spec, err := runspec.DecodeSpec(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	n, err := spec.Canonical()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if err := rejectServerSideOutputs(n); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	hash, err := n.CanonicalHash()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	tk, err := s.attach(n, hash)
+	if err != nil {
+		s.admitError(w, err)
+		return
+	}
+	s.account(tk)
+	data, err := s.await(r.Context(), tk)
+	if err != nil {
+		if r.Context().Err() != nil {
+			return // client gone; nothing to answer
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Canonical-Hash", hash)
+	w.Header().Set("X-Cache", cacheState(tk))
+	w.Write(data)
+}
+
+// handleSweep expands a sweep document, schedules every grid point
+// (shared points coalesce onto the same execution or hit the cache),
+// and streams one compact JSONL row per point, in grid order, as
+// results complete — the whole grid is never buffered. Admission is
+// all-or-nothing: if the queue cannot take every uncached point, the
+// sweep is rejected with 429 before any row is written, so a client
+// never sees a half-scheduled stream.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	s.count(MetricRequestsSweep, 1)
+	body, err := readBody(w, r)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	sw, err := runspec.DecodeSweepOrSpec(body)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	points, err := sw.Expand()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	for _, p := range points {
+		if err := rejectServerSideOutputs(p); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+	}
+
+	// Phase one: attach every point before writing a byte, so every
+	// distinct spec is computing concurrently while rows stream out.
+	tickets := make([]ticket, 0, len(points))
+	for _, p := range points {
+		hash, err := p.CanonicalHash()
+		if err != nil {
+			// Unreachable after Expand (which normalizes), kept for safety.
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		tk, err := s.attach(p, hash)
+		if err != nil {
+			for _, prev := range tickets {
+				if s.detach(prev.e) {
+					s.count(MetricCancelled, 1)
+				}
+			}
+			s.admitError(w, err)
+			return
+		}
+		s.account(tk)
+		tickets = append(tickets, tk)
+	}
+
+	// Phase two: stream rows in grid order as their executions land.
+	// The status line commits immediately — admission is decided, and
+	// the client should learn it before the first point finishes.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+	if fl != nil {
+		fl.Flush()
+	}
+	var compact bytes.Buffer
+	for i, tk := range tickets {
+		data, err := s.await(r.Context(), tk)
+		if err != nil {
+			// Client gone or a point failed mid-stream: release the rest
+			// and stop (the status line is already on the wire).
+			for _, rest := range tickets[i+1:] {
+				if s.detach(rest.e) {
+					s.count(MetricCancelled, 1)
+				}
+			}
+			return
+		}
+		// Rows are compact JSONL — byte-identical to the lines
+		// `npexp -spec sweep.json -json` emits for the same grid.
+		compact.Reset()
+		if err := json.Compact(&compact, data); err != nil {
+			return
+		}
+		compact.WriteByte('\n')
+		if _, err := w.Write(compact.Bytes()); err != nil {
+			for _, rest := range tickets[i+1:] {
+				if s.detach(rest.e) {
+					s.count(MetricCancelled, 1)
+				}
+			}
+			return
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		s.count(MetricSweepRows, 1)
+	}
+}
+
+// handleMetrics snapshots the serving metrics: the registry's
+// counters, peaks, and wall-time histogram plus point-in-time gauges
+// for queue depth, in-flight executions, and cache occupancy.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.mmu.Lock()
+	snap := s.metrics.Snapshot()
+	s.mmu.Unlock()
+	s.mu.Lock()
+	queued := len(s.queue)
+	cached := s.lru.Len()
+	s.mu.Unlock()
+	snap.Series = append(snap.Series,
+		obs.Series{Name: MetricQueueDepth, Domain: 0, Class: "gauge", Value: float64(queued)},
+		obs.Series{Name: MetricInFlightRuns, Domain: 0, Class: "gauge", Value: float64(s.inflight.Load())},
+		obs.Series{Name: MetricCachedReports, Domain: 0, Class: "gauge", Value: float64(cached)},
+	)
+	sort.Slice(snap.Series, func(i, j int) bool { return snap.Series[i].Name < snap.Series[j].Name })
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(data, '\n'))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain")
+	io.WriteString(w, "ok\n")
+}
+
+// cacheState renders a ticket's outcome for the X-Cache header.
+func cacheState(tk ticket) string {
+	switch {
+	case tk.hit:
+		return "hit"
+	case tk.coalesced:
+		return "coalesced"
+	default:
+		return "miss"
+	}
+}
