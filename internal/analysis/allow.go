@@ -1,0 +1,97 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// AllowPrefix is the comment prefix of a suppression directive. The
+// full form is
+//
+//	//npvet:allow <analyzer>(<reason>)
+//
+// placed on the flagged line or on the line immediately above it. The
+// reason is mandatory and must be non-empty: a suppression without a
+// recorded justification is itself a diagnostic. Directives naming an
+// analyzer the driver does not know are rejected too, so a typo never
+// silently disables nothing.
+const AllowPrefix = "//npvet:allow"
+
+// parseAllowDirective splits the text of one //npvet:allow comment
+// into the analyzer name and the justification. text includes the
+// leading "//".
+func parseAllowDirective(text string) (name, reason string, err error) {
+	body := strings.TrimPrefix(text, AllowPrefix)
+	body = strings.TrimSpace(body)
+	open := strings.IndexByte(body, '(')
+	if open < 0 || !strings.HasSuffix(body, ")") {
+		return "", "", fmt.Errorf("malformed directive: want %s <analyzer>(<reason>)", AllowPrefix)
+	}
+	name = strings.TrimSpace(body[:open])
+	reason = strings.TrimSpace(body[open+1 : len(body)-1])
+	if name == "" {
+		return "", "", fmt.Errorf("directive names no analyzer: want %s <analyzer>(<reason>)", AllowPrefix)
+	}
+	if reason == "" {
+		return "", "", fmt.Errorf("%s %s needs a non-empty reason", AllowPrefix, name)
+	}
+	return name, reason, nil
+}
+
+// fileLine keys a suppression by file name and line number.
+type fileLine struct {
+	file string
+	line int
+}
+
+// allowIndex records which analyzers are suppressed on which lines.
+type allowIndex struct {
+	allowed map[fileLine]map[string]bool
+}
+
+// suppresses reports whether the analyzer named name is allowed at
+// pos: a directive on the same line (trailing comment) or on the line
+// directly above (comment-above form) matches.
+func (ix *allowIndex) suppresses(name string, pos token.Position) bool {
+	for _, line := range [2]int{pos.Line, pos.Line - 1} {
+		if ix.allowed[fileLine{pos.Filename, line}][name] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows scans a package's comments for //npvet:allow
+// directives. known is the set of analyzer names the driver runs;
+// malformed or unknown-analyzer directives come back as diagnostics
+// (attributed to the driver itself) and suppress nothing.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*allowIndex, []Finding) {
+	ix := &allowIndex{allowed: make(map[fileLine]map[string]bool)}
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, AllowPrefix) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				name, _, err := parseAllowDirective(c.Text)
+				if err == nil && !known[name] {
+					err = fmt.Errorf("directive allows unknown analyzer %q", name)
+				}
+				if err != nil {
+					bad = append(bad, Finding{Analyzer: DriverName, Pos: pos, Message: err.Error()})
+					continue
+				}
+				key := fileLine{pos.Filename, pos.Line}
+				if ix.allowed[key] == nil {
+					ix.allowed[key] = make(map[string]bool)
+				}
+				ix.allowed[key][name] = true
+			}
+		}
+	}
+	return ix, bad
+}

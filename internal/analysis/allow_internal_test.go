@@ -1,0 +1,39 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseAllowDirectiveGrammar(t *testing.T) {
+	cases := []struct {
+		name       string
+		text       string
+		wantName   string
+		wantReason string
+		wantErr    string // "" = valid
+	}{
+		{"valid", "//npvet:allow wallclock(measures the host)", "wallclock", "measures the host", ""},
+		{"spaces ok", "//npvet:allow  detrange ( keys merge per-slot )", "detrange", "keys merge per-slot", ""},
+		{"empty reason", "//npvet:allow wallclock()", "", "", "non-empty reason"},
+		{"blank reason", "//npvet:allow wallclock(   )", "", "", "non-empty reason"},
+		{"no parens", "//npvet:allow wallclock", "", "", "malformed directive"},
+		{"no name", "//npvet:allow (just because)", "", "", "names no analyzer"},
+	}
+	for _, c := range cases {
+		name, reason, err := parseAllowDirective(c.text)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("%s: err = %v, want substring %q", c.name, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("%s: unexpected error: %v", c.name, err)
+			continue
+		}
+		if name != c.wantName || reason != c.wantReason {
+			t.Errorf("%s: parsed (%q, %q), want (%q, %q)", c.name, name, reason, c.wantName, c.wantReason)
+		}
+	}
+}

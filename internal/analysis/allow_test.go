@@ -1,0 +1,42 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis"
+	"nplus/internal/analysis/wallclock"
+)
+
+// TestBadDirectivesSuppressNothing pins the end-to-end directive
+// contract over a fixture package named into wallclock's critical
+// scope: three invalid //npvet:allow directives (empty reason, missing
+// parens, unknown analyzer) each yield a driver finding AND leave
+// their wallclock finding unsuppressed, while the one valid directive
+// suppresses its finding and adds nothing.
+func TestBadDirectivesSuppressNothing(t *testing.T) {
+	loader, err := analysis.NewFixtureLoader("testdata/src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := loader.LoadFixture("serve")
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := analysis.Check(pkg, []*analysis.Analyzer{wallclock.Analyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, f := range findings {
+		counts[f.Analyzer]++
+	}
+	if counts[analysis.DriverName] != 3 {
+		t.Errorf("driver findings = %d, want 3 (empty reason, missing parens, unknown analyzer):\n%v",
+			counts[analysis.DriverName], findings)
+	}
+	// Four time.Now calls, one validly suppressed.
+	if counts[wallclock.Analyzer.Name] != 3 {
+		t.Errorf("wallclock findings = %d, want 3 (invalid directives must not suppress):\n%v",
+			counts[wallclock.Analyzer.Name], findings)
+	}
+}

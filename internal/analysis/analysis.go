@@ -1,0 +1,108 @@
+// Package analysis is the simulator's static-analysis framework: a
+// minimal, dependency-free reimplementation of the surface of
+// golang.org/x/tools/go/analysis that the npvet analyzer suite builds
+// on. The repo's determinism contract — a Report is a pure function of
+// its canonical spec, byte-identical at any worker count — rests on
+// conventions (sort after every map range, knob.IsAuto never
+// == knob.Auto, sim.DeriveSeed never raw seed arithmetic, obs emission
+// behind the nil-observer fast path) that used to live only in code
+// review and expensive runtime invariance tests. The analyzers under
+// this package turn those conventions into machine-checked law;
+// cmd/npvet is the multichecker driver, and CI runs it as a tier-1
+// gate.
+//
+// The framework mirrors x/tools deliberately (Analyzer, Pass,
+// Diagnostic, an analysistest-style fixture harness) so that if the
+// module ever takes golang.org/x/tools as a dependency, the analyzers
+// port over mechanically. Everything here is built from the standard
+// library alone: packages are parsed with go/parser, type-checked with
+// go/types, and imports are resolved from compiler export data located
+// via `go list -export` (see load.go).
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	pathpkg "path"
+)
+
+// An Analyzer is one static check. Name is the identifier used in
+// diagnostics and in //npvet:allow suppression directives; Doc states
+// the determinism rule the analyzer encodes.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// A Diagnostic is one finding, positioned at the offending node.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// A Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers a diagnostic to the driver, which applies
+	// //npvet:allow suppression before surfacing it.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// ShortPos renders pos as "file:line:col" with only the base filename,
+// for cross-referencing a second location inside a diagnostic message
+// without dragging the absolute path along.
+func (p *Pass) ShortPos(pos token.Pos) string {
+	position := p.Fset.Position(pos)
+	return fmt.Sprintf("%s:%d:%d", pathpkg.Base(position.Filename), position.Line, position.Column)
+}
+
+// DeterminismCritical reports whether pkgPath is one of the packages
+// whose behavior feeds a Report and therefore must be bit-reproducible:
+// the MAC engine, the figure experiments, the simulation clock and
+// seed derivation, observability, the run/sweep surface, the serving
+// daemon's cache, topology generation, and association policy. The
+// detrange and wallclock analyzers scope themselves to these.
+func DeterminismCritical(pkgPath string) bool {
+	switch pathpkg.Base(pkgPath) {
+	case "mac", "core", "sim", "obs", "runspec", "exp", "serve", "topo", "assoc":
+		return true
+	}
+	return false
+}
+
+// CalleeFunc resolves the *types.Func a call expression invokes, or
+// nil for calls through function values, builtins, and conversions.
+func CalleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// PkgFunc reports whether fn is the package-level function pkgPath.name
+// (methods never match: they have a receiver).
+func PkgFunc(fn *types.Func, pkgPath, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name || fn.Pkg().Path() != pkgPath {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() == nil
+}

@@ -1,0 +1,132 @@
+// Package analysistest runs an analyzer over fixture packages and
+// checks its diagnostics against // want comments — the same contract
+// as golang.org/x/tools/go/analysis/analysistest, rebuilt on the
+// stdlib-only framework in internal/analysis.
+//
+// Fixtures live under <testdata>/src/<pkgpath>/; a fixture file marks
+// each line expected to be flagged with a trailing comment
+//
+//	// want "regexp" ["regexp" ...]
+//
+// Every diagnostic on a line must match one (unconsumed) regexp on
+// that line and vice versa. //npvet:allow directives are honored, so
+// fixtures also pin the suppression behavior: a violating line with a
+// valid directive and no want comment asserts the suppression works.
+package analysistest
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"nplus/internal/analysis"
+)
+
+// Run loads each fixture package under dir/src and checks a's
+// diagnostics (plus the driver's directive diagnostics) against the
+// fixtures' want comments.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgpaths ...string) {
+	t.Helper()
+	loader, err := analysis.NewFixtureLoader(filepath.Join(dir, "src"))
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	for _, pkgpath := range pkgpaths {
+		pkg, err := loader.LoadFixture(pkgpath)
+		if err != nil {
+			t.Fatalf("analysistest: loading fixture %s: %v", pkgpath, err)
+		}
+		findings, err := analysis.Check(pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("analysistest: running %s on %s: %v", a.Name, pkgpath, err)
+		}
+		checkWants(t, pkg, findings)
+	}
+}
+
+// want is one expectation: a regexp on a specific file line.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	used bool
+}
+
+func checkWants(t *testing.T, pkg *analysis.Package, findings []analysis.Finding) {
+	t.Helper()
+	var wants []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				ws, err := parseWants(c.Text)
+				if err != nil {
+					t.Fatalf("%s: %v", pkg.Fset.Position(c.Pos()), err)
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, re := range ws {
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+				}
+			}
+		}
+	}
+	for _, f := range findings {
+		matched := false
+		for _, w := range wants {
+			if !w.used && w.file == f.Pos.Filename && w.line == f.Pos.Line && w.re.MatchString(f.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s: %s", f.Pos, f.Analyzer, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.used {
+			t.Errorf("%s:%d: no diagnostic matched want %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+// parseWants extracts the quoted regexps of a `// want "re" ...`
+// comment; a comment without the marker yields none.
+func parseWants(text string) ([]*regexp.Regexp, error) {
+	body, ok := strings.CutPrefix(text, "//")
+	if !ok {
+		return nil, nil // /* */ comments carry no expectations
+	}
+	body = strings.TrimSpace(body)
+	body, ok = strings.CutPrefix(body, "want ")
+	if !ok {
+		return nil, nil
+	}
+	var res []*regexp.Regexp
+	for {
+		body = strings.TrimSpace(body)
+		if body == "" {
+			break
+		}
+		q, err := strconv.QuotedPrefix(body)
+		if err != nil {
+			return nil, fmt.Errorf("malformed want comment at %q: %v", body, err)
+		}
+		s, err := strconv.Unquote(q)
+		if err != nil {
+			return nil, err
+		}
+		re, err := regexp.Compile(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad want regexp %q: %v", s, err)
+		}
+		res = append(res, re)
+		body = body[len(q):]
+	}
+	if len(res) == 0 {
+		return nil, fmt.Errorf("want comment with no expectations")
+	}
+	return res, nil
+}

@@ -1,0 +1,63 @@
+package analysis
+
+import (
+	"go/token"
+	"sort"
+)
+
+// DriverName attributes diagnostics that come from the driver itself
+// (malformed //npvet:allow directives) rather than from an analyzer.
+const DriverName = "npvet"
+
+// A Finding is one surfaced diagnostic: position resolved, suppression
+// already applied.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Check runs the analyzers over one package, applies //npvet:allow
+// suppression, validates the directives themselves, and returns the
+// surviving findings in source order. Analyzer failures (not
+// diagnostics — actual errors) abort the check.
+func Check(pkg *Package, analyzers []*Analyzer) ([]Finding, error) {
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	allows, findings := collectAllows(pkg.Fset, pkg.Files, known)
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+		}
+		pass.Report = func(d Diagnostic) {
+			pos := pkg.Fset.Position(d.Pos)
+			if allows.suppresses(a.Name, pos) {
+				return
+			}
+			findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, err
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, nil
+}

@@ -1,0 +1,316 @@
+// Package detrange flags `for … range` loops over maps whose
+// iteration order escapes the loop in determinism-critical packages.
+//
+// Go randomizes map iteration order per run, so any observable value
+// built by walking a map unsorted — a slice appended to, an event
+// emitted, a "last assignment wins" variable, a float accumulated in
+// visit order — varies run to run and worker count to worker count.
+// One such range in a merge path breaks the repo's core invariant (a
+// Report is a pure function of its canonical spec, byte-identical at
+// 1/4/8 workers) and with it npserve's canonical-hash memoization.
+//
+// The analyzer's escape model, tuned to this codebase's idioms:
+//
+//   - append to a slice declared outside the loop is an escape, unless
+//     a later call in the same function whose name contains "Sort"
+//     (sort.Slice, slices.Sort, obs.SortEvents, …) takes that slice —
+//     the collect-then-sort idiom.
+//   - a statement-level call or channel send whose arguments derive
+//     from the loop variables is an escape (emission in map order).
+//   - `x op= expr` on an outer float accumulator is an escape:
+//     floating-point addition is not associative, so even a
+//     "commutative" reduction is order-dependent.
+//   - plain `x = expr` to an outer variable where expr derives from
+//     the map key is an escape (last key wins).
+//   - `return` inside the loop body is an escape (which entry returns
+//     depends on iteration order).
+//
+// Writes into maps, slice/array element writes, and integer
+// accumulation are order-independent and pass. False positives carry
+// a //npvet:allow detrange(reason) directive.
+package detrange
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"nplus/internal/analysis"
+)
+
+// Analyzer is the detrange pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "detrange",
+	Doc:  "map iteration order must not escape loops in determinism-critical packages",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			if t := pass.TypesInfo.TypeOf(rs.X); t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					checkMapRange(pass, rs, stack)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// taint tracks which objects carry values derived from the loop
+// variables, split by origin: key-derived taint makes plain
+// assignments escapes, value-derived taint alone does not (a running
+// max over values is order-independent; which key attained it is not).
+type taint struct {
+	info    *types.Info
+	fromKey map[types.Object]bool
+	fromVal map[types.Object]bool
+}
+
+func (t *taint) tainted(e ast.Expr) bool    { return t.refs(e, t.fromKey) || t.refs(e, t.fromVal) }
+func (t *taint) keyTainted(e ast.Expr) bool { return t.refs(e, t.fromKey) }
+
+func (t *taint) refs(e ast.Expr, set map[types.Object]bool) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && !found {
+			if obj := t.info.ObjectOf(id); obj != nil && set[obj] {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// loopVarObj resolves a range clause variable to its object for both
+// `:=` (Defs) and `=` (Uses) forms.
+func loopVarObj(info *types.Info, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return info.ObjectOf(id)
+}
+
+func checkMapRange(pass *analysis.Pass, rs *ast.RangeStmt, stack []ast.Node) {
+	tt := &taint{
+		info:    pass.TypesInfo,
+		fromKey: make(map[types.Object]bool),
+		fromVal: make(map[types.Object]bool),
+	}
+	if obj := loopVarObj(pass.TypesInfo, rs.Key); obj != nil {
+		tt.fromKey[obj] = true
+	}
+	if rs.Value != nil {
+		if obj := loopVarObj(pass.TypesInfo, rs.Value); obj != nil {
+			tt.fromVal[obj] = true
+		}
+	}
+	// Propagate taint through local assignments to a fixpoint, so
+	// `ev := buildEvent(k); emit(ev)` still reads as key-derived.
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(rs.Body, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			key := false
+			val := false
+			for _, rhs := range as.Rhs {
+				key = key || tt.refs(rhs, tt.fromKey)
+				val = val || tt.refs(rhs, tt.fromVal)
+			}
+			if !key && !val {
+				return true
+			}
+			for _, lhs := range as.Lhs {
+				id, ok := lhs.(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.ObjectOf(id)
+				if obj == nil {
+					continue
+				}
+				if key && !tt.fromKey[obj] {
+					tt.fromKey[obj] = true
+					changed = true
+				}
+				if val && !tt.fromVal[obj] {
+					tt.fromVal[obj] = true
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+
+	outer := func(e ast.Expr) types.Object {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		obj := pass.TypesInfo.ObjectOf(id)
+		if obj == nil || obj.Pos() == token.NoPos {
+			return nil
+		}
+		if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+			return nil // declared inside the loop: dies with the iteration
+		}
+		return obj
+	}
+
+	fn := analysis.EnclosingFunc(stack)
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.RangeStmt:
+			if n != rs {
+				if t := pass.TypesInfo.TypeOf(n.X); t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						return false // the nested walk reports its own escapes
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			checkAssign(pass, rs, fn, tt, outer, n)
+		case *ast.ExprStmt:
+			if call, ok := n.X.(*ast.CallExpr); ok && !isOrderFreeCall(pass, call) && tt.tainted(call) {
+				pass.Reportf(n.Pos(), "call depends on iteration order of the map range at %s; iterate sorted keys or buffer and sort before emitting",
+					pass.ShortPos(rs.Pos()))
+			}
+		case *ast.SendStmt:
+			if tt.tainted(n.Value) {
+				pass.Reportf(n.Pos(), "channel send depends on iteration order of the map range at %s", pass.ShortPos(rs.Pos()))
+			}
+		case *ast.ReturnStmt:
+			pass.Reportf(n.Pos(), "return inside a map range makes the result depend on iteration order (map at %s)", pass.ShortPos(rs.Pos()))
+		}
+		return true
+	})
+}
+
+func checkAssign(pass *analysis.Pass, rs *ast.RangeStmt, fn ast.Node, tt *taint, outer func(ast.Expr) types.Object, as *ast.AssignStmt) {
+	for i, lhs := range as.Lhs {
+		var rhs ast.Expr
+		if len(as.Rhs) == len(as.Lhs) {
+			rhs = as.Rhs[i]
+		} else if len(as.Rhs) == 1 {
+			rhs = as.Rhs[0]
+		} else {
+			continue
+		}
+
+		// append to an outer slice: ordered escape unless sorted later.
+		if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok && isBuiltinAppend(pass, call) {
+			obj := outer(lhs)
+			if obj == nil {
+				continue
+			}
+			if !sortedLaterIn(pass, fn, rs, obj) {
+				pass.Reportf(as.Pos(), "%s is appended to in map iteration order (map range at %s); sort it afterwards or iterate sorted keys",
+					obj.Name(), pass.ShortPos(rs.Pos()))
+			}
+			continue
+		}
+
+		// Element writes are per-key slots: order-independent.
+		if _, ok := ast.Unparen(lhs).(*ast.IndexExpr); ok {
+			continue
+		}
+
+		obj := outer(lhs)
+		if obj == nil {
+			continue
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+				pass.Reportf(as.Pos(), "float accumulation into %s in map iteration order is not associative (map range at %s); iterate sorted keys",
+					obj.Name(), pass.ShortPos(rs.Pos()))
+			}
+		case token.ASSIGN:
+			if tt.keyTainted(rhs) {
+				pass.Reportf(as.Pos(), "assignment to %s lets the last-visited map key win (map range at %s); iterate sorted keys or pick deterministically",
+					obj.Name(), pass.ShortPos(rs.Pos()))
+			}
+		}
+	}
+}
+
+// isBuiltinAppend reports whether call invokes the append builtin.
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// isOrderFreeCall exempts statement calls that cannot observe order:
+// the delete/clear builtins and panics.
+func isOrderFreeCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+		switch b.Name() {
+		case "delete", "clear", "panic", "print", "println":
+			return true
+		}
+	}
+	return false
+}
+
+// sortedLaterIn reports whether, lexically after the range loop inside
+// the enclosing function, some call whose qualified name mentions
+// "sort" (sort.Strings, sort.Slice, slices.SortFunc, obs.SortEvents,
+// insertSorted, …) takes obj — the collect-then-sort idiom that makes
+// the append order immaterial.
+func sortedLaterIn(pass *analysis.Pass, fn ast.Node, rs *ast.RangeStmt, obj types.Object) bool {
+	if fn == nil {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || sorted || call.Pos() < rs.End() {
+			return !sorted
+		}
+		name := ""
+		switch f := ast.Unparen(call.Fun).(type) {
+		case *ast.Ident:
+			name = f.Name
+		case *ast.SelectorExpr:
+			name = f.Sel.Name
+			if x, ok := ast.Unparen(f.X).(*ast.Ident); ok {
+				name = x.Name + "." + name
+			}
+		}
+		if !strings.Contains(strings.ToLower(name), "sort") {
+			return true
+		}
+		ast.Inspect(call, func(m ast.Node) bool {
+			if id, ok := m.(*ast.Ident); ok && pass.TypesInfo.ObjectOf(id) == obj {
+				sorted = true
+			}
+			return !sorted
+		})
+		return !sorted
+	})
+	return sorted
+}

@@ -1,0 +1,12 @@
+package detrange_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis/analysistest"
+	"nplus/internal/analysis/detrange"
+)
+
+func TestDetrange(t *testing.T) {
+	analysistest.Run(t, "testdata", detrange.Analyzer, "core", "free")
+}

@@ -1,0 +1,109 @@
+// Package core is a detrange fixture standing in for a
+// determinism-critical package (the analyzer scopes by package name).
+package core
+
+import "sort"
+
+// Unsorted key collection: the canonical violation.
+func names(reg map[string]int) []string {
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n) // want `appended to in map iteration order`
+	}
+	return out
+}
+
+// Collect-then-sort: the blessed idiom.
+func namesSorted(reg map[string]int) []string {
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Emission in map order, directly and through a tainted local.
+func emitAll(m map[int]float64, emit func(float64)) {
+	for _, v := range m {
+		emit(v) // want `call depends on iteration order`
+	}
+}
+
+func emitViaLocal(m map[string]int, sink func(string)) {
+	for k := range m {
+		msg := "station " + k
+		sink(msg) // want `call depends on iteration order`
+	}
+}
+
+// Floating-point reduction is order-dependent; integer reduction and
+// map writes are not.
+func total(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v // want `float accumulation`
+	}
+	return sum
+}
+
+func count(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Last visited key wins: order-dependent. A running max over values
+// alone is not.
+func lastKey(m map[string]int) string {
+	var last string
+	for k := range m {
+		last = k // want `last-visited map key`
+	}
+	return last
+}
+
+func maxVal(m map[string]int) int {
+	best := 0
+	for _, v := range m {
+		if v > best {
+			best = v
+		}
+	}
+	return best
+}
+
+// Returning mid-range picks an arbitrary entry.
+func anyKey(m map[string]int) string {
+	for k := range m {
+		return k // want `return inside a map range`
+	}
+	return ""
+}
+
+// Channel sends in map order interleave nondeterministically.
+func feed(m map[int]int, ch chan int) {
+	for _, v := range m {
+		ch <- v // want `channel send depends on iteration order`
+	}
+}
+
+// A justified suppression keeps the line clean.
+func suppressed(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		//npvet:allow detrange(fixture: order deliberately unspecified here)
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,11 @@
+// Package free is a detrange fixture for a package outside the
+// determinism-critical set: identical code, no findings.
+package free
+
+func names(reg map[string]int) []string {
+	out := make([]string, 0, len(reg))
+	for n := range reg {
+		out = append(out, n)
+	}
+	return out
+}

@@ -1,0 +1,178 @@
+// Package emitguard enforces the nil-observer fast path on the MAC
+// hot path.
+//
+// Observability is opt-in and must cost nothing when disabled: the
+// planner benchmark's allocs/op CI gate pins "observe off" at zero
+// extra allocations per contention round. That only holds because
+// every emission site checks the guard *before* building the event or
+// touching the metrics registry — constructing an obs.Event literal
+// (and any strings it carries) allocates even if the recorder then
+// discards it. This analyzer flags, inside the mac package, any call
+// to the protocol's emit helper or to an obs.Recorder/obs.Metrics
+// method that is not dominated by a guard: an enclosing `if` whose
+// condition calls emitting() or nil-checks an obs sink, or an early
+// `if sink == nil { return }` in the same function. Sites guarded at
+// scheduling time rather than lexically (the probe callback, which is
+// only ever armed when a sink is attached) carry a
+// //npvet:allow emitguard(reason) directive.
+package emitguard
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	pathpkg "path"
+
+	"nplus/internal/analysis"
+)
+
+// Analyzer is the emitguard pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "emitguard",
+	Doc:  "obs emission on MAC hot paths must sit behind the nil-observer fast path",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	if pathpkg.Base(pass.Pkg.Path()) != "mac" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		analysis.WithStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || !isEmission(pass, fn) {
+				return true
+			}
+			if guardedByIf(pass, call, stack) || guardedByEarlyReturn(pass, call, stack) {
+				return true
+			}
+			pass.Reportf(call.Pos(), "%s on the MAC hot path without the nil-observer fast path; guard with emitting() or a nil check so disabled runs stay allocation-free",
+				fn.Name())
+			return true
+		})
+	}
+	return nil
+}
+
+// isEmission reports whether fn is an emission entry point: a method
+// on an obs sink type (Recorder, Metrics), or the mac package's own
+// emit wrapper.
+func isEmission(pass *analysis.Pass, fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	if obsSinkType(sig.Recv().Type()) {
+		return true
+	}
+	return fn.Name() == "emit" && fn.Pkg() == pass.Pkg
+}
+
+// obsSinkType reports whether t is (a pointer to) an obs sink — the
+// Recorder or Metrics registry. Other obs types (Event, ProbeSample)
+// are plain values whose methods don't emit.
+func obsSinkType(t types.Type) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	if name := named.Obj().Name(); name != "Recorder" && name != "Metrics" {
+		return false
+	}
+	return pathpkg.Base(named.Obj().Pkg().Path()) == "obs"
+}
+
+// guardedByIf reports whether some enclosing if statement's condition
+// establishes the fast path: it calls a method named emitting, or
+// nil-checks an obs sink with !=.
+func guardedByIf(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		ifStmt, ok := stack[i].(*ast.IfStmt)
+		if !ok {
+			continue
+		}
+		// The call must be in a branch, not in the condition itself.
+		if call.Pos() >= ifStmt.Cond.Pos() && call.End() <= ifStmt.Cond.End() {
+			continue
+		}
+		if condGuards(pass, ifStmt.Cond) {
+			return true
+		}
+	}
+	return false
+}
+
+// condGuards reports whether cond mentions emitting() or `sink != nil`
+// for an obs sink.
+func condGuards(pass *analysis.Pass, cond ast.Expr) bool {
+	found := false
+	ast.Inspect(cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if fn := analysis.CalleeFunc(pass.TypesInfo, n); fn != nil && fn.Name() == "emitting" {
+				found = true
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.NEQ && nilCheckOfSink(pass, n) {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// guardedByEarlyReturn reports whether a statement before the call in
+// the enclosing function's top-level block is `if sink == nil
+// { return }` — the guard-once-then-emit-freely shape.
+func guardedByEarlyReturn(pass *analysis.Pass, call *ast.CallExpr, stack []ast.Node) bool {
+	fn := analysis.EnclosingFunc(stack)
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	default:
+		return false
+	}
+	for _, stmt := range body.List {
+		if stmt.End() > call.Pos() {
+			return false
+		}
+		ifStmt, ok := stmt.(*ast.IfStmt)
+		if !ok || len(ifStmt.Body.List) == 0 {
+			continue
+		}
+		b, ok := ifStmt.Cond.(*ast.BinaryExpr)
+		if !ok || b.Op != token.EQL || !nilCheckOfSink(pass, b) {
+			continue
+		}
+		if _, ok := ifStmt.Body.List[len(ifStmt.Body.List)-1].(*ast.ReturnStmt); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// nilCheckOfSink reports whether b compares an obs-sink-typed operand
+// with nil.
+func nilCheckOfSink(pass *analysis.Pass, b *ast.BinaryExpr) bool {
+	for _, pair := range [2][2]ast.Expr{{b.X, b.Y}, {b.Y, b.X}} {
+		operand, other := pair[0], pair[1]
+		if id, ok := ast.Unparen(other).(*ast.Ident); !ok || id.Name != "nil" {
+			continue
+		}
+		if t := pass.TypesInfo.TypeOf(operand); t != nil && obsSinkType(t) {
+			return true
+		}
+	}
+	return false
+}

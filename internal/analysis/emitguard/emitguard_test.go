@@ -1,0 +1,12 @@
+package emitguard_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis/analysistest"
+	"nplus/internal/analysis/emitguard"
+)
+
+func TestEmitguard(t *testing.T) {
+	analysistest.Run(t, "testdata", emitguard.Analyzer, "mac")
+}

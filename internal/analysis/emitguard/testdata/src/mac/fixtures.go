@@ -1,0 +1,58 @@
+// Package mac is an emitguard fixture mirroring the protocol's
+// emission shapes against the real obs sinks.
+package mac
+
+import "nplus/internal/obs"
+
+type engine struct {
+	rec *obs.Recorder
+	met *obs.Metrics
+}
+
+func (e *engine) emitting() bool { return e.rec != nil }
+
+// The emit wrapper itself holds the nil check — its internal call is
+// guarded.
+func (e *engine) emit(ev obs.Event) {
+	if e.rec != nil {
+		e.rec.Emit(ev)
+	}
+}
+
+// Unguarded emission: builds the event (and pays its allocations)
+// even when observability is off.
+func (e *engine) unguarded(station int) {
+	e.emit(obs.Event{Station: station})         // want `emit on the MAC hot path`
+	e.met.Count(obs.MetricWins, 0, 1)           // want `Count on the MAC hot path`
+	e.rec.Emit(obs.Event{Kind: obs.KindFreeze}) // want `Emit on the MAC hot path`
+	e.met.Observe(obs.MetricCW, 0, 31)          // want `Observe on the MAC hot path`
+	e.met.GaugeMax(obs.MetricPeakQueue, 0, 4)   // want `GaugeMax on the MAC hot path`
+}
+
+// The three guard shapes the hot path uses.
+func (e *engine) guarded(station int) {
+	if e.emitting() {
+		e.emit(obs.Event{Station: station})
+	}
+	if e.met != nil {
+		e.met.Count(obs.MetricWins, 0, 1)
+	}
+	if station > 0 && (e.met != nil || e.emitting()) {
+		e.emit(obs.Event{Station: station})
+		e.met.Observe(obs.MetricCW, 0, 15)
+	}
+}
+
+func (e *engine) earlyReturn(station int) {
+	if e.rec == nil {
+		return
+	}
+	e.rec.Emit(obs.Event{Station: station})
+}
+
+// Guarded at arm time rather than lexically: the directive records
+// why.
+func (e *engine) probe() {
+	//npvet:allow emitguard(fixture: callback is only scheduled when a sink is attached)
+	e.emit(obs.Event{Kind: obs.KindProbe})
+}

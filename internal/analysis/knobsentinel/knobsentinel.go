@@ -1,0 +1,83 @@
+// Package knobsentinel flags direct comparison against the knob.Auto
+// sentinel.
+//
+// Auto is NaN so that a config struct's zero value means literal zero,
+// not "use defaults" — which also means `x == knob.Auto` is always
+// false and `x != knob.Auto` is always true (NaN compares unequal to
+// everything, itself included). Such a comparison type-checks, reads
+// plausibly, and silently never selects the default. The only correct
+// idioms are knob.IsAuto(x) and knob.Or(x, def); this analyzer makes
+// the comparison a compile-time error in every package, including
+// against the historical per-package Auto copies (core, topo,
+// traffic) should one reappear.
+package knobsentinel
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	pathpkg "path"
+
+	"nplus/internal/analysis"
+)
+
+// Analyzer is the knobsentinel pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "knobsentinel",
+	Doc:  "never compare against knob.Auto (NaN); use knob.IsAuto / knob.Or",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			b, ok := n.(*ast.BinaryExpr)
+			if !ok || (b.Op != token.EQL && b.Op != token.NEQ) {
+				return true
+			}
+			for _, side := range [2]ast.Expr{b.X, b.Y} {
+				obj := autoSentinel(pass.TypesInfo, side)
+				if obj == nil {
+					continue
+				}
+				verdict := "false"
+				if b.Op == token.NEQ {
+					verdict = "true"
+				}
+				pass.Reportf(b.Pos(), "comparison with %s.Auto is always %s (Auto is NaN); use knob.IsAuto or knob.Or",
+					obj.Pkg().Name(), verdict)
+				break
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// autoSentinel resolves e to a package-level float sentinel named Auto
+// in a knob-bearing package, or nil.
+func autoSentinel(info *types.Info, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := info.Uses[id]
+	if obj == nil || obj.Name() != "Auto" || obj.Pkg() == nil {
+		return nil
+	}
+	switch obj.(type) {
+	case *types.Var, *types.Const:
+	default:
+		return nil
+	}
+	switch pathpkg.Base(obj.Pkg().Path()) {
+	case "knob", "core", "topo", "traffic":
+		return obj
+	}
+	return nil
+}

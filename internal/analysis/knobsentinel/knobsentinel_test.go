@@ -1,0 +1,12 @@
+package knobsentinel_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis/analysistest"
+	"nplus/internal/analysis/knobsentinel"
+)
+
+func TestKnobsentinel(t *testing.T) {
+	analysistest.Run(t, "testdata", knobsentinel.Analyzer, "kn")
+}

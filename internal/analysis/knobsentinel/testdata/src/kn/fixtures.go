@@ -1,0 +1,34 @@
+// Package kn is a knobsentinel fixture exercising comparisons against
+// the real knob.Auto sentinel.
+package kn
+
+import "nplus/internal/knob"
+
+func resolve(x float64) float64 {
+	if x == knob.Auto { // want `comparison with knob.Auto is always false`
+		return 1
+	}
+	if x != knob.Auto { // want `comparison with knob.Auto is always true`
+		return 2
+	}
+	if knob.Auto == x { // want `comparison with knob.Auto is always false`
+		return 3
+	}
+	return knob.Or(x, 4)
+}
+
+// The sanctioned idioms.
+func ok(x float64) (bool, float64) {
+	return knob.IsAuto(x), knob.Or(x, 7)
+}
+
+// A local Auto in a non-knob package is not the sentinel.
+var Auto = -1.0
+
+func local(x float64) bool { return x == Auto }
+
+// A justified suppression.
+func suppressed(x float64) bool {
+	//npvet:allow knobsentinel(fixture: demonstrating the directive)
+	return x == knob.Auto
+}

@@ -1,0 +1,338 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// A Package is one parsed, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// A Loader parses and type-checks packages without golang.org/x/tools:
+// target packages are compiled from source with go/types, and their
+// imports resolve from gc export data located by `go list -export`
+// (the toolchain builds any stale archive as a side effect, so the
+// loader works from a cold build cache). Fixture loaders additionally
+// resolve import paths against an analysistest-style src root, where
+// fixture packages are type-checked from source and may import real
+// module packages.
+type Loader struct {
+	Fset *token.FileSet
+
+	dir         string // where go list runs; pattern expansion is relative to it
+	modulePath  string
+	fixtureRoot string // "" outside analysistest
+
+	exports map[string]string   // import path -> export data file
+	goFiles map[string][]string // import path -> absolute non-test GoFiles
+	source  map[string]*Package // import path -> source-checked package
+	loading map[string]bool     // fixture cycle guard
+	gc      types.Importer      // export-data importer for everything non-fixture
+}
+
+// NewLoader returns a loader rooted at dir, which must be inside a Go
+// module; `go list` patterns like ./... expand relative to dir.
+func NewLoader(dir string) (*Loader, error) {
+	modPath, err := modulePathFor(dir)
+	if err != nil {
+		return nil, err
+	}
+	l := &Loader{
+		Fset:       token.NewFileSet(),
+		dir:        dir,
+		modulePath: modPath,
+		exports:    make(map[string]string),
+		goFiles:    make(map[string][]string),
+		source:     make(map[string]*Package),
+		loading:    make(map[string]bool),
+	}
+	l.gc = importer.ForCompiler(l.Fset, "gc", l.lookupExport)
+	return l, nil
+}
+
+// NewFixtureLoader returns a loader whose import resolution consults
+// srcRoot first: an import path P with a directory srcRoot/P is
+// type-checked from that source. Everything else (standard library,
+// real module packages) resolves through export data, so fixtures can
+// exercise analyzers against the real nplus/internal/... types.
+func NewFixtureLoader(srcRoot string) (*Loader, error) {
+	dir, err := moduleRootAbove(srcRoot)
+	if err != nil {
+		return nil, err
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		return nil, err
+	}
+	l.fixtureRoot = srcRoot
+	return l, nil
+}
+
+// LoadPackages expands the go list patterns and returns every matched
+// package that has non-test Go files, parsed and type-checked from
+// source. Dependencies are resolved from export data, so only the
+// matched packages themselves are re-parsed.
+func (l *Loader) LoadPackages(patterns ...string) ([]*Package, error) {
+	targets, err := l.goList(true, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Package
+	for _, path := range targets {
+		files := l.goFiles[path]
+		if len(files) == 0 {
+			continue // e.g. the module root: bench file only, no non-test sources
+		}
+		pkg, err := l.checkSource(path, files)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// LoadFixture loads the fixture package at srcRoot/path.
+func (l *Loader) LoadFixture(path string) (*Package, error) {
+	if l.fixtureRoot == "" {
+		return nil, fmt.Errorf("analysis: LoadFixture on a non-fixture loader")
+	}
+	tp, err := l.Import(path)
+	if err != nil {
+		return nil, err
+	}
+	pkg, ok := l.source[tp.Path()]
+	if !ok {
+		return nil, fmt.Errorf("analysis: fixture %s resolved outside the fixture root", path)
+	}
+	return pkg, nil
+}
+
+// Import implements types.Importer: fixture packages from source,
+// everything else from export data.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if l.fixtureRoot != "" {
+		dir := filepath.Join(l.fixtureRoot, filepath.FromSlash(path))
+		if fi, err := os.Stat(dir); err == nil && fi.IsDir() {
+			if pkg, ok := l.source[path]; ok {
+				return pkg.Types, nil
+			}
+			if l.loading[path] {
+				return nil, fmt.Errorf("analysis: import cycle through fixture %s", path)
+			}
+			files, err := fixtureGoFiles(dir)
+			if err != nil {
+				return nil, err
+			}
+			pkg, err := l.checkSource(path, files)
+			if err != nil {
+				return nil, err
+			}
+			return pkg.Types, nil
+		}
+	}
+	return l.gc.Import(path)
+}
+
+// checkSource parses files and type-checks them as the package at
+// import path, memoizing the result.
+func (l *Loader) checkSource(path string, files []string) (*Package, error) {
+	if pkg, ok := l.source[path]; ok {
+		return pkg, nil
+	}
+	l.loading[path] = true
+	defer delete(l.loading, path)
+
+	var parsed []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(l.Fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var errs []error
+	conf := types.Config{
+		Importer: l,
+		Sizes:    types.SizesFor("gc", build.Default.GOARCH),
+		Error:    func(err error) { errs = append(errs, err) },
+	}
+	tp, err := conf.Check(path, l.Fset, parsed, info)
+	if len(errs) > 0 {
+		msgs := make([]string, len(errs))
+		for i, e := range errs {
+			msgs[i] = e.Error()
+		}
+		return nil, fmt.Errorf("analysis: type-checking %s:\n\t%s", path, strings.Join(msgs, "\n\t"))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("analysis: type-checking %s: %w", path, err)
+	}
+	pkg := &Package{Path: path, Fset: l.Fset, Files: parsed, Types: tp, Info: info}
+	l.source[path] = pkg
+	return pkg, nil
+}
+
+// lookupExport feeds the gc importer: it returns a reader over the
+// export data of path, asking the go command to locate (and if
+// necessary build) the archive on a cache miss.
+func (l *Loader) lookupExport(path string) (io.ReadCloser, error) {
+	file, ok := l.exports[path]
+	if !ok {
+		if _, err := l.goList(false, path); err != nil {
+			return nil, err
+		}
+		if file, ok = l.exports[path]; !ok {
+			return nil, fmt.Errorf("analysis: no export data for %s", path)
+		}
+	}
+	return os.Open(file)
+}
+
+// listedPkg is the subset of `go list -json` output the loader reads.
+type listedPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	CgoFiles   []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -e -export -json [-deps] patterns`, records
+// export files and source lists, and returns the import paths the
+// patterns matched directly (excluding dependencies), sorted.
+func (l *Loader) goList(deps bool, patterns ...string) ([]string, error) {
+	args := []string{"list", "-e", "-export", "-json=ImportPath,Dir,Export,GoFiles,CgoFiles,DepOnly,Error"}
+	if deps {
+		args = append(args, "-deps")
+	}
+	args = append(args, "--")
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = l.dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("analysis: go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var targets []string
+	dec := json.NewDecoder(&stdout)
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("analysis: decoding go list output: %w", err)
+		}
+		if p.Error != nil && len(p.GoFiles) > 0 {
+			return nil, fmt.Errorf("analysis: go list %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if len(p.CgoFiles) > 0 && !p.DepOnly {
+			return nil, fmt.Errorf("analysis: %s uses cgo; npvet analyzes pure Go only", p.ImportPath)
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		abs := make([]string, 0, len(p.GoFiles))
+		for _, f := range p.GoFiles {
+			abs = append(abs, filepath.Join(p.Dir, f))
+		}
+		l.goFiles[p.ImportPath] = abs
+		if !p.DepOnly {
+			targets = append(targets, p.ImportPath)
+		}
+	}
+	sort.Strings(targets)
+	return targets, nil
+}
+
+// fixtureGoFiles lists dir's non-test Go sources.
+func fixtureGoFiles(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, name))
+	}
+	if len(files) == 0 {
+		return nil, fmt.Errorf("analysis: no Go files in fixture %s", dir)
+	}
+	sort.Strings(files)
+	return files, nil
+}
+
+// moduleRootAbove walks up from dir to the directory holding go.mod.
+func moduleRootAbove(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("analysis: no go.mod above %s", dir)
+		}
+		d = parent
+	}
+}
+
+// modulePathFor reads the module path of the module containing dir.
+func modulePathFor(dir string) (string, error) {
+	root, err := moduleRootAbove(dir)
+	if err != nil {
+		return "", err
+	}
+	data, err := os.ReadFile(filepath.Join(root, "go.mod"))
+	if err != nil {
+		return "", err
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.TrimSpace(rest), nil
+		}
+	}
+	return "", fmt.Errorf("analysis: no module directive in %s/go.mod", root)
+}

@@ -1,0 +1,12 @@
+package seedderive_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis/analysistest"
+	"nplus/internal/analysis/seedderive"
+)
+
+func TestSeedderive(t *testing.T) {
+	analysistest.Run(t, "testdata", seedderive.Analyzer, "seeds")
+}

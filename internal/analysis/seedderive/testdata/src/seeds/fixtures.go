@@ -1,0 +1,42 @@
+// Package seeds is a seedderive fixture: raw seed arithmetic fed to
+// RNG constructors versus the blessed sim.DeriveSeed derivation.
+package seeds
+
+import (
+	"math/rand"
+
+	"nplus/internal/sim"
+)
+
+func bad(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(seed + int64(i))) // want `raw seed arithmetic`
+}
+
+func badScaled(baseSeed int64, k int64) rand.Source {
+	return rand.NewSource(baseSeed * k) // want `raw seed arithmetic`
+}
+
+func badXor(trialSeed int64, i int64) rand.Source {
+	return rand.NewSource(trialSeed ^ (i << 8)) // want `raw seed arithmetic`
+}
+
+// Derivation through sim.DeriveSeed is the sanctioned form.
+func good(seed int64, i int) *rand.Rand {
+	return rand.New(rand.NewSource(sim.DeriveSeed(seed, int64(i))))
+}
+
+// Constants and non-seed arithmetic are fine.
+func goodConst(n int) rand.Source {
+	return rand.NewSource(42 + int64(n))
+}
+
+// The derivation function itself is where seed arithmetic lives.
+func DeriveSeed(seed, stream int64) int64 {
+	return rand.NewSource(seed + stream*0x9E3779B9).Int63()
+}
+
+// A justified suppression.
+func suppressed(seed int64) rand.Source {
+	//npvet:allow seedderive(fixture: deliberately correlated streams for a sensitivity study)
+	return rand.NewSource(seed + 1)
+}

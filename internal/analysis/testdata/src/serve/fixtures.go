@@ -1,0 +1,18 @@
+// Package serve exercises the driver's validation of
+// //npvet:allow suppression directives: a reasonless or unknown-name
+// directive suppresses nothing and is itself a finding.
+package serve
+
+import "time"
+
+//npvet:allow wallclock()
+func emptyReason() time.Time { return time.Now() }
+
+//npvet:allow wallclock
+func missingParens() time.Time { return time.Now() }
+
+//npvet:allow notananalyzer(this analyzer does not exist)
+func unknownName() time.Time { return time.Now() }
+
+//npvet:allow wallclock(host wall time is the point of this helper)
+func validDirective() time.Time { return time.Now() }

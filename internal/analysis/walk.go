@@ -1,0 +1,52 @@
+package analysis
+
+import "go/ast"
+
+type stackVisitor struct {
+	stack []ast.Node
+	fn    func(n ast.Node, stack []ast.Node) bool
+}
+
+func (v *stackVisitor) Visit(n ast.Node) ast.Visitor {
+	if n == nil {
+		v.stack = v.stack[:len(v.stack)-1]
+		return nil
+	}
+	if !v.fn(n, v.stack) {
+		return nil
+	}
+	v.stack = append(v.stack, n)
+	return v
+}
+
+// WithStack walks the AST rooted at root in depth-first order, calling
+// fn with each node and the stack of its ancestors (outermost first,
+// excluding the node itself). Returning false skips the node's
+// children. It is the fragment of x/tools' inspector.WithStack the
+// npvet analyzers need.
+func WithStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	ast.Walk(&stackVisitor{fn: fn}, root)
+}
+
+// EnclosingFunc returns the innermost function declaration or literal
+// on stack, or nil.
+func EnclosingFunc(stack []ast.Node) ast.Node {
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch stack[i].(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			return stack[i]
+		}
+	}
+	return nil
+}
+
+// EnclosingFuncName returns the name of the innermost enclosing
+// function declaration on stack ("" inside function literals or at
+// package level).
+func EnclosingFuncName(stack []ast.Node) string {
+	switch fn := EnclosingFunc(stack).(type) {
+	case *ast.FuncDecl:
+		return fn.Name.Name
+	}
+	return ""
+}

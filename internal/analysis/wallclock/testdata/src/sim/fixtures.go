@@ -1,0 +1,29 @@
+// Package sim is a wallclock fixture standing in for a
+// determinism-critical package.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+func bad() {
+	_ = time.Now()                     // want `time.Now reads the wall clock`
+	time.Sleep(time.Millisecond)       // want `time.Sleep reads the wall clock`
+	_ = time.Since(time.Time{})        // want `time.Since reads the wall clock`
+	_ = rand.Intn(10)                  // want `global rand.Intn draws from shared process-wide state`
+	rand.Shuffle(3, func(i, j int) {}) // want `global rand.Shuffle draws from shared process-wide state`
+}
+
+// Seeded instances and pure duration math are the sanctioned forms.
+func good(r *rand.Rand) time.Duration {
+	_ = r.Intn(10)
+	_ = rand.New(rand.NewSource(42)).Float64()
+	return 5 * time.Millisecond
+}
+
+// A justified suppression: measuring the host, not the simulation.
+func suppressed() time.Time {
+	//npvet:allow wallclock(fixture: host wall time feeding a latency histogram)
+	return time.Now()
+}

@@ -1,0 +1,7 @@
+// Package tools is a wallclock fixture for a package outside the
+// determinism-critical set: wall-clock reads are fine in tooling.
+package tools
+
+import "time"
+
+func stamp() time.Time { return time.Now() }

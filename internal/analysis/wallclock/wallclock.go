@@ -1,0 +1,68 @@
+// Package wallclock flags wall-clock reads and global math/rand use in
+// determinism-critical packages.
+//
+// Simulated behavior must be a pure function of the spec: virtual time
+// comes from the event engine (sim.Engine.Now), and every random draw
+// comes from a seeded *rand.Rand whose stream sim.DeriveSeed pins to
+// the (seed, stream) pair. time.Now/Since/Sleep leak the host's clock
+// into results; the top-level math/rand functions share one
+// process-wide, non-reproducibly-seeded source whose draws interleave
+// across goroutines — either one silently breaks worker-count
+// invariance and npserve's canonical-hash cache.
+//
+// The one legitimate wall-clock read (npserve's wall-time histogram,
+// which measures the host, not the simulation) carries a
+// //npvet:allow wallclock(reason) directive.
+package wallclock
+
+import (
+	"go/ast"
+	"strings"
+
+	"nplus/internal/analysis"
+)
+
+// Analyzer is the wallclock pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "wallclock",
+	Doc:  "no wall-clock time or global math/rand in determinism-critical packages",
+	Run:  run,
+}
+
+// wallFuncs are the time package's clock and timer entry points that
+// read host time.
+var wallFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true, "Sleep": true,
+	"After": true, "AfterFunc": true, "Tick": true,
+	"NewTicker": true, "NewTimer": true,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.DeterminismCritical(pass.Pkg.Path()) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.CalleeFunc(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallFuncs[fn.Name()] && analysis.PkgFunc(fn, "time", fn.Name()) {
+					pass.Reportf(call.Pos(), "time.%s reads the wall clock in a determinism-critical package; simulated behavior must use virtual time (sim.Engine.Now)", fn.Name())
+				}
+			case "math/rand", "math/rand/v2":
+				if analysis.PkgFunc(fn, fn.Pkg().Path(), fn.Name()) && !strings.HasPrefix(fn.Name(), "New") {
+					pass.Reportf(call.Pos(), "global %s.%s draws from shared process-wide state; use a seeded *rand.Rand (sim.DeriveSeed per stream)", fn.Pkg().Name(), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

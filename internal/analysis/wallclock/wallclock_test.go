@@ -1,0 +1,12 @@
+package wallclock_test
+
+import (
+	"testing"
+
+	"nplus/internal/analysis/analysistest"
+	"nplus/internal/analysis/wallclock"
+)
+
+func TestWallclock(t *testing.T) {
+	analysistest.Run(t, "testdata", wallclock.Analyzer, "sim", "tools")
+}

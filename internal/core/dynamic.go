@@ -68,7 +68,10 @@ type ChurnStats struct {
 // Controller RNG stream salts: every dynamic draw comes from a stream
 // derived from (network seed, salt[, entity id]) via sim.DeriveSeed,
 // never from the event schedule, so a churning run is a pure function
-// of its spec.
+// of its spec. Per-entity streams derive in two hops —
+// DeriveSeed(DeriveSeed(seed, salt), id) — never by adding the salt
+// to the seed, which the seedderive analyzer rejects as a
+// correlated-stream hazard.
 const (
 	streamChurn    = 9001 // arrival times, placements, antennas, sessions
 	streamMobility = 9002 // per-station movement + channel redraw streams
@@ -197,7 +200,7 @@ func (n *Network) runTrafficDynamic(r TrafficRun, spec traffic.Spec) (*TrafficRe
 	// Per-station mobility state for the initial clients.
 	if r.Mobility != nil {
 		for _, id := range d.clients {
-			d.mobRNG[id] = rand.New(rand.NewSource(sim.DeriveSeed(n.seed+streamMobility, int64(id))))
+			d.mobRNG[id] = rand.New(rand.NewSource(sim.DeriveSeed(sim.DeriveSeed(n.seed, streamMobility), int64(id))))
 			d.mobility[id] = d.mobSpec.New()
 		}
 		iv := r.Mobility.IntervalS
@@ -363,7 +366,7 @@ func (d *dynamicRun) arrive() {
 	if err := d.proto.AddStation(mac.StationConfig{
 		Flows:    []mac.Flow{flow},
 		Sources:  []traffic.Source{src},
-		ArrSeeds: []int64{sim.DeriveSeed(d.net.seed+streamArrFlow, int64(fid))},
+		ArrSeeds: []int64{sim.DeriveSeed(sim.DeriveSeed(d.net.seed, streamArrFlow), int64(fid))},
 		QueueCap: d.r.QueueCap,
 	}); err != nil {
 		panic(fmt.Sprintf("core: churn arrival: %v", err))
@@ -373,7 +376,7 @@ func (d *dynamicRun) arrive() {
 	d.flowOf[id] = fid
 	d.defs[fid] = flow
 	if d.r.Mobility != nil {
-		d.mobRNG[id] = rand.New(rand.NewSource(sim.DeriveSeed(d.net.seed+streamMobility, int64(id))))
+		d.mobRNG[id] = rand.New(rand.NewSource(sim.DeriveSeed(sim.DeriveSeed(d.net.seed, streamMobility), int64(id))))
 		d.mobility[id] = d.mobSpec.New()
 	}
 	d.stats.Arrivals++

@@ -162,7 +162,7 @@ func NewNetwork(seed int64, nodes []Node, links []Link, opts Options) (*Network,
 		specs[i] = testbed.NodeSpec{ID: n.ID, Antennas: n.Antennas}
 		byID[n.ID] = n
 	}
-	depRNG := rand.New(rand.NewSource(seed + 1))
+	depRNG := rand.New(rand.NewSource(sim.DeriveSeed(seed, 1)))
 	var dep *testbed.Deployment
 	if opts.Positions != nil {
 		dep, err = tb.DeployAtModel(depRNG, specs, opts.Positions, testbed.LinkModel{

@@ -154,6 +154,7 @@ func (m *Metrics) Merge(other *Metrics) {
 			dst = &stats.Accumulator{}
 			m.hists[k] = dst
 		}
+		//npvet:allow detrange(each key merges into its own accumulator; no cross-key state, so visit order is immaterial)
 		dst.Merge(h)
 	}
 }
